@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+The cap sweeps are the expensive part (Static run + Conductor run + LP per
+benchmark per cap at 32 ranks); they are computed once per session and
+shared by every figure that consumes them (Figs. 9, 10, 11, 13, 14, 15 and
+the headline summary), exactly like the paper derives all its improvement
+figures from one measurement campaign.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import BENCH_CAPS, benchmark_config
+from repro.experiments.runner import sweep_caps
+
+#: Rank count for the harness.  The paper uses 32; the harness defaults to
+#: 16 to keep a full regeneration within minutes — set to 32 for the
+#: paper-exact scale (EXPERIMENTS.md records both).
+BENCH_RANKS = 16
+
+
+@pytest.fixture(scope="session")
+def sweeps():
+    """ComparisonResults for all four benchmarks across their cap ranges."""
+    out = {}
+    for bench in ("comd", "bt", "sp", "lulesh"):
+        cfg = benchmark_config(bench, n_ranks=BENCH_RANKS)
+        out[bench] = sweep_caps(cfg, BENCH_CAPS[bench])
+    return out
+
+
+def improvements(results, attr):
+    """Non-None improvement values from a sweep."""
+    vals = [getattr(r, attr) for r in results]
+    return [v for v in vals if v is not None]
+
+
+def engage(benchmark):
+    """Record a no-op timing so claim-assertion tests run (and appear) under
+    ``pytest benchmarks/ --benchmark-only`` — the harness's single pass."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

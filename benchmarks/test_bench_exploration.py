@@ -1,0 +1,66 @@
+"""Extension exhibit: bound quality vs profiling effort.
+
+The paper's bounds come from measured traces; this benchmark quantifies
+how many heterogeneous exploration runs it takes for the *measured* LP
+bound to converge to the oracle (full-knowledge) bound — the cost of the
+paper's methodology, made explicit.
+"""
+
+import pytest
+
+from repro.core import solve_fixed_order_lp
+from repro.experiments.runner import make_power_models
+from repro.simulator import trace_application, trace_from_exploration
+from repro.workloads import imbalanced_collective_app
+
+from conftest import engage
+
+N_RANKS = 4
+CAP = N_RANKS * 30.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    app = imbalanced_collective_app(n_ranks=N_RANKS, iterations=2, spread=1.4)
+    models = make_power_models(N_RANKS, 11)
+    oracle_t = solve_fixed_order_lp(
+        trace_application(app, models), CAP
+    ).makespan_s
+    return app, models, oracle_t
+
+
+def test_exploration_tracing_speed(benchmark, setup):
+    app, models, _ = setup
+    trace = benchmark.pedantic(
+        trace_from_exploration, args=(app, models, 12), rounds=1, iterations=1
+    )
+    assert len(trace.task_edges) == app.n_tasks()
+
+
+def test_bound_convergence_curve(benchmark, setup):
+    """The measured bound decreases monotonically toward the oracle and
+    lands within 20% by a third of full coverage."""
+    engage(benchmark)
+    app, models, oracle_t = setup
+    curve = {}
+    for rounds in (4, 12, 40, 120):
+        res = solve_fixed_order_lp(
+            trace_from_exploration(app, models, rounds=rounds), CAP
+        )
+        curve[rounds] = res.makespan_s if res.feasible else float("inf")
+    vals = [curve[r] for r in (4, 12, 40, 120)]
+    assert all(b <= a + 1e-9 for a, b in zip(vals, vals[1:]))
+    assert curve[40] <= oracle_t * 1.20
+    assert curve[120] == pytest.approx(oracle_t, rel=1e-6)
+
+
+def test_sparse_exploration_still_useful(benchmark, setup):
+    """Even a handful of rounds yields a valid (if loose) upper bound on
+    achievable performance — it never reports better-than-possible."""
+    engage(benchmark)
+    app, models, oracle_t = setup
+    res = solve_fixed_order_lp(
+        trace_from_exploration(app, models, rounds=4), CAP
+    )
+    if res.feasible:
+        assert res.makespan_s >= oracle_t - 1e-9

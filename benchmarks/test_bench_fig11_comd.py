@@ -1,0 +1,44 @@
+"""Figure 11: CoMD — LP and Conductor improvement vs Static.
+
+Paper: LP gains 2.4-12.6% (median 4.6%), shrinking as the cap rises;
+Conductor stays close to the LP.
+"""
+
+import numpy as np
+
+from conftest import engage, improvements
+
+
+def test_fig11_regeneration(benchmark, sweeps):
+    rows = benchmark(
+        lambda: [
+            (r.cap_per_socket_w, r.lp_vs_static_pct, r.conductor_vs_static_pct)
+            for r in sweeps["comd"]
+        ]
+    )
+    assert len(rows) == 6
+
+
+def test_fig11_magnitudes(benchmark, sweeps):
+    engage(benchmark)
+    vals = improvements(sweeps["comd"], "lp_vs_static_pct")
+    assert 5.0 < max(vals) < 25.0   # paper max 12.6%
+    assert min(vals) < 5.0          # paper min 2.4%
+    assert 0.0 < float(np.median(vals)) < 10.0  # paper median 4.6%
+
+
+def test_fig11_decays_with_power(benchmark, sweeps):
+    """The gain is largest at the lowest cap and ~vanishes at high caps."""
+    engage(benchmark)
+    vals = improvements(sweeps["comd"], "lp_vs_static_pct")
+    assert vals[0] == max(vals)
+    assert vals[-1] < 3.0
+
+
+def test_fig11_conductor_tracks_lp(benchmark, sweeps):
+    """Conductor captures a meaningful share of the LP's gain at the caps
+    where there is a gain to capture."""
+    engage(benchmark)
+    r30 = sweeps["comd"][0]
+    assert r30.conductor_vs_static_pct > 0.0
+    assert r30.conductor_vs_static_pct <= r30.lp_vs_static_pct + 1e-9

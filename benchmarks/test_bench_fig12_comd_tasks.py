@@ -1,0 +1,66 @@
+"""Figure 12: CoMD long-task duration vs power at a 30 W/socket cap.
+
+Paper: under the LP, long tasks cluster around 0.9-1.2 s with per-task
+powers spread across ~28-36 W (many above the 30 W average!), while Static
+pins every socket at <=30 W and tasks stretch to 1.3-1.47 s.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure12_comd_task_scatter
+
+from conftest import engage, BENCH_RANKS
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return figure12_comd_task_scatter(
+        cap_per_socket_w=30.0, n_ranks=BENCH_RANKS, iterations=8
+    )
+
+
+def test_fig12_regeneration(benchmark):
+    fig = benchmark.pedantic(
+        figure12_comd_task_scatter,
+        kwargs=dict(cap_per_socket_w=30.0, n_ranks=8, iterations=4),
+        rounds=1, iterations=1,
+    )
+    assert fig.lp_points and fig.static_points
+
+
+def test_fig12_lp_exceeds_uniform_cap_per_task(benchmark, fig12):
+    """The LP allocates *more than 30 W* to many tasks without violating
+    the job-level constraint — the paper's central Figure-12 observation."""
+    engage(benchmark)
+    lp_powers = np.array([p for p, _ in fig12.lp_points])
+    assert (lp_powers > 30.0).mean() > 0.25
+    assert lp_powers.max() < 45.0
+
+
+def test_fig12_static_pinned_under_cap(benchmark, fig12):
+    engage(benchmark)
+    static_powers = np.array([p for p, _ in fig12.static_points])
+    assert static_powers.max() <= 30.0 * 1.001
+
+
+def test_fig12_duration_separation(benchmark, fig12):
+    """LP long tasks are distinctly faster than Static's."""
+    engage(benchmark)
+    lp_d = np.array([d for _, d in fig12.lp_points])
+    st_d = np.array([d for _, d in fig12.static_points])
+    assert np.median(lp_d) < np.median(st_d)
+    # Paper's numbers: LP tasks top out ~1.2s; Static routinely >1.3s.
+    # At harness scale the median separation is a few percent; the tail
+    # separation (max durations) carries the makespan effect.
+    assert np.median(st_d) / np.median(lp_d) > 1.02
+    assert st_d.max() / lp_d.max() > 1.1
+
+
+def test_fig12_lp_durations_equalized(benchmark, fig12):
+    """The LP equalizes arrival: long-task durations cluster tightly
+    (load imbalance absorbed through nonuniform power)."""
+    engage(benchmark)
+    lp_d = np.array([d for _, d in fig12.lp_points])
+    st_d = np.array([d for _, d in fig12.static_points])
+    assert lp_d.std() / lp_d.mean() < st_d.std() / st_d.mean() + 1e-9

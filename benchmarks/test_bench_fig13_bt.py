@@ -1,0 +1,59 @@
+"""Figure 13: BT — LP and Conductor improvement vs Static.
+
+Paper: Static trails the optimum by ~75% at 30 W/socket (RAPL pushes some
+processors far below nominal frequency while the LP and Conductor shift
+power to the heavy zones); the three methods converge within a few percent
+at high caps.
+"""
+
+from conftest import engage, improvements
+
+
+def test_fig13_regeneration(benchmark, sweeps):
+    rows = benchmark(
+        lambda: [
+            (r.cap_per_socket_w, r.lp_vs_static_pct, r.conductor_vs_static_pct)
+            for r in sweeps["bt"]
+        ]
+    )
+    assert len(rows) == 5
+
+
+def test_fig13_big_low_cap_gain(benchmark, sweeps):
+    engage(benchmark)
+    r30 = sweeps["bt"][0]
+    assert r30.cap_per_socket_w == 30.0
+    # Paper: 74.9%; the shape requirement is a massive (>45%) gain.
+    assert r30.lp_vs_static_pct > 45.0
+
+
+def test_fig13_conductor_gains_substantially(benchmark, sweeps):
+    """Conductor's nonuniform allocation captures a large share at 30 W
+    (paper: Static trails LP by 75%, Conductor by 24%)."""
+    engage(benchmark)
+    r30 = sweeps["bt"][0]
+    assert r30.conductor_vs_static_pct > 10.0
+    assert r30.lp_vs_conductor_pct > 5.0
+
+
+def test_fig13_decays_with_cap(benchmark, sweeps):
+    engage(benchmark)
+    vals = improvements(sweeps["bt"], "lp_vs_static_pct")
+    assert vals == sorted(vals, reverse=True)
+    # Paper: within ~5-12% at the highest tested cap.
+    assert vals[-1] < 20.0
+
+
+def test_fig13_static_throttles_below_nominal(benchmark, sweeps):
+    """Mechanism check: at 30 W/socket, Static must run BT tasks below the
+    lowest P-state on leaky sockets (the paper's '22% of max clock')."""
+    engage(benchmark)
+    from repro.experiments.runner import make_power_models
+    from repro.machine import RaplController
+    from repro.workloads import BT_KERNEL
+
+    models = make_power_models(BENCH_RANKS := 16, 42)
+    leakiest = max(models, key=lambda m: m.efficiency)
+    heavy = BT_KERNEL.scaled(1.8)
+    decision = RaplController(leakiest).decide(heavy, 8, 30.0)
+    assert decision.config.effective_freq_ghz < 1.2 + 1e-9

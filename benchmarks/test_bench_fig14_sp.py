@@ -1,0 +1,51 @@
+"""Figure 14: SP — LP and Conductor improvement vs Static.
+
+Paper: SP is so well balanced that the LP shows little room (<~3%), and
+Conductor actually *regresses* vs Static (-1.5% average, -2.6% worst) by
+misidentifying the critical path and paying DVFS/reallocation overheads.
+"""
+
+import numpy as np
+
+from conftest import engage, improvements
+
+
+def test_fig14_regeneration(benchmark, sweeps):
+    rows = benchmark(
+        lambda: [
+            (r.cap_per_socket_w, r.lp_vs_static_pct, r.conductor_vs_static_pct)
+            for r in sweeps["sp"]
+        ]
+    )
+    assert len(rows) == 5
+
+
+def test_fig14_lp_gain_small(benchmark, sweeps):
+    engage(benchmark)
+    vals = improvements(sweeps["sp"], "lp_vs_static_pct")
+    assert max(vals) < 10.0  # paper axis tops out around 3%
+    # cross-window jitter can show a few tenths of a percent 'loss'
+    assert min(vals) > -0.5
+
+
+def test_fig14_conductor_can_regress(benchmark, sweeps):
+    """Conductor's defining SP behaviour: at least one cap shows a
+    regression vs Static, bounded like the paper's -2.6% worst case."""
+    engage(benchmark)
+    vals = improvements(sweeps["sp"], "conductor_vs_static_pct")
+    assert min(vals) < 0.0
+    assert min(vals) > -6.0
+
+
+def test_fig14_conductor_avg_near_zero(benchmark, sweeps):
+    """Paper: average -1.5% — Conductor neither helps nor breaks SP."""
+    engage(benchmark)
+    vals = improvements(sweeps["sp"], "conductor_vs_static_pct")
+    assert -4.0 < float(np.mean(vals)) < 2.0
+
+
+def test_fig14_unschedulable_at_30(benchmark, sweeps):
+    engage(benchmark)
+    assert not sweeps["sp"][0].schedulable or (
+        sweeps["sp"][0].cap_per_socket_w >= 40.0
+    )

@@ -1,0 +1,41 @@
+"""Figure 1 + Table 1: the configuration space and its frontiers.
+
+Regenerates the time-vs-power scatter for a CoMD task and checks the
+paper's qualitative claims: power spans roughly 10-60 W, full-width
+(8-thread) configurations dominate the frontier except at the lowest
+frequencies, and the convex frontier is a proper subset of the Pareto set.
+"""
+
+from repro.experiments import figure1_pareto_frontier
+
+
+def test_fig1_regeneration(benchmark):
+    fig = benchmark(figure1_pareto_frontier)
+
+    # Paper Figure 1 axis: the scatter spans ~0-60 W.
+    assert min(p.power_w for p in fig.points) > 5.0
+    assert max(p.power_w for p in fig.points) < 65.0
+
+    # Frontier containment: convex ⊆ pareto ⊆ points.
+    assert len(fig.convex) < len(fig.pareto) < len(fig.points)
+
+    # Table 1's structure: the fast end of the Pareto list runs 8 threads
+    # at descending frequency; reduced thread counts appear only near the
+    # lowest frequencies.
+    ordered = list(reversed(fig.pareto))  # fastest first
+    assert all(p.config.threads == 8 for p in ordered[:10])
+    assert ordered[0].config.freq_ghz == 2.6
+    reduced = [p for p in fig.pareto if p.config.threads < 8]
+    assert reduced
+    assert all(p.config.freq_ghz <= 2.0 for p in reduced)
+    # And on the upper (high-power) half of the convex frontier, only
+    # full-width configurations survive.
+    upper = fig.convex[len(fig.convex) // 2:]
+    assert all(p.config.threads == 8 for p in upper)
+
+
+def test_table1_rows_shape(benchmark):
+    fig = figure1_pareto_frontier()
+    rows = benchmark(fig.table1_rows)
+    assert rows[0][0] == "C_i,1"
+    assert any(r[0] == "C_i,..." for r in rows)

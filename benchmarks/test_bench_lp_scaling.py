@@ -1,0 +1,56 @@
+"""Solver-scaling benchmarks: the LP's practical-tractability claim.
+
+Paper §3.3: the fixed-order LP "could be applied to thousands of processes
+and hundreds of edges per process" where flow-ILP instances stall beyond
+~30 edges.  These benchmarks measure LP assembly+solve time as the trace
+grows, and pin the asymmetry against the flow ILP on identical input.
+"""
+
+import pytest
+
+from repro.core import solve_fixed_order_lp, solve_flow_ilp
+from repro.experiments.runner import make_power_models
+from repro.simulator import trace_application
+from repro.workloads import WorkloadSpec, make_comd, two_rank_exchange
+
+
+def _comd_trace(n_ranks, iterations):
+    app = make_comd(WorkloadSpec(n_ranks=n_ranks, iterations=iterations, seed=1))
+    return trace_application(app, make_power_models(n_ranks))
+
+
+@pytest.mark.parametrize("n_ranks,iterations", [(8, 4), (16, 4), (32, 4)])
+def test_lp_scaling_in_ranks(benchmark, n_ranks, iterations):
+    trace = _comd_trace(n_ranks, iterations)
+    cap = 40.0 * n_ranks
+    result = benchmark.pedantic(
+        solve_fixed_order_lp, args=(trace, cap), rounds=2, iterations=1
+    )
+    assert result.feasible
+
+
+def test_lp_scaling_in_iterations(benchmark):
+    trace = _comd_trace(8, 16)  # 256 tasks
+    result = benchmark.pedantic(
+        solve_fixed_order_lp, args=(trace, 320.0), rounds=2, iterations=1
+    )
+    assert result.feasible
+
+
+def test_flow_ilp_on_small_instance(benchmark):
+    trace = trace_application(
+        two_rank_exchange(phases=2), make_power_models(2, 7, sigma=0.02)
+    )
+    result = benchmark.pedantic(
+        solve_flow_ilp, args=(trace, 60.0), rounds=2, iterations=1
+    )
+    assert result.feasible
+
+
+def test_trace_construction_speed(benchmark):
+    app = make_comd(WorkloadSpec(n_ranks=16, iterations=8, seed=1))
+    models = make_power_models(16)
+    trace = benchmark.pedantic(
+        trace_application, args=(app, models), rounds=2, iterations=1
+    )
+    assert len(trace.task_edges) == app.n_tasks()

@@ -1,0 +1,70 @@
+"""Table 3: LULESH long-task characteristics at 50 W/socket.
+
+Paper values (Static / Conductor / LP): median time 4.889 / 3.614 / 3.611 s,
+power std-dev 0.009 / 0.118 / 0.125, threads 8 / 5 / 4-5, median relative
+frequency 0.8834 / 0.9942 / 1.0.  The harness asserts the relationships,
+not the absolute numbers (our substrate is a model, not Cab).
+"""
+
+import pytest
+
+from repro.experiments import table3_lulesh_task_characteristics
+
+from conftest import engage, BENCH_RANKS
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return table3_lulesh_task_characteristics(
+        cap_per_socket_w=50.0, n_ranks=BENCH_RANKS
+    )
+
+
+def test_table3_regeneration(benchmark):
+    t = benchmark.pedantic(
+        table3_lulesh_task_characteristics,
+        kwargs=dict(cap_per_socket_w=50.0, n_ranks=8),
+        rounds=1, iterations=1,
+    )
+    assert len(t.rows) == 3
+
+
+def test_table3_thread_choices(benchmark, table3):
+    """Static pinned at 8; LP and Conductor drop to 4-6 threads."""
+    engage(benchmark)
+    assert table3.row("Static").threads == "8"
+    for method in ("Conductor", "LP"):
+        low = int(table3.row(method).threads.split("-")[0])
+        assert 4 <= low <= 6
+
+
+def test_table3_time_ordering(benchmark, table3):
+    """LP ~= Conductor, both distinctly faster than Static (paper ratio
+    about 1.35)."""
+    engage(benchmark)
+    t_static = table3.row("Static").median_time_s
+    t_cond = table3.row("Conductor").median_time_s
+    t_lp = table3.row("LP").median_time_s
+    assert t_lp < t_static and t_cond < t_static
+    assert 1.1 < t_static / t_lp < 1.7
+    assert abs(t_cond - t_lp) / t_lp < 0.12
+
+
+def test_table3_power_spread(benchmark, table3):
+    """Nonuniform allocation shows as a jump in task-power spread
+    (0.009 -> ~0.12 in the paper)."""
+    engage(benchmark)
+    s = table3.row("Static").power_stddev_rel
+    assert s < 0.06
+    assert table3.row("Conductor").power_stddev_rel > s
+    assert table3.row("LP").power_stddev_rel > s
+
+
+def test_table3_frequency_ordering(benchmark, table3):
+    """Static's 8 threads force a lower frequency than the LP's 4-5 under
+    the same 50 W budget (0.8834 vs 1.0 in the paper)."""
+    engage(benchmark)
+    assert (
+        table3.row("LP").median_freq_rel
+        > table3.row("Static").median_freq_rel
+    )

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Explore configuration Pareto frontiers across task types (Figure 1).
+
+Different kernels have very differently-shaped power/time frontiers, and
+that shape is what decides whether thread throttling (DCT) ever pays:
+
+* compute-bound kernels (CoMD force): 8 threads dominate everywhere except
+  the lowest frequencies — the paper's Table 1;
+* contended memory-bound kernels (LULESH stress): 4-5 threads enter the
+  frontier at mid power, which is why Table 3 shows the LP and Conductor
+  choosing 5 threads under a 50 W cap.
+
+This example prints each kernel's convex frontier and an ASCII rendering
+of the time-vs-power scatter.
+
+Run:  python examples/pareto_frontier_analysis.py
+"""
+
+from repro import SocketPowerModel, convex_frontier, pareto_frontier
+from repro.machine import measure_task_space
+from repro.workloads import BT_KERNEL, FORCE_KERNEL, SP_KERNEL, STRESS_KERNEL
+
+
+def ascii_scatter(points, frontier, width=64, height=18):
+    """Rough terminal plot: '.' = configuration, 'o' = convex frontier."""
+    pmin = min(p.power_w for p in points)
+    pmax = max(p.power_w for p in points)
+    dmin = min(p.duration_s for p in points)
+    dmax = max(p.duration_s for p in points)
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(p, ch):
+        x = int((p.power_w - pmin) / (pmax - pmin) * (width - 1))
+        y = int((p.duration_s - dmin) / (dmax - dmin) * (height - 1))
+        grid[y][x] = ch
+
+    for p in points:
+        put(p, ".")
+    for p in frontier:
+        put(p, "o")
+    rows = ["".join(r) for r in grid]
+    rows.append(f"{pmin:.0f}W{' ' * (width - 8)}{pmax:.0f}W")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    socket = SocketPowerModel()
+    kernels = {
+        "CoMD force (compute-bound)": FORCE_KERNEL,
+        "LULESH stress (contended, memory-bound)": STRESS_KERNEL,
+        "BT-MZ solve (power-hungry)": BT_KERNEL,
+        "SP-MZ solve (balanced mix)": SP_KERNEL,
+    }
+    for name, kernel in kernels.items():
+        points = measure_task_space(kernel, socket)
+        pareto = pareto_frontier(points)
+        hull = convex_frontier(points)
+        print(f"\n=== {name} ===")
+        print(f"{len(points)} configurations, {len(pareto)} Pareto, "
+              f"{len(hull)} on the convex frontier")
+        threads_on_hull = sorted({p.config.threads for p in hull})
+        print(f"thread counts on the convex frontier: {threads_on_hull}")
+        fastest = hull[-1]
+        print(f"fastest: {fastest.config.describe()} "
+              f"({fastest.duration_s:.3f} s @ {fastest.power_w:.1f} W)")
+        frugal = hull[0]
+        print(f"most frugal: {frugal.config.describe()} "
+              f"({frugal.duration_s:.3f} s @ {frugal.power_w:.1f} W)")
+        print(ascii_scatter(points, hull))
+
+
+if __name__ == "__main__":
+    main()

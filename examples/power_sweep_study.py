@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Where does power capping start to hurt?  A cap sweep across benchmarks.
+
+Reproduces the *analysis style* of the paper's Figures 9-15 at a reduced
+scale: for every benchmark and per-socket cap, compare Static, Conductor,
+and the LP bound, then print the crossover observations the paper makes —
+
+* BT (imbalanced) gains the most from nonuniform power at low caps;
+* CoMD/SP (balanced) leave Static within a few percent of optimal;
+* LULESH keeps a large gap at *every* cap because Static's fixed 8-thread
+  policy loses to cache contention regardless of power.
+
+Run:  python examples/power_sweep_study.py          (~2 min, 16 ranks)
+      python examples/power_sweep_study.py --tiny   (faster, 8 ranks)
+"""
+
+import sys
+
+from repro import ExperimentConfig, run_comparison
+from repro.experiments import render_table
+from repro.experiments.figures import BENCH_CAPS
+
+
+def main() -> None:
+    n_ranks = 8 if "--tiny" in sys.argv else 16
+    rows = []
+    peak = {}
+    for bench in ("comd", "bt", "sp", "lulesh"):
+        cfg = ExperimentConfig(
+            benchmark=bench, n_ranks=n_ranks,
+            lp_iterations=3 if bench == "lulesh" else 4,
+        )
+        for cap in BENCH_CAPS[bench]:
+            r = run_comparison(cfg, cap)
+            if not r.schedulable:
+                rows.append([bench, cap, None, None, None])
+                continue
+            rows.append([
+                bench, cap, r.lp_vs_static_pct, r.conductor_vs_static_pct,
+                r.lp_vs_conductor_pct,
+            ])
+            key = (bench,)
+            if r.lp_vs_static_pct is not None:
+                peak[bench] = max(peak.get(bench, 0.0), r.lp_vs_static_pct)
+
+    print(render_table(
+        ["benchmark", "cap (W/socket)", "LP vs Static (%)",
+         "Conductor vs Static (%)", "LP vs Conductor (%)"],
+        rows, title="Power sweep study", digits=1,
+    ))
+    print()
+    ranked = sorted(peak.items(), key=lambda kv: -kv[1])
+    print("peak LP-vs-Static improvement per benchmark:")
+    for bench, val in ranked:
+        print(f"  {bench:<8} {val:6.1f}%")
+    print("\nreading: imbalanced (bt) and thread-mismatched (lulesh) codes "
+          "leave the most on the table under uniform static caps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Facility-level substrate: dividing machine power across jobs (§1)."""
+
+from .budget import JobAllocation, JobRequest, partition_power
+from .scheduler import (
+    ClusterJob,
+    ClusterOutcome,
+    JobPerformanceModel,
+    simulate_cluster,
+)
+
+__all__ = [
+    "ClusterJob",
+    "ClusterOutcome",
+    "JobAllocation",
+    "JobPerformanceModel",
+    "JobRequest",
+    "partition_power",
+    "simulate_cluster",
+]

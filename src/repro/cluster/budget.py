@@ -1,0 +1,145 @@
+"""Machine-level power partitioning across concurrent jobs.
+
+The paper's opening premise (§1): "total machine power will be divided
+across multiple simultaneous jobs, with each job being allocated a power
+bound and a set of nodes."  The paper deliberately leaves inter-job
+allocation to prior work; this module provides the minimal, well-tested
+machinery a facility scheduler needs to *use* the per-job LP bounds —
+partition a machine budget across job requests, and (optionally) shave
+each job's allocation using the LP's diminishing returns.
+
+Policies:
+
+* ``uniform``       — equal watts per node, every job gets nodes x share;
+* ``proportional``  — watts proportional to requested node counts (same as
+  uniform when the machine is fully packed);
+* ``priority``      — strict priority order, each job takes up to its
+  requested maximum, the remainder flows down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["JobRequest", "JobAllocation", "partition_power"]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A job asking the facility for nodes and power.
+
+    ``min_w_per_socket`` is the floor below which the job cannot run
+    (cf. the paper's benchmarks that were "not able to be scheduled at the
+    lowest power constraint"); ``max_w_per_socket`` is the point past
+    which extra power is wasted (all sockets at fmax).
+    """
+
+    name: str
+    n_sockets: int
+    min_w_per_socket: float = 25.0
+    max_w_per_socket: float = 80.0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise ValueError(f"{self.name}: n_sockets must be >= 1")
+        if not (0 < self.min_w_per_socket <= self.max_w_per_socket):
+            raise ValueError(
+                f"{self.name}: need 0 < min <= max per-socket watts"
+            )
+
+    @property
+    def min_w(self) -> float:
+        return self.min_w_per_socket * self.n_sockets
+
+    @property
+    def max_w(self) -> float:
+        return self.max_w_per_socket * self.n_sockets
+
+
+@dataclass(frozen=True)
+class JobAllocation:
+    """One job's power bound (its PC for the per-job LP)."""
+
+    request: JobRequest
+    power_w: float
+    admitted: bool
+
+    @property
+    def w_per_socket(self) -> float:
+        return self.power_w / self.request.n_sockets if self.admitted else 0.0
+
+
+def partition_power(
+    machine_w: float,
+    requests: list[JobRequest],
+    policy: str = "uniform",
+) -> list[JobAllocation]:
+    """Divide a machine power budget across job requests.
+
+    Jobs whose floor cannot be met are not admitted (they receive 0 W);
+    admission processes jobs in priority order (desc), then input order.
+    Any surplus after satisfying floors is distributed per the policy and
+    capped at each job's ``max_w``; power nobody can use is left unspent.
+    """
+    if machine_w <= 0:
+        raise ValueError(f"machine power must be positive, got {machine_w}")
+    if policy not in ("uniform", "proportional", "priority"):
+        raise ValueError(f"unknown policy {policy!r}")
+    if not requests:
+        return []
+
+    order = sorted(
+        range(len(requests)),
+        key=lambda i: (-requests[i].priority, i),
+    )
+
+    # Admission: grant floors in priority order while they fit.
+    granted: dict[int, float] = {}
+    remaining = machine_w
+    for i in order:
+        req = requests[i]
+        if req.min_w <= remaining:
+            granted[i] = req.min_w
+            remaining -= req.min_w
+
+    # Surplus distribution.
+    if policy == "priority":
+        for i in order:
+            if i not in granted or remaining <= 0:
+                continue
+            take = min(remaining, requests[i].max_w - granted[i])
+            granted[i] += take
+            remaining -= take
+    else:
+        # uniform: equal per admitted socket; proportional: by socket count
+        # (identical weights here; kept separate for API clarity and for
+        # facilities that weight by charge account etc.).
+        live = set(granted)
+        while remaining > 1e-9 and live:
+            total_sockets = sum(requests[i].n_sockets for i in live)
+            per_socket = remaining / total_sockets
+            spent = 0.0
+            saturated = set()
+            for i in live:
+                req = requests[i]
+                take = min(
+                    per_socket * req.n_sockets, req.max_w - granted[i]
+                )
+                granted[i] += take
+                spent += take
+                if req.max_w - granted[i] <= 1e-9:
+                    saturated.add(i)
+            remaining -= spent
+            live -= saturated
+            if spent <= 1e-12:
+                break
+
+    return [
+        JobAllocation(
+            request=req,
+            power_w=granted.get(i, 0.0),
+            admitted=i in granted,
+        )
+        for i, req in enumerate(requests)
+    ]

@@ -1,0 +1,215 @@
+"""Machine-level co-scheduling simulation: jobs sharing a power budget.
+
+The paper's related work (§7: Etinski et al., Sarood et al., Patki et al.)
+studies scheduling *between* jobs under a machine power bound; the paper
+itself fixes the per-job allocation and optimizes within.  This module
+closes the loop at small scale: several jobs run concurrently on disjoint
+sockets, the machine budget is partitioned across them
+(:func:`repro.cluster.partition_power`), and whenever a job finishes its
+power is *re-partitioned* among the survivors — each job's progress rate
+coming from its per-iteration LP bound (or Static time) as a function of
+its current allocation.
+
+The simulation is event-driven over job completions: between events every
+running job completes iterations at the rate its current power supports.
+Comparing ``repartition=True`` against a frozen initial split quantifies
+the throughput value of dynamic machine-level power management.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.fixed_order_lp import solve_fixed_order_lp
+from ..experiments.runner import make_power_models
+from ..runtime.static import StaticPolicy
+from ..simulator.engine import Engine
+from ..simulator.trace import trace_application
+from ..workloads import BENCHMARKS, WorkloadSpec
+from .budget import JobRequest, partition_power
+
+__all__ = ["ClusterJob", "JobPerformanceModel", "ClusterOutcome",
+           "simulate_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterJob:
+    """A job submitted to the simulated machine."""
+
+    name: str
+    benchmark: str
+    n_sockets: int
+    iterations: int
+    min_w_per_socket: float = 25.0
+    max_w_per_socket: float = 80.0
+    priority: int = 0
+    seed: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.benchmark not in BENCHMARKS:
+            raise ValueError(
+                f"unknown benchmark {self.benchmark!r}; "
+                f"choose from {sorted(BENCHMARKS)}"
+            )
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+
+    def request(self) -> JobRequest:
+        """The facility-facing power request for this job."""
+        return JobRequest(
+            name=self.name, n_sockets=self.n_sockets,
+            min_w_per_socket=self.min_w_per_socket,
+            max_w_per_socket=self.max_w_per_socket, priority=self.priority,
+        )
+
+
+class JobPerformanceModel:
+    """Per-iteration time of one job as a function of its power bound.
+
+    Solves the job's LP (or measures Static) at a few anchor caps and
+    interpolates log-linearly between them — iteration time is smooth and
+    convex in the cap, so sparse anchors suffice.
+    """
+
+    def __init__(
+        self,
+        job: ClusterJob,
+        strategy: str = "lp",
+        anchor_caps_per_socket: tuple[float, ...] = (30.0, 40.0, 55.0, 80.0),
+        lp_iterations: int = 2,
+        efficiency_seed: int = 42,
+    ) -> None:
+        if strategy not in ("lp", "static"):
+            raise ValueError(f"strategy must be 'lp' or 'static', got {strategy}")
+        self.job = job
+        self.strategy = strategy
+        gen = BENCHMARKS[job.benchmark]
+        app = gen(WorkloadSpec(n_ranks=job.n_sockets,
+                               iterations=lp_iterations, seed=job.seed))
+        models = make_power_models(job.n_sockets, efficiency_seed)
+        min_cap = app.metadata.get("min_cap_per_socket_w", 0.0)
+        caps: list[float] = []
+        times: list[float] = []
+        for cap in sorted(set(anchor_caps_per_socket)):
+            if cap < max(min_cap, job.min_w_per_socket):
+                continue
+            total = cap * job.n_sockets
+            if strategy == "lp":
+                trace = trace_application(app, models)
+                res = solve_fixed_order_lp(trace, total)
+                if not res.feasible:
+                    continue
+                times.append(res.makespan_s / lp_iterations)
+            else:
+                run = Engine(models).run(app, StaticPolicy(models, total))
+                times.append(run.makespan_s / lp_iterations)
+            caps.append(cap)
+        if len(caps) < 2:
+            raise ValueError(
+                f"{job.name}: fewer than 2 feasible anchor caps"
+            )
+        self._caps = np.array(caps)
+        self._times = np.array(times)
+
+    def iteration_time(self, cap_per_socket_w: float) -> float:
+        """Interpolated per-iteration time at a cap (clamped to anchors)."""
+        c = float(np.clip(cap_per_socket_w, self._caps[0], self._caps[-1]))
+        i = min(
+            max(bisect.bisect_left(self._caps.tolist(), c), 1),
+            len(self._caps) - 1,
+        )
+        lo_c, hi_c = self._caps[i - 1], self._caps[i]
+        lo_t, hi_t = self._times[i - 1], self._times[i]
+        if hi_c == lo_c:
+            return float(lo_t)
+        frac = (c - lo_c) / (hi_c - lo_c)
+        return float(lo_t + frac * (hi_t - lo_t))
+
+
+@dataclass
+class ClusterOutcome:
+    """Result of a co-scheduling simulation."""
+
+    finish_times_s: dict[str, float]
+    allocations_over_time: list[tuple[float, dict[str, float]]]
+    makespan_s: float
+    rejected: list[str] = field(default_factory=list)
+
+    def mean_turnaround_s(self) -> float:
+        """Mean completion time across finished jobs."""
+        if not self.finish_times_s:
+            return 0.0
+        return float(np.mean(list(self.finish_times_s.values())))
+
+
+def simulate_cluster(
+    jobs: list[ClusterJob],
+    machine_w: float,
+    strategy: str = "lp",
+    policy: str = "uniform",
+    repartition: bool = True,
+    performance_models: dict[str, JobPerformanceModel] | None = None,
+) -> ClusterOutcome:
+    """Run jobs to completion under a shared machine power budget.
+
+    ``repartition=False`` freezes the initial split (power of finished
+    jobs goes unused); ``True`` re-partitions at every completion.
+    """
+    models = performance_models or {
+        j.name: JobPerformanceModel(j, strategy) for j in jobs
+    }
+    allocs = partition_power(machine_w, [j.request() for j in jobs], policy)
+    rejected = [a.request.name for a in allocs if not a.admitted]
+    running = {
+        a.request.name: {
+            "job": j,
+            "w_per_socket": a.w_per_socket,
+            "remaining": float(j.iterations),
+        }
+        for j, a in zip(jobs, allocs)
+        if a.admitted
+    }
+
+    t = 0.0
+    finish: dict[str, float] = {}
+    history: list[tuple[float, dict[str, float]]] = [
+        (0.0, {name: st["w_per_socket"] for name, st in running.items()})
+    ]
+    while running:
+        # Time until each job finishes at its current rate.
+        etas = {
+            name: st["remaining"]
+            * models[name].iteration_time(st["w_per_socket"])
+            for name, st in running.items()
+        }
+        name_done, dt = min(etas.items(), key=lambda kv: kv[1])
+        # Advance all jobs by dt.
+        for name, st in running.items():
+            rate = 1.0 / models[name].iteration_time(st["w_per_socket"])
+            st["remaining"] = max(0.0, st["remaining"] - rate * dt)
+        t += dt
+        finish[name_done] = t
+        del running[name_done]
+        if running and repartition:
+            new_allocs = partition_power(
+                machine_w,
+                [st["job"].request() for st in running.values()],
+                policy,
+            )
+            for st, alloc in zip(running.values(), new_allocs):
+                if alloc.admitted:
+                    st["w_per_socket"] = alloc.w_per_socket
+            history.append(
+                (t, {n: st["w_per_socket"] for n, st in running.items()})
+            )
+
+    return ClusterOutcome(
+        finish_times_s=finish,
+        allocations_over_time=history,
+        makespan_s=t,
+        rejected=rejected,
+    )

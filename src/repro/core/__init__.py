@@ -1,0 +1,53 @@
+"""Core contribution: LP and ILP formulations of power-constrained scheduling."""
+
+from .bottleneck import BottleneckReport, analyze_bottlenecks
+from .energy_lp import EnergyLpResult, solve_energy_lp
+from .events import EventStructure, build_event_structure
+from .fixed_order_lp import (
+    MAX_DISCRETE_TASKS,
+    FixedOrderLpResult,
+    solve_fixed_order_lp,
+)
+from .flow_ilp import MAX_FLOW_ILP_EDGES, FlowIlpResult, solve_flow_ilp
+from .rounding import round_schedule
+from .schedule import PowerSchedule, TaskAssignment
+from .serialize import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from .solver import InfeasibleError, LinearProgram, LpSolution, LpStatus
+from .sweep import CapSweepResult, minimum_feasible_cap, solve_cap_sweep
+from .validate_schedule import ValidationReport, validate_schedule
+
+__all__ = [
+    "BottleneckReport",
+    "CapSweepResult",
+    "EnergyLpResult",
+    "EventStructure",
+    "FixedOrderLpResult",
+    "FlowIlpResult",
+    "InfeasibleError",
+    "LinearProgram",
+    "LpSolution",
+    "LpStatus",
+    "MAX_DISCRETE_TASKS",
+    "MAX_FLOW_ILP_EDGES",
+    "PowerSchedule",
+    "TaskAssignment",
+    "ValidationReport",
+    "analyze_bottlenecks",
+    "build_event_structure",
+    "load_schedule",
+    "round_schedule",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "solve_energy_lp",
+    "solve_fixed_order_lp",
+    "solve_flow_ilp",
+    "validate_schedule",
+    "minimum_feasible_cap",
+    "solve_cap_sweep",
+]

@@ -1,0 +1,133 @@
+"""Event structure: fixed vertex order and task activity sets for the LP.
+
+The fixed-vertex-order LP (paper §3.3) constrains job power only at
+*events* — the DAG's vertices — and needs two things derived from an
+initial, power-unconstrained schedule:
+
+* the **event order**: vertices sorted by their initial times, with
+  coincident vertices grouped (LP equations 12-13 pin the optimized vertex
+  times to this order);
+* the **activity sets** ``R_j``: the compute tasks charged against the
+  power constraint at each event.  A task is active at an event if the
+  event falls inside the task's window ``[v_src, v_dst)`` of the initial
+  schedule — the window spans the task *and its trailing slack*, because
+  the formulation assumes slack power equals the associated task's power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dag.analysis import DagSchedule, unconstrained_schedule
+from ..dag.graph import TaskGraph
+from ..machine.performance import TaskTimeModel
+
+__all__ = ["EventStructure", "build_event_structure"]
+
+
+@dataclass(frozen=True)
+class EventStructure:
+    """Fixed event order plus per-event active task sets.
+
+    Attributes
+    ----------
+    groups:
+        Vertex ids grouped by equal initial time, groups sorted by time.
+        Equation (13) ties vertices within a group; equation (12) orders
+        consecutive groups.
+    active:
+        For each vertex id, the compute-edge ids whose activity window
+        contains the vertex's initial time.
+    initial:
+        The initial schedule the structure was derived from.
+    """
+
+    groups: list[list[int]]
+    active: dict[int, list[int]]
+    initial: DagSchedule
+
+    @property
+    def n_events(self) -> int:
+        return sum(len(g) for g in self.groups)
+
+    def max_active(self) -> int:
+        """Largest activity set — a quick density diagnostic."""
+        return max((len(a) for a in self.active.values()), default=0)
+
+
+def build_event_structure(
+    graph: TaskGraph,
+    time_model: TaskTimeModel | None = None,
+    initial: DagSchedule | None = None,
+    time_tol: float = 1e-9,
+) -> EventStructure:
+    """Derive the event order and activity sets from an initial schedule.
+
+    ``initial`` defaults to the power-unconstrained (every task fastest)
+    schedule, as in the paper.  ``time_tol`` groups vertices whose initial
+    times differ by less than the tolerance (collective completions produce
+    exactly-equal times; float noise stays far below the tolerance).
+    """
+    if initial is None:
+        tm = time_model if time_model is not None else TaskTimeModel()
+        initial = unconstrained_schedule(graph, tm)
+
+    times = initial.vertex_times
+    order = np.argsort(times, kind="stable")
+    groups: list[list[int]] = []
+    for vid in order:
+        vid = int(vid)
+        if groups and abs(times[vid] - times[groups[-1][0]]) <= time_tol:
+            groups[-1].append(vid)
+        else:
+            groups.append([vid])
+
+    # Activity windows implement "slack power equals task power": a task is
+    # charged from its start until the *next compute task on its rank*
+    # starts (the last task of a rank is charged through to Finalize).
+    # Using the task's own dst vertex would drop the power a rank burns
+    # while blocked inside an MPI call — e.g. spinning in an allreduce —
+    # because that wait lives on wire/message edges.
+    from ..dag.graph import VertexKind
+
+    t_end = float(times[graph.find_vertex(VertexKind.FINALIZE).id])
+    windows: list[tuple[float, float, int]] = []
+    for rank in range(graph.n_ranks):
+        edges = sorted(graph.rank_edges(rank), key=lambda e: float(times[e.src]))
+        for e, nxt in zip(edges, edges[1:] + [None]):
+            start = float(times[e.src])
+            stop = t_end if nxt is None else float(times[nxt.src])
+            # Guard: a zero-or-negative window can only come from float
+            # noise on coincident events; clamp to the task's own span.
+            stop = max(stop, float(times[e.dst]))
+            windows.append((start, stop, e.id))
+    windows.sort()
+    starts = np.array([w[0] for w in windows])
+
+    # Zero-length windows (a task whose src and dst coincide initially) are
+    # indexed separately: such a task still "starts at" its event and must
+    # be charged there even though the half-open test misses it.
+    zero_starts = np.array(
+        [ws for (ws, we, wid) in windows if we <= ws + time_tol]
+    )
+    zero_ids = [wid for (ws, we, wid) in windows if we <= ws + time_tol]
+
+    active: dict[int, list[int]] = {}
+    for group in groups:
+        t = float(times[group[0]])
+        # Candidates: windows starting at or before t (half-open at end,
+        # closed at start: a task starting exactly at the event is active).
+        hi = int(np.searchsorted(starts, t + time_tol, side="right"))
+        live = [
+            wid for (ws, we, wid) in windows[:hi] if we > t + time_tol
+        ]
+        if len(zero_ids):
+            lo_z = int(np.searchsorted(zero_starts, t - time_tol, side="left"))
+            hi_z = int(np.searchsorted(zero_starts, t + time_tol, side="right"))
+            live.extend(zero_ids[lo_z:hi_z])
+        for vid in group:
+            active[vid] = live
+
+    return EventStructure(groups=groups, active=active, initial=initial)

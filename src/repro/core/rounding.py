@@ -1,0 +1,85 @@
+"""Continuous → discrete schedule realization (paper §3.2).
+
+The continuous LP's per-task optimum generally sits between two adjacent
+points of the convex frontier; realizing it on hardware means either
+switching configurations mid-task (the continuous interpretation) or
+rounding to a single configuration.  The paper rounds "by selecting the
+configuration closest to the optimal point on the Pareto frontier"; we
+implement that (``nearest``) plus two alternatives used by tests and
+ablations:
+
+* ``floor`` — the nearest frontier point at or *below* the task's LP power,
+  guaranteeing the discrete schedule never draws more power than the
+  continuous one at any event (strictly cap-safe);
+* ``dominant`` — the highest-fraction point of the mixture.
+
+After rounding, the schedule is re-timed with an ASAP pass so the reported
+discrete makespan reflects the realized durations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dag.analysis import schedule_fixed_durations
+from ..machine.configuration import ConfigPoint
+from ..simulator.trace import Trace
+from .schedule import PowerSchedule, TaskAssignment
+
+__all__ = ["round_schedule"]
+
+
+def _pick(
+    frontier: list[ConfigPoint], target_power: float, mode: str,
+    mixture: tuple[tuple[ConfigPoint, float], ...],
+) -> ConfigPoint:
+    if mode == "nearest":
+        return min(
+            frontier, key=lambda p: (abs(p.power_w - target_power), p.duration_s)
+        )
+    if mode == "floor":
+        below = [p for p in frontier if p.power_w <= target_power + 1e-9]
+        if below:
+            return max(below, key=lambda p: p.power_w)
+        return min(frontier, key=lambda p: p.power_w)
+    if mode == "dominant":
+        return max(mixture, key=lambda cf: (cf[1], -cf[0].power_w))[0]
+    raise ValueError(f"unknown rounding mode {mode!r}")
+
+
+def round_schedule(
+    trace: Trace, schedule: PowerSchedule, mode: str = "nearest"
+) -> PowerSchedule:
+    """Round a continuous schedule to single configurations and re-time it."""
+    if schedule.kind != "continuous":
+        raise ValueError("round_schedule expects a continuous schedule")
+    graph = trace.graph
+    durations = np.zeros(graph.n_edges)
+    for e in graph.message_edges():
+        durations[e.id] = e.duration_s
+
+    assignments: dict = {}
+    for ref, assign in schedule.assignments.items():
+        frontier = trace.frontiers[assign.edge_id]
+        point = _pick(frontier, assign.power_w, mode, assign.mixture)
+        durations[assign.edge_id] = point.duration_s
+        assignments[ref] = TaskAssignment(
+            ref=ref,
+            edge_id=assign.edge_id,
+            mixture=((point, 1.0),),
+            duration_s=point.duration_s,
+            power_w=point.power_w,
+        )
+
+    timed = schedule_fixed_durations(graph, durations)
+    return PowerSchedule(
+        kind="discrete",
+        cap_w=schedule.cap_w,
+        objective_s=timed.makespan,
+        assignments=assignments,
+        vertex_times=timed.vertex_times,
+        solver_info={
+            "rounding": mode,
+            "continuous_objective_s": schedule.objective_s,
+        },
+    )

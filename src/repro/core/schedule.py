@@ -1,0 +1,101 @@
+"""Schedule objects: the output of the LP/ILP formulations.
+
+A :class:`PowerSchedule` assigns every compute task a configuration —
+either a convex *mixture* of two adjacent convex-frontier points (the
+continuous LP's mid-task-switching interpretation) or a single discrete
+configuration (after rounding, or from the discrete/flow formulations) —
+together with the scheduled vertex times and the formulation's makespan
+bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..machine.configuration import ConfigPoint, Configuration
+from ..simulator.program import TaskRef
+
+__all__ = ["TaskAssignment", "PowerSchedule"]
+
+
+@dataclass(frozen=True)
+class TaskAssignment:
+    """One task's scheduled operating point.
+
+    ``mixture`` lists (frontier point, fraction) pairs with fractions
+    summing to 1; a discrete assignment is a single pair with fraction 1.
+    ``duration_s`` and ``power_w`` are the mixture-weighted expectations
+    (LP equations 7-8).
+    """
+
+    ref: TaskRef
+    edge_id: int
+    mixture: tuple[tuple[ConfigPoint, float], ...]
+    duration_s: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if not self.mixture:
+            raise ValueError(f"task {self.ref}: empty mixture")
+        total = sum(f for _, f in self.mixture)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"task {self.ref}: fractions sum to {total}")
+
+    @property
+    def dominant(self) -> ConfigPoint:
+        """The highest-fraction frontier point (ties -> lower power)."""
+        return max(self.mixture, key=lambda cf: (cf[1], -cf[0].power_w))[0]
+
+    @property
+    def is_discrete(self) -> bool:
+        return len(self.mixture) == 1
+
+    @property
+    def configuration(self) -> Configuration:
+        """The assigned configuration (dominant point for mixtures)."""
+        return self.dominant.config
+
+
+@dataclass
+class PowerSchedule:
+    """A complete schedule for one application under one power cap."""
+
+    kind: str  # "continuous" | "discrete"
+    cap_w: float
+    objective_s: float
+    assignments: dict[TaskRef, TaskAssignment]
+    vertex_times: np.ndarray
+    solver_info: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("continuous", "discrete"):
+            raise ValueError(f"kind must be continuous/discrete, got {self.kind!r}")
+        if self.cap_w <= 0:
+            raise ValueError(f"cap must be positive, got {self.cap_w}")
+        if self.objective_s < 0:
+            raise ValueError(f"objective must be >= 0, got {self.objective_s}")
+
+    def config_map(self) -> dict[TaskRef, Configuration]:
+        """Per-task configurations for the simulator's replay policy."""
+        return {ref: a.configuration for ref, a in self.assignments.items()}
+
+    def total_average_power(self) -> float:
+        """Duration-weighted mean of task powers (reporting aid)."""
+        num = sum(a.power_w * a.duration_s for a in self.assignments.values())
+        den = sum(a.duration_s for a in self.assignments.values())
+        return num / den if den > 0 else 0.0
+
+    def task_powers(self) -> dict[TaskRef, float]:
+        return {ref: a.power_w for ref, a in self.assignments.items()}
+
+    def task_durations(self) -> dict[TaskRef, float]:
+        return {ref: a.duration_s for ref, a in self.assignments.items()}
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"PowerSchedule({self.kind}, cap={self.cap_w:.0f}W, "
+            f"T={self.objective_s:.4f}s, {len(self.assignments)} tasks)"
+        )

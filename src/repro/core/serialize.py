@@ -1,0 +1,110 @@
+"""Schedule (de)serialization: persist LP/ILP results as JSON.
+
+The paper's workflow is inherently offline — trace on the cluster, solve
+on a workstation, replay on the cluster.  Serialized schedules are the
+artifact that travels: a JSON document with the cap, the objective, and
+per-task configuration mixtures, loadable back into a
+:class:`~repro.core.schedule.PowerSchedule` whose ``config_map()`` feeds
+the replay policy directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..machine.configuration import ConfigPoint, Configuration
+from ..simulator.program import TaskRef
+from .schedule import PowerSchedule, TaskAssignment
+
+__all__ = ["schedule_to_dict", "schedule_from_dict", "save_schedule",
+           "load_schedule"]
+
+_FORMAT_VERSION = 1
+
+
+def schedule_to_dict(schedule: PowerSchedule) -> dict:
+    """A JSON-safe dictionary representation of a schedule."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": schedule.kind,
+        "cap_w": schedule.cap_w,
+        "objective_s": schedule.objective_s,
+        "vertex_times": [float(t) for t in schedule.vertex_times],
+        "solver_info": {
+            k: v for k, v in schedule.solver_info.items()
+            if isinstance(v, (str, int, float, bool))
+        },
+        "assignments": [
+            {
+                "rank": a.ref.rank,
+                "seq": a.ref.seq,
+                "edge_id": a.edge_id,
+                "duration_s": a.duration_s,
+                "power_w": a.power_w,
+                "mixture": [
+                    {
+                        "freq_ghz": p.config.freq_ghz,
+                        "threads": p.config.threads,
+                        "duty": p.config.duty,
+                        "duration_s": p.duration_s,
+                        "power_w": p.power_w,
+                        "fraction": f,
+                    }
+                    for p, f in a.mixture
+                ],
+            }
+            for a in schedule.assignments.values()
+        ],
+    }
+
+
+def schedule_from_dict(data: dict) -> PowerSchedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported schedule format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    assignments: dict[TaskRef, TaskAssignment] = {}
+    for entry in data["assignments"]:
+        ref = TaskRef(entry["rank"], entry["seq"])
+        mixture = tuple(
+            (
+                ConfigPoint(
+                    Configuration(m["freq_ghz"], m["threads"], m["duty"]),
+                    m["duration_s"],
+                    m["power_w"],
+                ),
+                float(m["fraction"]),
+            )
+            for m in entry["mixture"]
+        )
+        assignments[ref] = TaskAssignment(
+            ref=ref,
+            edge_id=entry["edge_id"],
+            mixture=mixture,
+            duration_s=entry["duration_s"],
+            power_w=entry["power_w"],
+        )
+    return PowerSchedule(
+        kind=data["kind"],
+        cap_w=data["cap_w"],
+        objective_s=data["objective_s"],
+        assignments=assignments,
+        vertex_times=np.asarray(data["vertex_times"], dtype=float),
+        solver_info=dict(data.get("solver_info", {})),
+    )
+
+
+def save_schedule(schedule: PowerSchedule, path: str | Path) -> None:
+    """Write a schedule to a JSON file."""
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=1))
+
+
+def load_schedule(path: str | Path) -> PowerSchedule:
+    """Read a schedule from a JSON file."""
+    return schedule_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,221 @@
+"""Sparse LP/MILP assembly and solution on SciPy's HiGHS backend.
+
+A thin, explicit layer between the paper's formulations and
+``scipy.optimize.linprog`` / ``scipy.optimize.milp``: named variables with
+bounds and optional integrality, two-sided sparse constraints, minimize
+objective.  Keeping assembly in COO triplets and converting once keeps the
+build linear in the number of nonzeros (the event-power constraints of a
+32-rank trace contribute hundreds of thousands of entries).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.optimize as sopt
+import scipy.sparse as sp
+
+__all__ = ["LpStatus", "LpSolution", "LinearProgram", "InfeasibleError"]
+
+
+class LpStatus(enum.Enum):
+    """Solver termination states (mapped from HiGHS status codes)."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+class InfeasibleError(RuntimeError):
+    """Raised by callers that require a feasible model (e.g. tight caps)."""
+
+
+@dataclass
+class LpSolution:
+    """Solver outcome: status, objective, and the primal vector."""
+
+    status: LpStatus
+    objective: float
+    x: np.ndarray
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is LpStatus.OPTIMAL
+
+
+@dataclass
+class _Constraint:
+    idx: list
+    coeff: list
+    lb: float
+    ub: float
+
+
+class LinearProgram:
+    """Incrementally built minimize-c·x linear (or mixed-integer) program."""
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self._lb: list[float] = []
+        self._ub: list[float] = []
+        self._integrality: list[int] = []
+        self._names: dict[str, int] = {}
+        self._objective: dict[int, float] = {}
+        self._constraints: list[_Constraint] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vars(self) -> int:
+        return len(self._lb)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self._constraints)
+
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = np.inf,
+        integer: bool = False,
+    ) -> int:
+        """Register a variable; returns its column index."""
+        if name in self._names:
+            raise ValueError(f"duplicate variable name {name!r}")
+        if lb > ub:
+            raise ValueError(f"variable {name}: lb {lb} > ub {ub}")
+        idx = len(self._lb)
+        self._names[name] = idx
+        self._lb.append(lb)
+        self._ub.append(ub)
+        self._integrality.append(1 if integer else 0)
+        return idx
+
+    def var(self, name: str) -> int:
+        return self._names[name]
+
+    def var_bounds(self, idx: int) -> tuple[float, float]:
+        """(lower, upper) bounds of a variable by column index."""
+        return self._lb[idx], self._ub[idx]
+
+    def add_constraint(
+        self,
+        terms: dict[int, float],
+        lb: float = -np.inf,
+        ub: float = np.inf,
+        label: str = "",
+    ) -> None:
+        """Add ``lb <= sum(coeff * x) <= ub`` (duplicate indices accumulate)."""
+        if not terms:
+            raise ValueError(f"empty constraint {label!r}")
+        if lb > ub:
+            raise ValueError(f"constraint {label!r}: lb {lb} > ub {ub}")
+        self._constraints.append(
+            _Constraint(list(terms.keys()), list(terms.values()), lb, ub)
+        )
+
+    def add_eq(self, terms: dict[int, float], rhs: float, label: str = "") -> None:
+        self.add_constraint(terms, lb=rhs, ub=rhs, label=label)
+
+    def add_ge(self, terms: dict[int, float], rhs: float, label: str = "") -> None:
+        self.add_constraint(terms, lb=rhs, label=label)
+
+    def add_le(self, terms: dict[int, float], rhs: float, label: str = "") -> None:
+        self.add_constraint(terms, ub=rhs, label=label)
+
+    def set_objective(self, terms: dict[int, float]) -> None:
+        """Minimization objective (replaces any previous one)."""
+        self._objective = dict(terms)
+
+    # ------------------------------------------------------------------
+    def _assemble(self) -> tuple[np.ndarray, sp.csr_matrix, np.ndarray, np.ndarray]:
+        c = np.zeros(self.n_vars)
+        for idx, coeff in self._objective.items():
+            c[idx] += coeff
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        lo = np.empty(self.n_constraints)
+        hi = np.empty(self.n_constraints)
+        for r, con in enumerate(self._constraints):
+            rows.extend([r] * len(con.idx))
+            cols.extend(con.idx)
+            vals.extend(con.coeff)
+            lo[r] = con.lb
+            hi[r] = con.ub
+        a = sp.coo_matrix(
+            (vals, (rows, cols)), shape=(self.n_constraints, self.n_vars)
+        ).tocsr()
+        a.sum_duplicates()
+        return c, a, lo, hi
+
+    @property
+    def is_mip(self) -> bool:
+        return any(self._integrality)
+
+    def solve(self, time_limit_s: float | None = None) -> LpSolution:
+        """Solve with HiGHS; dispatches to the MIP solver when needed."""
+        c, a, lo, hi = self._assemble()
+        if self.is_mip:
+            return self._solve_milp(c, a, lo, hi, time_limit_s)
+        return self._solve_lp(c, a, lo, hi, time_limit_s)
+
+    def _solve_lp(self, c, a, lo, hi, time_limit_s) -> LpSolution:
+        # linprog wants one-sided rows: split two-sided into <= pairs.
+        ub_rows = np.isfinite(hi)
+        lb_rows = np.isfinite(lo)
+        a_ub = sp.vstack(
+            [a[ub_rows], -a[lb_rows]], format="csr"
+        ) if (ub_rows.any() or lb_rows.any()) else None
+        b_ub = (
+            np.concatenate([hi[ub_rows], -lo[lb_rows]])
+            if a_ub is not None
+            else None
+        )
+        options = {"presolve": True}
+        if time_limit_s is not None:
+            options["time_limit"] = time_limit_s
+        res = sopt.linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            bounds=list(zip(self._lb, self._ub)),
+            method="highs",
+            options=options,
+        )
+        return self._wrap(res)
+
+    def _solve_milp(self, c, a, lo, hi, time_limit_s) -> LpSolution:
+        constraints = sopt.LinearConstraint(a, lo, hi)
+        bounds = sopt.Bounds(np.array(self._lb), np.array(self._ub))
+        options = {}
+        if time_limit_s is not None:
+            options["time_limit"] = time_limit_s
+        res = sopt.milp(
+            c,
+            constraints=constraints,
+            bounds=bounds,
+            integrality=np.array(self._integrality),
+            options=options,
+        )
+        return self._wrap(res)
+
+    @staticmethod
+    def _wrap(res) -> LpSolution:
+        if res.status == 0:
+            status = LpStatus.OPTIMAL
+        elif res.status == 2:
+            status = LpStatus.INFEASIBLE
+        elif res.status == 3:
+            status = LpStatus.UNBOUNDED
+        else:
+            status = LpStatus.ERROR
+        x = res.x if res.x is not None else np.array([])
+        obj = float(res.fun) if res.fun is not None else float("nan")
+        return LpSolution(
+            status=status, objective=obj, x=np.asarray(x), message=str(res.message)
+        )

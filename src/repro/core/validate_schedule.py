@@ -1,0 +1,147 @@
+"""Static schedule validation (paper §6.1, without the replay).
+
+Replay validation (:func:`repro.simulator.replay.replay_schedule`) executes
+a schedule and checks the observed power; this module verifies a
+:class:`PowerSchedule` *analytically* against its trace:
+
+* **assignment validity** — every task assigned, every mixture point on
+  the task's (convex or full) Pareto frontier, fractions normalized;
+* **precedence feasibility** — the scheduled vertex times admit the
+  assigned durations on every edge;
+* **event power** — at every event of the schedule's own timing, the sum
+  of active task powers (slack charged at task power, as in the LP)
+  respects the cap.
+
+The two validators are complementary: the static one pinpoints *which*
+constraint a bad schedule violates; the replay one confirms end-to-end
+realizability with overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dag.analysis import DagSchedule, schedule_fixed_durations
+from ..simulator.trace import Trace
+from .events import build_event_structure
+from .schedule import PowerSchedule
+
+__all__ = ["ValidationReport", "validate_schedule"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of static validation; ``ok`` iff no violations recorded."""
+
+    violations: list[str] = field(default_factory=list)
+    peak_event_power_w: float = 0.0
+    max_precedence_gap_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        status = "OK" if self.ok else f"{len(self.violations)} violations"
+        return (
+            f"schedule validation: {status}; peak event power "
+            f"{self.peak_event_power_w:.1f} W; worst precedence gap "
+            f"{self.max_precedence_gap_s:.3e} s"
+        )
+
+
+def validate_schedule(
+    trace: Trace,
+    schedule: PowerSchedule,
+    power_tol_rel: float = 1e-6,
+    time_tol_s: float = 1e-6,
+    max_reported: int = 20,
+) -> ValidationReport:
+    """Statically verify a schedule against its trace.
+
+    Returns a report; callers that require validity should assert
+    ``report.ok``.  At most ``max_reported`` violations are itemized (the
+    count in ``summary()`` reflects only those recorded).
+    """
+    report = ValidationReport()
+    graph = trace.graph
+
+    def note(msg: str) -> None:
+        if len(report.violations) < max_reported:
+            report.add(msg)
+
+    # --- assignment validity -----------------------------------------
+    missing = set(trace.task_edges) - set(schedule.assignments)
+    for ref in sorted(missing, key=lambda r: (r.rank, r.seq)):
+        note(f"task {ref} has no assignment")
+    for ref, a in schedule.assignments.items():
+        if ref not in trace.task_edges:
+            note(f"assignment for unknown task {ref}")
+            continue
+        allowed = {
+            (p.config, round(p.duration_s, 12), round(p.power_w, 12))
+            for p in trace.pareto[a.edge_id] + trace.frontiers[a.edge_id]
+        }
+        for p, f in a.mixture:
+            key = (p.config, round(p.duration_s, 12), round(p.power_w, 12))
+            if key not in allowed:
+                note(
+                    f"task {ref}: mixture point {p.config.describe()} not on "
+                    "the task's frontier"
+                )
+
+    if missing:
+        return report  # timing checks need complete assignments
+
+    # --- precedence feasibility ---------------------------------------
+    durations = np.zeros(graph.n_edges)
+    for e in graph.message_edges():
+        durations[e.id] = e.duration_s
+    for ref, a in schedule.assignments.items():
+        durations[a.edge_id] = a.duration_s
+
+    v = schedule.vertex_times
+    if len(v) != graph.n_vertices:
+        note(
+            f"vertex_times has {len(v)} entries for {graph.n_vertices} "
+            "vertices"
+        )
+        return report
+    worst = 0.0
+    for e in graph.edges:
+        gap = (v[e.src] + durations[e.id]) - v[e.dst]
+        worst = max(worst, float(gap))
+        if gap > time_tol_s:
+            note(
+                f"edge {e.id} ({e.kind.value}): needs {durations[e.id]:.6f}s "
+                f"but vertices allow {v[e.dst] - v[e.src]:.6f}s"
+            )
+    report.max_precedence_gap_s = worst
+
+    # --- event power under the schedule's own timing -------------------
+    timed = DagSchedule(
+        vertex_times=np.asarray(v, dtype=float),
+        edge_durations=durations,
+        edge_starts=np.array([v[e.src] for e in graph.edges]),
+        makespan=float(np.max(v)),
+    )
+    events = build_event_structure(graph, initial=timed)
+    peak = 0.0
+    for vid, act in events.active.items():
+        total = sum(
+            schedule.assignments[trace.edge_refs[e]].power_w for e in act
+        )
+        peak = max(peak, total)
+        if total > schedule.cap_w * (1 + power_tol_rel):
+            note(
+                f"event at vertex {vid} (t={timed.vertex_times[vid]:.4f}s) "
+                f"draws {total:.1f} W over cap {schedule.cap_w:.1f} W"
+            )
+    report.peak_event_power_w = peak
+    return report

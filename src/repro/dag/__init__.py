@@ -1,0 +1,35 @@
+"""Application DAG substrate: graphs of MPI events, tasks, and messages."""
+
+from .analysis import (
+    DagSchedule,
+    critical_path_edges,
+    edge_slack,
+    fastest_configurations,
+    fastest_durations,
+    schedule_fixed_durations,
+    unconstrained_schedule,
+)
+from .builder import DagBuilder
+from .transform import reduce_slack, stretch_limits
+from .graph import EdgeKind, TaskEdge, TaskGraph, Vertex, VertexKind
+from .validate import deep_validate, to_networkx
+
+__all__ = [
+    "DagBuilder",
+    "DagSchedule",
+    "EdgeKind",
+    "TaskEdge",
+    "TaskGraph",
+    "Vertex",
+    "VertexKind",
+    "critical_path_edges",
+    "deep_validate",
+    "edge_slack",
+    "fastest_configurations",
+    "fastest_durations",
+    "reduce_slack",
+    "stretch_limits",
+    "schedule_fixed_durations",
+    "to_networkx",
+    "unconstrained_schedule",
+]

@@ -1,0 +1,217 @@
+"""Convenience builder for application DAGs.
+
+Maintains one "current vertex" per rank and appends compute tasks, messages
+and collectives as the program advances — the same shape the tracer
+produces from a simulated run, but usable directly for synthetic DAGs in
+tests and for the paper's two-rank flow-ILP benchmark.
+
+A subtlety worth stating: a compute edge connects the rank's previous MPI
+event to its next one.  When the next event is a shared collective vertex,
+the edge's destination is the collective itself; the collective's network
+cost is modeled as a message edge from a per-rank *enter* vertex so that
+task time and wire time stay separately visible to the LP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.performance import TaskKernel
+from .graph import TaskGraph, VertexKind
+
+__all__ = ["DagBuilder"]
+
+
+@dataclass
+class _PendingRecv:
+    """An Irecv posted but not yet waited on."""
+
+    request_id: int
+    message_src_vertex: int | None  # filled when the matching send appears
+
+
+class DagBuilder:
+    """Incrementally construct a :class:`TaskGraph`.
+
+    All ranks begin at a shared INIT vertex.  Each rank then alternates
+    compute tasks and MPI events; :meth:`finalize` joins every rank into a
+    shared FINALIZE vertex (preceded by that rank's last compute edge, if
+    one is pending).
+    """
+
+    def __init__(self, n_ranks: int) -> None:
+        self.graph = TaskGraph(n_ranks)
+        self._init = self.graph.add_vertex(VertexKind.INIT, label="MPI_Init")
+        self._current: list[int] = [self._init.id] * n_ranks
+        self._pending_kernel: list[TaskKernel | None] = [None] * n_ranks
+        self._pending_iteration: list[int] = [-1] * n_ranks
+        self._pending_label: list[str] = [""] * n_ranks
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    def compute(
+        self, rank: int, kernel: TaskKernel, iteration: int = -1, label: str = ""
+    ) -> None:
+        """Queue a compute task on a rank; it is attached at the next event.
+
+        Consecutive :meth:`compute` calls without an intervening event merge
+        into one task (as a real trace would see them — there is no MPI call
+        separating them).
+        """
+        self._check_open(rank)
+        pending = self._pending_kernel[rank]
+        if pending is not None:
+            kernel = _merge_kernels(pending, kernel)
+        self._pending_kernel[rank] = kernel
+        if iteration >= 0:
+            self._pending_iteration[rank] = iteration
+        if label:
+            self._pending_label[rank] = label
+
+    def _flush_compute(self, rank: int, dst_vertex: int) -> None:
+        kernel = self._pending_kernel[rank]
+        if kernel is None:
+            return
+        self.graph.add_compute(
+            src=self._current[rank],
+            dst=dst_vertex,
+            rank=rank,
+            kernel=kernel,
+            iteration=self._pending_iteration[rank],
+            label=self._pending_label[rank],
+        )
+        self._pending_kernel[rank] = None
+        self._pending_iteration[rank] = -1
+        self._pending_label[rank] = ""
+
+    def event(self, rank: int, kind: VertexKind, label: str = "",
+               iteration: int = -1) -> int:
+        """Create a per-rank event vertex, attaching any queued compute.
+
+        Public because the tracer drives the builder op-by-op.
+        """
+        v = self.graph.add_vertex(kind, rank=rank, label=label, iteration=iteration)
+        self._flush_compute(rank, v.id)
+        if not self.graph.in_edges(v.id):
+            # No compute was pending: add a zero-cost ordering message so
+            # the event is still chained after the rank's previous event.
+            self.graph.add_message(self._current[rank], v.id, 0.0,
+                                   label="program-order")
+        self._current[rank] = v.id
+        return v.id
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, duration_s: float, size_bytes: int = 0,
+             iteration: int = -1) -> tuple[int, int]:
+        """A matched (blocking) send/recv pair; returns the two vertex ids.
+
+        The receive completes no earlier than send-initiation plus wire
+        time; a zero-length ordering edge is *not* added in the reverse
+        direction (eager-protocol semantics: the sender does not wait).
+        """
+        sv = self.event(src, VertexKind.SEND, label=f"send->{dst}",
+                         iteration=iteration)
+        rv = self.event(dst, VertexKind.RECV, label=f"recv<-{src}",
+                         iteration=iteration)
+        self.graph.add_message(sv, rv, duration_s, size_bytes,
+                               iteration=iteration, label=f"msg {src}->{dst}")
+        return sv, rv
+
+    def isend(self, src: int, dst: int, iteration: int = -1) -> int:
+        """Nonblocking send initiation; pair with :meth:`recv_from`."""
+        return self.event(src, VertexKind.ISEND, label=f"isend->{dst}",
+                           iteration=iteration)
+
+    def recv_from(self, dst: int, send_vertex: int, duration_s: float,
+                  size_bytes: int = 0, iteration: int = -1) -> int:
+        """Blocking receive matching a previously created isend vertex."""
+        rv = self.event(dst, VertexKind.RECV, iteration=iteration,
+                         label="recv")
+        self.graph.add_message(send_vertex, rv, duration_s, size_bytes,
+                               iteration=iteration)
+        return rv
+
+    def wait(self, rank: int, iteration: int = -1) -> int:
+        """MPI_Wait completion event on a rank."""
+        return self.event(rank, VertexKind.WAIT, label="wait",
+                           iteration=iteration)
+
+    def collective(
+        self,
+        label: str = "allreduce",
+        duration_s: float = 0.0,
+        ranks: list[int] | None = None,
+        iteration: int = -1,
+    ) -> int:
+        """A collective across ``ranks`` (default: all).
+
+        Every participant's queued compute terminates at a per-rank enter
+        vertex, a message edge of the collective's wire time connects each
+        enter vertex to the shared completion vertex, and all participants
+        resume from the shared vertex simultaneously.
+        """
+        participants = list(range(self.graph.n_ranks)) if ranks is None else ranks
+        if not participants:
+            raise ValueError("collective needs at least one participant")
+        shared = self.graph.add_vertex(VertexKind.COLLECTIVE, label=label,
+                                       iteration=iteration)
+        for r in participants:
+            self._check_open(r)
+            enter = self.event(r, VertexKind.COLLECTIVE, label=f"{label}-enter",
+                                iteration=iteration)
+            self.graph.add_message(enter, shared.id, duration_s,
+                                   iteration=iteration, label=f"{label}-wire")
+            self._current[r] = shared.id
+        return shared.id
+
+    def pcontrol(self, iteration: int) -> None:
+        """Iteration boundary marker — implemented as a zero-cost barrier.
+
+        The paper's benchmarks call MPI_Pcontrol at every iteration boundary
+        purely as an annotation; we give it barrier semantics matching the
+        synchronous power-reallocation points of Conductor.
+        """
+        self.collective(label=f"pcontrol[{iteration}]", duration_s=0.0,
+                        iteration=iteration)
+
+    def finalize(self) -> TaskGraph:
+        """Join all ranks into FINALIZE and return the validated graph."""
+        if self._finalized:
+            raise RuntimeError("finalize() called twice")
+        fin = self.graph.add_vertex(VertexKind.FINALIZE, label="MPI_Finalize")
+        for r in range(self.graph.n_ranks):
+            had_compute = self._pending_kernel[r] is not None
+            self._flush_compute(r, fin.id)
+            if not had_compute and self._current[r] != fin.id:
+                self.graph.add_message(self._current[r], fin.id, 0.0,
+                                       label="finalize-join")
+            self._current[r] = fin.id
+        self._finalized = True
+        self.graph.validate()
+        return self.graph
+
+    # ------------------------------------------------------------------
+    def _check_open(self, rank: int) -> None:
+        if self._finalized:
+            raise RuntimeError("builder already finalized")
+        if not (0 <= rank < self.graph.n_ranks):
+            raise ValueError(f"rank {rank} out of range")
+
+
+def _merge_kernels(a: TaskKernel, b: TaskKernel) -> TaskKernel:
+    """Fuse two back-to-back kernels into one task (work adds, knobs blend)."""
+    wa, wb = a.total_reference_seconds, b.total_reference_seconds
+    total = wa + wb
+    blend = lambda x, y: (x * wa + y * wb) / total  # noqa: E731
+    return TaskKernel(
+        cpu_seconds=a.cpu_seconds + b.cpu_seconds,
+        mem_seconds=a.mem_seconds + b.mem_seconds,
+        parallel_fraction=blend(a.parallel_fraction, b.parallel_fraction),
+        mem_parallel_fraction=blend(a.mem_parallel_fraction, b.mem_parallel_fraction),
+        bw_saturation_threads=min(a.bw_saturation_threads, b.bw_saturation_threads),
+        contention_threshold=min(a.contention_threshold, b.contention_threshold),
+        contention_penalty=max(a.contention_penalty, b.contention_penalty),
+        activity=blend(a.activity, b.activity),
+        mem_intensity=blend(a.mem_intensity, b.mem_intensity),
+        name=a.name or b.name,
+    )

@@ -1,0 +1,250 @@
+"""Application task graph: the paper's DAG of MPI events and tasks.
+
+Vertices are MPI call completions (Init, Send/Recv, Isend/Wait, collective
+operations, Finalize).  Edges are either **compute tasks** — the
+computation a rank performs between two consecutive MPI calls, runnable in
+many (frequency, threads) configurations — or **messages**, whose duration
+is a fixed linear function of size (latency + size / bandwidth).
+
+Collectives are modeled as a single shared vertex: every participant's
+entering edge terminates there and every participant's next task departs
+from it, which (through LP equation 4) forces post-collective tasks to
+start simultaneously — the synchronization semantics of an MPI collective.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..machine.performance import TaskKernel
+
+__all__ = ["VertexKind", "EdgeKind", "Vertex", "TaskEdge", "TaskGraph"]
+
+
+class VertexKind(enum.Enum):
+    """Kinds of MPI events a DAG vertex can represent."""
+
+    INIT = "init"
+    FINALIZE = "finalize"
+    SEND = "send"
+    RECV = "recv"
+    ISEND = "isend"
+    IRECV = "irecv"
+    WAIT = "wait"
+    COLLECTIVE = "collective"
+    PCONTROL = "pcontrol"
+
+
+class EdgeKind(enum.Enum):
+    """DAG edge kinds: configurable computation or fixed-cost message."""
+
+    COMPUTE = "compute"
+    MESSAGE = "message"
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """One MPI event.  ``rank`` is None for shared collective vertices."""
+
+    id: int
+    kind: VertexKind
+    rank: int | None = None
+    label: str = ""
+    iteration: int = -1
+
+
+@dataclass(frozen=True)
+class TaskEdge:
+    """A DAG edge: compute task (configurable) or message (fixed duration).
+
+    Compute edges carry the :class:`TaskKernel` describing their work and a
+    ``rank`` identifying the socket they execute on; message edges carry a
+    fixed ``duration_s``.
+    """
+
+    id: int
+    src: int
+    dst: int
+    kind: EdgeKind
+    rank: int | None = None
+    kernel: TaskKernel | None = None
+    duration_s: float = 0.0
+    size_bytes: int = 0
+    iteration: int = -1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind is EdgeKind.COMPUTE:
+            if self.kernel is None:
+                raise ValueError(f"compute edge {self.id} needs a kernel")
+            if self.rank is None:
+                raise ValueError(f"compute edge {self.id} needs an owning rank")
+        else:
+            if self.duration_s < 0:
+                raise ValueError(
+                    f"message edge {self.id} has negative duration {self.duration_s}"
+                )
+
+    @property
+    def is_compute(self) -> bool:
+        return self.kind is EdgeKind.COMPUTE
+
+
+class TaskGraph:
+    """Mutable DAG container with adjacency indexes.
+
+    Invariants (checked by :meth:`validate`): acyclic; exactly one INIT and
+    one FINALIZE vertex; every compute edge's endpoints belong to its rank
+    or to shared (collective/INIT/FINALIZE) vertices; edge endpoints exist.
+    """
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self.vertices: list[Vertex] = []
+        self.edges: list[TaskEdge] = []
+        self._out: dict[int, list[int]] = {}
+        self._in: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    def add_vertex(
+        self,
+        kind: VertexKind,
+        rank: int | None = None,
+        label: str = "",
+        iteration: int = -1,
+    ) -> Vertex:
+        """Append an MPI-event vertex and return it."""
+        if rank is not None and not (0 <= rank < self.n_ranks):
+            raise ValueError(f"rank {rank} out of range [0, {self.n_ranks})")
+        v = Vertex(id=len(self.vertices), kind=kind, rank=rank, label=label,
+                   iteration=iteration)
+        self.vertices.append(v)
+        self._out[v.id] = []
+        self._in[v.id] = []
+        return v
+
+    def _add_edge(self, edge: TaskEdge) -> TaskEdge:
+        for vid in (edge.src, edge.dst):
+            if not (0 <= vid < len(self.vertices)):
+                raise ValueError(f"edge references unknown vertex {vid}")
+        if edge.src == edge.dst:
+            raise ValueError(f"self-loop at vertex {edge.src}")
+        self.edges.append(edge)
+        self._out[edge.src].append(edge.id)
+        self._in[edge.dst].append(edge.id)
+        return edge
+
+    def add_compute(
+        self,
+        src: int,
+        dst: int,
+        rank: int,
+        kernel: TaskKernel,
+        iteration: int = -1,
+        label: str = "",
+    ) -> TaskEdge:
+        """Append a compute-task edge owned by ``rank``."""
+        return self._add_edge(
+            TaskEdge(
+                id=len(self.edges), src=src, dst=dst, kind=EdgeKind.COMPUTE,
+                rank=rank, kernel=kernel, iteration=iteration, label=label,
+            )
+        )
+
+    def add_message(
+        self,
+        src: int,
+        dst: int,
+        duration_s: float,
+        size_bytes: int = 0,
+        iteration: int = -1,
+        label: str = "",
+    ) -> TaskEdge:
+        """Append a fixed-duration message edge."""
+        return self._add_edge(
+            TaskEdge(
+                id=len(self.edges), src=src, dst=dst, kind=EdgeKind.MESSAGE,
+                duration_s=duration_s, size_bytes=size_bytes,
+                iteration=iteration, label=label,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def out_edges(self, vertex_id: int) -> list[TaskEdge]:
+        return [self.edges[i] for i in self._out[vertex_id]]
+
+    def in_edges(self, vertex_id: int) -> list[TaskEdge]:
+        return [self.edges[i] for i in self._in[vertex_id]]
+
+    def compute_edges(self) -> list[TaskEdge]:
+        return [e for e in self.edges if e.is_compute]
+
+    def message_edges(self) -> list[TaskEdge]:
+        return [e for e in self.edges if not e.is_compute]
+
+    def rank_edges(self, rank: int) -> list[TaskEdge]:
+        """Compute edges owned by one rank, in insertion (program) order."""
+        return [e for e in self.edges if e.is_compute and e.rank == rank]
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def find_vertex(self, kind: VertexKind) -> Vertex:
+        """The unique vertex of a kind (INIT / FINALIZE)."""
+        matches = [v for v in self.vertices if v.kind is kind]
+        if len(matches) != 1:
+            raise ValueError(f"expected exactly one {kind}, found {len(matches)}")
+        return matches[0]
+
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[int]:
+        """Kahn's algorithm; raises if the graph has a cycle."""
+        indeg = {v.id: len(self._in[v.id]) for v in self.vertices}
+        ready = sorted(vid for vid, d in indeg.items() if d == 0)
+        order: list[int] = []
+        # Use a list-as-stack with sorted seeding for deterministic output.
+        from collections import deque
+
+        queue = deque(ready)
+        while queue:
+            vid = queue.popleft()
+            order.append(vid)
+            for eid in self._out[vid]:
+                dst = self.edges[eid].dst
+                indeg[dst] -= 1
+                if indeg[dst] == 0:
+                    queue.append(dst)
+        if len(order) != len(self.vertices):
+            raise ValueError("task graph contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ValueError on violation."""
+        self.find_vertex(VertexKind.INIT)
+        self.find_vertex(VertexKind.FINALIZE)
+        self.topological_order()  # acyclicity
+        for e in self.compute_edges():
+            for vid in (e.src, e.dst):
+                v = self.vertices[vid]
+                if v.rank is not None and v.rank != e.rank:
+                    raise ValueError(
+                        f"compute edge {e.id} (rank {e.rank}) touches vertex "
+                        f"{vid} of rank {v.rank}"
+                    )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        nc = len(self.compute_edges())
+        nm = len(self.message_edges())
+        return (
+            f"TaskGraph(ranks={self.n_ranks}, vertices={self.n_vertices}, "
+            f"compute={nc}, messages={nm})"
+        )

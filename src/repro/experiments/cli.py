@@ -1,0 +1,136 @@
+"""Command-line entry point: regenerate any paper exhibit.
+
+Usage (installed as ``repro-experiments``)::
+
+    repro-experiments list
+    repro-experiments fig1 fig8 fig9 ... table3 overheads headline
+    repro-experiments all [--ranks 32]
+    repro-experiments all --quick        # 8 ranks, small fig8 sweep
+
+``--quick`` shrinks rank counts and sweep densities for smoke runs; the
+full defaults match the measurement protocol recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from . import figures, tables
+
+__all__ = ["main", "EXHIBITS"]
+
+
+def _sensitivity(quick: bool):
+    from .sensitivity import sensitivity_analysis
+
+    if quick:
+        return sensitivity_analysis(n_ranks=4, exponents=(2.0, 2.8),
+                                    sigmas=(0.0, 0.08))
+    return sensitivity_analysis()
+
+
+def _fig8(quick: bool):
+    if quick:
+        return figures.figure8_flow_vs_fixed(n_caps=12, time_limit_s=20.0)
+    return figures.figure8_flow_vs_fixed()
+
+
+EXHIBITS = {
+    "fig1": lambda q, n: figures.figure1_pareto_frontier(),
+    "fig8": lambda q, n: _fig8(q),
+    "fig9": lambda q, n: figures.figure9_lp_vs_static(n),
+    "fig10": lambda q, n: figures.figure10_lp_vs_conductor(n),
+    "fig11": lambda q, n: figures.figure11_comd(n),
+    "fig12": lambda q, n: figures.figure12_comd_task_scatter(
+        n_ranks=n, iterations=4 if q else 8
+    ),
+    "fig13": lambda q, n: figures.figure13_bt(n),
+    "fig14": lambda q, n: figures.figure14_sp(n),
+    "fig15": lambda q, n: figures.figure15_lulesh(n),
+    "table3": lambda q, n: tables.table3_lulesh_task_characteristics(n_ranks=n),
+    "overheads": lambda q, n: tables.overheads_summary(),
+    "energy": lambda q, n: tables.energy_comparison(n_ranks=min(n, 8)),
+    "sensitivity": lambda q, n: _sensitivity(q),
+    "headline": lambda q, n: figures.headline_summary(n),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "exhibits", nargs="*", default=["all"],
+        help="exhibit names (see 'list'), or 'all'",
+    )
+    parser.add_argument("--ranks", type=int, default=32,
+                        help="MPI ranks / sockets (default 32, as in the paper)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweeps for a fast smoke run")
+    parser.add_argument("--save", metavar="DIR", default=None,
+                        help="also write each exhibit's text to DIR/<name>.txt")
+    parser.add_argument("--svg", metavar="DIR", default=None,
+                        help="also render figure exhibits to DIR/<name>.svg")
+    args = parser.parse_args(argv)
+
+    if args.exhibits == ["list"]:
+        for name in EXHIBITS:
+            print(name)
+        return 0
+
+    if args.exhibits and args.exhibits[0] == "verify-results":
+        if len(args.exhibits) < 2:
+            parser.error("verify-results needs a reference directory")
+        from .regression import verify_reference_results
+
+        ref_dir = args.exhibits[1]
+        names = args.exhibits[2:] or [
+            n for n in EXHIBITS if (Path(ref_dir) / f"{n}.txt").exists()
+        ]
+        from pathlib import Path as _P  # noqa: F401 (Path imported below)
+
+        results = {
+            n: EXHIBITS[n](args.quick, args.ranks) for n in names
+        }
+        report = verify_reference_results(ref_dir, results)
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    names = list(EXHIBITS) if args.exhibits in (["all"], []) else args.exhibits
+    unknown = [n for n in names if n not in EXHIBITS]
+    if unknown:
+        parser.error(f"unknown exhibits: {unknown}; try 'list'")
+
+    ranks = 8 if args.quick and args.ranks == 32 else args.ranks
+    save_dir = None
+    if args.save:
+        save_dir = Path(args.save)
+        save_dir.mkdir(parents=True, exist_ok=True)
+    svg_dir = None
+    if args.svg:
+        svg_dir = Path(args.svg)
+        svg_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        t0 = time.time()
+        result = EXHIBITS[name](args.quick, ranks)
+        text = result.render()
+        print(text)
+        print(f"[{name} regenerated in {time.time() - t0:.1f}s]")
+        print()
+        if save_dir is not None:
+            (save_dir / f"{name}.txt").write_text(text + "\n")
+        if svg_dir is not None:
+            from .figures_svg import exhibit_to_svg
+
+            svg = exhibit_to_svg(result)
+            if svg is not None:
+                (svg_dir / f"{name}.svg").write_text(svg)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""SVG renderings of the paper's figures from their result objects.
+
+Each function takes the result object the text harness already produces
+(`figures.py`) and returns an SVG document string; :func:`exhibit_to_svg`
+dispatches on exhibit type so the CLI's ``--svg DIR`` flag can render
+whatever it regenerates.
+"""
+
+from __future__ import annotations
+
+from .figures import Figure1Result, Figure8Result, Figure12Result, SweepFigure
+from .svgplot import svg_bar_chart, svg_line_chart, svg_scatter
+
+__all__ = ["figure1_svg", "figure8_svg", "figure12_svg", "sweep_svg",
+           "exhibit_to_svg"]
+
+
+def figure1_svg(fig: Figure1Result) -> str:
+    """Figure 1: time-vs-power scatter with the convex Pareto frontier."""
+    by_threads: dict[str, list[tuple[float, float]]] = {}
+    for p in fig.points:
+        by_threads.setdefault(f"{p.config.threads} threads", []).append(
+            (p.power_w, p.duration_s)
+        )
+    # The paper colors by thread count; keep four groups to stay readable.
+    grouped = {
+        name: pts
+        for name, pts in sorted(by_threads.items())
+        if name.split()[0] in ("1", "4", "6", "8")
+    }
+    hull = [(p.power_w, p.duration_s) for p in fig.convex]
+    return svg_scatter(
+        title="Figure 1: Normalized Time vs. Power (CoMD task)",
+        series=grouped,
+        xlabel="Power (W)",
+        ylabel="Task time (s)",
+        lines={"convex Pareto frontier": hull},
+    )
+
+
+def figure8_svg(fig: Figure8Result) -> str:
+    """Figure 8: schedule time vs total power, both formulations."""
+    fixed = [
+        (c, t) for c, t in zip(fig.caps_w, fig.fixed_s) if t is not None
+    ]
+    flow = [
+        (c, t) for c, t in zip(fig.caps_w, fig.flow_s) if t is not None
+    ]
+    return svg_line_chart(
+        title="Figure 8: Flow vs. Fixed-Vertex Order",
+        series={"Fixed-order LP": fixed, "Flow ILP": flow},
+        xlabel="Total Power (W)",
+        ylabel="Schedule Time (s)",
+    )
+
+
+def figure12_svg(fig: Figure12Result) -> str:
+    """Figure 12: long-task duration vs power, LP against Static."""
+    return svg_scatter(
+        title=(
+            f"Figure 12: CoMD Task Characteristics at "
+            f"{fig.cap_per_socket_w:.0f} W/socket"
+        ),
+        series={"LP": fig.lp_points, "Static": fig.static_points},
+        xlabel="Power (W)",
+        ylabel="Duration (s)",
+    )
+
+
+def sweep_svg(fig: SweepFigure) -> str:
+    """Figures 9-11, 13-15: improvement (%) vs per-socket cap, as bars."""
+    headers, rows = fig.rows()
+    categories = [f"{row[0]:g}" for row in rows]
+    series: dict[str, list[float | None]] = {}
+    for col, name in enumerate(headers[1:], start=1):
+        series[name.replace(" (%)", "")] = [row[col] for row in rows]
+    return svg_bar_chart(
+        title=fig.title,
+        categories=categories,
+        series=series,
+        xlabel="Average Power per Processor Socket (W)",
+        ylabel="Improvement (%)",
+    )
+
+
+def exhibit_to_svg(result) -> str | None:
+    """SVG for any exhibit result, or None for text-only exhibits."""
+    if isinstance(result, Figure1Result):
+        return figure1_svg(result)
+    if isinstance(result, Figure8Result):
+        return figure8_svg(result)
+    if isinstance(result, Figure12Result):
+        return figure12_svg(result)
+    if isinstance(result, SweepFigure):
+        return sweep_svg(result)
+    return None

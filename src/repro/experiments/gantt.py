@@ -1,0 +1,107 @@
+"""ASCII Gantt rendering of simulation results and schedules.
+
+Terminal-friendly timelines for eyeballing what a policy actually did:
+one row per rank, glyphs encoding the running configuration's thread
+count, '.' for idle/MPI wait.  Used by examples and handy in tests when a
+schedule "looks wrong".
+"""
+
+from __future__ import annotations
+
+from ..core.schedule import PowerSchedule
+from ..simulator.engine import SimulationResult
+from ..simulator.trace import Trace
+
+__all__ = ["gantt_from_result", "gantt_from_schedule"]
+
+_GLYPHS = "123456789abcdefg"  # thread count -> glyph
+
+
+def _render_rows(
+    rows: list[list[tuple[float, float, int]]],
+    t_end: float,
+    width: int,
+    labels: list[str],
+) -> str:
+    """rows: per rank, list of (start, end, threads) intervals."""
+    if t_end <= 0:
+        raise ValueError("empty timeline")
+    out = []
+    for label, intervals in zip(labels, rows):
+        cells = ["."] * width
+        for start, end, threads in intervals:
+            lo = int(start / t_end * width)
+            hi = max(lo + 1, int(end / t_end * width))
+            glyph = _GLYPHS[min(threads, len(_GLYPHS)) - 1]
+            for x in range(lo, min(hi, width)):
+                cells[x] = glyph
+        out.append(f"{label:>6} |{''.join(cells)}|")
+    scale = f"{'':>6}  0{'s':<{max(width - 12, 1)}}{t_end:8.3f}s"
+    out.append(scale)
+    out.append(f"{'':>6}  glyphs: thread count (1-8), '.' = idle/MPI")
+    return "\n".join(out)
+
+
+def gantt_from_result(result: SimulationResult, width: int = 72) -> str:
+    """Render an executed simulation as a per-rank timeline."""
+    rows = []
+    labels = []
+    for rank, recs in enumerate(result.records_by_rank()):
+        rows.append(
+            [(r.start_s, r.end_s, r.config.threads) for r in recs]
+        )
+        labels.append(f"r{rank}")
+    return _render_rows(rows, result.makespan_s, width, labels)
+
+
+def gantt_from_schedule(
+    trace: Trace, schedule: PowerSchedule, width: int = 72
+) -> str:
+    """Render an LP/ILP schedule (scheduled vertex times + durations)."""
+    v = schedule.vertex_times
+    rows: list[list[tuple[float, float, int]]] = []
+    labels = []
+    for rank in range(trace.graph.n_ranks):
+        intervals = []
+        for e in trace.graph.rank_edges(rank):
+            a = schedule.assignments[trace.edge_refs[e.id]]
+            start = float(v[e.src])
+            intervals.append(
+                (start, start + a.duration_s, a.configuration.threads)
+            )
+        rows.append(intervals)
+        labels.append(f"r{rank}")
+    return _render_rows(rows, schedule.objective_s, width, labels)
+
+
+def power_profile_ascii(timeline, cap_w: float | None = None,
+                        width: int = 72, height: int = 12) -> str:
+    """Render a :class:`~repro.simulator.telemetry.PowerTimeline` as an
+    ASCII area chart, with an optional cap line ('=')."""
+    import numpy as np
+
+    times = timeline.times
+    power = timeline.power
+    if len(power) == 0:
+        raise ValueError("empty timeline")
+    t_end = float(times[-1])
+    top = float(max(power.max(), cap_w or 0.0)) * 1.05
+    grid = [[" "] * width for _ in range(height)]
+    for x in range(width):
+        t = (x + 0.5) / width * t_end
+        p = timeline.power_at(min(t, t_end * (1 - 1e-9)))
+        level = int(p / top * height)
+        for y in range(level):
+            grid[height - 1 - y][x] = "#"
+    if cap_w is not None and cap_w < top:
+        y_cap = height - 1 - int(cap_w / top * height)
+        if 0 <= y_cap < height:
+            for x in range(width):
+                if grid[y_cap][x] == " ":
+                    grid[y_cap][x] = "="
+    rows = [f"{top * (height - y) / height:7.0f}W |" + "".join(r)
+            for y, r in enumerate(grid)]
+    rows.append(f"{'':>9}0s{'':<{max(width - 12, 1)}}{t_end:8.3f}s")
+    if cap_w is not None:
+        rows.append(f"{'':>9}'=' marks the {cap_w:.0f} W job cap")
+    return "\n".join(rows)

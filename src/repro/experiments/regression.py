@@ -1,0 +1,74 @@
+"""Reference-result regression checking.
+
+``results/`` pins the exhibits' rendered text; this module re-renders any
+subset and diffs against the pinned files, so refactors can prove they
+changed nothing (the whole pipeline is seeded and deterministic).  Exposed
+on the CLI as ``repro-experiments verify-results <dir>``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["DriftReport", "verify_reference_results"]
+
+
+@dataclass
+class DriftReport:
+    """Outcome of a reference comparison."""
+
+    checked: list[str] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+    drifted: dict[str, str] = field(default_factory=dict)  # name -> diff
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing and not self.drifted
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"reference check OK: {len(self.checked)} exhibits "
+                "regenerated identically"
+            )
+        parts = [f"reference check FAILED ({len(self.checked)} checked)"]
+        if self.missing:
+            parts.append(f"missing reference files: {self.missing}")
+        for name, diff in self.drifted.items():
+            parts.append(f"--- drift in {name} ---\n{diff}")
+        return "\n".join(parts)
+
+
+def verify_reference_results(
+    reference_dir: str | Path,
+    exhibit_results: dict[str, object],
+) -> DriftReport:
+    """Diff freshly-rendered exhibits against pinned reference text.
+
+    ``exhibit_results`` maps exhibit names to result objects exposing
+    ``render()`` (the harness's standard interface).  Exhibits without a
+    pinned file are reported as missing rather than silently skipped —
+    an unpinned exhibit is itself drift.
+    """
+    ref = Path(reference_dir)
+    report = DriftReport()
+    for name, result in exhibit_results.items():
+        report.checked.append(name)
+        path = ref / f"{name}.txt"
+        if not path.exists():
+            report.missing.append(name)
+            continue
+        expected = path.read_text().rstrip("\n")
+        actual = result.render().rstrip("\n")
+        if expected != actual:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    expected.splitlines(), actual.splitlines(),
+                    fromfile=f"reference/{name}", tofile=f"current/{name}",
+                    lineterm="", n=1,
+                )
+            )
+            report.drifted[name] = diff
+    return report

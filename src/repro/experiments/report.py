@@ -1,0 +1,48 @@
+"""Plain-text rendering of experiment results (the 'figures' of this repo).
+
+Every exhibit renders as an aligned text table so benchmark harnesses and
+CI logs can diff them; no plotting dependency is required offline.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "fmt", "render_kv"]
+
+
+def fmt(value, digits: int = 3) -> str:
+    """Human-compact cell formatting: None -> '-', floats rounded."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: list[str], rows: list[list], title: str = "", digits: int = 3
+) -> str:
+    """Render an aligned, pipe-separated table."""
+    cells = [[fmt(c, digits) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: dict, title: str = "") -> str:
+    """Render key/value summary lines."""
+    lines = [title] if title else []
+    width = max((len(k) for k in pairs), default=0)
+    for k, v in pairs.items():
+        lines.append(f"  {k.ljust(width)} : {fmt(v)}")
+    return "\n".join(lines)

@@ -1,0 +1,307 @@
+"""Dependency-free SVG charts: render the paper's figures as images.
+
+The offline environment has no plotting stack, so this module writes SVG
+directly — scatter plots (Figures 1 and 12), line charts (Figure 8), and
+grouped bar charts (Figures 9-15) with axes, ticks, and legends.  Output
+is deterministic, diffable XML; tests parse it back with
+``xml.etree.ElementTree``.
+
+Only the primitives needed by the paper's figures are implemented; this is
+a figure writer, not a plotting library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from xml.sax.saxutils import escape
+
+__all__ = ["SvgFigure", "svg_scatter", "svg_line_chart", "svg_bar_chart"]
+
+#: Categorical palette (colorblind-safe Okabe-Ito subset).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9")
+
+_MARKERS = ("circle", "square", "diamond", "triangle")
+
+
+@dataclass
+class SvgFigure:
+    """An SVG document under construction (plot area + margins)."""
+
+    width: int = 640
+    height: int = 420
+    margin_left: int = 64
+    margin_right: int = 150
+    margin_top: int = 46
+    margin_bottom: int = 52
+    elements: list[str] = field(default_factory=list)
+
+    @property
+    def plot_w(self) -> float:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_h(self) -> float:
+        return self.height - self.margin_top - self.margin_bottom
+
+    # ------------------------------------------------------------------
+    def add(self, element: str) -> None:
+        self.elements.append(element)
+
+    def title(self, text: str) -> None:
+        self.add(
+            f'<text x="{self.width / 2:.1f}" y="22" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{escape(text)}</text>'
+        )
+
+    def axes(self, xlabel: str, ylabel: str) -> None:
+        x0, y0 = self.margin_left, self.margin_top
+        x1, y1 = x0 + self.plot_w, y0 + self.plot_h
+        self.add(
+            f'<rect x="{x0}" y="{y0}" width="{self.plot_w:.1f}" '
+            f'height="{self.plot_h:.1f}" fill="none" stroke="#333"/>'
+        )
+        self.add(
+            f'<text x="{(x0 + x1) / 2:.1f}" y="{self.height - 10}" '
+            f'text-anchor="middle" font-size="12">{escape(xlabel)}</text>'
+        )
+        self.add(
+            f'<text x="16" y="{(y0 + y1) / 2:.1f}" text-anchor="middle" '
+            f'font-size="12" transform="rotate(-90 16 {(y0 + y1) / 2:.1f})">'
+            f"{escape(ylabel)}</text>"
+        )
+
+    def x_tick(self, px: float, label: str) -> None:
+        y1 = self.margin_top + self.plot_h
+        self.add(f'<line x1="{px:.1f}" y1="{y1:.1f}" x2="{px:.1f}" '
+                 f'y2="{y1 + 5:.1f}" stroke="#333"/>')
+        self.add(
+            f'<text x="{px:.1f}" y="{y1 + 18:.1f}" text-anchor="middle" '
+            f'font-size="11">{escape(label)}</text>'
+        )
+
+    def y_tick(self, py: float, label: str) -> None:
+        x0 = self.margin_left
+        self.add(f'<line x1="{x0 - 5}" y1="{py:.1f}" x2="{x0}" '
+                 f'y2="{py:.1f}" stroke="#333"/>')
+        self.add(
+            f'<text x="{x0 - 8}" y="{py + 4:.1f}" text-anchor="end" '
+            f'font-size="11">{escape(label)}</text>'
+        )
+        self.add(
+            f'<line x1="{x0}" y1="{py:.1f}" x2="{x0 + self.plot_w:.1f}" '
+            f'y2="{py:.1f}" stroke="#ddd" stroke-dasharray="3,3"/>'
+        )
+
+    def legend(self, names: list[str]) -> None:
+        x = self.margin_left + self.plot_w + 12
+        for i, name in enumerate(names):
+            y = self.margin_top + 14 + 20 * i
+            color = PALETTE[i % len(PALETTE)]
+            self.add(f'<rect x="{x}" y="{y - 9}" width="12" height="12" '
+                     f'fill="{color}"/>')
+            self.add(
+                f'<text x="{x + 18}" y="{y + 2}" font-size="12">'
+                f"{escape(name)}</text>"
+            )
+
+    def marker(self, px: float, py: float, color: str, kind: str = "circle",
+               size: float = 3.5) -> None:
+        if kind == "circle":
+            self.add(f'<circle cx="{px:.1f}" cy="{py:.1f}" r="{size:.1f}" '
+                     f'fill="{color}" fill-opacity="0.75"/>')
+        elif kind == "square":
+            self.add(
+                f'<rect x="{px - size:.1f}" y="{py - size:.1f}" '
+                f'width="{2 * size:.1f}" height="{2 * size:.1f}" '
+                f'fill="{color}" fill-opacity="0.75"/>'
+            )
+        elif kind == "diamond":
+            self.add(
+                f'<path d="M {px:.1f} {py - size:.1f} L {px + size:.1f} '
+                f'{py:.1f} L {px:.1f} {py + size:.1f} L {px - size:.1f} '
+                f'{py:.1f} Z" fill="{color}" fill-opacity="0.75"/>'
+            )
+        else:  # triangle
+            self.add(
+                f'<path d="M {px:.1f} {py - size:.1f} L {px + size:.1f} '
+                f'{py + size:.1f} L {px - size:.1f} {py + size:.1f} Z" '
+                f'fill="{color}" fill-opacity="0.75"/>'
+            )
+
+    def render(self) -> str:
+        body = "\n".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} '
+            f'{self.height}" font-family="Helvetica, Arial, sans-serif">\n'
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>\n{body}\n</svg>\n'
+        )
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / n
+    mag = 10 ** int(f"{raw:e}".split("e")[1])
+    for mult in (1, 2, 2.5, 5, 10):
+        if raw <= mult * mag:
+            step = mult * mag
+            break
+    start = step * int(lo / step)
+    ticks = []
+    t = start
+    while t <= hi + step * 0.5:
+        if t >= lo - step * 0.5:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _span(values: list[float], pad: float = 0.06) -> tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    d = (hi - lo) * pad
+    return lo - d, hi + d
+
+
+def svg_scatter(
+    title: str,
+    series: dict[str, list[tuple[float, float]]],
+    xlabel: str,
+    ylabel: str,
+    lines: dict[str, list[tuple[float, float]]] | None = None,
+) -> str:
+    """Scatter plot with optional overlay polylines (e.g. a frontier)."""
+    if not series or not any(series.values()):
+        raise ValueError("need at least one non-empty series")
+    fig = SvgFigure()
+    fig.title(title)
+    fig.axes(xlabel, ylabel)
+    all_pts = [p for pts in series.values() for p in pts]
+    if lines:
+        all_pts += [p for pts in lines.values() for p in pts]
+    x_lo, x_hi = _span([p[0] for p in all_pts])
+    y_lo, y_hi = _span([p[1] for p in all_pts])
+
+    def sx(x):
+        return fig.margin_left + (x - x_lo) / (x_hi - x_lo) * fig.plot_w
+
+    def sy(y):
+        return fig.margin_top + (1 - (y - y_lo) / (y_hi - y_lo)) * fig.plot_h
+
+    for t in _nice_ticks(x_lo, x_hi):
+        fig.x_tick(sx(t), f"{t:g}")
+    for t in _nice_ticks(y_lo, y_hi):
+        fig.y_tick(sy(t), f"{t:g}")
+    for i, (name, pts) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        kind = _MARKERS[i % len(_MARKERS)]
+        for x, y in pts:
+            fig.marker(sx(x), sy(y), color, kind)
+    if lines:
+        for j, (name, pts) in enumerate(lines.items()):
+            color = PALETTE[(len(series) + j) % len(PALETTE)]
+            path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+            fig.add(f'<polyline points="{path}" fill="none" '
+                    f'stroke="{color}" stroke-width="2"/>')
+    fig.legend(list(series) + list(lines or {}))
+    return fig.render()
+
+
+def svg_line_chart(
+    title: str,
+    series: dict[str, list[tuple[float, float]]],
+    xlabel: str,
+    ylabel: str,
+) -> str:
+    """Line chart (points connected in x order), one line per series."""
+    if not series or not any(series.values()):
+        raise ValueError("need at least one non-empty series")
+    fig = SvgFigure()
+    fig.title(title)
+    fig.axes(xlabel, ylabel)
+    all_pts = [p for pts in series.values() for p in pts]
+    x_lo, x_hi = _span([p[0] for p in all_pts])
+    y_lo, y_hi = _span([p[1] for p in all_pts], pad=0.08)
+
+    def sx(x):
+        return fig.margin_left + (x - x_lo) / (x_hi - x_lo) * fig.plot_w
+
+    def sy(y):
+        return fig.margin_top + (1 - (y - y_lo) / (y_hi - y_lo)) * fig.plot_h
+
+    for t in _nice_ticks(x_lo, x_hi):
+        fig.x_tick(sx(t), f"{t:g}")
+    for t in _nice_ticks(y_lo, y_hi):
+        fig.y_tick(sy(t), f"{t:g}")
+    for i, (name, pts) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        ordered = sorted(pts)
+        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in ordered)
+        fig.add(f'<polyline points="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2"/>')
+        for x, y in ordered:
+            fig.marker(sx(x), sy(y), color, _MARKERS[i % len(_MARKERS)], 2.5)
+    fig.legend(list(series))
+    return fig.render()
+
+
+def svg_bar_chart(
+    title: str,
+    categories: list[str],
+    series: dict[str, list[float | None]],
+    xlabel: str,
+    ylabel: str,
+) -> str:
+    """Grouped bar chart; None entries (unschedulable caps) are skipped."""
+    if not categories or not series:
+        raise ValueError("need categories and at least one series")
+    for name, vals in series.items():
+        if len(vals) != len(categories):
+            raise ValueError(
+                f"series {name!r} has {len(vals)} values for "
+                f"{len(categories)} categories"
+            )
+    fig = SvgFigure()
+    fig.title(title)
+    fig.axes(xlabel, ylabel)
+    flat = [v for vals in series.values() for v in vals if v is not None]
+    y_lo = min(0.0, min(flat))
+    y_hi = max(0.0, max(flat))
+    y_lo, y_hi = _span([y_lo, y_hi], pad=0.08)
+
+    def sy(y):
+        return fig.margin_top + (1 - (y - y_lo) / (y_hi - y_lo)) * fig.plot_h
+
+    for t in _nice_ticks(y_lo, y_hi):
+        fig.y_tick(sy(t), f"{t:g}")
+
+    n_cat, n_ser = len(categories), len(series)
+    group_w = fig.plot_w / n_cat
+    bar_w = group_w * 0.8 / n_ser
+    zero_y = sy(0.0)
+    for c, cat in enumerate(categories):
+        gx = fig.margin_left + group_w * (c + 0.5)
+        fig.x_tick(gx, cat)
+        for s, (name, vals) in enumerate(series.items()):
+            v = vals[c]
+            if v is None:
+                continue
+            color = PALETTE[s % len(PALETTE)]
+            bx = gx - group_w * 0.4 + s * bar_w
+            top = min(sy(v), zero_y)
+            h = abs(sy(v) - zero_y)
+            fig.add(
+                f'<rect x="{bx:.1f}" y="{top:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{color}"/>'
+            )
+    fig.add(
+        f'<line x1="{fig.margin_left}" y1="{zero_y:.1f}" '
+        f'x2="{fig.margin_left + fig.plot_w:.1f}" y2="{zero_y:.1f}" '
+        f'stroke="#333"/>'
+    )
+    fig.legend(list(series))
+    return fig.render()

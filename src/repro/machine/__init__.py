@@ -1,0 +1,62 @@
+"""Machine substrate: CPU, power, performance, Pareto frontiers, RAPL.
+
+This package is the simulation stand-in for the paper's Cab cluster nodes
+(dual-socket Xeon E5-2670).  Everything above it — the tracer, the LP, the
+runtimes — consumes only the (duration, power) points this package produces
+per task configuration, so the substitution of an analytic model for real
+hardware leaves those code paths exactly as they would run on a cluster.
+"""
+
+from .calibration import (
+    CalibrationResult,
+    PowerSample,
+    fit_power_model,
+    sample_power_model,
+)
+from .configuration import (
+    ConfigPoint,
+    Configuration,
+    enumerate_configurations,
+    measure_task,
+    measure_task_space,
+)
+from .cpu import XEON_E5_2670, CpuSpec, effective_frequency
+from .pareto import (
+    bracket_for_power,
+    convex_frontier,
+    interpolate_duration,
+    nearest_point,
+    pareto_frontier,
+)
+from .performance import TaskKernel, TaskTimeModel
+from .power import DEFAULT_POWER_PARAMS, PowerModelParams, SocketPowerModel
+from .rapl import RaplController, RaplDecision
+from .variability import sample_socket_efficiencies
+
+__all__ = [
+    "CalibrationResult",
+    "ConfigPoint",
+    "Configuration",
+    "CpuSpec",
+    "DEFAULT_POWER_PARAMS",
+    "PowerModelParams",
+    "RaplController",
+    "RaplDecision",
+    "SocketPowerModel",
+    "TaskKernel",
+    "TaskTimeModel",
+    "XEON_E5_2670",
+    "bracket_for_power",
+    "convex_frontier",
+    "effective_frequency",
+    "enumerate_configurations",
+    "interpolate_duration",
+    "measure_task",
+    "measure_task_space",
+    "nearest_point",
+    "pareto_frontier",
+    "sample_socket_efficiencies",
+    "PowerSample",
+    "fit_power_model",
+    "sample_power_model",
+]

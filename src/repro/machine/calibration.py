@@ -1,0 +1,140 @@
+"""Power-model calibration from measured samples.
+
+Porting the reproduction to a different processor means finding
+:class:`PowerModelParams` that match *its* behaviour.  Given samples of
+``(frequency, threads, activity, mem_intensity) -> watts`` — e.g. RAPL
+counter readings swept over P-states on real hardware — this module fits
+the analytic socket model by nonlinear least squares (scipy), and reports
+the residual so users can judge whether the model family suffices.
+
+The model is identifiable from modest sweeps: a single-thread frequency
+sweep pins (leakage+uncore, dynamic coefficient, exponent); a thread sweep
+separates per-core from uncore terms; varying memory intensity pins the
+uncore-memory term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.optimize as sopt
+
+from .cpu import CpuSpec, XEON_E5_2670
+from .power import PowerModelParams, SocketPowerModel
+
+__all__ = ["PowerSample", "CalibrationResult", "fit_power_model",
+           "sample_power_model"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One observed operating point."""
+
+    freq_ghz: float
+    threads: int
+    power_w: float
+    activity: float = 1.0
+    mem_intensity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0 or self.threads < 1 or self.power_w <= 0:
+            raise ValueError(f"invalid sample {self}")
+
+
+@dataclass
+class CalibrationResult:
+    """Fitted parameters plus goodness-of-fit diagnostics."""
+
+    params: PowerModelParams
+    rmse_w: float
+    max_abs_error_w: float
+    n_samples: int
+
+    def model(self, spec: CpuSpec = XEON_E5_2670,
+              efficiency: float = 1.0) -> SocketPowerModel:
+        """A socket power model built from the fitted parameters."""
+        return SocketPowerModel(spec=spec, params=self.params,
+                                efficiency=efficiency)
+
+
+def _predict(theta: np.ndarray, samples: list[PowerSample],
+             fmax_ghz: float) -> np.ndarray:
+    uncore_idle, uncore_mem, leak, dyn, gamma = theta
+    out = np.empty(len(samples))
+    for i, s in enumerate(samples):
+        rel = s.freq_ghz / fmax_ghz
+        out[i] = (
+            uncore_idle
+            + uncore_mem * s.mem_intensity
+            + s.threads * (leak + s.activity * dyn * rel**gamma)
+        )
+    return out
+
+
+def fit_power_model(
+    samples: list[PowerSample],
+    spec: CpuSpec = XEON_E5_2670,
+    p_idle_socket: float = 5.0,
+) -> CalibrationResult:
+    """Fit PowerModelParams to measured samples (least squares).
+
+    Requires at least 5 samples (the model has 5 free parameters); in
+    practice a 15-point P-state sweep at two thread counts fits tightly.
+    """
+    if len(samples) < 5:
+        raise ValueError(
+            f"need at least 5 samples to fit 5 parameters, got {len(samples)}"
+        )
+    target = np.array([s.power_w for s in samples])
+
+    def residuals(theta):
+        return _predict(theta, samples, spec.fmax_ghz) - target
+
+    x0 = np.array([7.0, 6.0, 0.8, 4.8, 2.4])
+    lower = np.array([0.0, 0.0, 0.0, 0.1, 1.0])
+    upper = np.array([50.0, 50.0, 10.0, 50.0, 3.5])
+    fit = sopt.least_squares(residuals, x0, bounds=(lower, upper))
+    uncore_idle, uncore_mem, leak, dyn, gamma = fit.x
+    params = PowerModelParams(
+        p_uncore_idle=float(uncore_idle),
+        p_uncore_mem=float(uncore_mem),
+        p_core_leak=float(leak),
+        p_core_dyn_max=float(dyn),
+        freq_exponent=float(gamma),
+        p_idle_socket=p_idle_socket,
+    )
+    errs = residuals(fit.x)
+    return CalibrationResult(
+        params=params,
+        rmse_w=float(np.sqrt(np.mean(errs**2))),
+        max_abs_error_w=float(np.max(np.abs(errs))),
+        n_samples=len(samples),
+    )
+
+
+def sample_power_model(
+    model: SocketPowerModel,
+    activities: tuple[float, ...] = (1.0,),
+    mem_intensities: tuple[float, ...] = (0.0, 0.6),
+    thread_counts: tuple[int, ...] | None = None,
+    noise: float = 0.0,
+    seed: int = 0,
+) -> list[PowerSample]:
+    """Generate calibration samples from an existing model (testing aid,
+    and a template for the sweep a real-hardware calibration should run)."""
+    rng = np.random.default_rng(seed)
+    threads = thread_counts if thread_counts is not None else (1, 4, model.spec.cores)
+    samples = []
+    for f in model.spec.pstates:
+        for n in threads:
+            for act in activities:
+                for mem in mem_intensities:
+                    p = model.power(f, n, act, mem)
+                    if noise > 0:
+                        p *= float(rng.lognormal(0.0, noise))
+                    samples.append(
+                        PowerSample(freq_ghz=f, threads=n, power_w=p,
+                                    activity=act, mem_intensity=mem)
+                    )
+    return samples

@@ -1,0 +1,124 @@
+"""Pareto and convex frontiers over (power, time) configuration points.
+
+The LP requires, per task, a *convex* Pareto-efficient configuration set:
+without convexity a non-convex frontier cannot be represented as a convex
+piecewise-linear function, and the formulation would degrade into an ILP
+(paper §3.2).  The pipeline is:
+
+1. filter the raw configuration scatter down to the Pareto-efficient set
+   (no point may be improved in both time and power simultaneously);
+2. take the *lower convex hull* of that set in the (power, time) plane —
+   the "Convex Pareto Frontier" drawn through Figure 1.
+
+Any convex combination of two adjacent hull points is then realizable by
+switching configuration mid-task (the continuous LP's interpretation), and
+rounding to the nearest hull point realizes the discrete case.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from .configuration import ConfigPoint
+
+__all__ = [
+    "pareto_frontier",
+    "convex_frontier",
+    "interpolate_duration",
+    "nearest_point",
+    "bracket_for_power",
+]
+
+
+def pareto_frontier(points: list[ConfigPoint]) -> list[ConfigPoint]:
+    """Pareto-efficient subset, sorted by increasing power (decreasing time).
+
+    A point is kept iff no other point has both lower-or-equal power and
+    lower-or-equal duration (with at least one strict).  Duplicate
+    (power, duration) pairs collapse to one representative.
+    """
+    if not points:
+        return []
+    # Sort by power asc, then duration asc: scanning in this order, a point
+    # is Pareto-efficient iff its duration is strictly below every duration
+    # seen so far.
+    ordered = sorted(points, key=lambda p: (p.power_w, p.duration_s))
+    frontier: list[ConfigPoint] = []
+    best_duration = float("inf")
+    for p in ordered:
+        if p.duration_s < best_duration:
+            frontier.append(p)
+            best_duration = p.duration_s
+    return frontier
+
+
+def convex_frontier(points: list[ConfigPoint]) -> list[ConfigPoint]:
+    """Lower convex hull of the Pareto frontier, sorted by increasing power.
+
+    Uses the monotone-chain construction on (power, duration) with a
+    cross-product turn test.  The result is convex and strictly decreasing
+    in duration as power increases, so the LP's convex mixtures are always
+    Pareto-efficient.
+    """
+    frontier = pareto_frontier(points)
+    if len(frontier) <= 2:
+        return frontier
+    hull: list[ConfigPoint] = []
+    for p in frontier:
+        while len(hull) >= 2 and _turns_up(hull[-2], hull[-1], p):
+            hull.pop()
+        hull.append(p)
+    return hull
+
+
+def _turns_up(a: ConfigPoint, b: ConfigPoint, c: ConfigPoint) -> bool:
+    """True if b lies on or above segment a-c (b is not a lower-hull vertex).
+
+    Cross product of (a->b, a->c) in the (power, duration) plane: negative
+    when b sits above the chord, zero when collinear — both cases mean b
+    contributes nothing to the lower hull.
+    """
+    cross = (b.power_w - a.power_w) * (c.duration_s - a.duration_s) - (
+        b.duration_s - a.duration_s
+    ) * (c.power_w - a.power_w)
+    return cross <= 0.0
+
+
+def bracket_for_power(
+    hull: list[ConfigPoint], power_w: float
+) -> tuple[ConfigPoint, ConfigPoint, float]:
+    """Locate ``power_w`` on the hull: returns (lo, hi, fraction toward hi).
+
+    Powers outside the hull's range clamp to the endpoints.  The convex
+    combination ``(1 - frac) * lo + frac * hi`` reproduces ``power_w``
+    exactly for in-range values.
+    """
+    if not hull:
+        raise ValueError("empty frontier")
+    powers = [p.power_w for p in hull]
+    if power_w <= powers[0]:
+        return hull[0], hull[0], 0.0
+    if power_w >= powers[-1]:
+        return hull[-1], hull[-1], 0.0
+    hi_idx = bisect_left(powers, power_w)
+    lo, hi = hull[hi_idx - 1], hull[hi_idx]
+    span = hi.power_w - lo.power_w
+    frac = 0.0 if span <= 0 else (power_w - lo.power_w) / span
+    return lo, hi, frac
+
+
+def interpolate_duration(hull: list[ConfigPoint], power_w: float) -> float:
+    """Duration of the convex frontier evaluated at an average power budget.
+
+    This is the continuous-configuration duration the LP assigns a task
+    given its power allocation.
+    """
+    lo, hi, frac = bracket_for_power(hull, power_w)
+    return (1.0 - frac) * lo.duration_s + frac * hi.duration_s
+
+
+def nearest_point(hull: list[ConfigPoint], power_w: float) -> ConfigPoint:
+    """Hull point closest in power — the paper's discrete rounding rule."""
+    if not hull:
+        raise ValueError("empty frontier")
+    return min(hull, key=lambda p: (abs(p.power_w - power_w), p.duration_s))

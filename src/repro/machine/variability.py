@@ -1,0 +1,50 @@
+"""Per-socket manufacturing variability.
+
+Processors of the same SKU differ in power efficiency: at identical
+frequency and load, leakier parts draw measurably more power.  The paper
+leans on this ("differences in power efficiency between individual
+processors") — under a uniform Static cap, inefficient sockets are forced
+into lower DVFS states than efficient ones, which creates load imbalance
+that the LP and Conductor can undo by shifting power.
+
+We model variability as a multiplicative efficiency factor per socket drawn
+from a lognormal distribution (mean 1, small sigma), matching the few-percent
+spreads reported for Sandy Bridge-class parts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_socket_efficiencies"]
+
+
+def sample_socket_efficiencies(
+    n_sockets: int,
+    sigma: float = 0.04,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Draw one power-efficiency multiplier per socket.
+
+    A factor of 1.05 means the socket draws 5% more power than nominal at
+    any operating point.  Factors are clipped to [0.85, 1.20] so a single
+    extreme draw cannot dominate an experiment.
+
+    Parameters
+    ----------
+    n_sockets:
+        Number of sockets (= MPI ranks in the paper's one-process-per-socket
+        setup).
+    sigma:
+        Lognormal shape parameter; 0.04 gives a ~±8% typical spread.
+    seed:
+        Seed or generator for reproducibility.  Experiments in this package
+        always pass explicit seeds.
+    """
+    if n_sockets < 1:
+        raise ValueError(f"n_sockets must be >= 1, got {n_sockets}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    rng = np.random.default_rng(seed)
+    factors = rng.lognormal(mean=0.0, sigma=sigma, size=n_sockets)
+    return np.clip(factors, 0.85, 1.20)

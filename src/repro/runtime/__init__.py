@@ -1,0 +1,21 @@
+"""Power-allocation runtimes evaluated against the LP bound."""
+
+from .adagio import SlackEstimator, slowest_fitting_point, task_key
+from .adagio_policy import AdagioPolicy
+from .conductor import ConductorConfig, ConductorPolicy
+from .explorer import ExplorationPlan, exploration_rounds_for_full_coverage
+from .selection_only import SelectionOnlyPolicy
+from .static import StaticPolicy
+
+__all__ = [
+    "AdagioPolicy",
+    "ConductorConfig",
+    "ConductorPolicy",
+    "ExplorationPlan",
+    "SelectionOnlyPolicy",
+    "SlackEstimator",
+    "StaticPolicy",
+    "exploration_rounds_for_full_coverage",
+    "slowest_fitting_point",
+    "task_key",
+]

@@ -1,0 +1,100 @@
+"""Standalone Adagio: the energy-saving runtime of the related work.
+
+Adagio (Rountree et al., ICS'09 — paper §7) runs on *fully provisioned*
+systems: no power cap, every task free to run at the fastest
+configuration, with slack-bearing tasks slowed just enough to absorb their
+measured slack.  The paper's Conductor embeds it as step one; this
+standalone policy reproduces the original system so the related work's
+premise — "save energy without increasing execution time" — can be
+measured against the energy-LP bound (:func:`repro.core.solve_energy_lp`).
+"""
+
+from __future__ import annotations
+
+from ..machine.configuration import ConfigPoint, Configuration, measure_task_space
+from ..machine.cpu import CpuSpec, XEON_E5_2670
+from ..machine.pareto import convex_frontier
+from ..machine.performance import TaskKernel
+from ..machine.power import SocketPowerModel
+from ..simulator.engine import TaskRecord
+from ..simulator.program import Application, ComputeOp, TaskRef
+from .adagio import SlackEstimator, slowest_fitting_point
+from .conductor import task_key_for
+
+__all__ = ["AdagioPolicy"]
+
+
+class AdagioPolicy:
+    """Uncapped slack reclamation: fastest configs, slowed into slack."""
+
+    def __init__(
+        self,
+        power_models: list[SocketPowerModel],
+        app: Application,
+        spec: CpuSpec = XEON_E5_2670,
+        safety: float = 0.9,
+        switch_overhead_s: float = 145e-6,
+        min_switch_duration_s: float = 1e-3,
+    ) -> None:
+        if not (0.0 <= safety <= 1.0):
+            raise ValueError(f"safety must be in [0,1], got {safety}")
+        self.power_models = power_models
+        self.spec = spec
+        self.safety = safety
+        self.switch_overhead_s = switch_overhead_s
+        self.min_switch_duration_s = min_switch_duration_s
+        tpi = {
+            r: max(
+                1,
+                sum(
+                    1
+                    for op in app.programs[r]
+                    if isinstance(op, ComputeOp) and op.iteration == 0
+                ),
+            )
+            for r in range(len(power_models))
+        }
+        self.tasks_per_iteration = tpi
+        self.slack = SlackEstimator(tpi)
+        self._frontiers: dict[tuple[TaskKernel, int], list[ConfigPoint]] = {}
+
+    def _frontier(self, rank: int, kernel: TaskKernel) -> list[ConfigPoint]:
+        key = (kernel, rank)
+        if key not in self._frontiers:
+            self._frontiers[key] = convex_frontier(
+                measure_task_space(kernel, self.power_models[rank])
+            )
+        return self._frontiers[key]
+
+    def configure(
+        self,
+        ref: TaskRef,
+        kernel: TaskKernel,
+        iteration: int,
+        current: Configuration | None,
+    ) -> Configuration:
+        """Fastest configuration, slowed into the task's measured slack."""
+        frontier = self._frontier(ref.rank, kernel)
+        fastest = frontier[-1]
+        chosen = fastest
+        slack_s = self.slack.slack_estimate(
+            task_key_for(ref, self.tasks_per_iteration[ref.rank])
+        )
+        if slack_s is not None:
+            chosen = slowest_fitting_point(
+                frontier, fastest.duration_s + self.safety * slack_s
+            )
+        if (
+            current is not None
+            and chosen.config != current
+            and chosen.duration_s < self.min_switch_duration_s
+        ):
+            return current
+        return chosen.config
+
+    def on_pcontrol(self, iteration: int, records: list[TaskRecord]) -> float:
+        self.slack.update(records)
+        return 0.0
+
+    def switch_cost_s(self) -> float:
+        return self.switch_overhead_s

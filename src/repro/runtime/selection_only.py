@@ -1,0 +1,113 @@
+"""Configuration selection *without* power reallocation (paper §6).
+
+    "If only the configuration selection is performed (but not power
+    reallocation), there is less overhead than Conductor, but also lower
+    performance due to the use of uniform power allocation."
+
+This policy is that ablation: per-task Pareto-optimal configuration
+selection under a fixed uniform per-socket budget, with Adagio slack
+reclamation, but the budgets never move between ranks.  It isolates how
+much of Conductor's gain comes from selection vs from reallocation —
+virtually all of LULESH's (thread-count mismatch) and almost none of BT's
+(load imbalance).
+"""
+
+from __future__ import annotations
+
+from ..machine.configuration import ConfigPoint, Configuration, measure_task_space
+from ..machine.cpu import CpuSpec, XEON_E5_2670
+from ..machine.pareto import convex_frontier
+from ..machine.performance import TaskKernel
+from ..machine.power import SocketPowerModel
+from ..machine.rapl import RaplController
+from ..simulator.engine import TaskRecord
+from ..simulator.program import Application, ComputeOp, TaskRef
+from .adagio import SlackEstimator, slowest_fitting_point
+from .conductor import task_key_for
+
+__all__ = ["SelectionOnlyPolicy"]
+
+
+class SelectionOnlyPolicy:
+    """Pareto configuration selection under uniform, immovable budgets."""
+
+    def __init__(
+        self,
+        power_models: list[SocketPowerModel],
+        job_cap_w: float,
+        app: Application,
+        spec: CpuSpec = XEON_E5_2670,
+        adagio_safety: float = 0.9,
+        switch_overhead_s: float = 145e-6,
+        min_switch_duration_s: float = 1e-3,
+    ) -> None:
+        if job_cap_w <= 0:
+            raise ValueError(f"job cap must be positive, got {job_cap_w}")
+        self.power_models = power_models
+        self.spec = spec
+        self.budget_w = job_cap_w / len(power_models)
+        self.rapl = [RaplController(pm) for pm in power_models]
+        self.adagio_safety = adagio_safety
+        self.switch_overhead_s = switch_overhead_s
+        self.min_switch_duration_s = min_switch_duration_s
+        tpi = {
+            r: max(
+                1,
+                sum(
+                    1
+                    for op in app.programs[r]
+                    if isinstance(op, ComputeOp) and op.iteration == 0
+                ),
+            )
+            for r in range(len(power_models))
+        }
+        self.tasks_per_iteration = tpi
+        self.slack = SlackEstimator(tpi)
+        self._frontiers: dict[tuple[TaskKernel, int], list[ConfigPoint]] = {}
+
+    def _frontier(self, rank: int, kernel: TaskKernel) -> list[ConfigPoint]:
+        key = (kernel, rank)
+        if key not in self._frontiers:
+            self._frontiers[key] = convex_frontier(
+                measure_task_space(kernel, self.power_models[rank])
+            )
+        return self._frontiers[key]
+
+    def configure(
+        self,
+        ref: TaskRef,
+        kernel: TaskKernel,
+        iteration: int,
+        current: Configuration | None,
+    ) -> Configuration:
+        """Fastest frontier point under the fixed uniform budget (with
+        Adagio slack absorption and the 1 ms switch rule)."""
+        frontier = self._frontier(ref.rank, kernel)
+        admissible = [p for p in frontier if p.power_w <= self.budget_w]
+        if not admissible:
+            threads = frontier[0].config.threads
+            return self.rapl[ref.rank].decide(
+                kernel, threads, self.budget_w
+            ).config
+        chosen = admissible[-1]
+        slack_s = self.slack.slack_estimate(
+            task_key_for(ref, self.tasks_per_iteration[ref.rank])
+        )
+        if slack_s is not None:
+            chosen = slowest_fitting_point(
+                admissible, chosen.duration_s + self.adagio_safety * slack_s
+            )
+        if (
+            current is not None
+            and chosen.config != current
+            and chosen.duration_s < self.min_switch_duration_s
+        ):
+            return current
+        return chosen.config
+
+    def on_pcontrol(self, iteration: int, records: list[TaskRecord]) -> float:
+        self.slack.update(records)
+        return 0.0  # no reallocation step, no 566 us
+
+    def switch_cost_s(self) -> float:
+        return self.switch_overhead_s

@@ -1,0 +1,77 @@
+"""Static: fixed, uniform power allocation (paper §4.1).
+
+The de-facto production baseline: job power divided equally across
+sockets, enforced by RAPL, thread count pinned at the full core count
+(firmware cannot change concurrency).  All of Static's behaviour under
+tight caps — including leaky sockets being clock-modulated far below
+nominal frequency — comes from the RAPL controller model.
+"""
+
+from __future__ import annotations
+
+from ..machine.configuration import Configuration
+from ..machine.cpu import CpuSpec, XEON_E5_2670
+from ..machine.performance import TaskKernel
+from ..machine.power import SocketPowerModel
+from ..machine.rapl import RaplController
+from ..simulator.engine import TaskRecord
+from ..simulator.program import TaskRef
+
+__all__ = ["StaticPolicy"]
+
+
+class StaticPolicy:
+    """Uniform per-socket RAPL caps; full-width OpenMP; no adaptation.
+
+    Parameters
+    ----------
+    power_models:
+        One per rank; their efficiency spread is what differentiates the
+        sockets' RAPL outcomes under the identical cap.
+    job_cap_w:
+        Total job power constraint; each socket gets an equal share.
+    threads:
+        Fixed concurrency (defaults to all cores, as in the paper).
+    """
+
+    def __init__(
+        self,
+        power_models: list[SocketPowerModel],
+        job_cap_w: float,
+        spec: CpuSpec = XEON_E5_2670,
+        threads: int | None = None,
+    ) -> None:
+        if job_cap_w <= 0:
+            raise ValueError(f"job cap must be positive, got {job_cap_w}")
+        self.spec = spec
+        # None = the full core count of each rank's own socket
+        # (heterogeneous machines may differ per rank).
+        self.threads = threads
+        if threads is not None and not (1 <= threads <= spec.cores):
+            raise ValueError(f"threads must be in [1, {spec.cores}]")
+        self.cap_per_socket_w = job_cap_w / len(power_models)
+        self.controllers = [RaplController(pm) for pm in power_models]
+
+    def configure(
+        self,
+        ref: TaskRef,
+        kernel: TaskKernel,
+        iteration: int,
+        current: Configuration | None,
+    ) -> Configuration:
+        """Whatever RAPL firmware settles on under the uniform cap."""
+        threads = (
+            self.threads
+            if self.threads is not None
+            else self.controllers[ref.rank].spec.cores
+        )
+        decision = self.controllers[ref.rank].decide(
+            kernel, threads, self.cap_per_socket_w
+        )
+        return decision.config
+
+    def on_pcontrol(self, iteration: int, records: list[TaskRecord]) -> float:
+        return 0.0  # no software agency: RAPL is firmware
+
+    def switch_cost_s(self) -> float:
+        return 0.0  # DVFS changes are made by firmware, asynchronously

@@ -1,0 +1,88 @@
+"""MPI discrete-event simulator: programs, engine, network, tracing, replay."""
+
+from .appio import (
+    application_from_dict,
+    application_to_dict,
+    load_application,
+    save_application,
+)
+from .exploration_trace import (
+    RotatingExplorationPolicy,
+    trace_from_exploration,
+)
+from .engine import (
+    ConfigPolicy,
+    Engine,
+    MaxPerformancePolicy,
+    SimulationResult,
+    TaskRecord,
+)
+from .network import IB_QDR, NetworkModel
+from .program import (
+    Application,
+    CollectiveOp,
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    Op,
+    PcontrolOp,
+    RecvOp,
+    SendOp,
+    TaskRef,
+    WaitOp,
+)
+from .replay import ReplayOutcome, ReplayPolicy, replay_schedule
+from .stats import (
+    IterationStats,
+    imbalance_factor,
+    iteration_stats,
+    power_utilization,
+)
+from .telemetry import (
+    PowerTimeline,
+    job_power_timeline,
+    rank_power_timeline,
+    verify_power_cap,
+)
+from .trace import Trace, build_dag, trace_application
+
+__all__ = [
+    "Application",
+    "application_from_dict",
+    "application_to_dict",
+    "CollectiveOp",
+    "ComputeOp",
+    "ConfigPolicy",
+    "Engine",
+    "IB_QDR",
+    "IrecvOp",
+    "IterationStats",
+    "IsendOp",
+    "MaxPerformancePolicy",
+    "NetworkModel",
+    "Op",
+    "PcontrolOp",
+    "PowerTimeline",
+    "RecvOp",
+    "ReplayOutcome",
+    "ReplayPolicy",
+    "RotatingExplorationPolicy",
+    "SendOp",
+    "SimulationResult",
+    "TaskRecord",
+    "TaskRef",
+    "Trace",
+    "WaitOp",
+    "build_dag",
+    "job_power_timeline",
+    "rank_power_timeline",
+    "replay_schedule",
+    "trace_application",
+    "trace_from_exploration",
+    "verify_power_cap",
+    "load_application",
+    "save_application",
+    "imbalance_factor",
+    "iteration_stats",
+    "power_utilization",
+]

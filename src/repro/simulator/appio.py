@@ -1,0 +1,164 @@
+"""Application JSON import/export — bring-your-own-trace workflows.
+
+Users porting this library to their own codes will usually have *traces*
+of real applications (op sequences per rank with measured task
+characteristics) rather than our synthetic generators.  This module
+defines a JSON interchange format for :class:`Application` objects so such
+traces can be authored externally and loaded for simulation, LP bounding,
+and runtime evaluation.
+
+The format is one op list per rank; each op is a tagged object, e.g.::
+
+    {"op": "compute", "cpu_seconds": 1.2, "mem_seconds": 0.3,
+     "iteration": 0, "label": "stress", ...}
+    {"op": "isend", "dst": 3, "size_bytes": 65536, "request": 1, "tag": 0}
+    {"op": "collective", "kind": "allreduce", "size_bytes": 8}
+    {"op": "pcontrol", "iteration": 0}
+
+Compute ops accept every :class:`TaskKernel` field; omitted fields take
+the kernel defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from ..machine.performance import TaskKernel
+from .program import (
+    Application,
+    CollectiveOp,
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    Op,
+    PcontrolOp,
+    RecvOp,
+    SendOp,
+    WaitOp,
+)
+
+__all__ = ["application_to_dict", "application_from_dict", "save_application",
+           "load_application"]
+
+_FORMAT_VERSION = 1
+
+_KERNEL_FIELDS = {f.name for f in dataclasses.fields(TaskKernel)}
+
+
+def _op_to_dict(op: Op) -> dict:
+    if isinstance(op, ComputeOp):
+        data = {"op": "compute", "iteration": op.iteration, "label": op.label}
+        data.update(dataclasses.asdict(op.kernel))
+        return data
+    if isinstance(op, SendOp):
+        return {"op": "send", "dst": op.dst, "size_bytes": op.size_bytes,
+                "tag": op.tag, "iteration": op.iteration}
+    if isinstance(op, RecvOp):
+        return {"op": "recv", "src": op.src, "tag": op.tag,
+                "iteration": op.iteration}
+    if isinstance(op, IsendOp):
+        return {"op": "isend", "dst": op.dst, "size_bytes": op.size_bytes,
+                "request": op.request, "tag": op.tag,
+                "iteration": op.iteration}
+    if isinstance(op, IrecvOp):
+        return {"op": "irecv", "src": op.src, "request": op.request,
+                "tag": op.tag, "iteration": op.iteration}
+    if isinstance(op, WaitOp):
+        return {"op": "wait", "request": op.request, "iteration": op.iteration}
+    if isinstance(op, CollectiveOp):
+        return {
+            "op": "collective", "kind": op.kind, "size_bytes": op.size_bytes,
+            "participants": list(op.participants) if op.participants else None,
+            "iteration": op.iteration,
+        }
+    if isinstance(op, PcontrolOp):
+        return {"op": "pcontrol", "iteration": op.iteration}
+    raise TypeError(f"cannot serialize op {op!r}")
+
+
+def _op_from_dict(data: dict) -> Op:
+    kind = data.get("op")
+    if kind == "compute":
+        kernel_kwargs = {k: v for k, v in data.items() if k in _KERNEL_FIELDS}
+        return ComputeOp(
+            kernel=TaskKernel(**kernel_kwargs),
+            iteration=data.get("iteration", -1),
+            label=data.get("label", ""),
+        )
+    if kind == "send":
+        return SendOp(dst=data["dst"], size_bytes=data["size_bytes"],
+                      tag=data.get("tag", 0),
+                      iteration=data.get("iteration", -1))
+    if kind == "recv":
+        return RecvOp(src=data["src"], tag=data.get("tag", 0),
+                      iteration=data.get("iteration", -1))
+    if kind == "isend":
+        return IsendOp(dst=data["dst"], size_bytes=data["size_bytes"],
+                       request=data["request"], tag=data.get("tag", 0),
+                       iteration=data.get("iteration", -1))
+    if kind == "irecv":
+        return IrecvOp(src=data["src"], request=data["request"],
+                       tag=data.get("tag", 0),
+                       iteration=data.get("iteration", -1))
+    if kind == "wait":
+        return WaitOp(request=data["request"],
+                      iteration=data.get("iteration", -1))
+    if kind == "collective":
+        parts = data.get("participants")
+        return CollectiveOp(
+            kind=data.get("kind", "allreduce"),
+            size_bytes=data.get("size_bytes", 8),
+            participants=tuple(parts) if parts else None,
+            iteration=data.get("iteration", -1),
+        )
+    if kind == "pcontrol":
+        return PcontrolOp(iteration=data["iteration"])
+    raise ValueError(f"unknown op kind {kind!r}")
+
+
+def application_to_dict(app: Application) -> dict:
+    """JSON-safe dictionary for an application."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": app.name,
+        "iterations": app.iterations,
+        "metadata": {
+            k: v
+            for k, v in app.metadata.items()
+            if isinstance(v, (str, int, float, bool, list, tuple))
+        },
+        "programs": [
+            [_op_to_dict(op) for op in prog] for prog in app.programs
+        ],
+    }
+
+
+def application_from_dict(data: dict) -> Application:
+    """Rebuild (and validate) an application from its dictionary form."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported application format version {version!r}"
+        )
+    app = Application(
+        name=data["name"],
+        programs=[
+            [_op_from_dict(op) for op in prog] for prog in data["programs"]
+        ],
+        iterations=data.get("iterations", 1),
+        metadata=dict(data.get("metadata", {})),
+    )
+    app.validate()
+    return app
+
+
+def save_application(app: Application, path: str | Path) -> None:
+    """Write an application to a JSON file."""
+    Path(path).write_text(json.dumps(application_to_dict(app)))
+
+
+def load_application(path: str | Path) -> Application:
+    """Read an application from a JSON file."""
+    return application_from_dict(json.loads(Path(path).read_text()))

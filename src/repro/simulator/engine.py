@@ -1,0 +1,390 @@
+"""Discrete-event execution engine for multi-rank MPI programs.
+
+The engine advances one logical clock per rank through its op list,
+matching messages (FIFO per (src, dst, tag) channel, eager protocol) and
+synchronizing collectives (a collective completes at the latest entrant's
+clock plus the network model's collective cost).  Computation durations and
+powers come from the machine models, with the configuration of every task
+chosen by a pluggable :class:`ConfigPolicy` — this is where Static,
+Conductor, and LP-schedule replay differ.
+
+Timing fidelity knobs mirror the paper's §6.2 overhead measurements:
+per-MPI-call profiling overhead (34 µs when tracing), per-task DVFS switch
+overhead (145 µs, charged when a policy changes a rank's configuration),
+and the policy's own synchronous work at MPI_Pcontrol boundaries (566 µs
+per Conductor reallocation), charged to every rank at the barrier.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..machine.configuration import Configuration
+from ..machine.cpu import CpuSpec, XEON_E5_2670
+from ..machine.performance import TaskKernel, TaskTimeModel
+from ..machine.power import SocketPowerModel
+from .network import IB_QDR, NetworkModel
+from .program import (
+    Application,
+    CollectiveOp,
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    PcontrolOp,
+    RecvOp,
+    SendOp,
+    TaskRef,
+    WaitOp,
+)
+
+__all__ = ["ConfigPolicy", "TaskRecord", "SimulationResult", "Engine", "MaxPerformancePolicy"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Everything the runtimes and figures need to know about one task run."""
+
+    ref: TaskRef
+    iteration: int
+    label: str
+    config: Configuration
+    start_s: float
+    duration_s: float
+    power_w: float
+    kernel: TaskKernel
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.duration_s * self.power_w
+
+
+class ConfigPolicy(Protocol):
+    """Chooses a configuration for every task; may react at Pcontrol."""
+
+    def configure(
+        self,
+        ref: TaskRef,
+        kernel: TaskKernel,
+        iteration: int,
+        current: Configuration | None,
+    ) -> Configuration:
+        """Configuration for the upcoming task.
+
+        ``current`` is the rank's present configuration (None before the
+        first task); returning a different one incurs the engine's DVFS
+        switch overhead, so policies implement the paper's 1 ms-threshold
+        rule by returning ``current`` for short tasks.
+        """
+        ...
+
+    def on_pcontrol(self, iteration: int, records: list[TaskRecord]) -> float:
+        """Hook at each Pcontrol barrier; returns overhead seconds (>= 0)."""
+        ...
+
+    def switch_cost_s(self) -> float:
+        """Per-configuration-change overhead this policy pays (0 for RAPL)."""
+        ...
+
+
+class MaxPerformancePolicy:
+    """Power-oblivious baseline: fastest configuration for every task."""
+
+    def __init__(self, spec: CpuSpec = XEON_E5_2670) -> None:
+        self._tm = TaskTimeModel(spec)
+        self._spec = spec
+
+    def configure(self, ref, kernel, iteration, current):
+        return Configuration(self._spec.fmax_ghz, self._tm.best_threads(kernel))
+
+    def on_pcontrol(self, iteration, records):
+        return 0.0
+
+    def switch_cost_s(self) -> float:
+        return 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one engine run."""
+
+    app_name: str
+    makespan_s: float
+    records: list[TaskRecord]
+    n_ranks: int
+    mpi_call_count: int
+    collective_count: int
+    pcontrol_overhead_s: float = 0.0
+    dvfs_switch_count: int = 0
+
+    def records_by_rank(self) -> list[list[TaskRecord]]:
+        """Task records grouped by rank, in execution order."""
+        by_rank: list[list[TaskRecord]] = [[] for _ in range(self.n_ranks)]
+        for r in self.records:
+            by_rank[r.ref.rank].append(r)
+        return by_rank
+
+    def records_for_iteration(self, iteration: int) -> list[TaskRecord]:
+        return [r for r in self.records if r.iteration == iteration]
+
+    def iterations(self) -> list[int]:
+        return sorted({r.iteration for r in self.records})
+
+    def total_energy_j(self) -> float:
+        return sum(r.energy_j for r in self.records)
+
+    def makespan_after_warmup(self, discard_iterations: int) -> float:
+        """Span of tasks after discarding warmup iterations (paper §5.3).
+
+        The paper drops the first three iterations (Conductor's exploration
+        phase); comparisons measure the steady-state region only.
+        """
+        kept = [r for r in self.records if r.iteration >= discard_iterations]
+        if not kept:
+            raise ValueError(
+                f"no records beyond iteration {discard_iterations - 1}"
+            )
+        start = min(r.start_s for r in kept)
+        return self.makespan_s - start
+
+
+@dataclass
+class _RankState:
+    clock: float = 0.0
+    ptr: int = 0
+    config: Configuration | None = None
+    collective_idx: int = 0
+    waiting_collective: bool = False
+    collective_enter_s: float = 0.0
+    requests: dict[int, tuple] = field(default_factory=dict)
+
+
+class Engine:
+    """Executes an :class:`Application` under a :class:`ConfigPolicy`.
+
+    Parameters
+    ----------
+    power_models:
+        One per rank (socket) — their efficiency spread is the variability
+        the runtimes react to.
+    network:
+        Interconnect cost model.
+    mpi_call_overhead_s:
+        CPU cost charged per MPI call (library overhead); the tracer adds
+        its measurement cost on top via ``tracing_overhead_s``.
+    tracing_overhead_s:
+        Extra per-call cost when the profiler is attached (34 µs median in
+        the paper).
+    """
+
+    def __init__(
+        self,
+        power_models: list[SocketPowerModel],
+        network: NetworkModel = IB_QDR,
+        spec: CpuSpec = XEON_E5_2670,
+        mpi_call_overhead_s: float = 2e-6,
+        tracing_overhead_s: float = 0.0,
+    ) -> None:
+        if not power_models:
+            raise ValueError("need at least one power model")
+        self.power_models = power_models
+        self.network = network
+        self.spec = spec
+        # Heterogeneous machines: each rank's timing follows its own
+        # socket's CpuSpec (identical to `spec` on homogeneous clusters).
+        self.time_models = [TaskTimeModel(pm.spec) for pm in power_models]
+        self.time_model = TaskTimeModel(spec)  # engine-level fallback
+        self.call_cost = mpi_call_overhead_s + tracing_overhead_s
+
+    # ------------------------------------------------------------------
+    def run(self, app: Application, policy: ConfigPolicy) -> SimulationResult:
+        """Execute the application to completion under the policy."""
+        if app.n_ranks != len(self.power_models):
+            raise ValueError(
+                f"application has {app.n_ranks} ranks but engine has "
+                f"{len(self.power_models)} power models"
+            )
+        app.validate()
+        n = app.n_ranks
+        states = [_RankState() for _ in range(n)]
+        channels: dict[tuple[int, int, int], deque[float]] = {}
+        records: list[TaskRecord] = []
+        task_seq = [0] * n
+        iteration_records: list[TaskRecord] = []
+        mpi_calls = 0
+        collectives = 0
+        pcontrol_overhead = 0.0
+        dvfs_switches = 0
+
+        def arrival(src: int, dst: int, tag: int, send_time: float, size: int) -> None:
+            channels.setdefault((src, dst, tag), deque()).append(
+                send_time + self.network.message_time(size)
+            )
+
+        def try_advance(rank: int) -> bool:
+            nonlocal mpi_calls, dvfs_switches
+            st = states[rank]
+            if st.waiting_collective or st.ptr >= len(app.programs[rank]):
+                return False
+            op = app.programs[rank][st.ptr]
+
+            if isinstance(op, ComputeOp):
+                ref = TaskRef(rank, task_seq[rank])
+                cfg = policy.configure(ref, op.kernel, op.iteration, st.config)
+                if st.config is not None and cfg != st.config:
+                    st.clock += policy.switch_cost_s()
+                    dvfs_switches += 1
+                st.config = cfg
+                duration = self.time_models[rank].duration(
+                    op.kernel, cfg.freq_ghz, cfg.threads, cfg.duty
+                )
+                power = self.power_models[rank].power(
+                    cfg.freq_ghz,
+                    cfg.threads,
+                    activity=op.kernel.activity,
+                    mem_intensity=op.kernel.mem_intensity,
+                    duty=cfg.duty,
+                )
+                rec = TaskRecord(
+                    ref=ref, iteration=op.iteration, label=op.label, config=cfg,
+                    start_s=st.clock, duration_s=duration, power_w=power,
+                    kernel=op.kernel,
+                )
+                records.append(rec)
+                iteration_records.append(rec)
+                st.clock += duration
+                task_seq[rank] += 1
+                st.ptr += 1
+                return True
+
+            if isinstance(op, SendOp):
+                st.clock += self.call_cost
+                mpi_calls += 1
+                arrival(rank, op.dst, op.tag, st.clock, op.size_bytes)
+                st.ptr += 1
+                return True
+
+            if isinstance(op, IsendOp):
+                st.clock += self.call_cost
+                mpi_calls += 1
+                arrival(rank, op.dst, op.tag, st.clock, op.size_bytes)
+                st.requests[op.request] = ("send",)
+                st.ptr += 1
+                return True
+
+            if isinstance(op, IrecvOp):
+                st.clock += self.call_cost
+                mpi_calls += 1
+                st.requests[op.request] = ("recv", op.src, op.tag)
+                st.ptr += 1
+                return True
+
+            if isinstance(op, RecvOp):
+                q = channels.get((op.src, rank, op.tag))
+                if not q:
+                    return False  # blocked: matching send not yet executed
+                t_arrive = q.popleft()
+                st.clock = max(st.clock, t_arrive) + self.call_cost
+                mpi_calls += 1
+                st.ptr += 1
+                return True
+
+            if isinstance(op, WaitOp):
+                req = st.requests.get(op.request)
+                if req is None:
+                    raise RuntimeError(
+                        f"rank {rank}: wait on unposted request {op.request}"
+                    )
+                if req[0] == "send":
+                    st.clock += self.call_cost  # eager send: wait is immediate
+                else:
+                    _, src, tag = req
+                    q = channels.get((src, rank, tag))
+                    if not q:
+                        return False
+                    t_arrive = q.popleft()
+                    st.clock = max(st.clock, t_arrive) + self.call_cost
+                mpi_calls += 1
+                del st.requests[op.request]
+                st.ptr += 1
+                return True
+
+            if isinstance(op, (CollectiveOp, PcontrolOp)):
+                if isinstance(op, CollectiveOp) and op.participants is not None:
+                    if tuple(sorted(op.participants)) != tuple(range(n)):
+                        raise NotImplementedError(
+                            "engine supports all-rank collectives only"
+                        )
+                st.clock += self.call_cost
+                mpi_calls += 1
+                st.waiting_collective = True
+                st.collective_enter_s = st.clock
+                return False  # resolved collectively below
+
+            raise TypeError(f"unknown op {op!r}")
+
+        def resolve_collective() -> bool:
+            nonlocal collectives, pcontrol_overhead, iteration_records
+            if not all(st.waiting_collective for st in states):
+                return False
+            ops = [app.programs[r][states[r].ptr] for r in range(n)]
+            first = ops[0]
+            if not all(type(op) is type(first) for op in ops):
+                raise RuntimeError(
+                    f"collective mismatch across ranks: {[type(o).__name__ for o in ops]}"
+                )
+            done = max(st.collective_enter_s for st in states)
+            if isinstance(first, PcontrolOp):
+                overhead = policy.on_pcontrol(first.iteration, list(iteration_records))
+                if overhead < 0:
+                    raise ValueError("pcontrol overhead must be >= 0")
+                done += overhead
+                pcontrol_overhead += overhead
+                iteration_records = []
+            else:
+                kind = first.kind
+                size = max(
+                    op.size_bytes for op in ops if isinstance(op, CollectiveOp)
+                )
+                done += self.network.collective_time(kind, n, size)
+            collectives += 1
+            for st in states:
+                st.clock = done
+                st.waiting_collective = False
+                st.ptr += 1
+            return True
+
+        # Main scheduler loop: keep scanning until no rank can progress.
+        progress = True
+        while progress:
+            progress = False
+            for rank in range(n):
+                while try_advance(rank):
+                    progress = True
+            if resolve_collective():
+                progress = True
+
+        unfinished = [
+            r for r in range(n) if states[r].ptr < len(app.programs[r])
+        ]
+        if unfinished:
+            details = {
+                r: repr(app.programs[r][states[r].ptr]) for r in unfinished
+            }
+            raise RuntimeError(f"deadlock: ranks blocked at {details}")
+
+        return SimulationResult(
+            app_name=app.name,
+            makespan_s=max(st.clock for st in states),
+            records=records,
+            n_ranks=n,
+            mpi_call_count=mpi_calls,
+            collective_count=collectives,
+            pcontrol_overhead_s=pcontrol_overhead,
+            dvfs_switch_count=dvfs_switches,
+        )

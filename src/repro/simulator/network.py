@@ -1,0 +1,73 @@
+"""Interconnect model: InfiniBand-QDR-like latency/bandwidth timing.
+
+The paper weighs DAG message edges "by a linear function of message size";
+we use the standard alpha-beta model ``t = latency + size / bandwidth`` for
+point-to-point traffic, and logarithmic-tree alpha-beta costs for
+collectives (recursive-doubling allreduce, binomial-tree barrier) — the
+algorithms production MPI libraries use at these message sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "IB_QDR"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta network cost model.
+
+    Attributes
+    ----------
+    latency_s:
+        Per-message injection-to-delivery latency (alpha).
+    bandwidth_Bps:
+        Link bandwidth in bytes/second (1/beta).
+    """
+
+    latency_s: float = 1.3e-6
+    bandwidth_Bps: float = 3.2e9
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency_s}")
+        if self.bandwidth_Bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_Bps}")
+
+    def message_time(self, size_bytes: int) -> float:
+        """Point-to-point wire time for one message."""
+        if size_bytes < 0:
+            raise ValueError(f"size must be >= 0, got {size_bytes}")
+        return self.latency_s + size_bytes / self.bandwidth_Bps
+
+    def collective_time(self, kind: str, n_ranks: int, size_bytes: int = 8) -> float:
+        """Completion time of a collective after the last rank arrives.
+
+        Costs per round follow the classic tree algorithms:
+
+        * barrier:    ceil(log2 n) latency rounds
+        * bcast:      ceil(log2 n) * (latency + size/bw)
+        * allreduce:  2 * ceil(log2 n) * (latency + size/bw)  (reduce+bcast)
+        * alltoall:   (n-1) * (latency + size/bw)
+        """
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if n_ranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(n_ranks))
+        per_round = self.latency_s + size_bytes / self.bandwidth_Bps
+        if kind == "barrier":
+            return rounds * self.latency_s
+        if kind == "bcast" or kind == "reduce":
+            return rounds * per_round
+        if kind == "allreduce":
+            return 2 * rounds * per_round
+        if kind == "alltoall":
+            return (n_ranks - 1) * per_round
+        raise ValueError(f"unknown collective kind {kind!r}")
+
+
+#: Default interconnect — Cab's InfiniBand QDR fabric.
+IB_QDR = NetworkModel()

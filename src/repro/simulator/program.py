@@ -1,0 +1,203 @@
+"""Per-rank MPI programs: the op-level representation of an application.
+
+An :class:`Application` is one op list per rank.  The op vocabulary mirrors
+the MPI subset the paper's benchmarks use — computation between calls,
+blocking and nonblocking point-to-point, collectives, and ``MPI_Pcontrol``
+iteration markers.  Programs are *deterministic*: the DAG the tracer emits
+depends only on the op lists, so the same program can be (a) executed by
+the discrete-event engine under any power policy and (b) statically
+translated into the LP's task graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..machine.performance import TaskKernel
+
+__all__ = [
+    "ComputeOp",
+    "SendOp",
+    "RecvOp",
+    "IsendOp",
+    "IrecvOp",
+    "WaitOp",
+    "CollectiveOp",
+    "PcontrolOp",
+    "Op",
+    "RankProgram",
+    "Application",
+    "TaskRef",
+]
+
+
+@dataclass(frozen=True)
+class ComputeOp:
+    """Computation between two MPI calls; one DAG task edge."""
+
+    kernel: TaskKernel
+    iteration: int = -1
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class SendOp:
+    """Blocking (eager) send: deposits the message and continues."""
+
+    dst: int
+    size_bytes: int
+    tag: int = 0
+    iteration: int = -1
+
+
+@dataclass(frozen=True)
+class RecvOp:
+    """Blocking receive: completes at max(local clock, message arrival)."""
+
+    src: int
+    tag: int = 0
+    iteration: int = -1
+
+
+@dataclass(frozen=True)
+class IsendOp:
+    """Nonblocking send initiation; completion owned by a later WaitOp."""
+
+    dst: int
+    size_bytes: int
+    request: int
+    tag: int = 0
+    iteration: int = -1
+
+
+@dataclass(frozen=True)
+class IrecvOp:
+    """Nonblocking receive post; message consumed by the matching WaitOp."""
+
+    src: int
+    request: int
+    tag: int = 0
+    iteration: int = -1
+
+
+@dataclass(frozen=True)
+class WaitOp:
+    """Completion of a nonblocking request."""
+
+    request: int
+    iteration: int = -1
+
+
+@dataclass(frozen=True)
+class CollectiveOp:
+    """Synchronizing collective (allreduce/barrier/bcast...).
+
+    ``size_bytes`` drives wire time through the network model's collective
+    cost function; participants default to every rank.  All ranks must post
+    their collectives in the same order (standard MPI requirement).
+    """
+
+    kind: str = "allreduce"
+    size_bytes: int = 8
+    participants: tuple[int, ...] | None = None
+    iteration: int = -1
+
+
+@dataclass(frozen=True)
+class PcontrolOp:
+    """Iteration boundary: a zero-byte barrier plus a runtime hook.
+
+    Conductor performs its synchronous power-reallocation decisions here
+    (paper §4.2); the tracer uses it to attribute tasks to iterations.
+    """
+
+    iteration: int
+
+
+Op = Union[
+    ComputeOp, SendOp, RecvOp, IsendOp, IrecvOp, WaitOp, CollectiveOp, PcontrolOp
+]
+
+RankProgram = list
+
+
+@dataclass(frozen=True)
+class TaskRef:
+    """Stable identity of one compute task: (rank, per-rank sequence index).
+
+    The engine, the tracer, the LP schedule, and the replay policy all key
+    tasks this way, so a schedule derived from a traced DAG can be replayed
+    against the original program without any other correlation state.
+    """
+
+    rank: int
+    seq: int
+
+
+@dataclass
+class Application:
+    """A complete multi-rank program plus descriptive metadata."""
+
+    name: str
+    programs: list[RankProgram]
+    iterations: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.programs:
+            raise ValueError("application needs at least one rank program")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.programs)
+
+    def compute_ops(self, rank: int) -> list[ComputeOp]:
+        """A rank's compute ops in program (= task sequence) order."""
+        return [op for op in self.programs[rank] if isinstance(op, ComputeOp)]
+
+    def task_kernel(self, ref: TaskRef) -> TaskKernel:
+        """The kernel of the task identified by ``ref``."""
+        ops = self.compute_ops(ref.rank)
+        if not (0 <= ref.seq < len(ops)):
+            raise KeyError(f"no task {ref} (rank has {len(ops)} tasks)")
+        return ops[ref.seq].kernel
+
+    def n_tasks(self) -> int:
+        """Total compute tasks across all ranks."""
+        return sum(
+            1
+            for prog in self.programs
+            for op in prog
+            if isinstance(op, ComputeOp)
+        )
+
+    def validate(self) -> None:
+        """Cheap sanity checks: collectives aligned, requests well-formed."""
+        coll_counts = {
+            r: sum(1 for op in prog if isinstance(op, (CollectiveOp, PcontrolOp)))
+            for r, prog in enumerate(self.programs)
+        }
+        if len(set(coll_counts.values())) > 1:
+            raise ValueError(
+                f"ranks post different numbers of collectives: {coll_counts}"
+            )
+        for r, prog in enumerate(self.programs):
+            pending: set[int] = set()
+            for op in prog:
+                if isinstance(op, (IsendOp, IrecvOp)):
+                    if op.request in pending:
+                        raise ValueError(
+                            f"rank {r}: request {op.request} reused before wait"
+                        )
+                    pending.add(op.request)
+                elif isinstance(op, WaitOp):
+                    if op.request not in pending:
+                        raise ValueError(
+                            f"rank {r}: wait on unknown request {op.request}"
+                        )
+                    pending.discard(op.request)
+            if pending:
+                raise ValueError(f"rank {r}: unwaited requests {sorted(pending)}")

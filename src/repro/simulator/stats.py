@@ -1,0 +1,105 @@
+"""Per-iteration and per-rank statistics over simulation records.
+
+The runtimes (Conductor's reallocator), the figures (Fig. 12's scatter,
+Table 3's medians), and user diagnostics all need the same reductions over
+:class:`TaskRecord` streams — busy time, arrival at the barrier, load
+imbalance, power utilization.  This module is the one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.power import SocketPowerModel
+from .engine import SimulationResult, TaskRecord
+
+__all__ = ["IterationStats", "iteration_stats", "imbalance_factor",
+           "power_utilization"]
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Reductions over one iteration's records, indexed by rank."""
+
+    iteration: int
+    n_ranks: int
+    busy_s: np.ndarray          # sum of task durations per rank
+    arrival_s: np.ndarray       # last task end per rank
+    first_start_s: float
+    peak_task_power_w: np.ndarray
+    energy_j: np.ndarray
+
+    @property
+    def barrier_s(self) -> float:
+        """When the slowest rank arrived (the iteration's critical time)."""
+        return float(self.arrival_s.max())
+
+    @property
+    def span_s(self) -> float:
+        return self.barrier_s - self.first_start_s
+
+    @property
+    def earliness_s(self) -> np.ndarray:
+        """Per-rank idle wait at the end-of-iteration barrier."""
+        return self.barrier_s - self.arrival_s
+
+    @property
+    def critical_rank(self) -> int:
+        return int(np.argmax(self.arrival_s))
+
+    def imbalance(self) -> float:
+        """max/mean busy-time ratio — 1.0 is perfectly balanced."""
+        mean = float(self.busy_s.mean())
+        return float(self.busy_s.max() / mean) if mean > 0 else 1.0
+
+
+def iteration_stats(
+    records: list[TaskRecord], n_ranks: int, iteration: int | None = None
+) -> IterationStats:
+    """Reduce one iteration's records (optionally filtering by iteration)."""
+    if iteration is not None:
+        records = [r for r in records if r.iteration == iteration]
+    if not records:
+        raise ValueError("no records to reduce")
+    it = iteration if iteration is not None else records[0].iteration
+    busy = np.zeros(n_ranks)
+    arrival = np.zeros(n_ranks)
+    peak = np.zeros(n_ranks)
+    energy = np.zeros(n_ranks)
+    first = min(r.start_s for r in records)
+    for r in records:
+        rank = r.ref.rank
+        busy[rank] += r.duration_s
+        arrival[rank] = max(arrival[rank], r.end_s)
+        peak[rank] = max(peak[rank], r.power_w)
+        energy[rank] += r.energy_j
+    return IterationStats(
+        iteration=it, n_ranks=n_ranks, busy_s=busy, arrival_s=arrival,
+        first_start_s=first, peak_task_power_w=peak, energy_j=energy,
+    )
+
+
+def imbalance_factor(result: SimulationResult, iteration: int) -> float:
+    """max/mean busy-time ratio of one iteration of a run."""
+    stats = iteration_stats(
+        result.records_for_iteration(iteration), result.n_ranks
+    )
+    return stats.imbalance()
+
+
+def power_utilization(
+    result: SimulationResult,
+    power_models: list[SocketPowerModel],
+    job_cap_w: float,
+) -> float:
+    """Fraction of the job's power budget actually converted to task power
+    over the run (time-weighted).  Low utilization under a tight cap is
+    the signature of misallocated power (Static on imbalanced apps)."""
+    if job_cap_w <= 0:
+        raise ValueError("job cap must be positive")
+    if result.makespan_s <= 0:
+        return 0.0
+    task_energy = result.total_energy_j()
+    return float(task_energy / (job_cap_w * result.makespan_s))

@@ -1,0 +1,154 @@
+"""Power telemetry: instantaneous job power timelines and cap verification.
+
+The paper verifies LP/ILP schedules by replaying them and checking that
+the job-level power constraint holds at every instant.  This module turns
+a :class:`SimulationResult` into piecewise-constant per-socket and job
+power timelines, under either slack-power convention:
+
+* ``slack_mode="task"`` — a rank's power between one task's start and the
+  next task's start is the task's power (the LP formulation's assumption:
+  slack power equals the associated task power);
+* ``slack_mode="idle"`` — the socket drops to its idle power the moment a
+  task finishes (the flow ILP's convention, and closer to hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.power import SocketPowerModel
+from .engine import SimulationResult
+
+__all__ = ["PowerTimeline", "job_power_timeline", "rank_power_timeline",
+           "verify_power_cap"]
+
+
+@dataclass(frozen=True)
+class PowerTimeline:
+    """Piecewise-constant power: ``power[i]`` holds on [times[i], times[i+1]).
+
+    ``times`` has one more entry than ``power`` (the final entry closes the
+    last segment at the makespan).
+    """
+
+    times: np.ndarray
+    power: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.power) + 1:
+            raise ValueError("times must have exactly one more entry than power")
+
+    def max_power(self) -> float:
+        return float(self.power.max()) if len(self.power) else 0.0
+
+    def average_power(self) -> float:
+        """Time-weighted mean power over the whole timeline."""
+        widths = np.diff(self.times)
+        total = widths.sum()
+        if total <= 0:
+            return 0.0
+        return float((self.power * widths).sum() / total)
+
+    def energy_j(self) -> float:
+        return float((self.power * np.diff(self.times)).sum())
+
+    def power_at(self, t: float) -> float:
+        """Power at an instant (right-continuous)."""
+        if t < self.times[0] or t >= self.times[-1]:
+            return 0.0
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        return float(self.power[min(idx, len(self.power) - 1)])
+
+
+def job_power_timeline(
+    result: SimulationResult,
+    power_models: list[SocketPowerModel],
+    slack_mode: str = "task",
+) -> PowerTimeline:
+    """Aggregate instantaneous job power across all sockets.
+
+    Built from per-rank step events: at each change point the socket's
+    power steps to the new level; summing deltas over a sorted, merged
+    event list yields the job timeline in O(E log E).
+    """
+    if slack_mode not in ("task", "idle"):
+        raise ValueError(f"slack_mode must be 'task' or 'idle', got {slack_mode!r}")
+    if len(power_models) != result.n_ranks:
+        raise ValueError("one power model per rank required")
+
+    end = result.makespan_s
+    events: list[tuple[float, float]] = []  # (time, delta watts)
+    for rank, recs in enumerate(result.records_by_rank()):
+        idle = power_models[rank].idle_power()
+        # Socket is at idle power from 0 to makespan as a baseline...
+        events.append((0.0, idle))
+        events.append((end, -idle))
+        recs = sorted(recs, key=lambda r: r.start_s)
+        for i, rec in enumerate(recs):
+            if slack_mode == "task":
+                # Task power holds until the next task starts (or makespan).
+                stop = recs[i + 1].start_s if i + 1 < len(recs) else end
+                stop = max(stop, rec.end_s)  # overlap guard
+            else:
+                stop = min(rec.end_s, end)
+            start = min(rec.start_s, stop)
+            events.append((start, rec.power_w - idle))
+            events.append((stop, -(rec.power_w - idle)))
+
+    if not events:
+        return PowerTimeline(times=np.array([0.0, 0.0]), power=np.array([]))
+
+    events.sort(key=lambda e: e[0])
+    times_raw = np.array([e[0] for e in events])
+    deltas = np.array([e[1] for e in events])
+    # Merge coincident event times, then cumulative-sum the deltas.
+    uniq, inverse = np.unique(times_raw, return_inverse=True)
+    merged = np.zeros(len(uniq))
+    np.add.at(merged, inverse, deltas)
+    levels = np.cumsum(merged)
+    # Drop the trailing level (beyond the last breakpoint it is ~0).
+    return PowerTimeline(times=uniq, power=levels[:-1])
+
+
+def rank_power_timeline(
+    result: SimulationResult,
+    power_models: list[SocketPowerModel],
+    rank: int,
+    slack_mode: str = "task",
+) -> PowerTimeline:
+    """Instantaneous power of a single socket (same conventions as the
+    job timeline)."""
+    if not (0 <= rank < result.n_ranks):
+        raise ValueError(f"rank {rank} out of range [0, {result.n_ranks})")
+    sub = SimulationResult(
+        app_name=result.app_name,
+        makespan_s=result.makespan_s,
+        records=[r for r in result.records if r.ref.rank == rank],
+        n_ranks=result.n_ranks,
+        mpi_call_count=0,
+        collective_count=0,
+    )
+    # Reuse the job aggregation with only this rank's records; other
+    # sockets contribute their idle floor, which we subtract back out.
+    timeline = job_power_timeline(sub, power_models, slack_mode)
+    other_idle = sum(
+        pm.idle_power() for i, pm in enumerate(power_models) if i != rank
+    )
+    return PowerTimeline(
+        times=timeline.times, power=timeline.power - other_idle
+    )
+
+
+def verify_power_cap(
+    result: SimulationResult,
+    power_models: list[SocketPowerModel],
+    cap_w: float,
+    slack_mode: str = "task",
+    rel_tol: float = 1e-6,
+) -> tuple[bool, float]:
+    """Check the job-level cap at every instant; returns (ok, max power)."""
+    timeline = job_power_timeline(result, power_models, slack_mode)
+    peak = timeline.max_power()
+    return peak <= cap_w * (1.0 + rel_tol), peak

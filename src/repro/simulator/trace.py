@@ -1,0 +1,252 @@
+"""Tracing library: MPI programs → application DAG + per-task profiles.
+
+The paper obtains its DAG from a PMPI-based tracing library and its
+per-task configuration measurements from Conductor's exploration phase.
+In simulation both collapse into a static translation: the DAG structure
+depends only on the op lists (messages match FIFO per channel exactly as
+the engine matches them), and "measuring" a task in a configuration means
+evaluating the machine models on the task's kernel and owning socket —
+optionally with multiplicative measurement noise to exercise the
+noise-robustness of downstream consumers.
+
+The result, :class:`Trace`, carries everything the LP/ILP formulations
+need: the graph, per-compute-edge Pareto and convex frontiers, and the
+TaskRef <-> edge-id correspondence used to replay LP schedules against the
+original program.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dag.builder import DagBuilder
+from ..dag.graph import TaskGraph, VertexKind
+from ..machine.configuration import ConfigPoint, measure_task_space
+from ..machine.cpu import CpuSpec, XEON_E5_2670
+from ..machine.pareto import convex_frontier, pareto_frontier
+from ..machine.performance import TaskKernel
+from ..machine.power import SocketPowerModel
+from .network import IB_QDR, NetworkModel
+from .program import (
+    Application,
+    CollectiveOp,
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    PcontrolOp,
+    RecvOp,
+    SendOp,
+    TaskRef,
+    WaitOp,
+)
+
+__all__ = ["Trace", "trace_application", "build_dag"]
+
+
+@dataclass
+class Trace:
+    """A traced application: DAG plus per-task measurement data."""
+
+    app: Application
+    graph: TaskGraph
+    task_edges: dict[TaskRef, int]
+    edge_refs: dict[int, TaskRef]
+    pareto: dict[int, list[ConfigPoint]] = field(default_factory=dict)
+    frontiers: dict[int, list[ConfigPoint]] = field(default_factory=dict)
+
+    def frontier_for(self, ref: TaskRef) -> list[ConfigPoint]:
+        return self.frontiers[self.task_edges[ref]]
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"Trace({self.app.name}: {self.graph.describe()}, "
+            f"{len(self.task_edges)} profiled tasks)"
+        )
+
+
+def build_dag(app: Application, network: NetworkModel = IB_QDR) -> tuple[
+    TaskGraph, dict[TaskRef, int]
+]:
+    """Statically translate an application into its task graph.
+
+    Mirrors the engine's semantics: eager sends, FIFO channel matching,
+    shared collective vertices.  Uses the same blocked-rank scan loop so
+    that wait/recv matching order is identical to execution order.
+    """
+    app.validate()
+    n = app.n_ranks
+    b = DagBuilder(n)
+    ptr = [0] * n
+    # Channels carry (send_vertex_id, size_bytes) in FIFO order.
+    channels: dict[tuple[int, int, int], deque[tuple[int, int]]] = {}
+    requests: list[dict[int, tuple]] = [dict() for _ in range(n)]
+    waiting_collective = [False] * n
+
+    def advance(rank: int) -> bool:
+        if waiting_collective[rank] or ptr[rank] >= len(app.programs[rank]):
+            return False
+        op = app.programs[rank][ptr[rank]]
+
+        if isinstance(op, ComputeOp):
+            b.compute(rank, op.kernel, iteration=op.iteration, label=op.label)
+            ptr[rank] += 1
+            return True
+
+        if isinstance(op, (SendOp, IsendOp)):
+            kind = VertexKind.SEND if isinstance(op, SendOp) else VertexKind.ISEND
+            v = b.event(rank, kind, label=f"{kind.value}->{op.dst}",
+                        iteration=op.iteration)
+            channels.setdefault((rank, op.dst, op.tag), deque()).append(
+                (v, op.size_bytes)
+            )
+            if isinstance(op, IsendOp):
+                requests[rank][op.request] = ("send",)
+            ptr[rank] += 1
+            return True
+
+        if isinstance(op, IrecvOp):
+            requests[rank][op.request] = ("recv", op.src, op.tag)
+            ptr[rank] += 1
+            return True
+
+        if isinstance(op, RecvOp):
+            q = channels.get((op.src, rank, op.tag))
+            if not q:
+                return False
+            sv, size = q.popleft()
+            rv = b.event(rank, VertexKind.RECV, label=f"recv<-{op.src}",
+                         iteration=op.iteration)
+            b.graph.add_message(sv, rv, network.message_time(size), size,
+                                iteration=op.iteration)
+            ptr[rank] += 1
+            return True
+
+        if isinstance(op, WaitOp):
+            req = requests[rank].get(op.request)
+            if req is None:
+                raise RuntimeError(f"rank {rank}: wait on unposted {op.request}")
+            if req[0] == "send":
+                b.event(rank, VertexKind.WAIT, label="wait-send",
+                        iteration=op.iteration)
+            else:
+                _, src, tag = req
+                q = channels.get((src, rank, tag))
+                if not q:
+                    return False
+                sv, size = q.popleft()
+                wv = b.event(rank, VertexKind.WAIT, label=f"wait<-{src}",
+                             iteration=op.iteration)
+                b.graph.add_message(sv, wv, network.message_time(size), size,
+                                    iteration=op.iteration)
+            del requests[rank][op.request]
+            ptr[rank] += 1
+            return True
+
+        if isinstance(op, (CollectiveOp, PcontrolOp)):
+            waiting_collective[rank] = True
+            return False
+
+        raise TypeError(f"unknown op {op!r}")
+
+    def resolve_collective() -> bool:
+        if not all(waiting_collective):
+            return False
+        ops = [app.programs[r][ptr[r]] for r in range(n)]
+        first = ops[0]
+        if isinstance(first, PcontrolOp):
+            b.pcontrol(first.iteration)
+        else:
+            size = max(o.size_bytes for o in ops if isinstance(o, CollectiveOp))
+            b.collective(
+                label=first.kind,
+                duration_s=network.collective_time(first.kind, n, size),
+                iteration=first.iteration,
+            )
+        for r in range(n):
+            waiting_collective[r] = False
+            ptr[r] += 1
+        return True
+
+    progress = True
+    while progress:
+        progress = False
+        for rank in range(n):
+            while advance(rank):
+                progress = True
+        if resolve_collective():
+            progress = True
+
+    stuck = [r for r in range(n) if ptr[r] < len(app.programs[r])]
+    if stuck:
+        raise RuntimeError(f"deadlock while tracing: ranks {stuck}")
+
+    graph = b.finalize()
+
+    # Correlate compute edges back to TaskRefs: edges were appended in each
+    # rank's program order, so the k-th compute edge of a rank is task k.
+    task_edges: dict[TaskRef, int] = {}
+    for rank in range(n):
+        for seq, edge in enumerate(graph.rank_edges(rank)):
+            task_edges[TaskRef(rank, seq)] = edge.id
+    return graph, task_edges
+
+
+def trace_application(
+    app: Application,
+    power_models: list[SocketPowerModel],
+    network: NetworkModel = IB_QDR,
+    spec: CpuSpec = XEON_E5_2670,
+    measurement_noise: float = 0.0,
+    seed: int = 0,
+) -> Trace:
+    """Trace an application and profile every task across all configurations.
+
+    ``measurement_noise`` perturbs every measured (duration, power) by a
+    multiplicative lognormal factor — real exploration measures a noisy
+    system.  Identical (kernel, socket) pairs share a cached profile; noise
+    is applied per (kernel, socket), matching an exploration pass that
+    profiles each distinct task shape once.
+    """
+    if len(power_models) != app.n_ranks:
+        raise ValueError(
+            f"need {app.n_ranks} power models, got {len(power_models)}"
+        )
+    if measurement_noise < 0:
+        raise ValueError("measurement_noise must be >= 0")
+    graph, task_edges = build_dag(app, network)
+    rng = np.random.default_rng(seed)
+
+    cache: dict[tuple[TaskKernel, int], tuple[list, list]] = {}
+    pareto: dict[int, list[ConfigPoint]] = {}
+    frontiers: dict[int, list[ConfigPoint]] = {}
+    for ref, edge_id in task_edges.items():
+        kernel = graph.edges[edge_id].kernel
+        key = (kernel, ref.rank)
+        if key not in cache:
+            # Per-rank spec: heterogeneous machines profile correctly.
+            points = measure_task_space(kernel, power_models[ref.rank])
+            if measurement_noise > 0:
+                noisy = []
+                for p in points:
+                    td = rng.lognormal(0.0, measurement_noise)
+                    tp = rng.lognormal(0.0, measurement_noise)
+                    noisy.append(
+                        ConfigPoint(p.config, p.duration_s * td, p.power_w * tp)
+                    )
+                points = noisy
+            cache[key] = (pareto_frontier(points), convex_frontier(points))
+        pareto[edge_id], frontiers[edge_id] = cache[key]
+
+    edge_refs = {eid: ref for ref, eid in task_edges.items()}
+    return Trace(
+        app=app,
+        graph=graph,
+        task_edges=task_edges,
+        edge_refs=edge_refs,
+        pareto=pareto,
+        frontiers=frontiers,
+    )

@@ -1,0 +1,113 @@
+"""Common machinery for benchmark proxy generators.
+
+Each proxy reproduces the three workload properties the paper's evaluation
+spread hinges on: communication structure (collectives vs point-to-point),
+load-imbalance profile (static zone imbalance, dynamic per-iteration
+jitter), and thread-scaling character (bandwidth saturation and cache
+contention).  Everything is driven by explicit seeds so traces, runs, and
+experiments are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..machine.performance import TaskKernel
+from ..simulator.program import Application
+
+__all__ = ["WorkloadSpec", "static_imbalance", "dynamic_jitter", "WorkloadBuilder"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shared generator parameters.
+
+    ``n_ranks`` defaults to the paper's 32 MPI processes (one per socket,
+    8 cores each = 256 cores); ``iterations`` counts time steps, each ended
+    by an ``MPI_Pcontrol`` boundary as the paper's modified benchmarks do.
+    """
+
+    n_ranks: int = 32
+    iterations: int = 16
+    seed: int = 2015
+    scale: float = 1.0  # multiplies all task work (problem size knob)
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+
+def static_imbalance(
+    n_ranks: int, spread: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-rank work multipliers, fixed for the whole run.
+
+    ``spread`` is the ratio between the heaviest and lightest rank; factors
+    are log-uniform in [1/sqrt(spread), sqrt(spread)] and normalized to a
+    mean of 1 so total work is spread-independent.
+    """
+    if spread < 1.0:
+        raise ValueError(f"spread must be >= 1, got {spread}")
+    if spread == 1.0:
+        return np.ones(n_ranks)
+    half = np.sqrt(spread)
+    factors = np.exp(rng.uniform(np.log(1 / half), np.log(half), n_ranks))
+    # Pin the extremes so the nominal spread is realized exactly.
+    if n_ranks >= 2:
+        factors[np.argmin(factors)] = 1 / half
+        factors[np.argmax(factors)] = half
+    return factors / factors.mean()
+
+
+def dynamic_jitter(
+    n_ranks: int, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-iteration multiplicative work jitter (particle migration etc.)."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if sigma == 0:
+        return np.ones(n_ranks)
+    return rng.lognormal(0.0, sigma, n_ranks)
+
+
+@dataclass
+class WorkloadBuilder:
+    """Accumulates per-rank op lists and finishes into an Application."""
+
+    name: str
+    n_ranks: int
+    programs: list[list] = field(init=False)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.programs = [[] for _ in range(self.n_ranks)]
+
+    def add(self, rank: int, op) -> None:
+        self.programs[rank].append(op)
+
+    def add_all(self, op_factory) -> None:
+        """Append ``op_factory(rank)`` to every rank."""
+        for r in range(self.n_ranks):
+            self.programs[r].append(op_factory(r))
+
+    def finish(self, iterations: int) -> Application:
+        """Validate and return the assembled application."""
+        app = Application(
+            name=self.name,
+            programs=self.programs,
+            iterations=iterations,
+            metadata=self.metadata,
+        )
+        app.validate()
+        return app
+
+
+def scaled_kernel(base: TaskKernel, factor: float) -> TaskKernel:
+    """Work-scaled copy of a kernel (thin alias for readability)."""
+    return base.scaled(factor)

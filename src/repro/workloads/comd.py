@@ -1,0 +1,90 @@
+"""CoMD proxy: molecular dynamics with collective-only communication.
+
+CoMD (§5.2) is unique among the paper's benchmarks in that *all* MPI
+communication is collectives, so the only optimization opportunity is
+power reallocation across ranks at every collective — the paper finds
+modest LP gains (2.4-12.6%, median 4.6%) that shrink as the cap rises.
+
+Structure per time step: a dominant force-computation task, a global
+energy allreduce, a smaller atom-redistribution task, a second allreduce,
+and the Pcontrol boundary.  Load imbalance is mild and mostly dynamic
+(atoms migrate between domains), matching CoMD's near-balanced behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.performance import TaskKernel
+from ..simulator.program import Application, CollectiveOp, ComputeOp, PcontrolOp
+from .base import WorkloadBuilder, WorkloadSpec, dynamic_jitter, static_imbalance
+
+__all__ = ["FORCE_KERNEL", "REDISTRIBUTE_KERNEL", "make_comd"]
+
+#: The embedded-atom force loop: compute-dominant, moderate memory traffic,
+#: excellent thread scaling (neighbor lists parallelize cleanly) — which is
+#: why 8 threads stay Pareto-efficient except at the lowest frequency
+#: (paper Table 1 / Figure 1).
+FORCE_KERNEL = TaskKernel(
+    cpu_seconds=6.0,
+    mem_seconds=0.9,
+    parallel_fraction=0.995,
+    mem_parallel_fraction=0.92,
+    bw_saturation_threads=6,
+    contention_threshold=8,
+    contention_penalty=0.0,
+    activity=1.0,
+    mem_intensity=0.30,
+    name="comd-force",
+)
+
+#: Atom redistribution bookkeeping between halo exchanges: small, slightly
+#: more memory-bound.
+REDISTRIBUTE_KERNEL = TaskKernel(
+    cpu_seconds=0.5,
+    mem_seconds=0.25,
+    parallel_fraction=0.96,
+    mem_parallel_fraction=0.9,
+    bw_saturation_threads=5,
+    contention_threshold=8,
+    contention_penalty=0.0,
+    activity=0.95,
+    mem_intensity=0.40,
+    name="comd-redistribute",
+)
+
+#: Static imbalance across domains (uniform lattice => tiny) and dynamic
+#: per-step jitter from atom migration.
+STATIC_SPREAD = 1.15
+DYNAMIC_SIGMA = 0.008
+ALLREDUCE_BYTES = 64
+
+
+def make_comd(spec: WorkloadSpec = WorkloadSpec()) -> Application:
+    """Generate the CoMD proxy application."""
+    rng = np.random.default_rng(spec.seed)
+    factors = static_imbalance(spec.n_ranks, STATIC_SPREAD, rng)
+    b = WorkloadBuilder(name="comd", n_ranks=spec.n_ranks)
+    b.metadata.update(
+        {
+            "benchmark": "CoMD",
+            "communication": "collectives-only",
+            "static_spread": STATIC_SPREAD,
+            "dynamic_sigma": DYNAMIC_SIGMA,
+        }
+    )
+    for it in range(spec.iterations):
+        jitter = dynamic_jitter(spec.n_ranks, DYNAMIC_SIGMA, rng)
+        for r in range(spec.n_ranks):
+            work = factors[r] * jitter[r] * spec.scale
+            b.add(r, ComputeOp(FORCE_KERNEL.scaled(work), it, label="force"))
+            b.add(r, CollectiveOp("allreduce", ALLREDUCE_BYTES, iteration=it))
+            b.add(
+                r,
+                ComputeOp(
+                    REDISTRIBUTE_KERNEL.scaled(work), it, label="redistribute"
+                ),
+            )
+            b.add(r, CollectiveOp("allreduce", ALLREDUCE_BYTES, iteration=it))
+            b.add(r, PcontrolOp(it))
+    return b.finish(spec.iterations)

@@ -1,0 +1,161 @@
+"""LULESH 2.0 proxy: shock hydrodynamics with point-to-point halo bursts.
+
+LULESH (§5.2) differs from CoMD by relying on "a multitude of
+point-to-point messages between collective calls".  Each time step runs
+three solver phases — stress, hourglass-force, and position/velocity
+update — separated by face-neighbor halo exchanges over a 3D domain
+decomposition, and ends with the global dt allreduce.
+
+The kernels are markedly memory-bound with shared-cache contention above
+five threads: the paper's Table 3 shows that under a 50 W cap both the LP
+and Conductor pick 4-5 threads at high frequency while Static's firmware-
+forced 8 threads lose to cache contention — that behaviour comes from the
+``contention_threshold=5`` / ``bw_saturation_threads=4`` parameters here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.performance import TaskKernel
+from ..simulator.program import (
+    Application,
+    CollectiveOp,
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    PcontrolOp,
+    WaitOp,
+)
+from .base import WorkloadBuilder, WorkloadSpec, dynamic_jitter, static_imbalance
+
+__all__ = ["STRESS_KERNEL", "HOURGLASS_KERNEL", "UPDATE_KERNEL", "make_lulesh",
+           "neighbors_3d"]
+
+
+def _kernel(cpu: float, mem: float, name: str) -> TaskKernel:
+    return TaskKernel(
+        cpu_seconds=cpu,
+        mem_seconds=mem,
+        parallel_fraction=0.99,
+        mem_parallel_fraction=0.97,
+        bw_saturation_threads=4,
+        contention_threshold=5,
+        contention_penalty=0.28,
+        activity=1.05,
+        mem_intensity=0.55,
+        name=name,
+    )
+
+
+#: Element-centered stress integration (largest phase).
+STRESS_KERNEL = _kernel(10.0, 9.0, "lulesh-stress")
+#: Hourglass-mode force correction.
+HOURGLASS_KERNEL = _kernel(7.0, 6.5, "lulesh-hourglass")
+#: Node position/velocity update + EOS evaluation.
+UPDATE_KERNEL = _kernel(4.0, 3.5, "lulesh-update")
+
+STATIC_SPREAD = 1.22
+DYNAMIC_SIGMA = 0.015
+HALO_BYTES = 6 * 48 * 48 * 8  # one face of a ~48^3 local domain, 8B/value
+DT_ALLREDUCE_BYTES = 8
+
+
+def domain_dims(n_ranks: int) -> tuple[int, int, int]:
+    """Near-cubic 3D factorization of the rank count (e.g. 32 -> 4x4x2)."""
+    best = (n_ranks, 1, 1)
+    best_score = float("inf")
+    for x in range(1, n_ranks + 1):
+        if n_ranks % x:
+            continue
+        rem = n_ranks // x
+        for y in range(1, rem + 1):
+            if rem % y:
+                continue
+            z = rem // y
+            score = max(x, y, z) / min(x, y, z)
+            if score < best_score:
+                best, best_score = (x, y, z), score
+    return best
+
+
+def neighbors_3d(rank: int, dims: tuple[int, int, int]) -> list[int]:
+    """Face neighbors of a rank in a non-periodic 3D grid, sorted."""
+    nx, ny, nz = dims
+    x, y, z = rank % nx, (rank // nx) % ny, rank // (nx * ny)
+    out = []
+    for dx, dy, dz in (
+        (-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)
+    ):
+        xx, yy, zz = x + dx, y + dy, z + dz
+        if 0 <= xx < nx and 0 <= yy < ny and 0 <= zz < nz:
+            out.append(xx + nx * (yy + ny * zz))
+    return sorted(out)
+
+
+def _halo_exchange(
+    b: WorkloadBuilder, neighbor_map: dict[int, list[int]], it: int, phase: int
+) -> None:
+    """Nonblocking exchange with every face neighbor, then wait-all.
+
+    Requests are tagged by phase so LULESH's three exchanges per iteration
+    never alias; the same (irecv-all, isend-all, wait-all) order on every
+    rank is deadlock-free by construction.
+    """
+    base_req = phase * 100
+    for r, neighbors in neighbor_map.items():
+        for i, nb in enumerate(neighbors):
+            b.add(r, IrecvOp(src=nb, request=base_req + i, tag=phase, iteration=it))
+        for i, nb in enumerate(neighbors):
+            b.add(
+                r,
+                IsendOp(
+                    dst=nb, size_bytes=HALO_BYTES, request=base_req + 50 + i,
+                    tag=phase, iteration=it,
+                ),
+            )
+        for i in range(len(neighbors)):
+            b.add(r, WaitOp(base_req + i, iteration=it))
+        for i in range(len(neighbors)):
+            b.add(r, WaitOp(base_req + 50 + i, iteration=it))
+
+
+def make_lulesh(spec: WorkloadSpec = WorkloadSpec()) -> Application:
+    """Generate the LULESH proxy application."""
+    rng = np.random.default_rng(spec.seed)
+    dims = domain_dims(spec.n_ranks)
+    neighbor_map = {r: neighbors_3d(r, dims) for r in range(spec.n_ranks)}
+    factors = static_imbalance(spec.n_ranks, STATIC_SPREAD, rng)
+
+    b = WorkloadBuilder(name="lulesh", n_ranks=spec.n_ranks)
+    b.metadata.update(
+        {
+            "benchmark": "LULESH 2.0",
+            "communication": "p2p halos + dt allreduce",
+            "dims": dims,
+            "static_spread": STATIC_SPREAD,
+            "dynamic_sigma": DYNAMIC_SIGMA,
+            # LULESH would not run under the paper's lowest cap (Fig. 15
+            # starts at 40 W/socket); see DESIGN.md on unschedulability.
+            "min_cap_per_socket_w": 40.0,
+        }
+    )
+    phases = (
+        ("stress", STRESS_KERNEL),
+        ("hourglass", HOURGLASS_KERNEL),
+        ("update", UPDATE_KERNEL),
+    )
+    for it in range(spec.iterations):
+        jitter = dynamic_jitter(spec.n_ranks, DYNAMIC_SIGMA, rng)
+        for phase_idx, (label, kernel) in enumerate(phases):
+            for r in range(spec.n_ranks):
+                work = factors[r] * jitter[r] * spec.scale
+                b.add(r, ComputeOp(kernel.scaled(work), it, label=label))
+            _halo_exchange(b, neighbor_map, it, phase_idx)
+        for r in range(spec.n_ranks):
+            b.add(
+                r,
+                CollectiveOp("allreduce", DT_ALLREDUCE_BYTES, iteration=it),
+            )
+            b.add(r, PcontrolOp(it))
+    return b.finish(spec.iterations)

@@ -1,0 +1,157 @@
+"""NAS Multi-Zone proxies: BT-MZ (imbalanced) and SP-MZ (balanced).
+
+NAS-MZ (§5.2) adapts the NAS Parallel Benchmarks to MPI + OpenMP by
+partitioning the mesh into *zones* distributed across ranks.  The two
+members the paper evaluates sit at opposite ends of the load-balance
+spectrum, which is exactly why their results diverge:
+
+* **BT-MZ** sizes zones in a geometric progression, so per-rank work
+  spreads ~3x.  Under a uniform Static cap the heavy ranks throttle hard
+  and dominate the makespan; nonuniform allocation (LP, Conductor) wins
+  big — the paper's 74.9% LP-vs-Static peak at 30 W/socket.
+* **SP-MZ** uses equal zones: near-perfect balance leaves the LP almost
+  nothing to exploit (<3%), and Conductor's noise-driven reallocation plus
+  its DVFS/reallocation overheads make it *slightly slower* than Static
+  (-1.5% average in the paper).
+
+Both kernels carry a high dynamic activity factor (implicit ADI solvers
+keep FP pipelines hot), so sockets run power-hungry and the low-cap regime
+bites, as in Figure 13; BT-MZ is CPU-dominant in *time* while still
+burning high uncore power (line-solves sweep memory but overlap compute).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.performance import TaskKernel
+from ..simulator.program import (
+    Application,
+    CollectiveOp,
+    ComputeOp,
+    IrecvOp,
+    IsendOp,
+    PcontrolOp,
+    WaitOp,
+)
+from .base import WorkloadBuilder, WorkloadSpec, dynamic_jitter, static_imbalance
+
+__all__ = ["BT_KERNEL", "SP_KERNEL", "make_bt", "make_sp"]
+
+#: BT-MZ's block-tridiagonal solve: compute-dominant, power-hungry.
+BT_KERNEL = TaskKernel(
+    cpu_seconds=7.5,
+    mem_seconds=0.6,
+    parallel_fraction=0.995,
+    mem_parallel_fraction=0.9,
+    bw_saturation_threads=6,
+    contention_threshold=8,
+    contention_penalty=0.0,
+    activity=1.7,
+    mem_intensity=0.7,
+    name="bt-solve",
+)
+
+#: SP-MZ's scalar-pentadiagonal solve: balanced, moderately memory-bound.
+SP_KERNEL = TaskKernel(
+    cpu_seconds=4.5,
+    mem_seconds=2.6,
+    parallel_fraction=0.99,
+    mem_parallel_fraction=0.93,
+    bw_saturation_threads=6,
+    contention_threshold=8,
+    contention_penalty=0.02,
+    activity=1.1,
+    mem_intensity=0.5,
+    name="sp-solve",
+)
+
+BT_STATIC_SPREAD = 4.0   # geometric zone sizing
+BT_DYNAMIC_SIGMA = 0.01
+SP_STATIC_SPREAD = 1.02  # equal zones
+SP_DYNAMIC_SIGMA = 0.008
+BORDER_BYTES = 200_000   # zone-boundary exchange per neighbor
+
+
+def _ring_neighbors(rank: int, n_ranks: int) -> list[int]:
+    """Non-periodic 1D neighbors (zone adjacency along the zone chain)."""
+    out = []
+    if rank > 0:
+        out.append(rank - 1)
+    if rank < n_ranks - 1:
+        out.append(rank + 1)
+    return out
+
+
+def _border_exchange(b: WorkloadBuilder, n_ranks: int, it: int) -> None:
+    """Nonblocking zone-border exchange with chain neighbors + wait-all."""
+    for r in range(n_ranks):
+        neighbors = _ring_neighbors(r, n_ranks)
+        for i, nb in enumerate(neighbors):
+            b.add(r, IrecvOp(src=nb, request=i, tag=0, iteration=it))
+        for i, nb in enumerate(neighbors):
+            b.add(
+                r,
+                IsendOp(dst=nb, size_bytes=BORDER_BYTES, request=50 + i,
+                        tag=0, iteration=it),
+            )
+        for i in range(len(neighbors)):
+            b.add(r, WaitOp(i, iteration=it))
+        for i in range(len(neighbors)):
+            b.add(r, WaitOp(50 + i, iteration=it))
+
+
+def _make_nasmz(
+    name: str,
+    kernel: TaskKernel,
+    spread: float,
+    sigma: float,
+    spec: WorkloadSpec,
+    residual_allreduce: bool,
+    min_cap_w: float | None = None,
+) -> Application:
+    rng = np.random.default_rng(spec.seed)
+    factors = static_imbalance(spec.n_ranks, spread, rng)
+    b = WorkloadBuilder(name=name, n_ranks=spec.n_ranks)
+    b.metadata.update(
+        {
+            "benchmark": name.upper(),
+            "communication": "zone-border p2p" + (
+                " + residual allreduce" if residual_allreduce else ""
+            ),
+            "static_spread": spread,
+            "dynamic_sigma": sigma,
+        }
+    )
+    if min_cap_w is not None:
+        b.metadata["min_cap_per_socket_w"] = min_cap_w
+    for it in range(spec.iterations):
+        jitter = dynamic_jitter(spec.n_ranks, sigma, rng)
+        for r in range(spec.n_ranks):
+            work = factors[r] * jitter[r] * spec.scale
+            b.add(r, ComputeOp(kernel.scaled(work), it, label=f"{name}-solve"))
+        _border_exchange(b, spec.n_ranks, it)
+        for r in range(spec.n_ranks):
+            if residual_allreduce:
+                b.add(r, CollectiveOp("allreduce", 40, iteration=it))
+            b.add(r, PcontrolOp(it))
+    return b.finish(spec.iterations)
+
+
+def make_bt(spec: WorkloadSpec = WorkloadSpec()) -> Application:
+    """Generate the BT-MZ proxy (strongly imbalanced zones)."""
+    return _make_nasmz(
+        "bt", BT_KERNEL, BT_STATIC_SPREAD, BT_DYNAMIC_SIGMA, spec,
+        residual_allreduce=False,
+    )
+
+
+def make_sp(spec: WorkloadSpec = WorkloadSpec()) -> Application:
+    """Generate the SP-MZ proxy (near-perfectly balanced zones)."""
+    return _make_nasmz(
+        "sp", SP_KERNEL, SP_STATIC_SPREAD, SP_DYNAMIC_SIGMA, spec,
+        residual_allreduce=True,
+        # SP-MZ would not run under the paper's lowest cap (Fig. 14 starts
+        # at 40 W/socket); see DESIGN.md on reproducing unschedulability.
+        min_cap_w=40.0,
+    )

@@ -1,0 +1,128 @@
+"""Unit tests for machine-level power partitioning."""
+
+import pytest
+
+from repro.cluster import JobAllocation, JobRequest, partition_power
+
+
+def req(name, sockets, lo=25.0, hi=80.0, priority=0):
+    return JobRequest(name=name, n_sockets=sockets, min_w_per_socket=lo,
+                      max_w_per_socket=hi, priority=priority)
+
+
+class TestJobRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobRequest("x", 0)
+        with pytest.raises(ValueError):
+            JobRequest("x", 4, min_w_per_socket=50, max_w_per_socket=40)
+        with pytest.raises(ValueError):
+            JobRequest("x", 4, min_w_per_socket=0.0)
+
+    def test_totals(self):
+        r = req("a", 10, lo=30, hi=60)
+        assert r.min_w == 300
+        assert r.max_w == 600
+
+
+class TestPartitionBasics:
+    def test_empty(self):
+        assert partition_power(1000, []) == []
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            partition_power(0, [req("a", 1)])
+        with pytest.raises(ValueError):
+            partition_power(100, [req("a", 1)], policy="fcfs")
+
+    def test_total_never_exceeded(self):
+        requests = [req("a", 8), req("b", 16), req("c", 4)]
+        for policy in ("uniform", "proportional", "priority"):
+            allocs = partition_power(1400.0, requests, policy)
+            assert sum(a.power_w for a in allocs) <= 1400.0 + 1e-6
+
+    def test_floors_respected(self):
+        allocs = partition_power(2000.0, [req("a", 8), req("b", 8)])
+        for a in allocs:
+            assert not a.admitted or a.power_w >= a.request.min_w - 1e-9
+
+    def test_caps_respected(self):
+        allocs = partition_power(100000.0, [req("a", 8), req("b", 8)])
+        for a in allocs:
+            assert a.power_w <= a.request.max_w + 1e-9
+
+
+class TestAdmission:
+    def test_job_below_floor_rejected(self):
+        allocs = partition_power(150.0, [req("a", 4), req("b", 4)])
+        admitted = [a for a in allocs if a.admitted]
+        rejected = [a for a in allocs if not a.admitted]
+        assert len(admitted) == 1 and len(rejected) == 1
+        assert rejected[0].power_w == 0.0
+
+    def test_priority_admission_order(self):
+        requests = [req("low", 4, priority=0), req("high", 4, priority=5)]
+        allocs = partition_power(120.0, requests)  # only one floor fits
+        by_name = {a.request.name: a for a in allocs}
+        assert by_name["high"].admitted
+        assert not by_name["low"].admitted
+
+
+class TestDistribution:
+    def test_uniform_equal_per_socket(self):
+        allocs = partition_power(
+            800.0, [req("a", 4, lo=25, hi=200), req("b", 12, lo=25, hi=200)]
+        )
+        per_socket = [a.w_per_socket for a in allocs]
+        assert per_socket[0] == pytest.approx(per_socket[1])
+        assert sum(a.power_w for a in allocs) == pytest.approx(800.0)
+
+    def test_uniform_spills_past_saturated_jobs(self):
+        allocs = partition_power(
+            1000.0, [req("small", 4, lo=25, hi=40), req("big", 8, lo=25, hi=200)]
+        )
+        by_name = {a.request.name: a for a in allocs}
+        assert by_name["small"].power_w == pytest.approx(160.0)  # saturated
+        assert by_name["big"].power_w == pytest.approx(840.0)
+
+    def test_priority_policy_greedy(self):
+        # Floors (100 W each) are granted to both; the 200 W surplus then
+        # flows to the high-priority job first, up to its 320 W maximum.
+        requests = [req("low", 4, priority=0), req("high", 4, priority=9)]
+        allocs = partition_power(400.0, requests, policy="priority")
+        by_name = {a.request.name: a for a in allocs}
+        assert by_name["high"].power_w == pytest.approx(300.0)
+        assert by_name["low"].power_w == pytest.approx(100.0)
+
+    def test_priority_surplus_cascades(self):
+        # Enough surplus to saturate the high-priority job: the rest
+        # cascades down to the low-priority one.
+        requests = [req("low", 4, priority=0), req("high", 4, priority=9)]
+        allocs = partition_power(500.0, requests, policy="priority")
+        by_name = {a.request.name: a for a in allocs}
+        assert by_name["high"].power_w == pytest.approx(320.0)  # its max
+        assert by_name["low"].power_w == pytest.approx(180.0)
+
+    def test_unspendable_surplus_left(self):
+        allocs = partition_power(10_000.0, [req("a", 2, hi=50.0)])
+        assert allocs[0].power_w == pytest.approx(100.0)
+
+
+class TestIntegrationWithLp:
+    def test_job_allocation_feeds_lp(self):
+        """End-to-end facility flow: partition the machine, then bound each
+        job's performance under its share."""
+        from repro.core import solve_fixed_order_lp
+        from repro.experiments import make_power_models
+        from repro.simulator import trace_application
+        from repro.workloads import WorkloadSpec, make_comd
+
+        requests = [req("comd-A", 4, lo=25, hi=60),
+                    req("comd-B", 4, lo=25, hi=60)]
+        allocs = partition_power(280.0, requests)
+        for alloc in allocs:
+            assert alloc.admitted
+            app = make_comd(WorkloadSpec(n_ranks=4, iterations=2, seed=1))
+            trace = trace_application(app, make_power_models(4))
+            res = solve_fixed_order_lp(trace, alloc.power_w)
+            assert res.feasible

@@ -1,0 +1,117 @@
+"""Tests for the multi-job co-scheduling simulation."""
+
+import pytest
+
+from repro.cluster import ClusterJob, JobPerformanceModel, simulate_cluster
+
+MACHINE_W = 480.0
+
+
+def jobs3():
+    return [
+        ClusterJob("md", "comd", n_sockets=4, iterations=20, seed=1),
+        ClusterJob("cfd", "bt", n_sockets=4, iterations=10, seed=2,
+                   min_w_per_socket=28),
+        ClusterJob("hydro", "sp", n_sockets=4, iterations=15, seed=3,
+                   min_w_per_socket=40),
+    ]
+
+
+@pytest.fixture(scope="module")
+def perf_models():
+    return {j.name: JobPerformanceModel(j, "lp") for j in jobs3()}
+
+
+class TestClusterJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterJob("x", "hpl", 4, 10)
+        with pytest.raises(ValueError):
+            ClusterJob("x", "comd", 4, 0)
+
+    def test_request_conversion(self):
+        j = ClusterJob("x", "comd", 8, 10, min_w_per_socket=30, priority=2)
+        r = j.request()
+        assert r.n_sockets == 8 and r.priority == 2 and r.min_w == 240
+
+
+class TestPerformanceModel:
+    def test_iteration_time_monotone_in_cap(self, perf_models):
+        m = perf_models["cfd"]
+        caps = (30.0, 40.0, 55.0, 80.0)
+        times = [m.iteration_time(c) for c in caps]
+        assert all(b <= a + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_clamps_outside_anchors(self, perf_models):
+        m = perf_models["md"]
+        assert m.iteration_time(5.0) == m.iteration_time(30.0)
+        assert m.iteration_time(500.0) == m.iteration_time(80.0)
+
+    def test_interpolation_between_anchors(self, perf_models):
+        m = perf_models["cfd"]
+        mid = m.iteration_time(47.5)
+        lo, hi = m.iteration_time(55.0), m.iteration_time(40.0)
+        assert lo <= mid <= hi
+
+    def test_strategy_validation(self):
+        with pytest.raises(ValueError):
+            JobPerformanceModel(jobs3()[0], strategy="magic")
+
+    def test_static_strategy_slower_than_lp(self):
+        job = ClusterJob("cfd2", "bt", n_sockets=4, iterations=4, seed=2,
+                         min_w_per_socket=28)
+        lp = JobPerformanceModel(job, "lp")
+        static = JobPerformanceModel(job, "static")
+        assert static.iteration_time(30.0) >= lp.iteration_time(30.0) - 1e-9
+
+
+class TestSimulation:
+    def test_all_jobs_finish(self, perf_models):
+        out = simulate_cluster(jobs3(), MACHINE_W,
+                               performance_models=perf_models)
+        assert set(out.finish_times_s) == {"md", "cfd", "hydro"}
+        assert out.makespan_s == pytest.approx(
+            max(out.finish_times_s.values())
+        )
+        assert not out.rejected
+
+    def test_repartitioning_helps_turnaround(self, perf_models):
+        """Re-spreading a finished job's power speeds the survivors."""
+        dyn = simulate_cluster(jobs3(), MACHINE_W, repartition=True,
+                               performance_models=perf_models)
+        frozen = simulate_cluster(jobs3(), MACHINE_W, repartition=False,
+                                  performance_models=perf_models)
+        assert dyn.makespan_s <= frozen.makespan_s + 1e-9
+        assert dyn.mean_turnaround_s() < frozen.mean_turnaround_s()
+
+    def test_allocation_history_grows_on_completions(self, perf_models):
+        out = simulate_cluster(jobs3(), MACHINE_W,
+                               performance_models=perf_models)
+        # initial split + one repartition per completion except the last
+        assert len(out.allocations_over_time) == 3
+        t_points = [t for t, _ in out.allocations_over_time]
+        assert t_points == sorted(t_points)
+
+    def test_machine_budget_respected_at_every_epoch(self, perf_models):
+        out = simulate_cluster(jobs3(), MACHINE_W,
+                               performance_models=perf_models)
+        jobs = {j.name: j for j in jobs3()}
+        for _, alloc in out.allocations_over_time:
+            total = sum(
+                w * jobs[name].n_sockets for name, w in alloc.items()
+            )
+            assert total <= MACHINE_W + 1e-6
+
+    def test_rejected_job_reported(self, perf_models):
+        starved = jobs3()
+        out = simulate_cluster(starved, 330.0,
+                               performance_models=perf_models)
+        # Floors are 100 + 112 + 160 = 372 > 330: someone is rejected.
+        assert out.rejected
+
+    def test_more_power_never_slower(self, perf_models):
+        small = simulate_cluster(jobs3(), 480.0,
+                                 performance_models=perf_models)
+        big = simulate_cluster(jobs3(), 900.0,
+                               performance_models=perf_models)
+        assert big.makespan_s <= small.makespan_s + 1e-9

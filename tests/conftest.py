@@ -1,0 +1,121 @@
+"""Shared fixtures: small machines, kernels, applications, traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import (
+    SocketPowerModel,
+    TaskKernel,
+    TaskTimeModel,
+    XEON_E5_2670,
+    sample_socket_efficiencies,
+)
+from repro.simulator import (
+    Application,
+    CollectiveOp,
+    ComputeOp,
+    Engine,
+    IsendOp,
+    PcontrolOp,
+    RecvOp,
+    WaitOp,
+    trace_application,
+)
+
+CORES = XEON_E5_2670.cores
+FMAX = XEON_E5_2670.fmax_ghz
+FMIN = XEON_E5_2670.fmin_ghz
+
+
+@pytest.fixture
+def spec():
+    return XEON_E5_2670
+
+
+@pytest.fixture
+def power_model():
+    return SocketPowerModel()
+
+
+@pytest.fixture
+def time_model():
+    return TaskTimeModel()
+
+
+@pytest.fixture
+def kernel():
+    """A generic compute-dominant kernel."""
+    return TaskKernel(
+        cpu_seconds=1.0,
+        mem_seconds=0.2,
+        parallel_fraction=0.98,
+        mem_parallel_fraction=0.9,
+        bw_saturation_threads=4,
+        mem_intensity=0.3,
+        name="test-kernel",
+    )
+
+
+@pytest.fixture
+def memory_kernel():
+    """A memory-bound kernel with cache contention above 5 threads."""
+    return TaskKernel(
+        cpu_seconds=0.4,
+        mem_seconds=1.0,
+        parallel_fraction=0.99,
+        mem_parallel_fraction=0.97,
+        bw_saturation_threads=4,
+        contention_threshold=5,
+        contention_penalty=0.25,
+        mem_intensity=0.7,
+        name="test-memory-kernel",
+    )
+
+
+@pytest.fixture
+def two_rank_models():
+    return [SocketPowerModel(efficiency=1.0), SocketPowerModel(efficiency=1.05)]
+
+
+@pytest.fixture
+def four_rank_models():
+    eff = sample_socket_efficiencies(4, seed=3)
+    return [SocketPowerModel(efficiency=float(e)) for e in eff]
+
+
+def make_p2p_app(kernel: TaskKernel, iterations: int = 1) -> Application:
+    """Two ranks: compute, isend/recv exchange, compute, allreduce, pcontrol."""
+    p0, p1 = [], []
+    for it in range(iterations):
+        p0 += [
+            ComputeOp(kernel, it, label="a0"),
+            IsendOp(dst=1, size_bytes=4096, request=1, iteration=it),
+            ComputeOp(kernel.scaled(0.6), it, label="b0"),
+            WaitOp(1, iteration=it),
+            CollectiveOp("allreduce", 8, iteration=it),
+            PcontrolOp(it),
+        ]
+        p1 += [
+            ComputeOp(kernel.scaled(1.3), it, label="a1"),
+            RecvOp(src=0, iteration=it),
+            ComputeOp(kernel.scaled(0.8), it, label="b1"),
+            CollectiveOp("allreduce", 8, iteration=it),
+            PcontrolOp(it),
+        ]
+    return Application("p2p-test", [p0, p1], iterations=iterations)
+
+
+@pytest.fixture
+def p2p_app(kernel):
+    return make_p2p_app(kernel, iterations=2)
+
+
+@pytest.fixture
+def p2p_trace(p2p_app, two_rank_models):
+    return trace_application(p2p_app, two_rank_models)
+
+
+@pytest.fixture
+def engine(two_rank_models):
+    return Engine(two_rank_models)

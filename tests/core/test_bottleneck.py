@@ -1,0 +1,70 @@
+"""Unit tests for bottleneck analysis of LP schedules."""
+
+import pytest
+
+from repro.core import analyze_bottlenecks, solve_fixed_order_lp
+from repro.experiments import make_power_models
+from repro.simulator import trace_application
+from repro.workloads import WorkloadSpec, imbalanced_collective_app, make_bt
+
+
+@pytest.fixture(scope="module")
+def trace():
+    app = imbalanced_collective_app(n_ranks=4, iterations=2, spread=1.6)
+    return trace_application(app, make_power_models(4, 11))
+
+
+class TestBottleneckModes:
+    def test_tight_cap_is_power_bound(self, trace):
+        res = solve_fixed_order_lp(trace, 4 * 26.0)
+        report = analyze_bottlenecks(trace, res)
+        assert report.is_power_bound
+        assert report.power_bound_time_fraction > 0.3
+        assert "power-bound" in report.summary()
+
+    def test_loose_cap_is_structure_bound(self, trace):
+        res = solve_fixed_order_lp(trace, 4 * 200.0)
+        report = analyze_bottlenecks(trace, res)
+        assert not report.is_power_bound
+        assert report.power_bound_time_fraction == 0.0
+        assert "structure-bound" in report.summary()
+
+    def test_infeasible_rejected(self, trace):
+        res = solve_fixed_order_lp(trace, 4.0)
+        assert not res.feasible
+        with pytest.raises(ValueError):
+            analyze_bottlenecks(trace, res)
+
+
+class TestCriticalPathAttribution:
+    def test_heavy_rank_dominates_structure_bound(self):
+        """With plenty of power, the statically heaviest rank carries the
+        critical path."""
+        app = make_bt(WorkloadSpec(n_ranks=6, iterations=2, seed=4))
+        models = make_power_models(6, 11)
+        trace = trace_application(app, models)
+        res = solve_fixed_order_lp(trace, 6 * 200.0)
+        report = analyze_bottlenecks(trace, res)
+        import numpy as np
+
+        work = np.zeros(6)
+        for ref, eid in trace.task_edges.items():
+            work[ref.rank] += trace.graph.edges[eid].kernel.cpu_seconds
+        assert report.dominant_rank() == int(np.argmax(work))
+
+    def test_critical_tasks_nonempty_and_sorted(self, trace):
+        res = solve_fixed_order_lp(trace, 4 * 30.0)
+        report = analyze_bottlenecks(trace, res)
+        assert report.critical_tasks
+        keys = [(r.rank, r.seq) for r in report.critical_tasks]
+        assert keys == sorted(keys)
+
+    def test_power_bound_fraction_monotone_in_cap(self, trace):
+        """Tighter caps keep more of the timeline at the power limit."""
+        fr = []
+        for cap in (4 * 26.0, 4 * 40.0, 4 * 200.0):
+            res = solve_fixed_order_lp(trace, cap)
+            fr.append(
+                analyze_bottlenecks(trace, res).power_bound_time_fraction
+            )
+        assert fr[0] >= fr[1] >= fr[2]

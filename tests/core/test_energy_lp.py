@@ -1,0 +1,80 @@
+"""Unit tests for the energy-bounding LP (related-work comparator)."""
+
+import pytest
+
+from repro.core import solve_energy_lp, solve_fixed_order_lp
+from repro.dag import unconstrained_schedule
+from repro.machine import SocketPowerModel, TaskKernel, TaskTimeModel
+from repro.simulator import trace_application
+
+from ..conftest import make_p2p_app
+
+
+@pytest.fixture(scope="module")
+def trace():
+    kernel = TaskKernel(cpu_seconds=1.0, mem_seconds=0.2,
+                        parallel_fraction=0.98, mem_parallel_fraction=0.9,
+                        bw_saturation_threads=4, mem_intensity=0.3)
+    models = [SocketPowerModel(), SocketPowerModel(efficiency=1.05)]
+    return trace_application(make_p2p_app(kernel, iterations=2), models)
+
+
+class TestEnergyLp:
+    def test_zero_slowdown_keeps_best_time(self, trace, time_model):
+        res = solve_energy_lp(trace, slowdown=0.0)
+        assert res.feasible
+        best = unconstrained_schedule(trace.graph, time_model).makespan
+        assert res.makespan_s <= best * (1 + 1e-6)
+        assert res.time_budget_s == pytest.approx(best)
+
+    def test_energy_monotone_in_slowdown(self, trace):
+        energies = [
+            solve_energy_lp(trace, slowdown=s).energy_j
+            for s in (0.0, 0.05, 0.15, 0.5)
+        ]
+        assert all(b <= a + 1e-6 for a, b in zip(energies, energies[1:]))
+
+    def test_slack_reclaimed_even_at_zero_slowdown(self, trace):
+        """Energy drops below all-tasks-fastest without touching the
+        makespan — the Adagio/Jitter effect the related work formalizes."""
+        res = solve_energy_lp(trace, slowdown=0.0)
+        fastest_energy = sum(
+            trace.frontiers[eid][-1].duration_s
+            * trace.frontiers[eid][-1].power_w
+            for eid in trace.task_edges.values()
+        )
+        assert res.energy_j < fastest_energy
+
+    def test_objectives_differ_from_power_lp(self, trace):
+        """The paper's §7 distinction: energy-optimal schedules are not
+        power-cap-optimal and vice versa."""
+        energy = solve_energy_lp(trace, slowdown=0.0)
+        capped = solve_fixed_order_lp(trace, 58.0)
+        assert capped.feasible
+        capped_energy = sum(
+            a.duration_s * a.power_w
+            for a in capped.schedule.assignments.values()
+        )
+        # Power-capped runs longer but can use less energy than the
+        # no-slowdown energy optimum (it is allowed to be slow).
+        assert capped.makespan_s > energy.makespan_s
+        # And the energy optimum's *peak* concurrent power exceeds the cap.
+        peak_energy_sched = max(
+            sum(
+                energy.schedule.assignments[trace.edge_refs[e]].power_w
+                for e in act
+            )
+            for act in solve_fixed_order_lp(trace, 1000.0).events.active.values()
+            if act
+        )
+        assert peak_energy_sched > 58.0
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError):
+            solve_energy_lp(trace, slowdown=-0.1)
+
+    def test_fraction_structure(self, trace):
+        res = solve_energy_lp(trace, slowdown=0.1)
+        for a in res.schedule.assignments.values():
+            assert sum(f for _, f in a.mixture) == pytest.approx(1.0)
+        assert res.schedule.solver_info["formulation"] == "energy-lp"

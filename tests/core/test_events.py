@@ -1,0 +1,132 @@
+"""Unit tests for the event structure (fixed order + activity sets)."""
+
+import pytest
+
+from repro.core import build_event_structure
+from repro.dag import DagBuilder, unconstrained_schedule
+from repro.machine import TaskTimeModel
+
+
+@pytest.fixture
+def imbalanced_graph(kernel):
+    b = DagBuilder(2)
+    b.compute(0, kernel)              # finishes early -> slack
+    b.compute(1, kernel.scaled(2.0))  # critical
+    b.collective("allreduce", duration_s=1e-4)
+    b.compute(0, kernel)
+    b.compute(1, kernel)
+    return b.finalize()
+
+
+class TestEventOrder:
+    def test_groups_cover_all_vertices(self, imbalanced_graph, time_model):
+        ev = build_event_structure(imbalanced_graph, time_model)
+        ids = [v for g in ev.groups for v in g]
+        assert sorted(ids) == list(range(imbalanced_graph.n_vertices))
+        assert ev.n_events == imbalanced_graph.n_vertices
+
+    def test_groups_time_ordered(self, imbalanced_graph, time_model):
+        ev = build_event_structure(imbalanced_graph, time_model)
+        times = [ev.initial.vertex_times[g[0]] for g in ev.groups]
+        assert times == sorted(times)
+
+    def test_coincident_vertices_grouped(self, imbalanced_graph, time_model):
+        ev = build_event_structure(imbalanced_graph, time_model)
+        times = ev.initial.vertex_times
+        for g in ev.groups:
+            t0 = times[g[0]]
+            assert all(abs(times[v] - t0) <= 1e-9 for v in g)
+
+    def test_init_first_finalize_last(self, imbalanced_graph, time_model):
+        ev = build_event_structure(imbalanced_graph, time_model)
+        assert 0 in ev.groups[0]  # INIT is vertex 0 at time 0
+        fin = max(
+            range(imbalanced_graph.n_vertices),
+            key=lambda v: ev.initial.vertex_times[v],
+        )
+        assert fin in ev.groups[-1]
+
+
+class TestActivitySets:
+    def test_active_tasks_have_started(self, imbalanced_graph, time_model):
+        ev = build_event_structure(imbalanced_graph, time_model)
+        times = ev.initial.vertex_times
+        for vid, act in ev.active.items():
+            t = times[vid]
+            for edge_id in act:
+                e = imbalanced_graph.edges[edge_id]
+                assert times[e.src] <= t + 1e-9
+
+    def test_at_most_one_task_per_rank(self, imbalanced_graph, time_model):
+        """Slack-extended windows tile each rank's timeline: no event may
+        charge two tasks of the same rank."""
+        ev = build_event_structure(imbalanced_graph, time_model)
+        for act in ev.active.values():
+            ranks = [imbalanced_graph.edges[e].rank for e in act]
+            assert len(ranks) == len(set(ranks))
+
+    def test_waiting_rank_still_charged(self, imbalanced_graph, time_model):
+        """While the light rank spins in the allreduce, its previous task's
+        power must still be counted (slack power = task power)."""
+        ev = build_event_structure(imbalanced_graph, time_model)
+        times = ev.initial.vertex_times
+        light = min(
+            imbalanced_graph.compute_edges(), key=lambda e: e.kernel.cpu_seconds
+        )
+        heavy = max(
+            imbalanced_graph.compute_edges(), key=lambda e: e.kernel.cpu_seconds
+        )
+        # Event where the heavy rank enters the collective: light rank has
+        # been waiting there for a while — it must still be active.
+        assert light.id in ev.active[heavy.dst]
+
+    def test_slack_keeps_task_active(self, imbalanced_graph, time_model):
+        """The light rank's first task (plus slack) must still be charged at
+        the event where the heavy rank finishes — slack power = task power."""
+        ev = build_event_structure(imbalanced_graph, time_model)
+        light = min(
+            imbalanced_graph.compute_edges(), key=lambda e: e.kernel.cpu_seconds
+        )
+        heavy = max(
+            imbalanced_graph.compute_edges(), key=lambda e: e.kernel.cpu_seconds
+        )
+        # Event at the heavy task's completion:
+        act = ev.active[heavy.dst]
+        # The light task's window [src, dst) also ends there (same collective),
+        # so at the *enter* vertex of the heavy rank, light must be active.
+        enter_events = [
+            v.id
+            for v in imbalanced_graph.vertices
+            if v.rank == heavy.rank and v.id == heavy.dst
+        ]
+        for vid in enter_events:
+            assert light.id in ev.active[vid] or heavy.id in ev.active[vid]
+
+    def test_both_tasks_active_mid_execution(self, imbalanced_graph, time_model):
+        ev = build_event_structure(imbalanced_graph, time_model)
+        first_phase = [
+            e.id
+            for e in imbalanced_graph.compute_edges()
+        ][:2]
+        # The event where the light task finishes (its dst is the collective
+        # enter vertex) happens while the heavy task runs.
+        sched = unconstrained_schedule(imbalanced_graph, time_model)
+        mid_events = [
+            vid
+            for vid in range(imbalanced_graph.n_vertices)
+            if 0 < sched.vertex_times[vid] < max(sched.vertex_times) * 0.4
+        ]
+        assert any(
+            set(first_phase) <= set(ev.active[v]) for v in mid_events
+        )
+
+    def test_max_active_bounded_by_ranks(self, p2p_trace, time_model):
+        ev = build_event_structure(p2p_trace.graph, time_model)
+        assert 0 < ev.max_active() <= p2p_trace.graph.n_ranks + 1
+
+
+class TestCustomInitial:
+    def test_explicit_initial_schedule_used(self, imbalanced_graph, time_model):
+        sched = unconstrained_schedule(imbalanced_graph, time_model)
+        ev = build_event_structure(imbalanced_graph, initial=sched)
+        assert ev.initial is sched

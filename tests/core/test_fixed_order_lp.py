@@ -1,0 +1,145 @@
+"""Unit and invariant tests for the fixed-vertex-order LP."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_event_structure, solve_fixed_order_lp
+from repro.dag import unconstrained_schedule
+from repro.machine import TaskTimeModel
+from repro.simulator import TaskRef, trace_application
+
+from .. import conftest
+
+CAP_HIGH = 400.0
+CAP_MID = 62.0
+CAP_LOW = 40.0
+
+
+@pytest.fixture(scope="module")
+def trace():
+    from repro.machine import SocketPowerModel, TaskKernel
+
+    kernel = TaskKernel(cpu_seconds=1.0, mem_seconds=0.2,
+                        parallel_fraction=0.98, mem_parallel_fraction=0.9,
+                        bw_saturation_threads=4, mem_intensity=0.3)
+    models = [SocketPowerModel(efficiency=1.0), SocketPowerModel(efficiency=1.05)]
+    return trace_application(conftest.make_p2p_app(kernel, iterations=2), models)
+
+
+class TestFeasibility:
+    def test_generous_cap_matches_unconstrained(self, trace, time_model):
+        res = solve_fixed_order_lp(trace, CAP_HIGH)
+        assert res.feasible
+        best = unconstrained_schedule(trace.graph, time_model).makespan
+        assert res.makespan_s == pytest.approx(best, rel=1e-4)
+
+    def test_infeasible_below_floor(self, trace):
+        res = solve_fixed_order_lp(trace, 5.0)
+        assert not res.feasible
+        with pytest.raises(Exception):
+            _ = res.makespan_s
+
+    def test_monotone_in_cap(self, trace):
+        caps = [45.0, 55.0, 70.0, 100.0, 200.0]
+        spans = []
+        for c in caps:
+            r = solve_fixed_order_lp(trace, c)
+            assert r.feasible
+            spans.append(r.makespan_s)
+        assert all(b <= a + 1e-9 for a, b in zip(spans, spans[1:]))
+
+    def test_objective_at_least_critical_path(self, trace, time_model):
+        best = unconstrained_schedule(trace.graph, time_model).makespan
+        for cap in (CAP_LOW, CAP_MID, CAP_HIGH):
+            r = solve_fixed_order_lp(trace, cap)
+            if r.feasible:
+                assert r.makespan_s >= best - 1e-9
+
+    def test_invalid_cap(self, trace):
+        with pytest.raises(ValueError):
+            solve_fixed_order_lp(trace, 0.0)
+
+
+class TestScheduleStructure:
+    def test_every_task_assigned(self, trace):
+        res = solve_fixed_order_lp(trace, CAP_MID)
+        assert set(res.schedule.assignments) == set(trace.task_edges)
+
+    def test_fractions_sum_to_one(self, trace):
+        res = solve_fixed_order_lp(trace, CAP_MID)
+        for a in res.schedule.assignments.values():
+            assert sum(f for _, f in a.mixture) == pytest.approx(1.0)
+
+    def test_mixture_uses_at_most_adjacent_points(self, trace):
+        """Continuous optima lie between two neighboring hull points."""
+        res = solve_fixed_order_lp(trace, CAP_MID)
+        for a in res.schedule.assignments.values():
+            assert 1 <= len(a.mixture) <= 3  # LP vertices: usually 1-2
+
+    def test_durations_match_mixture(self, trace):
+        res = solve_fixed_order_lp(trace, CAP_MID)
+        for a in res.schedule.assignments.values():
+            d = sum(p.duration_s * f for p, f in a.mixture)
+            w = sum(p.power_w * f for p, f in a.mixture)
+            assert a.duration_s == pytest.approx(d)
+            assert a.power_w == pytest.approx(w)
+
+    def test_vertex_times_respect_precedence(self, trace):
+        res = solve_fixed_order_lp(trace, CAP_MID)
+        v = res.schedule.vertex_times
+        for e in trace.graph.edges:
+            if e.is_compute:
+                d = res.schedule.assignments[trace.edge_refs[e.id]].duration_s
+            else:
+                d = e.duration_s
+            assert v[e.dst] >= v[e.src] + d - 1e-6
+
+    def test_event_power_within_cap(self, trace):
+        """At every event, the sum of active task powers obeys PC."""
+        res = solve_fixed_order_lp(trace, CAP_MID)
+        ev = res.events
+        for vid, act in ev.active.items():
+            total = sum(
+                res.schedule.assignments[trace.edge_refs[e]].power_w
+                for e in act
+            )
+            assert total <= CAP_MID * (1 + 1e-6)
+
+    def test_makespan_is_finalize_vertex(self, trace):
+        res = solve_fixed_order_lp(trace, CAP_MID)
+        assert res.makespan_s == pytest.approx(
+            float(np.max(res.schedule.vertex_times)), rel=1e-6
+        )
+
+
+class TestEventReuse:
+    def test_shared_event_structure(self, trace, time_model):
+        ev = build_event_structure(trace.graph, time_model)
+        r1 = solve_fixed_order_lp(trace, CAP_MID, events=ev)
+        r2 = solve_fixed_order_lp(trace, CAP_MID)
+        assert r1.makespan_s == pytest.approx(r2.makespan_s, rel=1e-9)
+
+    def test_tighter_cap_forces_lower_power(self, trace):
+        loose = solve_fixed_order_lp(trace, CAP_HIGH)
+        tight = solve_fixed_order_lp(trace, CAP_LOW)
+        assert (
+            tight.schedule.total_average_power()
+            < loose.schedule.total_average_power()
+        )
+
+
+class TestPowerTiebreak:
+    def test_no_gold_plating_at_high_cap(self, trace):
+        """With the tiebreak, slack tasks choose low-power configurations
+        rather than arbitrary same-makespan vertices."""
+        res = solve_fixed_order_lp(trace, CAP_HIGH)
+        # The light overlap task (rank 0, seq 1) has slack; its power must
+        # be below the maximum configuration power of its frontier.
+        a = res.schedule.assignments[TaskRef(0, 1)]
+        frontier = trace.frontiers[a.edge_id]
+        assert a.power_w < frontier[-1].power_w - 1e-6
+
+    def test_disabled_tiebreak_still_optimal(self, trace):
+        r0 = solve_fixed_order_lp(trace, CAP_MID, power_tiebreak=0.0)
+        r1 = solve_fixed_order_lp(trace, CAP_MID)
+        assert r0.makespan_s == pytest.approx(r1.makespan_s, rel=1e-6)

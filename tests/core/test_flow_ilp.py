@@ -1,0 +1,139 @@
+"""Unit tests for the flow ILP (appendix formulation)."""
+
+import pytest
+
+from repro.core import (
+    MAX_FLOW_ILP_EDGES,
+    solve_fixed_order_lp,
+    solve_flow_ilp,
+)
+from repro.dag import unconstrained_schedule
+from repro.machine import SocketPowerModel
+from repro.simulator import trace_application
+from repro.workloads import WorkloadSpec, make_comd, two_rank_exchange
+
+from ..conftest import make_p2p_app
+
+
+@pytest.fixture(scope="module")
+def exchange_trace():
+    app = two_rank_exchange(phases=1)
+    models = [SocketPowerModel(efficiency=1.0), SocketPowerModel(efficiency=1.03)]
+    return trace_application(app, models)
+
+
+class TestGuards:
+    def test_size_limit(self):
+        app = make_comd(WorkloadSpec(n_ranks=4, iterations=4))
+        models = [SocketPowerModel() for _ in range(4)]
+        trace = trace_application(app, models)
+        assert trace.graph.n_edges > MAX_FLOW_ILP_EDGES
+        with pytest.raises(ValueError, match="flow ILP limited"):
+            solve_flow_ilp(trace, 100.0)
+
+    def test_invalid_cap(self, exchange_trace):
+        with pytest.raises(ValueError):
+            solve_flow_ilp(exchange_trace, 0.0)
+
+
+class TestSolutions:
+    def test_generous_cap_matches_unconstrained(self, exchange_trace, time_model):
+        res = solve_flow_ilp(exchange_trace, 400.0)
+        assert res.feasible
+        best = unconstrained_schedule(exchange_trace.graph, time_model).makespan
+        assert res.makespan_s == pytest.approx(best, rel=1e-4)
+
+    def test_monotone_in_cap(self, exchange_trace):
+        spans = []
+        for cap in (40.0, 55.0, 75.0, 120.0):
+            r = solve_flow_ilp(exchange_trace, cap)
+            assert r.feasible
+            spans.append(r.makespan_s)
+        assert all(b <= a + 1e-6 for a, b in zip(spans, spans[1:]))
+
+    def test_infeasible_at_tiny_cap(self, exchange_trace):
+        res = solve_flow_ilp(exchange_trace, 3.0)
+        assert not res.feasible
+
+    def test_assignments_complete(self, exchange_trace):
+        res = solve_flow_ilp(exchange_trace, 60.0)
+        assert set(res.schedule.assignments) == set(exchange_trace.task_edges)
+        for a in res.schedule.assignments.values():
+            assert sum(f for _, f in a.mixture) == pytest.approx(1.0)
+
+
+class TestAgreementWithFixedOrder:
+    """The paper's Figure 8 claim: the two formulations agree within 1.9%
+    on the two-rank exchange (flow may be slightly better — it chooses the
+    event order and frees slack power)."""
+
+    @pytest.mark.parametrize("cap", [45.0, 55.0, 70.0, 90.0])
+    def test_close_agreement(self, exchange_trace, cap):
+        lp = solve_fixed_order_lp(exchange_trace, cap)
+        ilp = solve_flow_ilp(exchange_trace, cap)
+        assert lp.feasible and ilp.feasible
+        gap = abs(lp.makespan_s - ilp.makespan_s) / ilp.makespan_s
+        assert gap <= 0.019
+
+    def test_flow_never_meaningfully_worse(self, exchange_trace):
+        """Flow chooses its own event order, so it can only do as well or
+        better (up to solver tolerance)."""
+        for cap in (50.0, 80.0):
+            lp = solve_fixed_order_lp(exchange_trace, cap)
+            ilp = solve_flow_ilp(exchange_trace, cap)
+            assert ilp.makespan_s <= lp.makespan_s * (1 + 1e-4)
+
+
+class TestPrecedenceRespected:
+    def test_vertex_times_valid(self, exchange_trace):
+        res = solve_flow_ilp(exchange_trace, 60.0)
+        v = res.schedule.vertex_times
+        for e in exchange_trace.graph.edges:
+            if e.is_compute:
+                d = res.schedule.assignments[
+                    exchange_trace.edge_refs[e.id]
+                ].duration_s
+            else:
+                d = e.duration_s
+            assert v[e.dst] >= v[e.src] + d - 1e-5
+
+
+class TestPrecedenceClosure:
+    def test_closure_through_messages(self, kernel):
+        """Task i precedes task j when a path (through messages and other
+        tasks) runs from dst(i) to src(j)."""
+        from repro.core.flow_ilp import _task_precedence_closure
+        from repro.machine import SocketPowerModel
+        from repro.simulator import (
+            Application, ComputeOp, RecvOp, SendOp, trace_application,
+        )
+
+        app = Application(
+            "chain",
+            [
+                [ComputeOp(kernel, 0), SendOp(dst=1, size_bytes=8)],
+                [RecvOp(src=0), ComputeOp(kernel, 0)],
+            ],
+        )
+        models = [SocketPowerModel(), SocketPowerModel()]
+        trace = trace_application(app, models)
+        tasks = [e.id for e in trace.graph.compute_edges()]
+        te = _task_precedence_closure(trace.graph, tasks)
+        by_rank = {trace.graph.edges[t].rank: t for t in tasks}
+        # Rank 0's task (before the send) precedes rank 1's (after recv).
+        assert (by_rank[0], by_rank[1]) in te
+        assert (by_rank[1], by_rank[0]) not in te
+
+    def test_parallel_tasks_unordered(self, kernel):
+        from repro.core.flow_ilp import _task_precedence_closure
+        from repro.machine import SocketPowerModel
+        from repro.simulator import Application, ComputeOp, trace_application
+
+        app = Application(
+            "par", [[ComputeOp(kernel, 0)], [ComputeOp(kernel, 0)]]
+        )
+        models = [SocketPowerModel(), SocketPowerModel()]
+        trace = trace_application(app, models)
+        tasks = [e.id for e in trace.graph.compute_edges()]
+        te = _task_precedence_closure(trace.graph, tasks)
+        assert te == set()

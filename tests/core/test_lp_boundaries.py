@@ -1,0 +1,100 @@
+"""Boundary-condition tests for the fixed-order LP."""
+
+import pytest
+
+from repro.core import build_event_structure, solve_fixed_order_lp
+from repro.machine import SocketPowerModel, TaskKernel
+from repro.simulator import (
+    Application,
+    ComputeOp,
+    trace_application,
+)
+
+
+@pytest.fixture(scope="module")
+def simple_trace():
+    """Two ranks, one task each, fully overlapping in time."""
+    kernel = TaskKernel(cpu_seconds=1.0, mem_seconds=0.1, mem_intensity=0.2)
+    app = Application(
+        "boundary",
+        [[ComputeOp(kernel, 0)], [ComputeOp(kernel, 0)]],
+        iterations=1,
+    )
+    models = [SocketPowerModel(), SocketPowerModel()]
+    return trace_application(app, models)
+
+
+class TestFeasibilityBoundary:
+    def test_exact_minimum_cap(self, simple_trace):
+        """The LP is feasible exactly at the sum of the two tasks' minimum
+        frontier powers, and infeasible just below it."""
+        floor = sum(
+            min(p.power_w for p in simple_trace.frontiers[eid])
+            for eid in simple_trace.task_edges.values()
+        )
+        at = solve_fixed_order_lp(simple_trace, floor * (1 + 1e-9))
+        below = solve_fixed_order_lp(simple_trace, floor * 0.98)
+        assert at.feasible
+        assert not below.feasible
+
+    def test_at_floor_all_tasks_at_cheapest(self, simple_trace):
+        floor = sum(
+            min(p.power_w for p in simple_trace.frontiers[eid])
+            for eid in simple_trace.task_edges.values()
+        )
+        res = solve_fixed_order_lp(simple_trace, floor * (1 + 1e-6))
+        for a in res.schedule.assignments.values():
+            cheapest = min(
+                p.power_w for p in simple_trace.frontiers[a.edge_id]
+            )
+            assert a.power_w == pytest.approx(cheapest, rel=1e-4)
+
+    def test_saturation_cap(self, simple_trace):
+        """Above the sum of maximum frontier powers, more cap changes
+        nothing."""
+        ceiling = sum(
+            max(p.power_w for p in simple_trace.frontiers[eid])
+            for eid in simple_trace.task_edges.values()
+        )
+        at = solve_fixed_order_lp(simple_trace, ceiling)
+        way_above = solve_fixed_order_lp(simple_trace, ceiling * 10)
+        assert at.makespan_s == pytest.approx(way_above.makespan_s, rel=1e-9)
+
+    def test_objective_continuous_in_cap(self, simple_trace):
+        """No jumps: small cap changes produce small makespan changes
+        (the LP value function is piecewise-linear in PC)."""
+        caps = [60 + 0.5 * i for i in range(20)]
+        spans = [solve_fixed_order_lp(simple_trace, c).makespan_s for c in caps]
+        for a, b in zip(spans, spans[1:]):
+            assert a - b < 0.05 * a  # <5% per half-watt step
+
+
+class TestDegenerateGraphs:
+    def test_single_rank_app(self):
+        kernel = TaskKernel(cpu_seconds=0.5)
+        app = Application("solo", [[ComputeOp(kernel, 0)]], iterations=1)
+        trace = trace_application(app, [SocketPowerModel()])
+        res = solve_fixed_order_lp(trace, 60.0)
+        assert res.feasible
+        assert len(res.schedule.assignments) == 1
+
+    def test_single_configuration_frontier(self):
+        """A task whose frontier collapses to one point (e.g. fully
+        memory-bound at one thread) still solves."""
+        kernel = TaskKernel(
+            cpu_seconds=0.0, mem_seconds=1.0, mem_parallel_fraction=0.0,
+            parallel_fraction=0.0,
+        )
+        app = Application("flat", [[ComputeOp(kernel, 0)]], iterations=1)
+        trace = trace_application(app, [SocketPowerModel()])
+        # Frequency doesn't change time for pure-memory work, so the
+        # Pareto set is the single cheapest point.
+        assert len(trace.frontiers[0]) == 1
+        res = solve_fixed_order_lp(trace, 60.0)
+        assert res.feasible
+
+    def test_event_structure_reuse_across_caps(self, simple_trace):
+        ev = build_event_structure(simple_trace.graph)
+        r1 = solve_fixed_order_lp(simple_trace, 50.0, events=ev)
+        r2 = solve_fixed_order_lp(simple_trace, 70.0, events=ev)
+        assert r2.makespan_s <= r1.makespan_s

@@ -1,0 +1,97 @@
+"""Unit tests for continuous -> discrete schedule rounding."""
+
+import pytest
+
+from repro.core import round_schedule, solve_fixed_order_lp
+from repro.machine import SocketPowerModel, TaskKernel
+from repro.simulator import trace_application
+
+from ..conftest import make_p2p_app
+
+CAP = 58.0
+
+
+@pytest.fixture(scope="module")
+def lp_and_trace():
+    kernel = TaskKernel(cpu_seconds=1.0, mem_seconds=0.2,
+                        parallel_fraction=0.98, mem_parallel_fraction=0.9,
+                        bw_saturation_threads=4, mem_intensity=0.3)
+    models = [SocketPowerModel(efficiency=1.0), SocketPowerModel(efficiency=1.05)]
+    trace = trace_application(make_p2p_app(kernel, iterations=2), models)
+    res = solve_fixed_order_lp(trace, CAP)
+    assert res.feasible
+    return res.schedule, trace
+
+
+class TestRounding:
+    def test_discrete_kind_and_singleton_mixtures(self, lp_and_trace):
+        sched, trace = lp_and_trace
+        disc = round_schedule(trace, sched)
+        assert disc.kind == "discrete"
+        for a in disc.assignments.values():
+            assert a.is_discrete
+            assert len(a.mixture) == 1
+
+    def test_configs_on_frontier(self, lp_and_trace):
+        sched, trace = lp_and_trace
+        disc = round_schedule(trace, sched, mode="nearest")
+        for a in disc.assignments.values():
+            frontier_cfgs = {p.config for p in trace.frontiers[a.edge_id]}
+            assert a.configuration in frontier_cfgs
+
+    def test_nearest_picks_closest_power(self, lp_and_trace):
+        sched, trace = lp_and_trace
+        disc = round_schedule(trace, sched, mode="nearest")
+        for ref, a in disc.assignments.items():
+            target = sched.assignments[ref].power_w
+            best_gap = min(
+                abs(p.power_w - target) for p in trace.frontiers[a.edge_id]
+            )
+            assert abs(a.power_w - target) == pytest.approx(best_gap)
+
+    def test_floor_never_exceeds_lp_power(self, lp_and_trace):
+        sched, trace = lp_and_trace
+        disc = round_schedule(trace, sched, mode="floor")
+        for ref, a in disc.assignments.items():
+            cont = sched.assignments[ref]
+            lowest = min(p.power_w for p in trace.frontiers[a.edge_id])
+            assert (
+                a.power_w <= cont.power_w + 1e-9
+                or a.power_w == pytest.approx(lowest)
+            )
+
+    def test_dominant_picks_biggest_fraction(self, lp_and_trace):
+        sched, trace = lp_and_trace
+        disc = round_schedule(trace, sched, mode="dominant")
+        for ref, a in disc.assignments.items():
+            assert a.configuration == sched.assignments[ref].dominant.config
+
+    def test_retimed_makespan_close_to_lp(self, lp_and_trace):
+        sched, trace = lp_and_trace
+        disc = round_schedule(trace, sched, mode="nearest")
+        # Rounding moves each task at most one hull segment: small change.
+        assert disc.objective_s == pytest.approx(sched.objective_s, rel=0.1)
+
+    def test_floor_slower_than_continuous(self, lp_and_trace):
+        sched, trace = lp_and_trace
+        disc = round_schedule(trace, sched, mode="floor")
+        assert disc.objective_s >= sched.objective_s - 1e-9
+
+    def test_unknown_mode(self, lp_and_trace):
+        sched, trace = lp_and_trace
+        with pytest.raises(ValueError):
+            round_schedule(trace, sched, mode="bogus")
+
+    def test_rejects_discrete_input(self, lp_and_trace):
+        sched, trace = lp_and_trace
+        disc = round_schedule(trace, sched)
+        with pytest.raises(ValueError):
+            round_schedule(trace, disc)
+
+    def test_solver_info_kept(self, lp_and_trace):
+        sched, trace = lp_and_trace
+        disc = round_schedule(trace, sched, mode="floor")
+        assert disc.solver_info["rounding"] == "floor"
+        assert disc.solver_info["continuous_objective_s"] == pytest.approx(
+            sched.objective_s
+        )

@@ -1,0 +1,97 @@
+"""Unit tests for schedule value objects."""
+
+import numpy as np
+import pytest
+
+from repro.core import PowerSchedule, TaskAssignment
+from repro.machine import ConfigPoint, Configuration
+from repro.simulator import TaskRef
+
+
+def point(power, duration, freq=2.0, threads=4):
+    return ConfigPoint(Configuration(freq, threads), duration, power)
+
+
+@pytest.fixture
+def assignment():
+    lo, hi = point(20.0, 2.0, freq=1.6), point(30.0, 1.0, freq=2.4)
+    return TaskAssignment(
+        ref=TaskRef(0, 0),
+        edge_id=3,
+        mixture=((lo, 0.25), (hi, 0.75)),
+        duration_s=1.25,
+        power_w=27.5,
+    )
+
+
+class TestTaskAssignment:
+    def test_fraction_sum_checked(self):
+        with pytest.raises(ValueError):
+            TaskAssignment(
+                ref=TaskRef(0, 0), edge_id=0,
+                mixture=((point(10, 1), 0.5),), duration_s=1.0, power_w=10.0,
+            )
+        with pytest.raises(ValueError):
+            TaskAssignment(
+                ref=TaskRef(0, 0), edge_id=0, mixture=(),
+                duration_s=1.0, power_w=10.0,
+            )
+
+    def test_dominant(self, assignment):
+        assert assignment.dominant.power_w == 30.0
+        assert assignment.configuration == Configuration(2.4, 4)
+
+    def test_dominant_tie_prefers_lower_power(self):
+        lo, hi = point(20.0, 2.0), point(30.0, 1.0)
+        a = TaskAssignment(
+            ref=TaskRef(0, 0), edge_id=0,
+            mixture=((lo, 0.5), (hi, 0.5)), duration_s=1.5, power_w=25.0,
+        )
+        assert a.dominant.power_w == 20.0
+
+    def test_is_discrete(self, assignment):
+        assert not assignment.is_discrete
+        single = TaskAssignment(
+            ref=TaskRef(0, 1), edge_id=1, mixture=((point(10, 1), 1.0),),
+            duration_s=1.0, power_w=10.0,
+        )
+        assert single.is_discrete
+
+
+class TestPowerSchedule:
+    def make(self, assignment):
+        return PowerSchedule(
+            kind="continuous",
+            cap_w=60.0,
+            objective_s=2.0,
+            assignments={assignment.ref: assignment},
+            vertex_times=np.array([0.0, 2.0]),
+        )
+
+    def test_validation(self, assignment):
+        with pytest.raises(ValueError):
+            PowerSchedule(kind="weird", cap_w=60, objective_s=1,
+                          assignments={}, vertex_times=np.array([0.0]))
+        with pytest.raises(ValueError):
+            PowerSchedule(kind="discrete", cap_w=0, objective_s=1,
+                          assignments={}, vertex_times=np.array([0.0]))
+        with pytest.raises(ValueError):
+            PowerSchedule(kind="discrete", cap_w=60, objective_s=-1,
+                          assignments={}, vertex_times=np.array([0.0]))
+
+    def test_config_map(self, assignment):
+        sched = self.make(assignment)
+        assert sched.config_map() == {TaskRef(0, 0): Configuration(2.4, 4)}
+
+    def test_average_power(self, assignment):
+        sched = self.make(assignment)
+        assert sched.total_average_power() == pytest.approx(27.5)
+
+    def test_accessors(self, assignment):
+        sched = self.make(assignment)
+        assert sched.task_powers()[TaskRef(0, 0)] == pytest.approx(27.5)
+        assert sched.task_durations()[TaskRef(0, 0)] == pytest.approx(1.25)
+
+    def test_describe(self, assignment):
+        text = self.make(assignment).describe()
+        assert "continuous" in text and "60W" in text

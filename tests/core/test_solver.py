@@ -1,0 +1,130 @@
+"""Unit tests for the LP/MILP assembly layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearProgram, LpStatus
+
+
+class TestVariables:
+    def test_duplicate_name_rejected(self):
+        lp = LinearProgram()
+        lp.add_var("x")
+        with pytest.raises(ValueError):
+            lp.add_var("x")
+
+    def test_bad_bounds_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(ValueError):
+            lp.add_var("x", lb=2.0, ub=1.0)
+
+    def test_lookup(self):
+        lp = LinearProgram()
+        i = lp.add_var("x")
+        assert lp.var("x") == i
+
+
+class TestConstraints:
+    def test_empty_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(ValueError):
+            lp.add_constraint({})
+
+    def test_inverted_bounds_rejected(self):
+        lp = LinearProgram()
+        x = lp.add_var("x")
+        with pytest.raises(ValueError):
+            lp.add_constraint({x: 1.0}, lb=2.0, ub=1.0)
+
+    def test_duplicate_indices_accumulate(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=10.0)
+        lp.add_le({x: 1.0}, 4.0)
+        lp.set_objective({x: -1.0})
+        sol = lp.solve()
+        assert sol.x[x] == pytest.approx(4.0)
+
+
+class TestLpSolve:
+    def test_simple_lp(self):
+        # min -x - y  s.t. x + y <= 3, x <= 2, y <= 2
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=2.0)
+        y = lp.add_var("y", ub=2.0)
+        lp.add_le({x: 1.0, y: 1.0}, 3.0)
+        lp.set_objective({x: -1.0, y: -1.0})
+        sol = lp.solve()
+        assert sol.status is LpStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-3.0)
+
+    def test_two_sided_constraint(self):
+        lp = LinearProgram()
+        x = lp.add_var("x")
+        lp.add_constraint({x: 1.0}, lb=2.0, ub=5.0)
+        lp.set_objective({x: 1.0})
+        sol = lp.solve()
+        assert sol.x[x] == pytest.approx(2.0)
+
+    def test_equality(self):
+        lp = LinearProgram()
+        x = lp.add_var("x")
+        y = lp.add_var("y")
+        lp.add_eq({x: 1.0, y: 1.0}, 4.0)
+        lp.set_objective({x: 1.0, y: 2.0})
+        sol = lp.solve()
+        assert sol.x[x] == pytest.approx(4.0)
+        assert sol.x[y] == pytest.approx(0.0)
+
+    def test_infeasible(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=1.0)
+        lp.add_ge({x: 1.0}, 5.0)
+        lp.set_objective({x: 1.0})
+        assert lp.solve().status is LpStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        x = lp.add_var("x", lb=-np.inf)
+        lp.set_objective({x: 1.0})
+        assert lp.solve().status in (LpStatus.UNBOUNDED, LpStatus.ERROR)
+
+
+class TestMilpSolve:
+    def test_integrality_enforced(self):
+        # max x + y s.t. 2x + 3y <= 8, integers -> (4,0) fractional (1,2) int
+        lp = LinearProgram()
+        x = lp.add_var("x", ub=10.0, integer=True)
+        y = lp.add_var("y", ub=10.0, integer=True)
+        lp.add_le({x: 2.0, y: 3.0}, 8.9)
+        lp.set_objective({x: -1.0, y: -1.0})
+        sol = lp.solve()
+        assert sol.status is LpStatus.OPTIMAL
+        assert sol.x[x] == pytest.approx(round(sol.x[x]))
+        assert sol.x[y] == pytest.approx(round(sol.x[y]))
+
+    def test_is_mip_flag(self):
+        lp = LinearProgram()
+        lp.add_var("x")
+        assert not lp.is_mip
+        lp.add_var("b", ub=1.0, integer=True)
+        assert lp.is_mip
+
+    def test_binary_knapsack(self):
+        values = [6, 5, 4]
+        weights = [4, 3, 2]
+        lp = LinearProgram()
+        xs = [lp.add_var(f"x{i}", ub=1.0, integer=True) for i in range(3)]
+        lp.add_le({x: w for x, w in zip(xs, weights)}, 5.0)
+        lp.set_objective({x: -v for x, v in zip(xs, values)})
+        sol = lp.solve()
+        assert sol.objective == pytest.approx(-9.0)  # items 1+2 (5+4)
+
+
+class TestCounts:
+    def test_sizes_tracked(self):
+        lp = LinearProgram()
+        lp.add_var("a")
+        lp.add_var("b")
+        lp.add_le({0: 1.0}, 1.0)
+        assert lp.n_vars == 2
+        assert lp.n_constraints == 1

@@ -1,0 +1,119 @@
+"""Unit tests for static schedule validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    round_schedule,
+    solve_fixed_order_lp,
+    validate_schedule,
+)
+from repro.core.schedule import PowerSchedule, TaskAssignment
+from repro.machine import ConfigPoint, Configuration, SocketPowerModel, TaskKernel
+from repro.simulator import TaskRef, trace_application
+
+from ..conftest import make_p2p_app
+
+CAP = 58.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    kernel = TaskKernel(cpu_seconds=1.0, mem_seconds=0.2,
+                        parallel_fraction=0.98, mem_parallel_fraction=0.9,
+                        bw_saturation_threads=4, mem_intensity=0.3)
+    models = [SocketPowerModel(), SocketPowerModel(efficiency=1.05)]
+    trace = trace_application(make_p2p_app(kernel, iterations=2), models)
+    lp = solve_fixed_order_lp(trace, CAP)
+    return trace, lp.schedule
+
+
+class TestValidSchedules:
+    def test_lp_schedule_validates(self, setup):
+        trace, sched = setup
+        report = validate_schedule(trace, sched)
+        assert report.ok, report.violations
+        assert report.peak_event_power_w <= CAP * (1 + 1e-6)
+        assert "OK" in report.summary()
+
+    def test_floor_rounded_validates(self, setup):
+        trace, sched = setup
+        disc = round_schedule(trace, sched, mode="floor")
+        report = validate_schedule(trace, disc)
+        assert report.ok, report.violations
+
+    def test_nearest_rounding_may_overdraw_slightly(self, setup):
+        """'nearest' can round power upward; validation quantifies by how
+        much instead of silently passing."""
+        trace, sched = setup
+        disc = round_schedule(trace, sched, mode="nearest")
+        report = validate_schedule(trace, disc)
+        # Either fine, or flagged with a bounded overshoot.
+        if not report.ok:
+            assert report.peak_event_power_w < CAP * 1.10
+
+
+class TestViolationsDetected:
+    def test_missing_assignment(self, setup):
+        trace, sched = setup
+        broken = PowerSchedule(
+            kind=sched.kind, cap_w=sched.cap_w, objective_s=sched.objective_s,
+            assignments={
+                ref: a
+                for ref, a in sched.assignments.items()
+                if ref != TaskRef(0, 0)
+            },
+            vertex_times=sched.vertex_times,
+        )
+        report = validate_schedule(trace, broken)
+        assert not report.ok
+        assert any("no assignment" in v for v in report.violations)
+
+    def test_off_frontier_config(self, setup):
+        trace, sched = setup
+        ref = TaskRef(0, 0)
+        fake_point = ConfigPoint(Configuration(9.9, 3), 0.5, 20.0)
+        assignments = dict(sched.assignments)
+        assignments[ref] = dataclasses.replace(
+            assignments[ref], mixture=((fake_point, 1.0),),
+            duration_s=0.5, power_w=20.0,
+        )
+        broken = PowerSchedule(
+            kind=sched.kind, cap_w=sched.cap_w, objective_s=sched.objective_s,
+            assignments=assignments, vertex_times=sched.vertex_times,
+        )
+        report = validate_schedule(trace, broken)
+        assert any("not on the task's frontier" in v for v in report.violations)
+
+    def test_precedence_violation(self, setup):
+        trace, sched = setup
+        squashed = PowerSchedule(
+            kind=sched.kind, cap_w=sched.cap_w, objective_s=0.0,
+            assignments=sched.assignments,
+            vertex_times=sched.vertex_times * 0.0,  # everything at t=0
+        )
+        report = validate_schedule(trace, squashed)
+        assert not report.ok
+        assert report.max_precedence_gap_s > 0
+        assert any("needs" in v for v in report.violations)
+
+    def test_power_violation(self, setup):
+        trace, sched = setup
+        tight = PowerSchedule(
+            kind=sched.kind, cap_w=20.0,  # far below what the tasks draw
+            objective_s=sched.objective_s,
+            assignments=sched.assignments,
+            vertex_times=sched.vertex_times,
+        )
+        report = validate_schedule(trace, tight)
+        assert any("over cap" in v for v in report.violations)
+
+    def test_violation_cap(self, setup):
+        trace, sched = setup
+        tight = PowerSchedule(
+            kind=sched.kind, cap_w=1.0, objective_s=sched.objective_s,
+            assignments=sched.assignments, vertex_times=sched.vertex_times,
+        )
+        report = validate_schedule(trace, tight, max_reported=3)
+        assert len(report.violations) <= 3

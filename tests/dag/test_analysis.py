@@ -1,0 +1,121 @@
+"""Unit tests for DAG scheduling analysis."""
+
+import numpy as np
+import pytest
+
+from repro.dag import (
+    DagBuilder,
+    critical_path_edges,
+    edge_slack,
+    fastest_configurations,
+    fastest_durations,
+    schedule_fixed_durations,
+    unconstrained_schedule,
+)
+from repro.machine import TaskTimeModel, XEON_E5_2670
+
+
+@pytest.fixture
+def diamond(kernel):
+    """Two ranks, imbalanced compute, then a collective."""
+    b = DagBuilder(2)
+    b.compute(0, kernel)               # light
+    b.compute(1, kernel.scaled(2.0))   # heavy -> critical
+    b.collective("allreduce", duration_s=0.001)
+    b.compute(0, kernel)
+    b.compute(1, kernel)
+    return b.finalize()
+
+
+class TestFixedDurationSchedule:
+    def test_shape_checks(self, diamond):
+        with pytest.raises(ValueError):
+            schedule_fixed_durations(diamond, [1.0])
+        with pytest.raises(ValueError):
+            schedule_fixed_durations(diamond, [-1.0] * diamond.n_edges)
+
+    def test_asap_property(self, diamond):
+        d = np.ones(diamond.n_edges)
+        s = schedule_fixed_durations(diamond, d)
+        for e in diamond.edges:
+            assert s.vertex_times[e.dst] >= s.vertex_times[e.src] + d[e.id] - 1e-12
+        # Every non-init vertex has at least one tight in-edge.
+        for v in diamond.vertices:
+            ins = diamond.in_edges(v.id)
+            if ins:
+                gaps = [
+                    s.vertex_times[v.id] - s.vertex_times[e.src] - d[e.id]
+                    for e in ins
+                ]
+                assert min(gaps) == pytest.approx(0.0, abs=1e-9)
+
+    def test_makespan_is_finalize_time(self, diamond):
+        s = schedule_fixed_durations(diamond, np.ones(diamond.n_edges))
+        assert s.makespan == pytest.approx(s.vertex_times.max())
+
+    def test_task_window(self, diamond):
+        s = schedule_fixed_durations(diamond, np.ones(diamond.n_edges))
+        e = diamond.compute_edges()[0]
+        lo, hi = s.task_window(diamond, e.id)
+        assert lo == pytest.approx(s.vertex_times[e.src])
+        assert hi == pytest.approx(s.vertex_times[e.dst])
+
+
+class TestUnconstrainedSchedule:
+    def test_durations_are_fastest(self, diamond, time_model):
+        d = fastest_durations(diamond, time_model)
+        for e in diamond.compute_edges():
+            best = time_model.best_duration(e.kernel)
+            assert d[e.id] == pytest.approx(best)
+
+    def test_fastest_configurations_at_fmax(self, diamond, time_model):
+        configs = fastest_configurations(diamond, time_model)
+        assert all(
+            c.freq_ghz == XEON_E5_2670.fmax_ghz for c in configs.values()
+        )
+
+    def test_heavy_task_on_critical_path(self, diamond, time_model):
+        s = unconstrained_schedule(diamond, time_model)
+        critical = set(critical_path_edges(diamond, s))
+        heavy = max(
+            diamond.compute_edges(), key=lambda e: e.kernel.cpu_seconds
+        )
+        assert heavy.id in critical
+
+    def test_critical_path_connects_init_to_finalize(self, diamond, time_model):
+        s = unconstrained_schedule(diamond, time_model)
+        path = critical_path_edges(diamond, s)
+        assert diamond.edges[path[0]].src == 0  # INIT is vertex 0
+        for a, b in zip(path, path[1:]):
+            assert diamond.edges[a].dst == diamond.edges[b].src
+
+    def test_critical_path_durations_sum_to_makespan(self, diamond, time_model):
+        s = unconstrained_schedule(diamond, time_model)
+        path = critical_path_edges(diamond, s)
+        total = sum(s.edge_durations[e] for e in path)
+        assert total == pytest.approx(s.makespan)
+
+
+class TestSlack:
+    def test_critical_edges_have_zero_slack(self, diamond, time_model):
+        s = unconstrained_schedule(diamond, time_model)
+        slack = edge_slack(diamond, s)
+        for e in critical_path_edges(diamond, s):
+            assert slack[e] == pytest.approx(0.0, abs=1e-9)
+
+    def test_light_task_has_slack(self, diamond, time_model):
+        s = unconstrained_schedule(diamond, time_model)
+        slack = edge_slack(diamond, s)
+        light = min(
+            diamond.compute_edges(), key=lambda e: e.kernel.cpu_seconds
+        )
+        heavy = max(
+            diamond.compute_edges(), key=lambda e: e.kernel.cpu_seconds
+        )
+        # The light first-phase task idles while the heavy one finishes.
+        if light.dst == heavy.dst:
+            assert slack[light.id] > 0
+
+    def test_slack_nonnegative(self, diamond, time_model):
+        s = unconstrained_schedule(diamond, time_model)
+        assert (edge_slack(diamond, s) >= 0).all()

@@ -1,0 +1,121 @@
+"""Unit tests for the task graph container."""
+
+import pytest
+
+from repro.dag import EdgeKind, TaskGraph, VertexKind
+
+
+@pytest.fixture
+def empty_graph():
+    return TaskGraph(2)
+
+
+@pytest.fixture
+def small_graph(kernel):
+    """Init -> [compute r0, compute r1] -> collective -> Finalize."""
+    g = TaskGraph(2)
+    init = g.add_vertex(VertexKind.INIT)
+    coll = g.add_vertex(VertexKind.COLLECTIVE, label="allreduce")
+    fin = g.add_vertex(VertexKind.FINALIZE)
+    g.add_compute(init.id, coll.id, rank=0, kernel=kernel)
+    g.add_compute(init.id, coll.id, rank=1, kernel=kernel.scaled(1.5))
+    g.add_message(coll.id, fin.id, 0.0)
+    return g
+
+
+class TestConstruction:
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError):
+            TaskGraph(0)
+
+    def test_vertex_ids_sequential(self, empty_graph):
+        v0 = empty_graph.add_vertex(VertexKind.INIT)
+        v1 = empty_graph.add_vertex(VertexKind.FINALIZE)
+        assert (v0.id, v1.id) == (0, 1)
+
+    def test_vertex_rank_bounds(self, empty_graph):
+        with pytest.raises(ValueError):
+            empty_graph.add_vertex(VertexKind.SEND, rank=5)
+
+    def test_compute_edge_needs_kernel_and_rank(self, empty_graph, kernel):
+        a = empty_graph.add_vertex(VertexKind.INIT)
+        b = empty_graph.add_vertex(VertexKind.FINALIZE)
+        edge = empty_graph.add_compute(a.id, b.id, rank=1, kernel=kernel)
+        assert edge.is_compute
+        assert edge.rank == 1
+
+    def test_self_loop_rejected(self, empty_graph):
+        a = empty_graph.add_vertex(VertexKind.INIT)
+        with pytest.raises(ValueError):
+            empty_graph.add_message(a.id, a.id, 0.0)
+
+    def test_unknown_vertex_rejected(self, empty_graph):
+        empty_graph.add_vertex(VertexKind.INIT)
+        with pytest.raises(ValueError):
+            empty_graph.add_message(0, 99, 0.0)
+
+    def test_negative_message_duration_rejected(self, empty_graph):
+        a = empty_graph.add_vertex(VertexKind.INIT)
+        b = empty_graph.add_vertex(VertexKind.FINALIZE)
+        with pytest.raises(ValueError):
+            empty_graph.add_message(a.id, b.id, -1.0)
+
+
+class TestQueries:
+    def test_adjacency(self, small_graph):
+        assert len(small_graph.out_edges(0)) == 2
+        assert len(small_graph.in_edges(1)) == 2
+        assert len(small_graph.out_edges(1)) == 1
+
+    def test_edge_partition(self, small_graph):
+        assert len(small_graph.compute_edges()) == 2
+        assert len(small_graph.message_edges()) == 1
+        assert small_graph.n_edges == 3
+
+    def test_rank_edges(self, small_graph):
+        assert [e.rank for e in small_graph.rank_edges(0)] == [0]
+        assert [e.rank for e in small_graph.rank_edges(1)] == [1]
+
+    def test_find_vertex(self, small_graph):
+        assert small_graph.find_vertex(VertexKind.INIT).id == 0
+        with pytest.raises(ValueError):
+            small_graph.find_vertex(VertexKind.SEND)
+
+    def test_describe(self, small_graph):
+        text = small_graph.describe()
+        assert "ranks=2" in text and "compute=2" in text
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self, small_graph):
+        order = small_graph.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for e in small_graph.edges:
+            assert pos[e.src] < pos[e.dst]
+
+    def test_cycle_detected(self, empty_graph, kernel):
+        a = empty_graph.add_vertex(VertexKind.SEND, rank=0)
+        b = empty_graph.add_vertex(VertexKind.RECV, rank=0)
+        empty_graph.add_message(a.id, b.id, 0.0)
+        empty_graph.add_message(b.id, a.id, 0.0)
+        with pytest.raises(ValueError, match="cycle"):
+            empty_graph.topological_order()
+
+
+class TestValidate:
+    def test_valid_graph_passes(self, small_graph):
+        small_graph.validate()
+
+    def test_missing_finalize_fails(self, empty_graph):
+        empty_graph.add_vertex(VertexKind.INIT)
+        with pytest.raises(ValueError):
+            empty_graph.validate()
+
+    def test_cross_rank_compute_edge_fails(self, empty_graph, kernel):
+        init = empty_graph.add_vertex(VertexKind.INIT)
+        fin = empty_graph.add_vertex(VertexKind.FINALIZE)
+        wrong = empty_graph.add_vertex(VertexKind.SEND, rank=0)
+        empty_graph.add_message(init.id, wrong.id, 0.0)
+        empty_graph.add_compute(wrong.id, fin.id, rank=1, kernel=kernel)
+        with pytest.raises(ValueError, match="rank"):
+            empty_graph.validate()

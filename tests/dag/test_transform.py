@@ -1,0 +1,108 @@
+"""Unit tests for slack reduction (paper §3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.dag import (
+    DagBuilder,
+    edge_slack,
+    reduce_slack,
+    schedule_fixed_durations,
+    stretch_limits,
+    unconstrained_schedule,
+)
+from repro.machine import SocketPowerModel
+from repro.simulator import trace_application
+
+from ..conftest import make_p2p_app
+
+
+@pytest.fixture
+def imbalanced(kernel):
+    b = DagBuilder(2)
+    b.compute(0, kernel)               # slack-rich
+    b.compute(1, kernel.scaled(2.0))   # critical
+    b.collective("allreduce", duration_s=1e-4)
+    b.compute(0, kernel)
+    b.compute(1, kernel)
+    return b.finalize()
+
+
+class TestReduceSlack:
+    def test_makespan_unchanged(self, imbalanced, time_model):
+        sched = unconstrained_schedule(imbalanced, time_model)
+        reduced = reduce_slack(imbalanced, sched)
+        assert reduced.makespan == pytest.approx(sched.makespan)
+        # Interior vertices may shift (stretched tasks end later); the
+        # collective completions and Finalize may not.
+        from repro.dag import VertexKind
+
+        for v in imbalanced.vertices:
+            if v.kind in (VertexKind.FINALIZE,):
+                assert reduced.vertex_times[v.id] == pytest.approx(
+                    sched.vertex_times[v.id]
+                )
+
+    def test_slack_absorbed(self, imbalanced, time_model):
+        """The light rank's idle wait (which sits on the collective wire
+        edge in this DAG construction) is converted into task time."""
+        sched = unconstrained_schedule(imbalanced, time_model)
+        reduced = reduce_slack(imbalanced, sched)
+        before = edge_slack(imbalanced, sched)
+        after = edge_slack(imbalanced, reduced)
+        assert after.sum() < before.sum()
+        # Unbounded stretching absorbs the waits completely here.
+        assert after.max() == pytest.approx(0.0, abs=1e-9)
+        # The light first-phase task was the one stretched.
+        light = min(
+            (e for e in imbalanced.compute_edges()),
+            key=lambda e: e.kernel.cpu_seconds,
+        )
+        assert (
+            reduced.edge_durations[light.id]
+            > sched.edge_durations[light.id] * 1.5
+        )
+
+    def test_durations_never_shrink(self, imbalanced, time_model):
+        sched = unconstrained_schedule(imbalanced, time_model)
+        reduced = reduce_slack(imbalanced, sched)
+        assert (reduced.edge_durations >= sched.edge_durations - 1e-12).all()
+
+    def test_messages_untouched(self, imbalanced, time_model):
+        sched = unconstrained_schedule(imbalanced, time_model)
+        reduced = reduce_slack(imbalanced, sched)
+        for e in imbalanced.message_edges():
+            assert reduced.edge_durations[e.id] == pytest.approx(
+                sched.edge_durations[e.id]
+            )
+
+    def test_frontier_limits_respected(self, kernel, two_rank_models):
+        app = make_p2p_app(kernel, iterations=1)
+        trace = trace_application(app, two_rank_models)
+        from repro.machine import TaskTimeModel
+
+        sched = unconstrained_schedule(trace.graph, TaskTimeModel())
+        reduced = reduce_slack(trace.graph, sched, trace.frontiers)
+        limits = stretch_limits(trace.graph, trace.frontiers)
+        assert (reduced.edge_durations <= limits + 1e-12).all()
+
+    def test_critical_path_tasks_not_stretched(self, imbalanced, time_model):
+        sched = unconstrained_schedule(imbalanced, time_model)
+        reduced = reduce_slack(imbalanced, sched)
+        heavy = max(
+            imbalanced.compute_edges(), key=lambda e: e.kernel.cpu_seconds
+        )
+        assert reduced.edge_durations[heavy.id] == pytest.approx(
+            sched.edge_durations[heavy.id]
+        )
+
+
+class TestStretchLimits:
+    def test_shapes_and_values(self, kernel, two_rank_models):
+        app = make_p2p_app(kernel, iterations=1)
+        trace = trace_application(app, two_rank_models)
+        limits = stretch_limits(trace.graph, trace.frontiers)
+        assert limits.shape == (trace.graph.n_edges,)
+        for e in trace.graph.compute_edges():
+            slowest = max(p.duration_s for p in trace.frontiers[e.id])
+            assert limits[e.id] == pytest.approx(slowest)

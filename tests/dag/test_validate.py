@@ -1,0 +1,60 @@
+"""Unit tests for deep DAG validation and networkx export."""
+
+import networkx as nx
+import pytest
+
+from repro.dag import DagBuilder, TaskGraph, VertexKind, deep_validate, to_networkx
+
+
+class TestToNetworkx:
+    def test_roundtrip_counts(self, p2p_trace):
+        g = p2p_trace.graph
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == g.n_vertices
+        assert nxg.number_of_edges() == g.n_edges
+
+    def test_attributes(self, kernel):
+        b = DagBuilder(1)
+        b.compute(0, kernel)
+        g = b.finalize()
+        nxg = to_networkx(g)
+        assert nxg.nodes[0]["kind"] == "init"
+
+    def test_is_dag(self, p2p_trace):
+        assert nx.is_directed_acyclic_graph(to_networkx(p2p_trace.graph))
+
+
+class TestDeepValidate:
+    def test_traced_app_passes(self, p2p_trace):
+        deep_validate(p2p_trace.graph)
+
+    def test_disconnected_fails(self, kernel):
+        g = TaskGraph(1)
+        init = g.add_vertex(VertexKind.INIT)
+        fin = g.add_vertex(VertexKind.FINALIZE)
+        g.add_compute(init.id, fin.id, rank=0, kernel=kernel)
+        g.add_vertex(VertexKind.SEND, rank=0)  # orphan vertex
+        with pytest.raises(ValueError, match="connected"):
+            deep_validate(g)
+
+    def test_same_rank_costly_message_fails(self, kernel):
+        g = TaskGraph(1)
+        init = g.add_vertex(VertexKind.INIT)
+        a = g.add_vertex(VertexKind.SEND, rank=0)
+        fin = g.add_vertex(VertexKind.FINALIZE)
+        g.add_compute(init.id, a.id, rank=0, kernel=kernel)
+        b = g.add_vertex(VertexKind.RECV, rank=0)
+        g.add_message(a.id, b.id, duration_s=1.0)  # same rank, nonzero cost
+        g.add_message(b.id, fin.id, 0.0)
+        with pytest.raises(ValueError, match="nonzero duration"):
+            deep_validate(g)
+
+    def test_zero_cost_program_order_edges_allowed(self, kernel):
+        b = DagBuilder(2)
+        b.compute(0, kernel)
+        b.isend(0, 1)  # creates program-order edges on rank 1's side later
+        b.compute(1, kernel)
+        sv = b.graph.vertices[-1]
+        b.wait(0)
+        g = b.finalize()
+        deep_validate(g)

@@ -1,0 +1,38 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXHIBITS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXHIBITS:
+            assert name in out
+
+    def test_unknown_exhibit(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-figure"])
+
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "regenerated" in out
+
+    def test_overheads_runs(self, capsys):
+        assert main(["overheads"]) == 0
+        assert "566" in capsys.readouterr().out
+
+    def test_quick_flag_shrinks_ranks(self, capsys):
+        # fig12 with --quick runs 8 ranks x 4 iterations: fast.
+        assert main(["--quick", "fig12"]) == 0
+        assert "Figure 12" in capsys.readouterr().out
+
+    def test_save_writes_files(self, capsys, tmp_path):
+        assert main(["--save", str(tmp_path), "fig1", "overheads"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "fig1.txt").read_text().startswith("Figure 1")
+        assert "566" in (tmp_path / "overheads.txt").read_text()

@@ -1,0 +1,103 @@
+"""Unit tests for ASCII Gantt rendering."""
+
+import pytest
+
+from repro.core import solve_fixed_order_lp
+from repro.experiments import gantt_from_result, gantt_from_schedule
+from repro.machine import SocketPowerModel, TaskKernel
+from repro.simulator import Engine, MaxPerformancePolicy, trace_application
+
+from ..conftest import make_p2p_app
+
+
+@pytest.fixture(scope="module")
+def setup():
+    kernel = TaskKernel(cpu_seconds=1.0, mem_seconds=0.2,
+                        parallel_fraction=0.98, mem_parallel_fraction=0.9,
+                        bw_saturation_threads=4, mem_intensity=0.3)
+    models = [SocketPowerModel(), SocketPowerModel(efficiency=1.05)]
+    app = make_p2p_app(kernel, iterations=1)
+    return app, models
+
+
+class TestGanttFromResult:
+    def test_one_row_per_rank(self, setup):
+        app, models = setup
+        res = Engine(models).run(app, MaxPerformancePolicy())
+        text = gantt_from_result(res, width=40)
+        rows = text.splitlines()
+        assert rows[0].startswith("    r0")
+        assert rows[1].startswith("    r1")
+        assert "glyphs" in rows[-1]
+
+    def test_glyphs_encode_threads(self, setup):
+        app, models = setup
+        res = Engine(models).run(app, MaxPerformancePolicy())
+        text = gantt_from_result(res, width=40)
+        assert "8" in text  # compute-bound kernel runs 8 threads
+
+    def test_width_respected(self, setup):
+        app, models = setup
+        res = Engine(models).run(app, MaxPerformancePolicy())
+        text = gantt_from_result(res, width=30)
+        bar = text.splitlines()[0].split("|")[1]
+        assert len(bar) == 30
+
+
+class TestGanttFromSchedule:
+    def test_renders_lp_schedule(self, setup):
+        app, models = setup
+        trace = trace_application(app, models)
+        lp = solve_fixed_order_lp(trace, 55.0)
+        text = gantt_from_schedule(trace, lp.schedule, width=48)
+        assert text.count("|") >= 4  # two framed rank rows
+        assert f"{lp.schedule.objective_s:8.3f}" in text
+
+    def test_idle_shown_as_dots(self, setup):
+        app, models = setup
+        trace = trace_application(app, models)
+        lp = solve_fixed_order_lp(trace, 300.0)
+        text = gantt_from_schedule(trace, lp.schedule, width=48)
+        assert "." in text.splitlines()[0] or "." in text.splitlines()[1]
+
+
+class TestPowerProfileAscii:
+    def test_renders_with_cap_line(self, setup):
+        from repro.experiments import power_profile_ascii
+        from repro.runtime import StaticPolicy
+        from repro.simulator import job_power_timeline
+
+        app, models = setup
+        res = Engine(models).run(app, StaticPolicy(models, 70.0))
+        tl = job_power_timeline(res, models)
+        text = power_profile_ascii(tl, cap_w=70.0, width=50, height=10)
+        assert "#" in text
+        assert "=" in text  # the cap line
+        assert "70 W job cap" in text
+        assert len(text.splitlines()) == 12  # 10 rows + axis + legend
+
+    def test_empty_timeline_rejected(self):
+        import numpy as np
+
+        from repro.experiments import power_profile_ascii
+        from repro.simulator import PowerTimeline
+
+        empty = PowerTimeline(times=np.array([0.0]), power=np.array([]))
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            power_profile_ascii(empty)
+
+    def test_peak_reaches_top_rows(self, setup):
+        from repro.experiments import power_profile_ascii
+        from repro.simulator import job_power_timeline
+
+        app, models = setup
+        res = Engine(models).run(app, MaxPerformancePolicy())
+        tl = job_power_timeline(res, models)
+        text = power_profile_ascii(tl, width=40, height=8)
+        # The busiest instant fills to within ~2 rows of the chart top.
+        first_filled = next(
+            i for i, line in enumerate(text.splitlines()) if "#" in line
+        )
+        assert first_filled <= 2

@@ -1,0 +1,66 @@
+"""Tests for the reference-result drift checker."""
+
+import pytest
+
+from repro.experiments import verify_reference_results
+
+
+class FakeExhibit:
+    def __init__(self, text: str):
+        self._text = text
+
+    def render(self) -> str:
+        return self._text
+
+
+class TestVerifyReference:
+    def test_identical_passes(self, tmp_path):
+        (tmp_path / "foo.txt").write_text("hello\nworld\n")
+        report = verify_reference_results(
+            tmp_path, {"foo": FakeExhibit("hello\nworld")}
+        )
+        assert report.ok
+        assert report.checked == ["foo"]
+        assert "OK" in report.summary()
+
+    def test_drift_detected_with_diff(self, tmp_path):
+        (tmp_path / "foo.txt").write_text("value: 1.0\n")
+        report = verify_reference_results(
+            tmp_path, {"foo": FakeExhibit("value: 2.0")}
+        )
+        assert not report.ok
+        assert "foo" in report.drifted
+        assert "-value: 1.0" in report.drifted["foo"]
+        assert "+value: 2.0" in report.drifted["foo"]
+        assert "FAILED" in report.summary()
+
+    def test_missing_reference_reported(self, tmp_path):
+        report = verify_reference_results(
+            tmp_path, {"bar": FakeExhibit("x")}
+        )
+        assert not report.ok
+        assert report.missing == ["bar"]
+
+    def test_trailing_newlines_ignored(self, tmp_path):
+        (tmp_path / "foo.txt").write_text("a\n\n\n")
+        report = verify_reference_results(tmp_path, {"foo": FakeExhibit("a")})
+        assert report.ok
+
+    def test_pinned_fast_exhibits_still_match(self):
+        """The repository's own pinned references regenerate identically
+        (fast exhibits only; the sweeps are checked by the harness)."""
+        from pathlib import Path
+
+        from repro.experiments import figure1_pareto_frontier, overheads_summary
+
+        results_dir = Path(__file__).resolve().parents[2] / "results"
+        if not (results_dir / "fig1.txt").exists():
+            pytest.skip("no pinned results in this checkout")
+        report = verify_reference_results(
+            results_dir,
+            {
+                "fig1": figure1_pareto_frontier(),
+                "overheads": overheads_summary(),
+            },
+        )
+        assert report.ok, report.summary()

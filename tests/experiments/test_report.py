@@ -1,0 +1,43 @@
+"""Unit tests for report rendering."""
+
+from repro.experiments import render_kv, render_table
+from repro.experiments.report import fmt
+
+
+class TestFmt:
+    def test_none(self):
+        assert fmt(None) == "-"
+
+    def test_bool(self):
+        assert fmt(True) == "yes"
+        assert fmt(False) == "no"
+
+    def test_float_digits(self):
+        assert fmt(1.23456, digits=2) == "1.23"
+
+    def test_passthrough(self):
+        assert fmt("abc") == "abc"
+        assert fmt(7) == "7"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "long-header"], [[1, 2.5], [300, None]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # aligned widths
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        out = render_table(["x", "y"], [])
+        assert "x" in out and "y" in out
+
+
+class TestRenderKv:
+    def test_pairs(self):
+        out = render_kv({"alpha": 1, "b": None}, title="T")
+        assert out.splitlines()[0] == "T"
+        assert "alpha" in out and "-" in out

@@ -1,0 +1,95 @@
+"""Tests for the experiment runner (small-scale comparisons)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    improvement_pct,
+    make_power_models,
+    run_comparison,
+    sweep_caps,
+)
+from repro.experiments.runner import ComparisonResult
+
+
+class TestImprovementPct:
+    def test_faster_wins(self):
+        assert improvement_pct(2.0, 1.0) == pytest.approx(100.0)
+
+    def test_equal(self):
+        assert improvement_pct(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_regression_negative(self):
+        assert improvement_pct(0.9, 1.0) == pytest.approx(-10.0)
+
+    def test_none_propagates(self):
+        assert improvement_pct(None, 1.0) is None
+        assert improvement_pct(1.0, None) is None
+
+
+class TestExperimentConfig:
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            ExperimentConfig(benchmark="hpl")
+
+    def test_window_bounds(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(benchmark="comd", run_iterations=5,
+                             discard_iterations=5)
+        with pytest.raises(ValueError):
+            ExperimentConfig(benchmark="comd", run_iterations=10,
+                             discard_iterations=3, steady_window=8)
+
+
+class TestMakePowerModels:
+    def test_seeded(self):
+        a = make_power_models(8, efficiency_seed=1)
+        b = make_power_models(8, efficiency_seed=1)
+        assert [m.efficiency for m in a] == [m.efficiency for m in b]
+        assert len(a) == 8
+
+
+SMALL = ExperimentConfig(
+    benchmark="comd", n_ranks=4, run_iterations=10, lp_iterations=2,
+    discard_iterations=3, steady_window=5,
+)
+
+
+class TestRunComparison:
+    def test_lp_is_lower_bound(self):
+        r = run_comparison(SMALL, 40.0)
+        assert r.schedulable and r.feasible
+        assert r.lp_s <= r.static_s * (1 + 1e-9)
+        assert r.lp_s <= r.conductor_s * (1 + 1e-9)
+
+    def test_improvement_properties(self):
+        r = run_comparison(SMALL, 40.0)
+        assert r.lp_vs_static_pct >= -1e-9
+        assert r.job_cap_w == pytest.approx(160.0)
+
+    def test_discrete_schedule_optional(self):
+        r = run_comparison(SMALL, 40.0, include_discrete=True)
+        assert r.lp_discrete_s is not None
+        assert r.lp_discrete_s == pytest.approx(r.lp_s, rel=0.15)
+
+    def test_unschedulable_cap(self):
+        cfg = ExperimentConfig(
+            benchmark="sp", n_ranks=4, run_iterations=10, lp_iterations=2,
+            discard_iterations=3, steady_window=5,
+        )
+        r = run_comparison(cfg, 30.0)  # SP min cap is 40 W/socket
+        assert not r.schedulable
+        assert r.static_s is None and r.lp_s is None
+        assert r.lp_vs_static_pct is None
+
+
+class TestSweep:
+    def test_sweep_shapes(self):
+        results = sweep_caps(SMALL, (40.0, 60.0))
+        assert [r.cap_per_socket_w for r in results] == [40.0, 60.0]
+        assert all(isinstance(r, ComparisonResult) for r in results)
+
+    def test_lp_monotone_over_sweep(self):
+        results = sweep_caps(SMALL, (40.0, 60.0, 80.0))
+        spans = [r.lp_s for r in results if r.feasible]
+        assert all(b <= a + 1e-9 for a, b in zip(spans, spans[1:]))

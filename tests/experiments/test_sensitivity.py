@@ -1,0 +1,45 @@
+"""Tests for the sensitivity-analysis exhibit."""
+
+import math
+
+import pytest
+
+from repro.experiments import sensitivity_analysis
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sensitivity_analysis(
+        n_ranks=4, exponents=(2.0, 2.4, 2.8), sigmas=(0.0, 0.08)
+    )
+
+
+class TestSensitivity:
+    def test_all_variants_computed(self, result):
+        assert len(result.rows) == 5
+        assert all(not math.isnan(pct) for _, _, pct in result.rows)
+
+    def test_headline_sign_robust(self, result):
+        """The core conclusion — LP materially beats Static on BT at a
+        tight cap — holds across every model variant."""
+        for _, _, pct in result.rows:
+            assert pct > 15.0
+
+    def test_variability_increases_gain(self, result):
+        """Manufacturing variability is one of the LP's two levers: with
+        zero spread the gain is smaller than with the default spread."""
+        sig = result.values_for("variability_sigma")
+        assert sig[0] <= max(sig) + 1e-9
+        # Even with NO variability the gain persists (load imbalance is
+        # the dominant lever for BT).
+        assert sig[0] > 15.0
+
+    def test_exponent_monotone_effect(self, result):
+        """A lower power-law exponent means frequency is cheaper in power,
+        so Static's uniform throttling costs more speed — the gain grows."""
+        exps = result.values_for("freq_exponent")
+        assert exps[0] >= exps[-1] - 1e-9
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Sensitivity" in text and "freq_exponent" in text

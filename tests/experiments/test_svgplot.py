@@ -1,0 +1,136 @@
+"""Tests for the SVG figure writer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.svgplot import (
+    _nice_ticks,
+    svg_bar_chart,
+    svg_line_chart,
+    svg_scatter,
+)
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str):
+    return ET.fromstring(svg)
+
+
+def count(root, tag: str) -> int:
+    return len(root.findall(f".//{NS}{tag}"))
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 100.0)
+        assert ticks[0] <= 0.0 + 1e-9
+        assert ticks[-1] >= 99.0
+        assert ticks == sorted(ticks)
+
+    def test_small_range(self):
+        ticks = _nice_ticks(0.9, 1.5)
+        assert 3 <= len(ticks) <= 9
+
+    def test_degenerate(self):
+        assert _nice_ticks(5.0, 5.0)
+
+
+class TestScatter:
+    def test_well_formed_with_markers(self):
+        svg = svg_scatter(
+            "t", {"a": [(1, 2), (3, 4)], "b": [(2, 1)]}, "x", "y"
+        )
+        root = parse(svg)
+        # Series a: circles; series b: squares (beyond the legend swatches).
+        assert count(root, "circle") == 2
+        texts = [t.text for t in root.findall(f".//{NS}text")]
+        assert "a" in texts and "b" in texts and "t" in texts
+
+    def test_overlay_line(self):
+        svg = svg_scatter(
+            "t", {"pts": [(1, 2)]}, "x", "y",
+            lines={"frontier": [(0, 3), (2, 1)]},
+        )
+        root = parse(svg)
+        assert count(root, "polyline") == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_scatter("t", {}, "x", "y")
+        with pytest.raises(ValueError):
+            svg_scatter("t", {"a": []}, "x", "y")
+
+
+class TestLineChart:
+    def test_one_polyline_per_series(self):
+        svg = svg_line_chart(
+            "t",
+            {"lp": [(1, 2), (2, 1.5)], "ilp": [(1, 2), (2, 1.4)]},
+            "x", "y",
+        )
+        assert count(parse(svg), "polyline") == 2
+
+    def test_points_sorted_by_x(self):
+        svg = svg_line_chart("t", {"s": [(3, 1), (1, 3), (2, 2)]}, "x", "y")
+        poly = parse(svg).find(f".//{NS}polyline")
+        xs = [float(p.split(",")[0]) for p in poly.get("points").split()]
+        assert xs == sorted(xs)
+
+
+class TestBarChart:
+    def test_bar_counts(self):
+        svg = svg_bar_chart(
+            "t", ["30", "40"], {"lp": [10.0, 5.0], "cond": [4.0, 2.0]},
+            "cap", "%",
+        )
+        root = parse(svg)
+        # 4 data bars + 2 legend swatches + background + frame.
+        assert count(root, "rect") == 4 + 2 + 2
+
+    def test_none_entries_skipped(self):
+        svg = svg_bar_chart(
+            "t", ["30", "40"], {"lp": [None, 5.0]}, "cap", "%"
+        )
+        root = parse(svg)
+        assert count(root, "rect") == 1 + 1 + 2  # one bar, one swatch
+
+    def test_negative_values_below_zero_line(self):
+        svg = svg_bar_chart("t", ["60"], {"cond": [-2.0]}, "cap", "%")
+        parse(svg)  # well-formed is enough; geometry checked visually
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            svg_bar_chart("t", ["a", "b"], {"s": [1.0]}, "x", "y")
+
+
+class TestExhibitDispatch:
+    def test_figure1(self):
+        from repro.experiments import exhibit_to_svg, figure1_pareto_frontier
+
+        svg = exhibit_to_svg(figure1_pareto_frontier())
+        root = parse(svg)
+        assert count(root, "polyline") == 1  # the convex frontier
+        assert count(root, "circle") > 10
+
+    def test_sweep_figure(self):
+        from repro.experiments import exhibit_to_svg
+        from repro.experiments.figures import SweepFigure
+        from repro.experiments.runner import ComparisonResult
+
+        results = [
+            ComparisonResult(
+                benchmark="comd", cap_per_socket_w=30.0, n_ranks=4,
+                static_s=2.0, conductor_s=1.8, lp_s=1.6,
+            )
+        ]
+        fig = SweepFigure(title="T", series={"comd": results},
+                          metric="both_vs_static")
+        svg = exhibit_to_svg(fig)
+        assert "Improvement" in svg
+
+    def test_text_only_exhibits_return_none(self):
+        from repro.experiments import exhibit_to_svg
+
+        assert exhibit_to_svg(object()) is None

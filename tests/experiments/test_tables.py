@@ -1,0 +1,67 @@
+"""Tests for Table 3 and the overheads summary at reduced scale."""
+
+import pytest
+
+from repro.experiments import overheads_summary, table3_lulesh_task_characteristics
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return table3_lulesh_task_characteristics(
+            cap_per_socket_w=50.0, n_ranks=8, iteration=18
+        )
+
+    def test_three_methods(self, table):
+        assert [r.method for r in table.rows] == ["Static", "Conductor", "LP"]
+
+    def test_static_pinned_at_eight_threads(self, table):
+        assert table.row("Static").threads == "8"
+
+    def test_adaptive_methods_drop_threads(self, table):
+        """The paper's key Table-3 observation: Conductor and the LP pick
+        4-5 threads under the 50 W cap where Static is stuck at 8."""
+        for method in ("Conductor", "LP"):
+            lo = int(table.row(method).threads.split("-")[0])
+            assert lo <= 6
+
+    def test_adaptive_methods_faster(self, table):
+        t_static = table.row("Static").median_time_s
+        assert table.row("LP").median_time_s < t_static
+        assert table.row("Conductor").median_time_s < t_static
+
+    def test_power_spread_jumps_for_nonuniform(self, table):
+        """Static's task powers are nearly uniform; LP/Conductor spread
+        power across ranks (std-dev columns 0.009 vs 0.118/0.125)."""
+        assert table.row("Static").power_stddev_rel < 0.06
+        assert table.row("LP").power_stddev_rel > table.row(
+            "Static"
+        ).power_stddev_rel
+
+    def test_frequencies_normalized(self, table):
+        for row in table.rows:
+            assert 0.0 < row.median_freq_rel <= 1.0
+
+    def test_render(self, table):
+        text = table.render()
+        assert "Table 3" in text and "Static" in text
+
+
+class TestOverheads:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return overheads_summary(n_ranks=4, iterations=8)
+
+    def test_paper_constants(self, result):
+        assert result.tracing_per_call_s == pytest.approx(34e-6)
+        assert result.dvfs_switch_s == pytest.approx(145e-6)
+        assert result.realloc_per_invocation_s == pytest.approx(566e-6)
+
+    def test_tracing_fraction_below_paper_bound(self, result):
+        assert 0.0 <= result.measured_tracing_fraction < 0.0005  # < 0.05%
+
+    def test_activity_observed(self, result):
+        assert result.measured_reallocs > 0
+
+    def test_render(self, result):
+        assert "34 us" in result.render()

@@ -1,0 +1,132 @@
+"""Integration tests: the full pipeline from workload to verified schedule."""
+
+import pytest
+
+from repro.core import round_schedule, solve_fixed_order_lp
+from repro.experiments import make_power_models
+from repro.runtime import ConductorConfig, ConductorPolicy, StaticPolicy
+from repro.simulator import (
+    Engine,
+    MaxPerformancePolicy,
+    replay_schedule,
+    trace_application,
+)
+from repro.workloads import WorkloadSpec, make_bt, make_comd
+
+N_RANKS = 6
+CAP_PER_SOCKET = 32.0
+JOB_CAP = CAP_PER_SOCKET * N_RANKS
+
+
+@pytest.fixture(scope="module")
+def models():
+    return make_power_models(N_RANKS, efficiency_seed=11)
+
+
+@pytest.fixture(scope="module")
+def comd_app():
+    return make_comd(WorkloadSpec(n_ranks=N_RANKS, iterations=4, seed=5))
+
+
+@pytest.fixture(scope="module")
+def comd_trace(comd_app, models):
+    return trace_application(comd_app, models)
+
+
+@pytest.fixture(scope="module")
+def comd_lp(comd_trace):
+    res = solve_fixed_order_lp(comd_trace, JOB_CAP)
+    assert res.feasible
+    return res
+
+
+class TestTraceLpReplayLoop:
+    """Paper §6.1: LP schedules must be realizable and within their caps."""
+
+    def test_floor_rounded_replay_respects_cap(self, comd_app, comd_trace,
+                                               comd_lp, models):
+        disc = round_schedule(comd_trace, comd_lp.schedule, mode="floor")
+        out = replay_schedule(
+            comd_app, disc.config_map(), models, cap_w=JOB_CAP
+        )
+        assert out.cap_respected, (
+            f"peak {out.peak_power_w:.1f} W over cap {JOB_CAP} W"
+        )
+
+    def test_nearest_rounded_replay_close_to_lp_bound(self, comd_app,
+                                                      comd_trace, comd_lp,
+                                                      models):
+        disc = round_schedule(comd_trace, comd_lp.schedule, mode="nearest")
+        out = replay_schedule(
+            comd_app, disc.config_map(), models, cap_w=JOB_CAP,
+            cap_rel_tol=0.05,
+        )
+        # Replayed makespan within a few percent of the LP bound (replay
+        # adds MPI-call and DVFS-switch overheads; rounding shifts configs).
+        assert out.makespan_s == pytest.approx(comd_lp.makespan_s, rel=0.08)
+
+    def test_replayed_discrete_slower_than_unconstrained(self, comd_app,
+                                                         comd_trace, comd_lp,
+                                                         models):
+        disc = round_schedule(comd_trace, comd_lp.schedule, mode="floor")
+        out = replay_schedule(comd_app, disc.config_map(), models, JOB_CAP)
+        unconstrained = Engine(models).run(comd_app, MaxPerformancePolicy())
+        assert out.makespan_s >= unconstrained.makespan_s - 1e-9
+
+
+class TestOrderingOfStrategies:
+    """The paper's global ordering: LP bound <= Conductor <= Static
+    (Conductor may tie or slightly beat Static on balanced apps)."""
+
+    def test_comd_ordering(self, comd_app, comd_trace, comd_lp, models):
+        engine = Engine(models)
+        t_static = engine.run(
+            comd_app, StaticPolicy(models, JOB_CAP)
+        ).makespan_s
+        assert comd_lp.makespan_s <= t_static * (1 + 1e-9)
+
+    def test_bt_imbalance_exploited(self, models):
+        """BT's zone imbalance: the LP beats Static by a large factor at a
+        low cap — the headline mechanism of the paper."""
+        app = make_bt(WorkloadSpec(n_ranks=N_RANKS, iterations=4, seed=5))
+        trace = trace_application(app, models)
+        lp = solve_fixed_order_lp(trace, JOB_CAP)
+        assert lp.feasible
+        t_static = Engine(models).run(
+            app, StaticPolicy(models, JOB_CAP)
+        ).makespan_s
+        assert t_static / lp.makespan_s > 1.25
+
+    def test_conductor_between_lp_and_static_on_imbalanced(self, models):
+        app = make_bt(WorkloadSpec(n_ranks=N_RANKS, iterations=16, seed=5))
+        trace_app = make_bt(WorkloadSpec(n_ranks=N_RANKS, iterations=4, seed=5))
+        trace = trace_application(trace_app, models)
+        lp = solve_fixed_order_lp(trace, JOB_CAP)
+        engine = Engine(models)
+        t_static = engine.run(app, StaticPolicy(models, JOB_CAP)).makespan_s
+        cond = ConductorPolicy(
+            models, JOB_CAP, app,
+            config=ConductorConfig(realloc_period=2, step_w=4.0,
+                                   measurement_noise=0.005),
+        )
+        res = engine.run(app, cond)
+        start = min(r.start_s for r in res.records if r.iteration >= 10)
+        t_cond_tail = (res.makespan_s - start) / 6
+        t_static_per_iter = t_static / 16
+        lp_per_iter = lp.makespan_s / 4
+        assert lp_per_iter <= t_cond_tail * (1 + 1e-9)
+        assert t_cond_tail < t_static_per_iter
+
+
+class TestCrossFormulationConsistency:
+    def test_lp_and_flow_agree_on_exchange(self):
+        from repro.core import solve_flow_ilp
+        from repro.workloads import two_rank_exchange
+
+        app = two_rank_exchange(phases=1)
+        models = make_power_models(2, efficiency_seed=3, sigma=0.02)
+        trace = trace_application(app, models)
+        for cap in (50.0, 80.0):
+            lp = solve_fixed_order_lp(trace, cap)
+            ilp = solve_flow_ilp(trace, cap)
+            assert abs(lp.makespan_s - ilp.makespan_s) / ilp.makespan_s < 0.019

@@ -1,0 +1,113 @@
+"""Heterogeneous-machine tests: per-rank CPU specs through the pipeline.
+
+The paper's cluster is homogeneous, but its prior work ([5]: CPU+GPU
+nodes) and modern procurement both mix socket generations.  The engine,
+tracer, LP, and runtimes follow each rank's own CpuSpec, so a mixed
+machine works end to end.
+"""
+
+import pytest
+
+from repro.core import solve_fixed_order_lp
+from repro.machine import Configuration, CpuSpec, SocketPowerModel, TaskKernel
+from repro.runtime import StaticPolicy
+from repro.simulator import (
+    Application,
+    CollectiveOp,
+    ComputeOp,
+    Engine,
+    TaskRef,
+    trace_application,
+)
+
+BIG = CpuSpec(name="big", cores=8, fmin_ghz=1.2, fmax_ghz=2.6, fstep_ghz=0.1)
+LITTLE = CpuSpec(name="little", cores=4, fmin_ghz=1.0, fmax_ghz=2.0,
+                 fstep_ghz=0.2)
+
+
+@pytest.fixture
+def mixed_models():
+    return [SocketPowerModel(spec=BIG), SocketPowerModel(spec=LITTLE)]
+
+
+@pytest.fixture
+def mixed_app(kernel):
+    return Application(
+        "mixed",
+        [
+            [ComputeOp(kernel, 0), CollectiveOp("allreduce", 8, iteration=0)],
+            [ComputeOp(kernel, 0), CollectiveOp("allreduce", 8, iteration=0)],
+        ],
+        iterations=1,
+    )
+
+
+class FixedPerRank:
+    """Fastest per-rank config, aware of each socket's spec."""
+
+    def __init__(self, models):
+        self.models = models
+
+    def configure(self, ref, kernel, iteration, current):
+        spec = self.models[ref.rank].spec
+        return Configuration(spec.fmax_ghz, spec.cores)
+
+    def on_pcontrol(self, iteration, records):
+        return 0.0
+
+    def switch_cost_s(self):
+        return 0.0
+
+
+class TestHeterogeneousEngine:
+    def test_per_rank_timing(self, mixed_models, mixed_app, kernel):
+        engine = Engine(mixed_models, mpi_call_overhead_s=0.0)
+        res = engine.run(mixed_app, FixedPerRank(mixed_models))
+        by_rank = res.records_by_rank()
+        # The little socket (4 cores @ 2.0 GHz) is slower on the same task.
+        assert by_rank[1][0].duration_s > by_rank[0][0].duration_s
+        # Timing follows each rank's own spec exactly.
+        from repro.machine import TaskTimeModel
+
+        t_big = TaskTimeModel(BIG).duration(kernel, 2.6, 8)
+        t_little = TaskTimeModel(LITTLE).duration(kernel, 2.0, 4)
+        assert by_rank[0][0].duration_s == pytest.approx(t_big)
+        assert by_rank[1][0].duration_s == pytest.approx(t_little)
+
+
+class TestHeterogeneousTraceAndLp:
+    def test_frontiers_respect_rank_specs(self, mixed_models, mixed_app):
+        trace = trace_application(mixed_app, mixed_models)
+        big_front = trace.frontier_for(TaskRef(0, 0))
+        little_front = trace.frontier_for(TaskRef(1, 0))
+        assert max(p.config.threads for p in big_front) == 8
+        assert max(p.config.threads for p in little_front) == 4
+        assert max(p.config.freq_ghz for p in little_front) == 2.0
+
+    def test_lp_solves_mixed_machine(self, mixed_models, mixed_app):
+        trace = trace_application(mixed_app, mixed_models)
+        res = solve_fixed_order_lp(trace, 70.0)
+        assert res.feasible
+        # The little rank's assignment stays within its spec.
+        cfg = res.schedule.assignments[TaskRef(1, 0)].configuration
+        assert cfg.threads <= 4
+        assert cfg.freq_ghz <= 2.0
+
+    def test_lp_gives_slow_socket_its_share(self, mixed_models, mixed_app):
+        """The little socket is the bottleneck: the LP runs it flat out
+        while the big socket coasts (slack absorbed at lower power)."""
+        trace = trace_application(mixed_app, mixed_models)
+        res = solve_fixed_order_lp(trace, 200.0)
+        little = res.schedule.assignments[TaskRef(1, 0)]
+        front = trace.frontier_for(TaskRef(1, 0))
+        assert little.duration_s == pytest.approx(front[-1].duration_s,
+                                                  rel=1e-6)
+
+
+class TestHeterogeneousStatic:
+    def test_rapl_uses_per_rank_cores(self, mixed_models, mixed_app):
+        policy = StaticPolicy(mixed_models, 60.0)
+        res = Engine(mixed_models).run(mixed_app, policy)
+        by_rank = res.records_by_rank()
+        assert by_rank[0][0].config.threads == 8
+        assert by_rank[1][0].config.threads == 4

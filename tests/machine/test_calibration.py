@@ -1,0 +1,71 @@
+"""Unit tests for power-model calibration."""
+
+import pytest
+
+from repro.machine import (
+    CpuSpec,
+    PowerModelParams,
+    PowerSample,
+    SocketPowerModel,
+    fit_power_model,
+    sample_power_model,
+)
+
+
+class TestPowerSample:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerSample(freq_ghz=0.0, threads=4, power_w=10.0)
+        with pytest.raises(ValueError):
+            PowerSample(freq_ghz=2.0, threads=0, power_w=10.0)
+        with pytest.raises(ValueError):
+            PowerSample(freq_ghz=2.0, threads=4, power_w=-1.0)
+
+
+class TestFit:
+    def test_needs_enough_samples(self):
+        s = PowerSample(2.0, 4, 30.0)
+        with pytest.raises(ValueError, match="at least 5"):
+            fit_power_model([s] * 4)
+
+    def test_exact_recovery_from_clean_samples(self):
+        truth = PowerModelParams(
+            p_uncore_idle=8.5, p_uncore_mem=5.0, p_core_leak=0.6,
+            p_core_dyn_max=5.5, freq_exponent=2.2,
+        )
+        model = SocketPowerModel(params=truth)
+        res = fit_power_model(sample_power_model(model))
+        assert res.rmse_w < 1e-6
+        assert res.params.p_uncore_idle == pytest.approx(8.5, abs=1e-4)
+        assert res.params.freq_exponent == pytest.approx(2.2, abs=1e-4)
+
+    def test_noisy_fit_close(self):
+        model = SocketPowerModel()
+        samples = sample_power_model(model, noise=0.02, seed=3)
+        res = fit_power_model(samples)
+        assert res.rmse_w < 1.5
+        assert res.params.freq_exponent == pytest.approx(2.4, abs=0.4)
+
+    def test_fitted_model_predicts(self):
+        model = SocketPowerModel()
+        res = fit_power_model(sample_power_model(model))
+        fitted = res.model()
+        for f in (1.2, 2.0, 2.6):
+            assert fitted.power(f, 8, 1.0, 0.3) == pytest.approx(
+                model.power(f, 8, 1.0, 0.3), rel=1e-4
+            )
+
+    def test_custom_spec(self):
+        spec = CpuSpec(name="other", cores=12, fmin_ghz=1.0, fmax_ghz=3.0,
+                       fstep_ghz=0.2)
+        model = SocketPowerModel(spec=spec)
+        samples = sample_power_model(model, thread_counts=(1, 6, 12))
+        res = fit_power_model(samples, spec=spec)
+        assert res.rmse_w < 1e-6
+
+    def test_result_counts(self):
+        model = SocketPowerModel()
+        samples = sample_power_model(model)
+        res = fit_power_model(samples)
+        assert res.n_samples == len(samples)
+        assert res.max_abs_error_w >= 0

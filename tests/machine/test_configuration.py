@@ -1,0 +1,97 @@
+"""Unit tests for configurations and task measurement."""
+
+import pytest
+
+from repro.machine import (
+    ConfigPoint,
+    Configuration,
+    SocketPowerModel,
+    enumerate_configurations,
+    measure_task,
+    measure_task_space,
+    XEON_E5_2670,
+)
+
+
+class TestConfiguration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Configuration(0.0, 4)
+        with pytest.raises(ValueError):
+            Configuration(2.0, 0)
+        with pytest.raises(ValueError):
+            Configuration(2.0, 4, duty=0.0)
+        with pytest.raises(ValueError):
+            Configuration(2.0, 4, duty=1.2)
+
+    def test_effective_frequency(self):
+        assert Configuration(1.2, 8, duty=0.5).effective_freq_ghz == pytest.approx(0.6)
+
+    def test_describe(self):
+        assert "2.6 GHz x 8t" in Configuration(2.6, 8).describe()
+        assert "duty" in Configuration(1.2, 8, 0.5).describe()
+
+    def test_equality_and_ordering(self):
+        a, b = Configuration(2.0, 4), Configuration(2.0, 4)
+        assert a == b
+        assert Configuration(1.2, 4) < Configuration(2.6, 4)
+
+
+class TestConfigPoint:
+    def test_validation(self):
+        cfg = Configuration(2.0, 4)
+        with pytest.raises(ValueError):
+            ConfigPoint(cfg, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            ConfigPoint(cfg, 1.0, 0.0)
+
+    def test_dominance(self):
+        cfg = Configuration(2.0, 4)
+        fast_cheap = ConfigPoint(cfg, 1.0, 10.0)
+        slow_pricey = ConfigPoint(cfg, 2.0, 20.0)
+        equal = ConfigPoint(cfg, 1.0, 10.0)
+        assert fast_cheap.dominates(slow_pricey)
+        assert not slow_pricey.dominates(fast_cheap)
+        assert not fast_cheap.dominates(equal)  # needs one strict improvement
+
+
+class TestEnumeration:
+    def test_full_space_size(self):
+        # 15 P-states x 8 thread counts = 120 configurations.
+        assert len(enumerate_configurations()) == 120
+
+    def test_with_modulation(self):
+        configs = enumerate_configurations(include_modulation=True)
+        assert len(configs) == 127
+        modulated = [c for c in configs if c.duty < 1.0]
+        assert all(c.freq_ghz == XEON_E5_2670.fmin_ghz for c in modulated)
+        assert all(c.threads == 8 for c in modulated)
+
+    def test_ordering_matches_table1(self):
+        configs = enumerate_configurations()
+        assert configs[0] == Configuration(2.6, 8)
+        assert configs[1] == Configuration(2.6, 7)
+
+
+class TestMeasurement:
+    def test_measure_consistency(self, kernel, power_model, time_model):
+        cfg = Configuration(2.0, 4)
+        point = measure_task(kernel, cfg, power_model)
+        assert point.duration_s == pytest.approx(
+            time_model.duration(kernel, 2.0, 4)
+        )
+        assert point.power_w == pytest.approx(
+            power_model.power(2.0, 4, kernel.activity, kernel.mem_intensity)
+        )
+
+    def test_measure_space_covers_everything(self, kernel, power_model):
+        points = measure_task_space(kernel, power_model)
+        assert len(points) == 120
+        assert len({p.config for p in points}) == 120
+
+    def test_efficiency_shifts_power_not_time(self, kernel):
+        base = measure_task_space(kernel, SocketPowerModel(efficiency=1.0))
+        leaky = measure_task_space(kernel, SocketPowerModel(efficiency=1.1))
+        for b, l in zip(base, leaky):
+            assert l.duration_s == pytest.approx(b.duration_s)
+            assert l.power_w == pytest.approx(1.1 * b.power_w)

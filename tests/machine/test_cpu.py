@@ -1,0 +1,88 @@
+"""Unit tests for the CPU specification."""
+
+import pytest
+
+from repro.machine import CpuSpec, XEON_E5_2670, effective_frequency
+
+
+class TestCpuSpec:
+    def test_default_is_e5_2670(self):
+        assert XEON_E5_2670.cores == 8
+        assert XEON_E5_2670.fmin_ghz == 1.2
+        assert XEON_E5_2670.fmax_ghz == 2.6
+
+    def test_pstate_count_matches_paper(self):
+        # 1.2..2.6 GHz in 0.1 steps = 15 P-states ("a dozen DVFS states").
+        assert XEON_E5_2670.n_pstates == 15
+
+    def test_pstates_descending_and_bounded(self):
+        ps = XEON_E5_2670.pstates
+        assert ps[0] == XEON_E5_2670.fmax_ghz
+        assert ps[-1] == XEON_E5_2670.fmin_ghz
+        assert all(a > b for a, b in zip(ps, ps[1:]))
+
+    def test_pstates_evenly_spaced(self):
+        ps = XEON_E5_2670.pstates
+        gaps = [round(a - b, 6) for a, b in zip(ps, ps[1:])]
+        assert all(g == pytest.approx(0.1) for g in gaps)
+
+    def test_thread_counts(self):
+        assert XEON_E5_2670.thread_counts() == tuple(range(1, 9))
+
+    def test_duty_cycles_descending_below_one(self):
+        d = XEON_E5_2670.duty_cycles
+        assert len(d) == 7
+        assert all(0 < x < 1 for x in d)
+        assert all(a > b for a, b in zip(d, d[1:]))
+
+    def test_nearest_pstate(self):
+        assert XEON_E5_2670.nearest_pstate(2.57) == pytest.approx(2.6)
+        assert XEON_E5_2670.nearest_pstate(1.74) == pytest.approx(1.7)
+        assert XEON_E5_2670.nearest_pstate(0.3) == pytest.approx(1.2)
+
+    def test_clamp_frequency(self):
+        assert XEON_E5_2670.clamp_frequency(5.0) == 2.6
+        assert XEON_E5_2670.clamp_frequency(0.1) == 1.2
+        assert XEON_E5_2670.clamp_frequency(2.0) == 2.0
+
+    def test_custom_spec(self):
+        spec = CpuSpec(name="toy", cores=4, fmin_ghz=1.0, fmax_ghz=2.0,
+                       fstep_ghz=0.5, modulation_levels=3)
+        assert spec.pstates == (2.0, 1.5, 1.0)
+        assert spec.duty_cycles == (0.75, 0.5, 0.25)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cores": 0},
+            {"fmin_ghz": -1.0},
+            {"fmin_ghz": 3.0, "fmax_ghz": 2.0},
+            {"fstep_ghz": 0.0},
+            {"modulation_levels": -1},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CpuSpec(**kwargs)
+
+
+class TestEffectiveFrequency:
+    def test_full_duty_identity(self):
+        assert effective_frequency(XEON_E5_2670, 1.2, 1.0) == pytest.approx(1.2)
+
+    def test_modulated(self):
+        assert effective_frequency(XEON_E5_2670, 1.2, 0.5) == pytest.approx(0.6)
+
+    def test_invalid_duty(self):
+        with pytest.raises(ValueError):
+            effective_frequency(XEON_E5_2670, 1.2, 0.0)
+        with pytest.raises(ValueError):
+            effective_frequency(XEON_E5_2670, 1.2, 1.5)
+
+    def test_paper_22_percent_clock_is_expressible(self):
+        # BT under Static at 30 W runs at 22% of max clock: 0.57 GHz —
+        # below fmin, only reachable through modulation.
+        target = 0.22 * XEON_E5_2670.fmax_ghz
+        duties = XEON_E5_2670.duty_cycles
+        reachable = [XEON_E5_2670.fmin_ghz * d for d in duties]
+        assert min(reachable) < target < XEON_E5_2670.fmin_ghz

@@ -1,0 +1,102 @@
+"""Unit tests for the task time model."""
+
+import pytest
+
+from repro.machine import TaskKernel, TaskTimeModel, XEON_E5_2670
+
+FMAX = XEON_E5_2670.fmax_ghz
+FMIN = XEON_E5_2670.fmin_ghz
+
+
+class TestTaskKernel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskKernel(cpu_seconds=-1.0)
+        with pytest.raises(ValueError):
+            TaskKernel(cpu_seconds=0.0, mem_seconds=0.0)
+        with pytest.raises(ValueError):
+            TaskKernel(cpu_seconds=1.0, parallel_fraction=1.5)
+        with pytest.raises(ValueError):
+            TaskKernel(cpu_seconds=1.0, contention_penalty=-0.1)
+        with pytest.raises(ValueError):
+            TaskKernel(cpu_seconds=1.0, bw_saturation_threads=0)
+
+    def test_scaled(self, kernel):
+        big = kernel.scaled(2.0)
+        assert big.cpu_seconds == pytest.approx(2 * kernel.cpu_seconds)
+        assert big.mem_seconds == pytest.approx(2 * kernel.mem_seconds)
+        assert big.parallel_fraction == kernel.parallel_fraction
+        with pytest.raises(ValueError):
+            kernel.scaled(0.0)
+
+    def test_kernels_hashable_for_caching(self, kernel):
+        assert hash(kernel) == hash(kernel)
+        assert kernel != kernel.scaled(1.5)
+        assert len({kernel, kernel, kernel.scaled(2.0)}) == 2
+
+    def test_total_reference_seconds(self, kernel):
+        assert kernel.total_reference_seconds == pytest.approx(1.2)
+
+
+class TestDuration:
+    def test_frequency_scaling_affects_cpu_only(self, time_model):
+        pure_cpu = TaskKernel(cpu_seconds=1.0, parallel_fraction=0.0)
+        pure_mem = TaskKernel(cpu_seconds=0.0, mem_seconds=1.0,
+                              mem_parallel_fraction=0.0)
+        assert time_model.duration(pure_cpu, FMIN, 1) == pytest.approx(
+            time_model.duration(pure_cpu, FMAX, 1) * FMAX / FMIN
+        )
+        assert time_model.duration(pure_mem, FMIN, 1) == pytest.approx(
+            time_model.duration(pure_mem, FMAX, 1)
+        )
+
+    def test_monotone_decreasing_in_frequency(self, time_model, kernel):
+        durs = [time_model.duration(kernel, f, 8) for f in XEON_E5_2670.pstates]
+        assert all(a < b for a, b in zip(durs, durs[1:]))  # pstates descend
+
+    def test_amdahl_limits_thread_scaling(self, time_model):
+        k = TaskKernel(cpu_seconds=1.0, parallel_fraction=0.5)
+        t1 = time_model.duration(k, FMAX, 1)
+        t8 = time_model.duration(k, FMAX, 8)
+        assert t8 > t1 / 2  # serial half cannot shrink
+        assert t8 < t1
+
+    def test_bandwidth_saturation(self, time_model):
+        k = TaskKernel(cpu_seconds=0.0, mem_seconds=1.0,
+                       mem_parallel_fraction=1.0, bw_saturation_threads=4)
+        t4 = time_model.duration(k, FMAX, 4)
+        t8 = time_model.duration(k, FMAX, 8)
+        assert t8 == pytest.approx(t4)  # no contention term -> flat beyond 4
+
+    def test_cache_contention_slows_wide_configs(self, time_model, memory_kernel):
+        t5 = time_model.duration(memory_kernel, FMAX, 5)
+        t8 = time_model.duration(memory_kernel, FMAX, 8)
+        assert t8 > t5  # the Table-3 mechanism: 8 threads lose to contention
+
+    def test_duty_stretches_everything(self, time_model, kernel):
+        full = time_model.duration(kernel, FMIN, 8, duty=1.0)
+        half = time_model.duration(kernel, FMIN, 8, duty=0.5)
+        assert half == pytest.approx(2 * full)
+
+    def test_invalid_inputs(self, time_model, kernel):
+        with pytest.raises(ValueError):
+            time_model.duration(kernel, FMAX, 0)
+        with pytest.raises(ValueError):
+            time_model.duration(kernel, FMAX, 99)
+        with pytest.raises(ValueError):
+            time_model.duration(kernel, 0.0, 4)
+        with pytest.raises(ValueError):
+            time_model.duration(kernel, FMAX, 4, duty=1.5)
+
+
+class TestBestConfiguration:
+    def test_best_threads_compute_bound_is_all_cores(self, time_model, kernel):
+        assert time_model.best_threads(kernel) == 8
+
+    def test_best_threads_contended_is_fewer(self, time_model, memory_kernel):
+        assert time_model.best_threads(memory_kernel) == 5
+
+    def test_best_duration_is_minimum(self, time_model, kernel):
+        best = time_model.best_duration(kernel)
+        for n in range(1, 9):
+            assert best <= time_model.duration(kernel, FMAX, n) + 1e-12

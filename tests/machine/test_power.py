@@ -1,0 +1,107 @@
+"""Unit tests for the socket power model."""
+
+import pytest
+
+from repro.machine import (
+    DEFAULT_POWER_PARAMS,
+    PowerModelParams,
+    SocketPowerModel,
+    XEON_E5_2670,
+)
+
+FMAX = XEON_E5_2670.fmax_ghz
+FMIN = XEON_E5_2670.fmin_ghz
+
+
+class TestPowerModelParams:
+    def test_defaults_valid(self):
+        assert DEFAULT_POWER_PARAMS.freq_exponent == pytest.approx(2.4)
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModelParams(p_uncore_idle=-1.0)
+
+    def test_sublinear_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModelParams(freq_exponent=0.5)
+
+
+class TestSocketPowerModel:
+    def test_monotone_in_frequency(self, power_model):
+        powers = [power_model.power(f, 8) for f in XEON_E5_2670.pstates]
+        assert all(a > b for a, b in zip(powers, powers[1:]))
+
+    def test_monotone_in_threads(self, power_model):
+        powers = [power_model.power(FMAX, n) for n in range(1, 9)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_monotone_in_activity_and_mem(self, power_model):
+        assert power_model.power(FMAX, 8, activity=1.2) > power_model.power(
+            FMAX, 8, activity=0.8
+        )
+        assert power_model.power(FMAX, 8, mem_intensity=0.9) > power_model.power(
+            FMAX, 8, mem_intensity=0.1
+        )
+
+    def test_calibration_range_matches_paper_axis(self, power_model):
+        """Figure 1's axis spans ~10-60 W; the cap sweep spans 30-80 W."""
+        lo = power_model.power(FMIN, 1, activity=0.9, mem_intensity=0.0)
+        hi = power_model.power(FMAX, 8, activity=1.0, mem_intensity=0.3)
+        assert 8.0 < lo < 15.0
+        assert 45.0 < hi < 60.0
+
+    def test_duty_reduces_power_but_not_below_gated(self, power_model):
+        full = power_model.power(FMIN, 8, duty=1.0)
+        half = power_model.power(FMIN, 8, duty=0.5)
+        gated_floor = power_model.params.p_uncore_idle + 8 * (
+            power_model.params.p_core_leak
+        )
+        assert half < full
+        assert half > gated_floor - 1e-9
+
+    def test_efficiency_scales_everything(self):
+        base = SocketPowerModel(efficiency=1.0)
+        leaky = SocketPowerModel(efficiency=1.1)
+        assert leaky.power(2.0, 4) == pytest.approx(1.1 * base.power(2.0, 4))
+        assert leaky.idle_power() == pytest.approx(1.1 * base.idle_power())
+
+    def test_invalid_inputs(self, power_model):
+        with pytest.raises(ValueError):
+            power_model.power(FMAX, 0)
+        with pytest.raises(ValueError):
+            power_model.power(FMAX, 9)
+        with pytest.raises(ValueError):
+            power_model.power(FMAX, 4, mem_intensity=1.5)
+        with pytest.raises(ValueError):
+            power_model.power(FMAX, 4, duty=0.0)
+        with pytest.raises(ValueError):
+            power_model.power(-1.0, 4)
+        with pytest.raises(ValueError):
+            SocketPowerModel(efficiency=0.0)
+
+    def test_min_max_power_bracket(self, power_model):
+        lo = power_model.min_power(8, 1.0, 0.3)
+        hi = power_model.max_power(8, 1.0, 0.3)
+        mid = power_model.power(2.0, 8, 1.0, 0.3)
+        assert lo < mid < hi
+
+
+class TestFrequencyForPower:
+    def test_inverts_power(self, power_model):
+        for target in (25.0, 35.0, 45.0):
+            f = power_model.frequency_for_power(target, 8, 1.0, 0.3)
+            if FMIN < f < FMAX:  # interior solutions invert exactly
+                assert power_model.power(f, 8, 1.0, 0.3) == pytest.approx(target)
+
+    def test_clamps_low_budget_to_fmin(self, power_model):
+        assert power_model.frequency_for_power(1.0, 8) == FMIN
+
+    def test_clamps_high_budget_to_fmax(self, power_model):
+        assert power_model.frequency_for_power(500.0, 8) == FMAX
+
+    def test_monotone_in_budget(self, power_model):
+        freqs = [
+            power_model.frequency_for_power(w, 8, 1.0, 0.3)
+            for w in (20, 30, 40, 50)
+        ]
+        assert all(b >= a for a, b in zip(freqs, freqs[1:]))

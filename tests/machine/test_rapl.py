@@ -1,0 +1,119 @@
+"""Unit tests for the RAPL firmware simulator."""
+
+import pytest
+
+from repro.machine import (
+    RaplController,
+    SocketPowerModel,
+    TaskKernel,
+    XEON_E5_2670,
+)
+
+FMAX = XEON_E5_2670.fmax_ghz
+FMIN = XEON_E5_2670.fmin_ghz
+
+
+@pytest.fixture
+def controller(power_model):
+    return RaplController(power_model)
+
+
+@pytest.fixture
+def hungry_kernel():
+    """A BT-like power-hungry kernel that overflows low caps at 8 threads."""
+    return TaskKernel(cpu_seconds=1.0, activity=1.7, mem_intensity=0.7)
+
+
+class TestRaplDecisions:
+    def test_generous_cap_gives_fmax(self, controller, kernel):
+        d = controller.decide(kernel, 8, 200.0)
+        assert d.config.freq_ghz == FMAX
+        assert d.config.duty == 1.0
+        assert d.cap_met
+
+    def test_cap_respected(self, controller, kernel):
+        for cap in (20.0, 25.0, 30.0, 40.0, 50.0):
+            d = controller.decide(kernel, 8, cap)
+            if d.cap_met:
+                assert d.power_w <= cap + 1e-9
+                assert d.headroom_w >= -1e-9
+
+    def test_frequency_monotone_in_cap(self, controller, kernel):
+        freqs = [
+            controller.decide(kernel, 8, cap).config.effective_freq_ghz
+            for cap in (15, 20, 25, 30, 40, 60)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(freqs, freqs[1:]))
+
+    def test_picks_fastest_fitting_pstate(self, controller, kernel, power_model):
+        cap = 35.0
+        d = controller.decide(kernel, 8, cap)
+        faster = [f for f in XEON_E5_2670.pstates if f > d.config.freq_ghz]
+        for f in faster:
+            assert (
+                power_model.power(f, 8, kernel.activity, kernel.mem_intensity)
+                > cap
+            )
+
+    def test_modulation_under_harsh_cap(self, controller, hungry_kernel):
+        """When even fmin exceeds the cap, firmware falls back to duty
+        cycling — the paper's '22% of max clock' mechanism."""
+        floor = controller.power_model.power(
+            FMIN, 8, hungry_kernel.activity, hungry_kernel.mem_intensity
+        )
+        d = controller.decide(hungry_kernel, 8, floor - 2.0)
+        assert d.config.duty < 1.0
+        assert d.config.freq_ghz == FMIN
+        assert d.config.effective_freq_ghz < FMIN
+
+    def test_bottoms_out_when_cap_unreachable(self, controller, hungry_kernel):
+        d = controller.decide(hungry_kernel, 8, 5.0)
+        assert not d.cap_met
+        assert d.config.duty == min(XEON_E5_2670.duty_cycles)
+
+    def test_leaky_socket_throttles_harder(self, kernel):
+        """Manufacturing variability: the same cap yields a lower frequency
+        on a less efficient socket — the load-imbalance source under
+        Static."""
+        efficient = RaplController(SocketPowerModel(efficiency=0.95))
+        leaky = RaplController(SocketPowerModel(efficiency=1.10))
+        cap = 30.0
+        f_eff = efficient.decide(kernel, 8, cap).config.effective_freq_ghz
+        f_leaky = leaky.decide(kernel, 8, cap).config.effective_freq_ghz
+        assert f_leaky < f_eff
+
+    def test_thread_count_is_an_input_not_a_choice(self, controller, kernel):
+        """RAPL cannot change concurrency (firmware limitation, §4.1)."""
+        for threads in (2, 4, 8):
+            d = controller.decide(kernel, threads, 30.0)
+            assert d.config.threads == threads
+
+    def test_invalid_cap(self, controller, kernel):
+        with pytest.raises(ValueError):
+            controller.decide(kernel, 8, 0.0)
+
+    def test_control_noise_bounds(self, power_model):
+        with pytest.raises(ValueError):
+            RaplController(power_model, control_noise=-0.1)
+        with pytest.raises(ValueError):
+            RaplController(power_model, control_noise=0.6)
+
+    def test_control_noise_is_conservative(self, power_model, kernel):
+        plain = RaplController(power_model).decide(kernel, 8, 32.0)
+        guarded = RaplController(power_model, control_noise=0.05).decide(
+            kernel, 8, 32.0
+        )
+        assert guarded.config.effective_freq_ghz <= plain.config.effective_freq_ghz
+
+
+class TestRaplMeasure:
+    def test_measure_returns_consistent_point(self, controller, kernel):
+        point = controller.measure(kernel, 8, 30.0)
+        d = controller.decide(kernel, 8, 30.0)
+        assert point.config == d.config
+        assert point.power_w == pytest.approx(d.power_w)
+
+    def test_lower_cap_slower_task(self, controller, kernel):
+        t_low = controller.measure(kernel, 8, 22.0).duration_s
+        t_high = controller.measure(kernel, 8, 50.0).duration_s
+        assert t_low > t_high

@@ -1,0 +1,45 @@
+"""Unit tests for socket manufacturing variability."""
+
+import numpy as np
+import pytest
+
+from repro.machine import sample_socket_efficiencies
+
+
+class TestSampling:
+    def test_deterministic_with_seed(self):
+        a = sample_socket_efficiencies(32, seed=5)
+        b = sample_socket_efficiencies(32, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = sample_socket_efficiencies(32, seed=5)
+        b = sample_socket_efficiencies(32, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_bounds(self):
+        e = sample_socket_efficiencies(1000, sigma=0.2, seed=0)
+        assert e.min() >= 0.85
+        assert e.max() <= 1.20
+
+    def test_centered_near_one(self):
+        e = sample_socket_efficiencies(2000, sigma=0.04, seed=1)
+        assert abs(e.mean() - 1.0) < 0.01
+
+    def test_zero_sigma_is_uniform(self):
+        e = sample_socket_efficiencies(8, sigma=0.0, seed=0)
+        np.testing.assert_allclose(e, 1.0)
+
+    def test_spread_grows_with_sigma(self):
+        tight = sample_socket_efficiencies(500, sigma=0.01, seed=2)
+        wide = sample_socket_efficiencies(500, sigma=0.08, seed=2)
+        assert wide.std() > tight.std()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_socket_efficiencies(0)
+        with pytest.raises(ValueError):
+            sample_socket_efficiencies(4, sigma=-0.1)
+
+    def test_count(self):
+        assert len(sample_socket_efficiencies(7)) == 7

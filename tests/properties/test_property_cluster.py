@@ -1,0 +1,65 @@
+"""Property-based tests for facility power partitioning."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cluster import JobRequest, partition_power
+
+requests = st.lists(
+    st.builds(
+        JobRequest,
+        name=st.text(min_size=1, max_size=8),
+        n_sockets=st.integers(1, 64),
+        min_w_per_socket=st.floats(10.0, 40.0),
+        max_w_per_socket=st.floats(40.0, 120.0),
+        priority=st.integers(0, 9),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+policies = st.sampled_from(["uniform", "proportional", "priority"])
+
+
+class TestPartitionProperties:
+    @given(machine_w=st.floats(1.0, 50_000.0), reqs=requests, policy=policies)
+    @settings(max_examples=120, deadline=None)
+    def test_never_exceeds_machine(self, machine_w, reqs, policy):
+        allocs = partition_power(machine_w, reqs, policy)
+        assert sum(a.power_w for a in allocs) <= machine_w * (1 + 1e-9)
+
+    @given(machine_w=st.floats(1.0, 50_000.0), reqs=requests, policy=policies)
+    @settings(max_examples=120, deadline=None)
+    def test_floor_and_cap_bounds(self, machine_w, reqs, policy):
+        for a in partition_power(machine_w, reqs, policy):
+            if a.admitted:
+                assert a.power_w >= a.request.min_w - 1e-6
+                assert a.power_w <= a.request.max_w + 1e-6
+            else:
+                assert a.power_w == 0.0
+
+    @given(machine_w=st.floats(100.0, 10_000.0), reqs=requests,
+           policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_top_priority_admission_monotone(self, machine_w, reqs, policy):
+        """The admitted-job *count* is legitimately non-monotone in machine
+        power (a larger budget can admit one big high-priority job that
+        displaces two small ones — classic knapsack).  What must hold: the
+        first job in priority order never loses admission when the budget
+        grows."""
+        if not reqs:
+            return
+        small = partition_power(machine_w, reqs, policy)
+        big = partition_power(machine_w * 1.5, reqs, policy)
+        top = max(range(len(reqs)), key=lambda i: (reqs[i].priority, -i))
+        if small[top].admitted:
+            assert big[top].admitted
+            assert big[top].power_w >= small[top].request.min_w - 1e-6
+
+    @given(machine_w=st.floats(1.0, 50_000.0), reqs=requests, policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_output_aligned_with_input(self, machine_w, reqs, policy):
+        allocs = partition_power(machine_w, reqs, policy)
+        assert len(allocs) == len(reqs)
+        for a, r in zip(allocs, reqs):
+            assert a.request is r

@@ -1,0 +1,93 @@
+"""Property-based tests for the LP formulation's core invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import round_schedule, solve_fixed_order_lp
+from repro.dag import unconstrained_schedule
+from repro.machine import SocketPowerModel, TaskTimeModel
+from repro.simulator import trace_application
+from repro.workloads import random_application
+
+apps = st.builds(
+    random_application,
+    n_ranks=st.integers(2, 3),
+    iterations=st.integers(1, 2),
+    seed=st.integers(0, 5_000),
+    p_p2p=st.floats(0.0, 1.0),
+)
+
+
+def trace_for(app):
+    models = [
+        SocketPowerModel(efficiency=1.0 + 0.03 * r) for r in range(app.n_ranks)
+    ]
+    return trace_application(app, models)
+
+
+class TestLpInvariants:
+    @given(app=apps, cap_per_rank=st.floats(20.0, 80.0))
+    @settings(max_examples=20, deadline=None)
+    def test_objective_bounded_below_by_critical_path(self, app, cap_per_rank):
+        trace = trace_for(app)
+        res = solve_fixed_order_lp(trace, cap_per_rank * app.n_ranks)
+        if not res.feasible:
+            return
+        best = unconstrained_schedule(trace.graph, TaskTimeModel()).makespan
+        assert res.makespan_s >= best - 1e-6
+
+    @given(app=apps)
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_in_cap(self, app):
+        trace = trace_for(app)
+        spans = []
+        for cap_per_rank in (25.0, 40.0, 60.0, 90.0):
+            r = solve_fixed_order_lp(trace, cap_per_rank * app.n_ranks)
+            spans.append(r.makespan_s if r.feasible else float("inf"))
+        assert all(b <= a + 1e-6 for a, b in zip(spans, spans[1:]))
+
+    @given(app=apps, cap_per_rank=st.floats(25.0, 80.0))
+    @settings(max_examples=15, deadline=None)
+    def test_event_power_respected(self, app, cap_per_rank):
+        trace = trace_for(app)
+        cap = cap_per_rank * app.n_ranks
+        res = solve_fixed_order_lp(trace, cap)
+        if not res.feasible:
+            return
+        for act in res.events.active.values():
+            total = sum(
+                res.schedule.assignments[trace.edge_refs[e]].power_w
+                for e in act
+            )
+            assert total <= cap * (1 + 1e-6)
+
+    @given(app=apps, cap_per_rank=st.floats(25.0, 80.0))
+    @settings(max_examples=15, deadline=None)
+    def test_fractions_valid(self, app, cap_per_rank):
+        trace = trace_for(app)
+        res = solve_fixed_order_lp(trace, cap_per_rank * app.n_ranks)
+        if not res.feasible:
+            return
+        for a in res.schedule.assignments.values():
+            total = sum(f for _, f in a.mixture)
+            assert total == pytest.approx(1.0)
+            assert all(f > 0 for _, f in a.mixture)
+
+    @given(app=apps, cap_per_rank=st.floats(30.0, 80.0))
+    @settings(max_examples=10, deadline=None)
+    def test_floor_rounding_power_never_above_lp(self, app, cap_per_rank):
+        trace = trace_for(app)
+        res = solve_fixed_order_lp(trace, cap_per_rank * app.n_ranks)
+        if not res.feasible:
+            return
+        disc = round_schedule(trace, res.schedule, mode="floor")
+        for ref, a in disc.assignments.items():
+            cont = res.schedule.assignments[ref]
+            frontier_min = min(
+                p.power_w for p in trace.frontiers[a.edge_id]
+            )
+            assert (
+                a.power_w <= cont.power_w + 1e-9
+                or a.power_w == pytest.approx(frontier_min)
+            )

@@ -1,0 +1,75 @@
+"""Property-based roundtrip tests for schedule and application I/O."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    round_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+    solve_fixed_order_lp,
+)
+from repro.machine import SocketPowerModel
+from repro.simulator import (
+    application_from_dict,
+    application_to_dict,
+    trace_application,
+)
+from repro.workloads import random_application
+
+apps = st.builds(
+    random_application,
+    n_ranks=st.integers(1, 4),
+    iterations=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+    p_p2p=st.floats(0.0, 1.0),
+)
+
+
+class TestApplicationRoundtrip:
+    @given(app=apps)
+    @settings(max_examples=40, deadline=None)
+    def test_ops_identical(self, app):
+        back = application_from_dict(application_to_dict(app))
+        assert back.n_ranks == app.n_ranks
+        assert back.iterations == app.iterations
+        for pa, pb in zip(app.programs, back.programs):
+            assert pa == pb
+
+    @given(app=apps)
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_traces_identically(self, app):
+        models = [SocketPowerModel() for _ in range(app.n_ranks)]
+        back = application_from_dict(application_to_dict(app))
+        ta = trace_application(app, models)
+        tb = trace_application(back, models)
+        assert ta.graph.n_edges == tb.graph.n_edges
+        assert set(ta.task_edges) == set(tb.task_edges)
+
+
+class TestScheduleRoundtrip:
+    @given(app=apps, cap_per_rank=st.floats(30.0, 90.0),
+           mode=st.sampled_from(["continuous", "nearest", "floor"]))
+    @settings(max_examples=15, deadline=None)
+    def test_any_schedule_roundtrips(self, app, cap_per_rank, mode):
+        models = [
+            SocketPowerModel(efficiency=1.0 + 0.02 * r)
+            for r in range(app.n_ranks)
+        ]
+        trace = trace_application(app, models)
+        res = solve_fixed_order_lp(trace, cap_per_rank * app.n_ranks)
+        if not res.feasible:
+            return
+        sched = res.schedule
+        if mode != "continuous":
+            sched = round_schedule(trace, sched, mode=mode)
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back.kind == sched.kind
+        assert back.objective_s == pytest.approx(sched.objective_s)
+        assert back.config_map() == sched.config_map()
+        for ref, a in sched.assignments.items():
+            b = back.assignments[ref]
+            assert b.duration_s == pytest.approx(a.duration_s)
+            assert b.power_w == pytest.approx(a.power_w)
+            assert len(b.mixture) == len(a.mixture)

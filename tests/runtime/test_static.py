@@ -1,0 +1,64 @@
+"""Unit tests for the Static baseline."""
+
+import pytest
+
+from repro.machine import SocketPowerModel, XEON_E5_2670
+from repro.runtime import StaticPolicy
+from repro.simulator import Engine, TaskRef, job_power_timeline
+
+from ..conftest import make_p2p_app
+
+
+class TestStaticPolicy:
+    def test_uniform_split(self, two_rank_models):
+        policy = StaticPolicy(two_rank_models, job_cap_w=100.0)
+        assert policy.cap_per_socket_w == pytest.approx(50.0)
+
+    def test_invalid_cap(self, two_rank_models):
+        with pytest.raises(ValueError):
+            StaticPolicy(two_rank_models, job_cap_w=0.0)
+
+    def test_invalid_threads(self, two_rank_models):
+        with pytest.raises(ValueError):
+            StaticPolicy(two_rank_models, 100.0, threads=99)
+
+    def test_full_concurrency_default(self, two_rank_models, kernel):
+        policy = StaticPolicy(two_rank_models, 100.0)
+        cfg = policy.configure(TaskRef(0, 0), kernel, 0, None)
+        assert cfg.threads == XEON_E5_2670.cores
+
+    def test_no_software_overheads(self, two_rank_models):
+        policy = StaticPolicy(two_rank_models, 100.0)
+        assert policy.switch_cost_s() == 0.0
+        assert policy.on_pcontrol(0, []) == 0.0
+
+    def test_leaky_socket_gets_lower_frequency(self, kernel):
+        models = [SocketPowerModel(efficiency=0.95),
+                  SocketPowerModel(efficiency=1.12)]
+        policy = StaticPolicy(models, 60.0)
+        f0 = policy.configure(TaskRef(0, 0), kernel, 0, None).effective_freq_ghz
+        f1 = policy.configure(TaskRef(1, 0), kernel, 0, None).effective_freq_ghz
+        assert f1 < f0
+
+    def test_generous_cap_runs_fmax(self, two_rank_models, kernel):
+        policy = StaticPolicy(two_rank_models, 400.0)
+        cfg = policy.configure(TaskRef(0, 0), kernel, 0, None)
+        assert cfg.freq_ghz == XEON_E5_2670.fmax_ghz
+
+
+class TestStaticEndToEnd:
+    def test_job_cap_respected(self, two_rank_models, kernel):
+        app = make_p2p_app(kernel, iterations=2)
+        job_cap = 70.0
+        res = Engine(two_rank_models).run(
+            app, StaticPolicy(two_rank_models, job_cap)
+        )
+        tl = job_power_timeline(res, two_rank_models, slack_mode="idle")
+        assert tl.max_power() <= job_cap * 1.001
+
+    def test_lower_cap_is_slower(self, two_rank_models, kernel):
+        app = make_p2p_app(kernel, iterations=2)
+        engine = Engine(two_rank_models)
+        t_low = engine.run(app, StaticPolicy(two_rank_models, 50.0)).makespan_s
+        t_high = engine.run(app, StaticPolicy(two_rank_models, 110.0)).makespan_s
+        assert t_low > t_high

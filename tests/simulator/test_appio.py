@@ -1,0 +1,118 @@
+"""Unit tests for application JSON import/export."""
+
+import json
+
+import pytest
+
+from repro.simulator import (
+    Application,
+    ComputeOp,
+    Engine,
+    MaxPerformancePolicy,
+    application_from_dict,
+    application_to_dict,
+    load_application,
+    save_application,
+)
+from repro.machine import SocketPowerModel
+from repro.workloads import WorkloadSpec, make_comd, make_lulesh
+
+from ..conftest import make_p2p_app
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("maker", [make_comd, make_lulesh])
+    def test_benchmark_roundtrip(self, maker):
+        app = maker(WorkloadSpec(n_ranks=4, iterations=2, seed=1))
+        back = application_from_dict(application_to_dict(app))
+        assert back.name == app.name
+        assert back.n_ranks == app.n_ranks
+        for pa, pb in zip(app.programs, back.programs):
+            assert pa == pb
+
+    def test_p2p_roundtrip(self, kernel):
+        app = make_p2p_app(kernel, iterations=2)
+        back = application_from_dict(application_to_dict(app))
+        for pa, pb in zip(app.programs, back.programs):
+            assert pa == pb
+
+    def test_file_roundtrip_and_execution(self, kernel, two_rank_models,
+                                          tmp_path):
+        app = make_p2p_app(kernel, iterations=1)
+        path = tmp_path / "app.json"
+        save_application(app, path)
+        loaded = load_application(path)
+        a = Engine(two_rank_models).run(app, MaxPerformancePolicy())
+        b = Engine(two_rank_models).run(loaded, MaxPerformancePolicy())
+        assert a.makespan_s == pytest.approx(b.makespan_s)
+
+    def test_json_is_human_editable(self, kernel, tmp_path):
+        app = make_p2p_app(kernel, iterations=1)
+        path = tmp_path / "app.json"
+        save_application(app, path)
+        data = json.loads(path.read_text())
+        assert data["programs"][0][0]["op"] == "compute"
+        assert "cpu_seconds" in data["programs"][0][0]
+
+    def test_metadata_preserved(self):
+        app = make_lulesh(WorkloadSpec(n_ranks=4, iterations=1, seed=1))
+        back = application_from_dict(application_to_dict(app))
+        assert back.metadata["min_cap_per_socket_w"] == 40.0
+
+
+class TestHandAuthored:
+    def test_minimal_document(self):
+        doc = {
+            "format_version": 1,
+            "name": "byo",
+            "iterations": 1,
+            "programs": [
+                [
+                    {"op": "compute", "cpu_seconds": 1.0},
+                    {"op": "send", "dst": 1, "size_bytes": 64},
+                    {"op": "pcontrol", "iteration": 0},
+                ],
+                [
+                    {"op": "recv", "src": 0},
+                    {"op": "compute", "cpu_seconds": 0.5, "mem_seconds": 0.2},
+                    {"op": "pcontrol", "iteration": 0},
+                ],
+            ],
+        }
+        app = application_from_dict(doc)
+        assert app.n_tasks() == 2
+        models = [SocketPowerModel(), SocketPowerModel()]
+        res = Engine(models).run(app, MaxPerformancePolicy())
+        assert res.makespan_s > 0
+
+    def test_defaults_applied(self):
+        doc = {
+            "format_version": 1,
+            "name": "x",
+            "programs": [[{"op": "compute", "cpu_seconds": 1.0}]],
+        }
+        app = application_from_dict(doc)
+        op = app.programs[0][0]
+        assert isinstance(op, ComputeOp)
+        assert op.kernel.parallel_fraction == 0.99  # TaskKernel default
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError, match="version"):
+            application_from_dict({"format_version": 2, "name": "x",
+                                   "programs": [[]]})
+
+    def test_unknown_op(self):
+        doc = {"format_version": 1, "name": "x",
+               "programs": [[{"op": "teleport"}]]}
+        with pytest.raises(ValueError, match="unknown op"):
+            application_from_dict(doc)
+
+    def test_invalid_program_rejected_at_load(self):
+        doc = {
+            "format_version": 1, "name": "x",
+            "programs": [
+                [{"op": "wait", "request": 1}],  # wait without irecv
+            ],
+        }
+        with pytest.raises(ValueError):
+            application_from_dict(doc)

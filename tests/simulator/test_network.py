@@ -1,0 +1,75 @@
+"""Unit tests for the interconnect model."""
+
+import math
+
+import pytest
+
+from repro.simulator import IB_QDR, NetworkModel
+
+
+class TestPointToPoint:
+    def test_zero_size_is_latency(self):
+        assert IB_QDR.message_time(0) == pytest.approx(IB_QDR.latency_s)
+
+    def test_linear_in_size(self):
+        """The paper weighs message edges by a linear function of size."""
+        t1 = IB_QDR.message_time(1 << 20)
+        t2 = IB_QDR.message_time(2 << 20)
+        assert (t2 - IB_QDR.latency_s) == pytest.approx(
+            2 * (t1 - IB_QDR.latency_s)
+        )
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            IB_QDR.message_time(-1)
+
+    def test_qdr_magnitudes(self):
+        # A 1 MiB message on QDR takes a few hundred microseconds.
+        t = IB_QDR.message_time(1 << 20)
+        assert 1e-4 < t < 1e-3
+
+
+class TestCollectives:
+    def test_single_rank_free(self):
+        assert IB_QDR.collective_time("allreduce", 1) == 0.0
+
+    def test_logarithmic_scaling(self):
+        t8 = IB_QDR.collective_time("barrier", 8)
+        t64 = IB_QDR.collective_time("barrier", 64)
+        assert t64 == pytest.approx(t8 * 2)  # log2(64)/log2(8)
+
+    def test_allreduce_twice_bcast(self):
+        assert IB_QDR.collective_time("allreduce", 16, 64) == pytest.approx(
+            2 * IB_QDR.collective_time("bcast", 16, 64)
+        )
+
+    def test_alltoall_linear_in_ranks(self):
+        t4 = IB_QDR.collective_time("alltoall", 4, 8)
+        t8 = IB_QDR.collective_time("alltoall", 8, 8)
+        assert t8 == pytest.approx(t4 * 7 / 3)
+
+    def test_non_power_of_two_rounds_up(self):
+        t9 = IB_QDR.collective_time("barrier", 9)
+        assert t9 == pytest.approx(math.ceil(math.log2(9)) * IB_QDR.latency_s)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            IB_QDR.collective_time("gossip", 8)
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            IB_QDR.collective_time("barrier", 0)
+
+
+class TestValidation:
+    def test_negative_latency(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_s=-1.0)
+
+    def test_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_Bps=0.0)
+
+    def test_custom_model(self):
+        slow = NetworkModel(latency_s=1e-3, bandwidth_Bps=1e6)
+        assert slow.message_time(1000) == pytest.approx(2e-3)

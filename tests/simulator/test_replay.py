@@ -1,0 +1,93 @@
+"""Unit tests for LP-schedule replay."""
+
+import pytest
+
+from repro.machine import Configuration, TaskKernel
+from repro.simulator import (
+    Application,
+    ComputeOp,
+    ReplayPolicy,
+    TaskRef,
+    replay_schedule,
+)
+
+from .. import conftest
+
+
+def full_assignment(app, config):
+    return {
+        TaskRef(r, s): config
+        for r in range(app.n_ranks)
+        for s in range(len(app.compute_ops(r)))
+    }
+
+
+class TestReplayPolicy:
+    def test_missing_first_task_raises(self, kernel):
+        policy = ReplayPolicy({})
+        with pytest.raises(KeyError):
+            policy.configure(TaskRef(0, 0), kernel, 0, None)
+
+    def test_assigned_config_used(self, kernel):
+        cfg = Configuration(1.8, 6)
+        policy = ReplayPolicy({TaskRef(0, 0): cfg})
+        assert policy.configure(TaskRef(0, 0), kernel, 0, None) == cfg
+
+    def test_short_task_keeps_current(self):
+        """The paper's 1 ms threshold: don't pay 145 us to switch for a
+        task shorter than 1 ms."""
+        tiny = TaskKernel(cpu_seconds=1e-4, name="tiny")
+        current = Configuration(2.6, 8)
+        target = Configuration(1.2, 8)
+        policy = ReplayPolicy({TaskRef(0, 1): target})
+        assert policy.configure(TaskRef(0, 1), tiny, 0, current) == current
+
+    def test_long_task_switches(self, kernel):
+        current = Configuration(2.6, 8)
+        target = Configuration(1.2, 8)
+        policy = ReplayPolicy({TaskRef(0, 1): target})
+        assert policy.configure(TaskRef(0, 1), kernel, 0, current) == target
+
+    def test_unassigned_task_inherits(self, kernel):
+        current = Configuration(2.0, 4)
+        policy = ReplayPolicy({TaskRef(0, 0): current})
+        assert policy.configure(TaskRef(0, 5), kernel, 0, current) == current
+
+    def test_switch_cost(self):
+        assert ReplayPolicy({}).switch_cost_s() == pytest.approx(145e-6)
+
+
+class TestReplaySchedule:
+    def test_cap_verification(self, kernel, two_rank_models):
+        app = conftest.make_p2p_app(kernel)
+        asg = full_assignment(app, Configuration(2.6, 8))
+        out = replay_schedule(app, asg, two_rank_models, cap_w=1000.0)
+        assert out.cap_respected
+        assert out.makespan_s > 0
+        tight = replay_schedule(
+            app, asg, two_rank_models, cap_w=out.peak_power_w * 0.5
+        )
+        assert not tight.cap_respected
+
+    def test_lower_power_schedule_is_slower(self, kernel, two_rank_models):
+        app = conftest.make_p2p_app(kernel)
+        fast = replay_schedule(
+            app, full_assignment(app, Configuration(2.6, 8)),
+            two_rank_models, cap_w=1000.0,
+        )
+        slow = replay_schedule(
+            app, full_assignment(app, Configuration(1.2, 8)),
+            two_rank_models, cap_w=1000.0,
+        )
+        assert slow.makespan_s > fast.makespan_s
+        assert slow.peak_power_w < fast.peak_power_w
+
+    def test_switch_overhead_counted(self, kernel, two_rank_models):
+        app = conftest.make_p2p_app(kernel)
+        asg = full_assignment(app, Configuration(2.6, 8))
+        # Alternate configurations per task to force switches.
+        for ref in asg:
+            if ref.seq % 2 == 1:
+                asg[ref] = Configuration(2.0, 8)
+        out = replay_schedule(app, asg, two_rank_models, cap_w=1000.0)
+        assert out.result.dvfs_switch_count > 0

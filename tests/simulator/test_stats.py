@@ -1,0 +1,103 @@
+"""Unit tests for simulation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Configuration, TaskKernel
+from repro.simulator import (
+    Engine,
+    MaxPerformancePolicy,
+    TaskRecord,
+    TaskRef,
+    imbalance_factor,
+    iteration_stats,
+    power_utilization,
+)
+from repro.runtime import StaticPolicy
+from repro.workloads import imbalanced_collective_app
+
+from ..conftest import make_p2p_app
+
+
+def rec(rank, seq, start, dur, power=30.0, it=0):
+    return TaskRecord(
+        ref=TaskRef(rank, seq), iteration=it, label="",
+        config=Configuration(2.6, 8), start_s=start, duration_s=dur,
+        power_w=power, kernel=TaskKernel(cpu_seconds=dur),
+    )
+
+
+class TestIterationStats:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            iteration_stats([], 2)
+
+    def test_reductions(self):
+        records = [
+            rec(0, 0, 0.0, 1.0, power=25.0),
+            rec(0, 1, 1.5, 0.5, power=35.0),
+            rec(1, 0, 0.0, 2.5, power=30.0),
+        ]
+        s = iteration_stats(records, 2)
+        np.testing.assert_allclose(s.busy_s, [1.5, 2.5])
+        np.testing.assert_allclose(s.arrival_s, [2.0, 2.5])
+        assert s.barrier_s == 2.5
+        assert s.critical_rank == 1
+        np.testing.assert_allclose(s.earliness_s, [0.5, 0.0])
+        np.testing.assert_allclose(s.peak_task_power_w, [35.0, 30.0])
+        assert s.energy_j[0] == pytest.approx(25.0 + 17.5)
+        assert s.imbalance() == pytest.approx(2.5 / 2.0)
+
+    def test_iteration_filter(self):
+        records = [rec(0, 0, 0.0, 1.0, it=0), rec(0, 1, 2.0, 3.0, it=1),
+                   rec(1, 0, 0.0, 1.0, it=0), rec(1, 1, 2.0, 1.0, it=1)]
+        s = iteration_stats(records, 2, iteration=1)
+        assert s.iteration == 1
+        np.testing.assert_allclose(s.busy_s, [3.0, 1.0])
+
+
+class TestImbalanceFactor:
+    def test_balanced_app_near_one(self, kernel, two_rank_models):
+        app = make_p2p_app(kernel, iterations=1)
+        res = Engine(two_rank_models).run(app, MaxPerformancePolicy())
+        f = imbalance_factor(res, 0)
+        assert 1.0 <= f < 1.5
+
+    def test_imbalanced_app_reflects_spread(self):
+        from repro.experiments import make_power_models
+
+        app = imbalanced_collective_app(n_ranks=4, iterations=1, spread=1.5)
+        models = make_power_models(4)
+        res = Engine(models).run(app, MaxPerformancePolicy())
+        assert imbalance_factor(res, 0) > 1.15  # spread 1.5 -> max/mean = 1.2
+
+
+class TestPowerUtilization:
+    def test_bounds(self, kernel, two_rank_models):
+        app = make_p2p_app(kernel, iterations=2)
+        res = Engine(two_rank_models).run(
+            app, StaticPolicy(two_rank_models, 70.0)
+        )
+        u = power_utilization(res, two_rank_models, 70.0)
+        assert 0.0 < u <= 1.0
+
+    def test_tighter_cap_raises_utilization(self, kernel, two_rank_models):
+        """Under a loose cap most of the budget is headroom; a tight cap
+        is mostly consumed."""
+        app = make_p2p_app(kernel, iterations=2)
+        engine = Engine(two_rank_models)
+        tight = power_utilization(
+            engine.run(app, StaticPolicy(two_rank_models, 55.0)),
+            two_rank_models, 55.0,
+        )
+        loose = power_utilization(
+            engine.run(app, StaticPolicy(two_rank_models, 160.0)),
+            two_rank_models, 160.0,
+        )
+        assert tight > loose
+
+    def test_validation(self, kernel, two_rank_models):
+        app = make_p2p_app(kernel, iterations=1)
+        res = Engine(two_rank_models).run(app, MaxPerformancePolicy())
+        with pytest.raises(ValueError):
+            power_utilization(res, two_rank_models, 0.0)

@@ -1,0 +1,154 @@
+"""Unit tests for power telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Configuration
+from repro.simulator import (
+    Application,
+    ComputeOp,
+    Engine,
+    PcontrolOp,
+    PowerTimeline,
+    job_power_timeline,
+    verify_power_cap,
+)
+
+from .. import conftest
+
+
+class FixedPolicy:
+    def __init__(self, config=Configuration(2.6, 8)):
+        self.config = config
+
+    def configure(self, ref, kernel, iteration, current):
+        return self.config
+
+    def on_pcontrol(self, iteration, records):
+        return 0.0
+
+    def switch_cost_s(self):
+        return 0.0
+
+
+class TestPowerTimeline:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PowerTimeline(times=np.array([0.0, 1.0]), power=np.array([1.0, 2.0]))
+
+    def test_stats(self):
+        tl = PowerTimeline(
+            times=np.array([0.0, 1.0, 3.0]), power=np.array([10.0, 20.0])
+        )
+        assert tl.max_power() == 20.0
+        assert tl.average_power() == pytest.approx((10 + 2 * 20) / 3)
+        assert tl.energy_j() == pytest.approx(50.0)
+
+    def test_power_at(self):
+        tl = PowerTimeline(
+            times=np.array([0.0, 1.0, 3.0]), power=np.array([10.0, 20.0])
+        )
+        assert tl.power_at(0.5) == 10.0
+        assert tl.power_at(1.0) == 20.0
+        assert tl.power_at(2.9) == 20.0
+        assert tl.power_at(-1.0) == 0.0
+        assert tl.power_at(3.0) == 0.0
+
+
+class TestJobTimeline:
+    def test_parallel_tasks_sum(self, kernel, two_rank_models):
+        app = Application(
+            "t", [[ComputeOp(kernel)], [ComputeOp(kernel)]]
+        )
+        engine = Engine(two_rank_models, mpi_call_overhead_s=0.0)
+        res = engine.run(app, FixedPolicy())
+        tl = job_power_timeline(res, two_rank_models)
+        expected = sum(r.power_w for r in res.records)
+        assert tl.max_power() == pytest.approx(expected)
+
+    def test_task_slack_mode_holds_power(self, kernel, two_rank_models):
+        """With slack_mode='task' a rank's power stays at the previous
+        task's level while it waits — the LP formulation's assumption."""
+        app = Application(
+            "t",
+            [[ComputeOp(kernel, 0), PcontrolOp(0)],
+             [ComputeOp(kernel.scaled(3.0), 0), PcontrolOp(0)]],
+        )
+        engine = Engine(two_rank_models, mpi_call_overhead_s=0.0)
+        res = engine.run(app, FixedPolicy())
+        tl_task = job_power_timeline(res, two_rank_models, slack_mode="task")
+        tl_idle = job_power_timeline(res, two_rank_models, slack_mode="idle")
+        # Mid-slack instant: after rank 0's task, before rank 1 finishes.
+        t_probe = 0.9 * max(r.end_s for r in res.records)
+        assert tl_task.power_at(t_probe) > tl_idle.power_at(t_probe)
+
+    def test_energy_conserved_idle_mode(self, kernel, two_rank_models):
+        app = conftest.make_p2p_app(kernel)
+        res = Engine(two_rank_models).run(app, FixedPolicy())
+        tl = job_power_timeline(res, two_rank_models, slack_mode="idle")
+        task_energy = res.total_energy_j()
+        idle_energy = sum(
+            pm.idle_power() for pm in two_rank_models
+        ) * res.makespan_s - sum(
+            pm.idle_power() * r.duration_s
+            for pm, recs in zip(two_rank_models, res.records_by_rank())
+            for r in recs
+        )
+        assert tl.energy_j() == pytest.approx(task_energy + idle_energy, rel=1e-6)
+
+    def test_invalid_slack_mode(self, kernel, two_rank_models):
+        app = conftest.make_p2p_app(kernel)
+        res = Engine(two_rank_models).run(app, FixedPolicy())
+        with pytest.raises(ValueError):
+            job_power_timeline(res, two_rank_models, slack_mode="bogus")
+
+    def test_model_count_checked(self, kernel, two_rank_models):
+        app = conftest.make_p2p_app(kernel)
+        res = Engine(two_rank_models).run(app, FixedPolicy())
+        with pytest.raises(ValueError):
+            job_power_timeline(res, two_rank_models[:1])
+
+
+class TestVerifyCap:
+    def test_pass_and_fail(self, kernel, two_rank_models):
+        app = conftest.make_p2p_app(kernel)
+        res = Engine(two_rank_models).run(app, FixedPolicy())
+        ok, peak = verify_power_cap(res, two_rank_models, cap_w=1000.0)
+        assert ok and peak < 1000.0
+        bad, peak2 = verify_power_cap(res, two_rank_models, cap_w=peak / 2)
+        assert not bad
+        assert peak2 == pytest.approx(peak)
+
+
+class TestRankTimeline:
+    def test_sums_to_job_timeline(self, kernel, two_rank_models):
+        from repro.simulator import rank_power_timeline
+
+        app = conftest.make_p2p_app(kernel)
+        res = Engine(two_rank_models).run(app, FixedPolicy())
+        job = job_power_timeline(res, two_rank_models)
+        r0 = rank_power_timeline(res, two_rank_models, 0)
+        r1 = rank_power_timeline(res, two_rank_models, 1)
+        for t in [0.1 * job.times[-1] * k for k in range(1, 10)]:
+            assert r0.power_at(t) + r1.power_at(t) == pytest.approx(
+                job.power_at(t), rel=1e-9, abs=1e-9
+            )
+
+    def test_rank_bounds(self, kernel, two_rank_models):
+        from repro.simulator import rank_power_timeline
+
+        app = conftest.make_p2p_app(kernel)
+        res = Engine(two_rank_models).run(app, FixedPolicy())
+        with pytest.raises(ValueError):
+            rank_power_timeline(res, two_rank_models, 5)
+
+    def test_rank_peak_is_its_task_power(self, kernel, two_rank_models):
+        from repro.simulator import rank_power_timeline
+
+        app = conftest.make_p2p_app(kernel)
+        res = Engine(two_rank_models).run(app, FixedPolicy())
+        r1 = rank_power_timeline(res, two_rank_models, 1)
+        peak_task = max(
+            r.power_w for r in res.records if r.ref.rank == 1
+        )
+        assert r1.max_power() == pytest.approx(peak_task)

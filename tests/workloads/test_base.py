@@ -1,0 +1,75 @@
+"""Unit tests for workload generator machinery."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import WorkloadSpec, dynamic_jitter, static_imbalance
+from repro.workloads.base import WorkloadBuilder
+
+
+class TestWorkloadSpec:
+    def test_defaults_match_paper(self):
+        spec = WorkloadSpec()
+        assert spec.n_ranks == 32  # 32 processes x 8 cores = 256 cores
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"n_ranks": 0}, {"iterations": 0}, {"scale": 0.0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**kwargs)
+
+
+class TestStaticImbalance:
+    def test_mean_one(self):
+        rng = np.random.default_rng(0)
+        f = static_imbalance(32, 2.0, rng)
+        assert f.mean() == pytest.approx(1.0)
+
+    def test_spread_realized(self):
+        rng = np.random.default_rng(0)
+        f = static_imbalance(32, 3.0, rng)
+        assert f.max() / f.min() == pytest.approx(3.0, rel=0.05)
+
+    def test_unit_spread_uniform(self):
+        rng = np.random.default_rng(0)
+        np.testing.assert_allclose(static_imbalance(8, 1.0, rng), 1.0)
+
+    def test_invalid_spread(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            static_imbalance(8, 0.5, rng)
+
+    def test_deterministic(self):
+        a = static_imbalance(16, 2.0, np.random.default_rng(7))
+        b = static_imbalance(16, 2.0, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDynamicJitter:
+    def test_zero_sigma(self):
+        rng = np.random.default_rng(0)
+        np.testing.assert_allclose(dynamic_jitter(8, 0.0, rng), 1.0)
+
+    def test_spread_scales(self):
+        rng = np.random.default_rng(0)
+        tight = dynamic_jitter(1000, 0.01, np.random.default_rng(1))
+        wide = dynamic_jitter(1000, 0.1, np.random.default_rng(1))
+        assert wide.std() > tight.std()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            dynamic_jitter(8, -0.1, np.random.default_rng(0))
+
+
+class TestWorkloadBuilder:
+    def test_builds_application(self, kernel):
+        from repro.simulator import ComputeOp
+
+        b = WorkloadBuilder(name="x", n_ranks=2)
+        b.add(0, ComputeOp(kernel))
+        b.add_all(lambda r: ComputeOp(kernel))
+        app = b.finish(iterations=1)
+        assert app.n_ranks == 2
+        assert len(app.programs[0]) == 2
+        assert len(app.programs[1]) == 1
