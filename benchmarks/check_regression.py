@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Compare a fresh pytest-benchmark JSON run against the committed baseline.
+
+Fails (exit 1) when any benchmark's representative time regresses by more
+than ``--threshold`` percent.  Because CI machines differ in absolute
+speed, ``--calibrate NAME`` designates one benchmark as a machine-speed
+probe: every fresh time is divided by the probe's fresh/baseline ratio
+before comparison, so only *relative* slowdowns — a benchmark getting
+slower than the machine did — trip the gate.
+
+Usage::
+
+    pytest benchmarks/test_bench_lp_scaling.py --benchmark-only \
+        --benchmark-json=fresh.json
+    python benchmarks/check_regression.py fresh.json
+    python benchmarks/check_regression.py fresh.json --update   # new baseline
+
+Stdlib-only so the gate runs anywhere the tests do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_times(path: Path) -> dict[str, float]:
+    """Map benchmark fullname -> representative seconds (median, else mean)."""
+    doc = json.loads(path.read_text())
+    times: dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        value = stats.get("median", stats.get("mean"))
+        if value is not None:
+            times[bench["fullname"]] = float(value)
+    return times
+
+
+def compare(
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    threshold_pct: float,
+    calibrate: str | None,
+) -> int:
+    scale = 1.0
+    if calibrate is not None:
+        probes = [n for n in baseline if calibrate in n and n in fresh]
+        if not probes:
+            print(
+                f"warning: calibration probe {calibrate!r} not in both runs; "
+                "comparing raw times"
+            )
+        else:
+            ratios = [fresh[n] / baseline[n] for n in probes]
+            scale = sum(ratios) / len(ratios)
+            print(
+                f"machine-speed calibration from {len(probes)} probe(s): "
+                f"fresh/baseline = {scale:.3f}"
+            )
+
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print("error: no benchmarks in common between baseline and fresh run")
+        return 2
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"note: {name} has no baseline yet (run with --update to add)")
+
+    regressions = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'fresh':>10}  {'delta':>8}")
+    for name in shared:
+        base_s = baseline[name]
+        fresh_s = fresh[name] / scale
+        delta_pct = (fresh_s / base_s - 1.0) * 100.0
+        flag = ""
+        if delta_pct > threshold_pct and name != calibrate:
+            flag = "  << REGRESSION"
+            regressions.append((name, delta_pct))
+        print(
+            f"{name:<{width}}  {base_s:>9.4f}s  {fresh_s:>9.4f}s  "
+            f"{delta_pct:>+7.1f}%{flag}"
+        )
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) slower than the "
+            f"{threshold_pct:.0f}% gate:"
+        )
+        for name, delta_pct in regressions:
+            print(f"  {name}: +{delta_pct:.1f}%")
+        return 1
+    print(f"\nOK: no benchmark regressed beyond {threshold_pct:.0f}%")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh", type=Path, help="pytest-benchmark JSON from the current run"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="allowed slowdown in percent (default 25)",
+    )
+    parser.add_argument(
+        "--calibrate",
+        default=None,
+        metavar="NAME",
+        help="benchmark (substring of fullname) used as a machine-speed probe",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="replace the baseline with the fresh run and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.fresh.exists():
+        print(f"error: no benchmark JSON at {args.fresh}")
+        return 2
+
+    if args.update:
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}; create one with --update")
+        return 2
+    return compare(
+        load_times(args.baseline),
+        load_times(args.fresh),
+        args.threshold,
+        args.calibrate,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,6 @@ from repro.core import (
     solve_fixed_order_lp,
 )
 from repro.experiments.runner import make_power_models
-from repro.machine import convex_frontier, pareto_frontier
 from repro.simulator import Trace, trace_application
 from repro.workloads import WorkloadSpec, imbalanced_collective_app, make_comd
 
@@ -196,7 +195,6 @@ def test_ablation_profile_noise_robustness(benchmark, comd_trace):
     percent at 5% noise), supporting the paper's use of measured
     exploration data."""
     engage(benchmark)
-    from repro.core import validate_schedule
     from repro.simulator import trace_application
     from repro.workloads import WorkloadSpec, make_comd
 

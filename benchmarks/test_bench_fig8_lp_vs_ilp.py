@@ -8,6 +8,8 @@ exhibit runs the full 106.
 
 import pytest
 
+from conftest import engage
+
 from repro.experiments import figure8_flow_vs_fixed
 
 
@@ -15,8 +17,6 @@ from repro.experiments import figure8_flow_vs_fixed
 def fig8():
     return figure8_flow_vs_fixed(n_caps=24, time_limit_s=60.0)
 
-
-from conftest import engage
 
 
 def test_fig8_regeneration(benchmark, fig8):

@@ -8,6 +8,8 @@ synchronous reallocation costs 566 us per invocation, amortized across
 
 import pytest
 
+from conftest import engage
+
 from repro.experiments import overheads_summary
 
 
@@ -15,8 +17,6 @@ from repro.experiments import overheads_summary
 def overheads():
     return overheads_summary(n_ranks=8, iterations=12)
 
-
-from conftest import engage
 
 
 def test_overheads_regeneration(benchmark):

@@ -39,7 +39,6 @@ def main() -> None:
                 bench, cap, r.lp_vs_static_pct, r.conductor_vs_static_pct,
                 r.lp_vs_conductor_pct,
             ])
-            key = (bench,)
             if r.lp_vs_static_pct is not None:
                 peak[bench] = max(peak.get(bench, 0.0), r.lp_vs_static_pct)
 

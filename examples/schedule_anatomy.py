@@ -85,7 +85,7 @@ def main() -> None:
     # the light ranks while the heavy rank starves.
     static_res = Engine(sockets).run(app, StaticPolicy(sockets, cap))
     tl_static = job_power_timeline(static_res, sockets)
-    print(f"\nStatic at the same cap "
+    print("\nStatic at the same cap "
           f"({static_res.makespan_s / outcome.makespan_s:.2f}x slower):")
     print(power_profile_ascii(tl_static, cap_w=cap, width=64, height=10))
 

@@ -19,7 +19,7 @@ Policies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["JobRequest", "JobAllocation", "partition_power"]
 

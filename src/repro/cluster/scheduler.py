@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 

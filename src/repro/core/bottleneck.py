@@ -17,9 +17,8 @@ by quantifying, per schedule, how much of the timeline is power-bound.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from ..simulator.program import TaskRef
 from ..simulator.trace import Trace

@@ -30,7 +30,6 @@ from ..dag.graph import VertexKind
 from ..machine.cpu import XEON_E5_2670
 from ..machine.performance import TaskTimeModel
 from ..dag.analysis import unconstrained_schedule
-from ..simulator.program import TaskRef
 from ..simulator.trace import Trace
 from .fixed_order_lp import _extract_schedule
 from .schedule import PowerSchedule

@@ -30,7 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..dag.graph import TaskGraph, VertexKind
+from ..dag.graph import VertexKind
+from ..exec.timing import span
 from ..machine.configuration import ConfigPoint
 from ..machine.cpu import XEON_E5_2670
 from ..machine.performance import TaskTimeModel
@@ -107,13 +108,40 @@ def solve_fixed_order_lp(
             f"discrete formulation limited to {MAX_DISCRETE_TASKS} tasks "
             f"(got {len(trace.task_edges)}); solve continuously and round"
         )
-    if events is None:
-        events = build_event_structure(graph, TaskTimeModel(XEON_E5_2670))
+    with span("assemble"):
+        if events is None:
+            events = build_event_structure(graph, TaskTimeModel(XEON_E5_2670))
 
-    # The discrete variant selects one configuration outright, so convexity
-    # is unnecessary and the (larger) full Pareto set is strictly better.
-    frontiers = trace.pareto if discrete else trace.frontiers
+        # The discrete variant selects one configuration outright, so
+        # convexity is unnecessary and the (larger) full Pareto set is
+        # strictly better.
+        frontiers = trace.pareto if discrete else trace.frontiers
+        lp, v_idx, c_idx, fin_id = _assemble_lp(
+            trace, frontiers, events, cap_w, power_tiebreak, discrete
+        )
 
+    with span("solve"):
+        solution = lp.solve(time_limit_s=time_limit_s)
+    if solution.status is not LpStatus.OPTIMAL:
+        return FixedOrderLpResult(schedule=None, solution=solution, events=events)
+
+    schedule = _extract_schedule(
+        trace, cap_w, solution, lp, v_idx, c_idx, fin_id,
+        frontiers=frontiers, kind="discrete" if discrete else "continuous",
+    )
+    return FixedOrderLpResult(schedule=schedule, solution=solution, events=events)
+
+
+def _assemble_lp(
+    trace: Trace,
+    frontiers: dict[int, list[ConfigPoint]],
+    events: EventStructure,
+    cap_w: float,
+    power_tiebreak: float,
+    discrete: bool,
+) -> tuple[LinearProgram, list[int], dict[int, list[int]], int]:
+    """Build the LP rows/columns (eqs. 1-13); returns variable indexes."""
+    graph = trace.graph
     lp = LinearProgram(name=f"fixed-order-{trace.app.name}")
 
     # Vertex time variables (eq. 2: Init fixed at 0 via bounds).
@@ -195,16 +223,7 @@ def solve_fixed_order_lp(
                     power_tiebreak * point.power_w
                 )
     lp.set_objective(objective)
-
-    solution = lp.solve(time_limit_s=time_limit_s)
-    if solution.status is not LpStatus.OPTIMAL:
-        return FixedOrderLpResult(schedule=None, solution=solution, events=events)
-
-    schedule = _extract_schedule(
-        trace, cap_w, solution, lp, v_idx, c_idx, fin_id,
-        frontiers=frontiers, kind="discrete" if discrete else "continuous",
-    )
-    return FixedOrderLpResult(schedule=schedule, solution=solution, events=events)
+    return lp, v_idx, c_idx, fin_id
 
 
 def _extract_schedule(

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..dag.graph import TaskGraph, VertexKind
+from ..exec.timing import span
 from ..machine.configuration import ConfigPoint
 from ..simulator.program import TaskRef
 from ..simulator.trace import Trace
@@ -110,7 +111,6 @@ def solve_flow_ilp(
         )
 
     tasks = [e.id for e in graph.compute_edges()]
-    n_tasks = len(tasks)
     source, sink = -1, -2  # synthetic ids (paper's 0 and N+1)
     a0 = [source] + tasks          # A0   = A ∪ {0}
     an1 = tasks + [sink]           # AN+1 = A ∪ {N+1}
@@ -296,7 +296,8 @@ def solve_flow_ilp(
                 )
     lp.set_objective(objective)
 
-    solution = lp.solve(time_limit_s=time_limit_s)
+    with span("solve"):
+        solution = lp.solve(time_limit_s=time_limit_s)
     if solution.status is not LpStatus.OPTIMAL:
         return FlowIlpResult(schedule=None, solution=solution)
 

@@ -11,7 +11,7 @@ build linear in the number of nonzeros (the event-power constraints of a
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.optimize as sopt

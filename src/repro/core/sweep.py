@@ -9,6 +9,7 @@ caps) this saves the dominant share of the harness's Python-side time.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from ..machine.cpu import XEON_E5_2670
@@ -55,14 +56,28 @@ def solve_cap_sweep(
     caps_w: list[float] | tuple[float, ...],
     events: EventStructure | None = None,
     power_tiebreak: float = 1e-9,
+    cache=None,
 ) -> CapSweepResult:
-    """Solve the fixed-order LP at every cap, reusing the event structure."""
+    """Solve the fixed-order LP at every cap, reusing the event structure.
+
+    ``cache`` (a :class:`repro.exec.SolverCache`) memoizes each cap's
+    solution on disk by content address, so repeated sweeps over
+    overlapping cap grids skip already-solved caps entirely.
+    """
     if not caps_w:
         raise ValueError("need at least one cap")
+    if cache is not None:
+        # Imported here: repro.exec.cache sits above repro.core in the
+        # layering (it imports this package's siblings).
+        from ..exec.cache import cached_solve_fixed_order_lp
+
+        solve = functools.partial(cached_solve_fixed_order_lp, cache=cache)
+    else:
+        solve = solve_fixed_order_lp
     if events is None:
         events = build_event_structure(trace.graph, TaskTimeModel(XEON_E5_2670))
     results = {
-        float(cap): solve_fixed_order_lp(
+        float(cap): solve(
             trace, float(cap), events=events, power_tiebreak=power_tiebreak
         )
         for cap in caps_w

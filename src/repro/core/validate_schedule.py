@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..dag.analysis import DagSchedule, schedule_fixed_durations
+from ..dag.analysis import DagSchedule
 from ..simulator.trace import Trace
 from .events import build_event_structure
 from .schedule import PowerSchedule

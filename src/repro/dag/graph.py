@@ -15,7 +15,7 @@ start simultaneously — the synchronization semantics of an MPI collective.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..machine.performance import TaskKernel
 

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..machine.configuration import ConfigPoint
 from .analysis import DagSchedule, schedule_fixed_durations
-from .graph import TaskGraph, VertexKind
+from .graph import TaskGraph
 
 __all__ = ["reduce_slack", "stretch_limits", "latest_finish_times"]
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from .graph import TaskGraph, VertexKind
+from .graph import TaskGraph
 
 __all__ = ["deep_validate", "to_networkx"]
 

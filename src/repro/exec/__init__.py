@@ -1,0 +1,85 @@
+"""Execution subsystem: parallel fan-out, solver caching, telemetry.
+
+Every paper figure is a sweep of independent, fully seeded cells; this
+package makes those sweeps parallel and incremental without changing what
+they compute:
+
+``repro.exec.timing``
+    Phase spans (trace / assemble / solve / replay) and counters,
+    activated per-context so the uninstrumented cost stays measurable.
+``repro.exec.keys``
+    Canonical serialization + SHA-256 content addressing of model inputs.
+``repro.exec.cache``
+    On-disk memoization of LP solutions and comparison cells, with
+    versioned invalidation and exact (bit-identical) round trips.
+``repro.exec.parallel``
+    Ordered process-pool map with per-task timeout, retry, and a serial
+    fallback.
+``repro.exec.options``
+    Ambient workers/cache configuration consumed by the sweep layer.
+
+Submodules are imported lazily: low-level packages (``repro.core``,
+``repro.simulator``) import ``repro.exec.timing`` for instrumentation,
+while ``repro.exec.cache`` imports ``repro.core`` — eager re-exports here
+would turn that layering into an import cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Telemetry",
+    "current_telemetry",
+    "use_telemetry",
+    "span",
+    "count",
+    "SolverCache",
+    "cached_solve_fixed_order_lp",
+    "solver_key",
+    "experiment_key",
+    "trace_fingerprint",
+    "machine_fingerprint",
+    "ParallelRunner",
+    "ParallelExecutionError",
+    "resolve_workers",
+    "ExecutionOptions",
+    "get_execution_options",
+    "set_execution_options",
+    "execution_options",
+]
+
+_EXPORTS = {
+    "Telemetry": "timing",
+    "current_telemetry": "timing",
+    "use_telemetry": "timing",
+    "span": "timing",
+    "count": "timing",
+    "SolverCache": "cache",
+    "cached_solve_fixed_order_lp": "cache",
+    "solver_key": "keys",
+    "experiment_key": "keys",
+    "trace_fingerprint": "keys",
+    "machine_fingerprint": "keys",
+    "ParallelRunner": "parallel",
+    "ParallelExecutionError": "parallel",
+    "resolve_workers": "parallel",
+    "ExecutionOptions": "options",
+    "get_execution_options": "options",
+    "set_execution_options": "options",
+    "execution_options": "options",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

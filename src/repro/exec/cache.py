@@ -1,0 +1,196 @@
+"""Content-addressed on-disk memoization of solver results.
+
+The cache is a directory of JSON files addressed by SHA-256 keys (see
+:mod:`repro.exec.keys`): ``<root>/v<schema>/<key[:2]>/<key>.json``.
+Writes are atomic (temp file + rename), so concurrent workers can share
+one cache directory — at worst two workers compute the same entry and one
+rename wins, which is correct either way because entries are pure
+functions of their key.
+
+Invalidation is versioned twice over: the *key* version changes whenever
+the canonical model documents change (different keys, old entries simply
+never hit), and the *schema* version below changes whenever the payload
+layout changes (old files are ignored and a fresh subdirectory is used).
+
+Round-trip fidelity: floats are serialized via JSON's shortest-repr and
+parsed back exactly, so a cache hit reproduces the solver's
+:class:`~repro.core.solver.LpSolution` and schedule bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..core.fixed_order_lp import FixedOrderLpResult, solve_fixed_order_lp
+from ..core.serialize import schedule_from_dict, schedule_to_dict
+from ..core.solver import LpSolution, LpStatus
+from .keys import solver_key
+from .timing import count
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "SolverCache",
+    "solution_to_dict",
+    "solution_from_dict",
+    "cached_solve_fixed_order_lp",
+]
+
+#: Bump when the payload layout changes; old entries are then ignored.
+CACHE_SCHEMA_VERSION = 1
+
+
+class SolverCache:
+    """A content-addressed JSON store with hit/miss/store accounting."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The payload stored under ``key``, or None on a miss.
+
+        Unreadable, corrupt, or schema-mismatched files count as misses —
+        a damaged cache degrades to recomputation, never to an error.
+        """
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            count("cache.miss")
+            return None
+        if data.get("schema") != CACHE_SCHEMA_VERSION or data.get("key") != key:
+            self.misses += 1
+            count("cache.miss")
+            return None
+        self.hits += 1
+        count("cache.hit")
+        return data["payload"]
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically store ``payload`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"schema": CACHE_SCHEMA_VERSION, "key": key, "payload": payload}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        count("cache.store")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        base = self.root / f"v{CACHE_SCHEMA_VERSION}"
+        if not base.is_dir():
+            return 0
+        return sum(1 for _ in base.glob("*/*.json"))
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+# ----------------------------------------------------------------------
+def solution_to_dict(solution: LpSolution) -> dict:
+    """JSON-safe representation of an LP solution (exact round trip)."""
+    return {
+        "status": solution.status.value,
+        "objective": solution.objective,
+        "x": [float(v) for v in solution.x],
+        "message": solution.message,
+    }
+
+
+def solution_from_dict(data: dict) -> LpSolution:
+    return LpSolution(
+        status=LpStatus(data["status"]),
+        objective=float(data["objective"]),
+        x=np.asarray(data["x"], dtype=float),
+        message=data.get("message", ""),
+    )
+
+
+def _lp_payload(result: FixedOrderLpResult) -> dict:
+    return {
+        "solution": solution_to_dict(result.solution),
+        "schedule": (
+            schedule_to_dict(result.schedule) if result.schedule is not None else None
+        ),
+    }
+
+
+def _lp_from_payload(payload: dict, events) -> FixedOrderLpResult:
+    schedule = payload.get("schedule")
+    return FixedOrderLpResult(
+        schedule=schedule_from_dict(schedule) if schedule is not None else None,
+        solution=solution_from_dict(payload["solution"]),
+        events=events,
+    )
+
+
+def cached_solve_fixed_order_lp(
+    trace,
+    cap_w: float,
+    cache: SolverCache | None = None,
+    events=None,
+    power_tiebreak: float = 1e-9,
+    time_limit_s: float | None = None,
+    discrete: bool = False,
+) -> FixedOrderLpResult:
+    """Memoized :func:`~repro.core.fixed_order_lp.solve_fixed_order_lp`.
+
+    With ``cache=None`` this is a plain pass-through.  On a hit the
+    returned result carries the caller's ``events`` (or None): the event
+    structure is a function of the trace alone and is only needed by
+    callers that iterate further caps, which pass their own.
+    """
+    if cache is None:
+        return solve_fixed_order_lp(
+            trace,
+            cap_w,
+            events=events,
+            power_tiebreak=power_tiebreak,
+            time_limit_s=time_limit_s,
+            discrete=discrete,
+        )
+    key = solver_key(
+        trace,
+        cap_w,
+        formulation="fixed_order_lp",
+        params={
+            "power_tiebreak": power_tiebreak,
+            "time_limit_s": time_limit_s,
+            "discrete": discrete,
+        },
+    )
+    payload = cache.get(key)
+    if payload is not None:
+        return _lp_from_payload(payload, events)
+    result = solve_fixed_order_lp(
+        trace,
+        cap_w,
+        events=events,
+        power_tiebreak=power_tiebreak,
+        time_limit_s=time_limit_s,
+        discrete=discrete,
+    )
+    cache.put(key, _lp_payload(result))
+    return result

@@ -1,0 +1,173 @@
+"""Content-addressed cache keys: canonical serialization + SHA-256.
+
+A cache key is the SHA-256 digest of a canonical JSON document describing
+*everything the solver's answer depends on*: the traced DAG with its
+per-task frontiers, the formulation and its parameters, the power cap,
+and (where relevant) the machine configuration.  Two runs — in different
+processes, on different days — that would pose the same model therefore
+hash to the same key, and *any* change to any model input changes it.
+
+Canonical form: JSON with sorted keys, no whitespace, and floats rendered
+by Python's shortest-round-trip ``repr`` (via ``json``), which is
+deterministic and exact for identical binary values.  Nothing here may
+depend on ``PYTHONHASHSEED`` (no iteration over unordered sets/dicts
+without sorting).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from ..machine.configuration import ConfigPoint
+from ..machine.performance import TaskKernel
+from ..machine.power import SocketPowerModel
+from ..simulator.trace import Trace
+
+__all__ = [
+    "KEY_VERSION",
+    "canonical_json",
+    "digest",
+    "trace_fingerprint",
+    "machine_fingerprint",
+    "solver_key",
+    "experiment_key",
+]
+
+#: Bump to invalidate every existing key when the canonical documents or
+#: the semantics of a cached payload change.
+KEY_VERSION = 1
+
+
+def canonical_json(doc: Any) -> str:
+    """Serialize a document to its canonical (sorted, compact) JSON form."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def digest(doc: Any) -> str:
+    """SHA-256 hex digest of a document's canonical JSON form."""
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+def _kernel_doc(kernel: TaskKernel | None) -> list | None:
+    if kernel is None:
+        return None
+    return [
+        kernel.cpu_seconds,
+        kernel.mem_seconds,
+        kernel.parallel_fraction,
+        kernel.mem_parallel_fraction,
+        kernel.bw_saturation_threads,
+        kernel.contention_threshold,
+        kernel.contention_penalty,
+        kernel.activity,
+        kernel.mem_intensity,
+    ]
+
+
+def _frontier_doc(points: list[ConfigPoint]) -> list[list]:
+    return [
+        [
+            p.config.freq_ghz,
+            p.config.threads,
+            p.config.duty,
+            p.duration_s,
+            p.power_w,
+        ]
+        for p in points
+    ]
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """Digest of a traced application: DAG structure + task measurements.
+
+    Covers the graph (vertices, edges, message durations, kernels), the
+    TaskRef-to-edge correspondence, and both frontier families (convex
+    frontiers feed the LP; the full Pareto sets feed the discrete MILP).
+    The machine configuration enters implicitly: frontier durations and
+    powers are the machine models evaluated on each task's owning socket.
+    """
+    graph = trace.graph
+    doc = {
+        "app": trace.app.name,
+        "n_ranks": graph.n_ranks,
+        "vertices": [[v.id, v.kind.value, v.rank] for v in graph.vertices],
+        "edges": [
+            [
+                e.id,
+                e.src,
+                e.dst,
+                e.kind.value,
+                e.rank,
+                e.duration_s,
+                e.size_bytes,
+                _kernel_doc(e.kernel),
+            ]
+            for e in graph.edges
+        ],
+        "tasks": sorted(
+            [ref.rank, ref.seq, edge_id]
+            for ref, edge_id in trace.task_edges.items()
+        ),
+        "frontiers": [
+            [edge_id, _frontier_doc(trace.frontiers[edge_id])]
+            for edge_id in sorted(trace.frontiers)
+        ],
+        "pareto": [
+            [edge_id, _frontier_doc(trace.pareto[edge_id])]
+            for edge_id in sorted(trace.pareto)
+        ],
+    }
+    return digest(doc)
+
+
+def machine_fingerprint(power_models: list[SocketPowerModel]) -> str:
+    """Digest of a machine: per-socket spec, power params, and efficiency."""
+    doc = [
+        [
+            dataclasses.asdict(pm.spec),
+            dataclasses.asdict(pm.params),
+            pm.efficiency,
+        ]
+        for pm in power_models
+    ]
+    return digest(doc)
+
+
+# ----------------------------------------------------------------------
+def solver_key(
+    trace: Trace,
+    cap_w: float,
+    formulation: str = "fixed_order_lp",
+    params: dict[str, Any] | None = None,
+) -> str:
+    """Cache key for one solver invocation on one traced application."""
+    doc = {
+        "key_version": KEY_VERSION,
+        "formulation": formulation,
+        "cap_w": float(cap_w),
+        "params": dict(sorted((params or {}).items())),
+        "trace": trace_fingerprint(trace),
+    }
+    return digest(doc)
+
+
+def experiment_key(config_doc: dict[str, Any], cap_w: float, **extra: Any) -> str:
+    """Cache key for one (experiment config, cap) comparison cell.
+
+    ``config_doc`` should be the full canonical dictionary of the
+    experiment configuration (e.g. ``dataclasses.asdict(cfg)``) so that
+    any configuration change — seeds, iteration counts, Conductor
+    tunables — produces a different key.
+    """
+    doc = {
+        "key_version": KEY_VERSION,
+        "kind": "comparison",
+        "config": config_doc,
+        "cap_w": float(cap_w),
+        "extra": dict(sorted(extra.items())),
+    }
+    return digest(doc)

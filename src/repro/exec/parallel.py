@@ -1,0 +1,133 @@
+"""Deterministic process-pool fan-out for sweep-shaped experiments.
+
+A cap sweep is embarrassingly parallel: every (workload, cap, seed) cell
+is an independent, fully seeded computation.  :class:`ParallelRunner`
+fans such cells out over a ``ProcessPoolExecutor`` while keeping the
+*results in submission order* — the caller sees exactly the list a serial
+loop would produce, so parallel and serial runs are interchangeable
+byte-for-byte.
+
+Reliability knobs: a per-task timeout (a wedged solver does not hang the
+sweep) and bounded retries (a task that times out or raises is
+resubmitted up to ``retries`` more times before the whole map fails).
+With ``max_workers <= 1`` the runner degrades to a plain in-process loop
+— no pickling, no subprocesses — which is also the benchmark harness's
+measured path.
+
+Telemetry: each worker runs its task under a fresh
+:class:`~repro.exec.timing.Telemetry` and ships the snapshot back with
+the result; the parent folds all snapshots into its own active telemetry,
+so cache hit counters and phase times survive process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Any, Callable, Iterable, Sequence
+
+from .timing import Telemetry, current_telemetry, use_telemetry
+
+__all__ = ["ParallelRunner", "ParallelExecutionError", "resolve_workers"]
+
+
+class ParallelExecutionError(RuntimeError):
+    """A task failed (or timed out) on every allowed attempt."""
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count request: None -> 1, 0 -> all cores."""
+    if workers is None:
+        return 1
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _run_task(fn: Callable[[Any], Any], item: Any) -> tuple[Any, dict]:
+    """Worker-side wrapper: run one task under fresh telemetry."""
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        result = fn(item)
+    return result, telemetry.to_dict()
+
+
+class ParallelRunner:
+    """Ordered, fault-tolerant map over a process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes; ``<= 1`` runs serially in-process (``0`` means
+        one per CPU core, via :func:`resolve_workers`).
+    timeout_s:
+        Per-task wall-clock budget.  None waits forever.  A timed-out
+        task is retried; its abandoned worker finishes (or idles) in the
+        background — ``ProcessPoolExecutor`` cannot interrupt a running
+        call — so timeouts should be generous, a last line of defense.
+    retries:
+        Extra attempts per task after the first failure or timeout.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = 1,
+        timeout_s: float | None = None,
+        retries: int = 1,
+    ) -> None:
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.max_workers = resolve_workers(max_workers)
+        self.timeout_s = timeout_s
+        self.retries = retries
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every item; results in item order.
+
+        ``fn`` and the items must be picklable when ``max_workers > 1``
+        (``fn`` should be a module-level function).
+        """
+        items = list(items)
+        if self.max_workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        return self._map_parallel(fn, items)
+
+    def _map_parallel(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list:
+        results: list[Any] = [None] * len(items)
+        parent = current_telemetry()
+        n_workers = min(self.max_workers, len(items))
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [pool.submit(_run_task, fn, item) for item in items]
+            for i in range(len(items)):
+                attempt = 0
+                while True:
+                    try:
+                        result, snapshot = futures[i].result(timeout=self.timeout_s)
+                        break
+                    except FuturesTimeoutError as exc:
+                        futures[i].cancel()
+                        attempt = self._check_attempts(i, attempt, "timed out", exc)
+                        futures[i] = pool.submit(_run_task, fn, items[i])
+                    except Exception as exc:
+                        attempt = self._check_attempts(i, attempt, "failed", exc)
+                        futures[i] = pool.submit(_run_task, fn, items[i])
+                results[i] = result
+                if parent is not None:
+                    parent.merge(snapshot)
+        return results
+
+    def _check_attempts(
+        self, index: int, attempt: int, what: str, exc: BaseException
+    ) -> int:
+        attempt += 1
+        if attempt > self.retries:
+            raise ParallelExecutionError(
+                f"task {index} {what} on all {attempt} attempt(s): {exc!r}"
+            ) from exc
+        return attempt

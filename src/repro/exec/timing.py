@@ -1,0 +1,150 @@
+"""Phase timing and counter telemetry for experiment execution.
+
+A :class:`Telemetry` object accumulates named wall-clock *spans* (trace,
+assemble, solve, replay, ...) and integer *counters* (cache.hit,
+cache.miss, ...).  Instrumented library code calls :func:`span` /
+:func:`count`, which are no-ops unless a telemetry object has been
+activated for the current context via :func:`use_telemetry` — so the
+benchmark harness keeps measuring the bare, uninstrumented cost.
+
+The module is deliberately stdlib-only: it sits below every other layer
+(``repro.core`` and ``repro.simulator`` import it), so it must not import
+anything from ``repro``.
+
+Parallel workers each activate a fresh Telemetry, serialize it with
+:meth:`Telemetry.to_dict`, and the parent merges the snapshots with
+:meth:`Telemetry.merge` — per-phase times therefore report *aggregate CPU
+seconds across workers*, which can exceed wall-clock time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PhaseStats",
+    "Telemetry",
+    "current_telemetry",
+    "use_telemetry",
+    "span",
+    "count",
+]
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated wall-clock time of one named phase."""
+
+    calls: int = 0
+    total_s: float = 0.0
+
+    def add(self, elapsed_s: float) -> None:
+        self.calls += 1
+        self.total_s += elapsed_s
+
+
+@dataclass
+class Telemetry:
+    """Per-run telemetry: phase spans plus named counters."""
+
+    phases: dict[str, PhaseStats] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def record_span(self, name: str, elapsed_s: float) -> None:
+        self.phases.setdefault(name, PhaseStats()).add(elapsed_s)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def phase_seconds(self, name: str) -> float:
+        stats = self.phases.get(name)
+        return stats.total_s if stats is not None else 0.0
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (the CLI's ``--timings-json`` payload)."""
+        return {
+            "phases": {
+                name: {"calls": s.calls, "total_s": s.total_s}
+                for name, s in sorted(self.phases.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def to_json(self, indent: int | None = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`to_dict` snapshot (e.g. from a worker) into this
+        telemetry."""
+        for name, s in snapshot.get("phases", {}).items():
+            stats = self.phases.setdefault(name, PhaseStats())
+            stats.calls += int(s["calls"])
+            stats.total_s += float(s["total_s"])
+        for name, n in snapshot.get("counters", {}).items():
+            self.count(name, int(n))
+
+    def summary(self) -> str:
+        """Human-readable phase/counter table."""
+        lines = ["timing summary", "--------------"]
+        if self.phases:
+            width = max(len(n) for n in self.phases)
+            for name in sorted(self.phases):
+                s = self.phases[name]
+                lines.append(f"{name:<{width}}  {s.total_s:>9.3f} s  ({s.calls} calls)")
+        else:
+            lines.append("(no phases recorded)")
+        if self.counters:
+            lines.append("")
+            width = max(len(n) for n in self.counters)
+            for name in sorted(self.counters):
+                lines.append(f"{name:<{width}}  {self.counters[name]}")
+        return "\n".join(lines)
+
+
+#: The active telemetry for this context (None = telemetry disabled).
+_current: ContextVar[Telemetry | None] = ContextVar("repro_telemetry", default=None)
+
+
+def current_telemetry() -> Telemetry | None:
+    """The telemetry active in this context, or None when disabled."""
+    return _current.get()
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry):
+    """Activate ``telemetry`` for the duration of the with-block."""
+    token = _current.set(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _current.reset(token)
+
+
+@contextmanager
+def span(name: str):
+    """Time a named phase into the active telemetry (no-op when disabled)."""
+    telemetry = _current.get()
+    if telemetry is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        telemetry.record_span(name, time.perf_counter() - start)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a named counter on the active telemetry (no-op when disabled)."""
+    telemetry = _current.get()
+    if telemetry is not None:
+        telemetry.count(name, n)

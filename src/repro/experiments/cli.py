@@ -18,6 +18,8 @@ import sys
 import time
 from pathlib import Path
 
+from ..exec.options import ExecutionOptions, set_execution_options
+from ..exec.timing import Telemetry, use_telemetry
 from . import figures, tables
 
 __all__ = ["main", "EXHIBITS"]
@@ -75,12 +77,42 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write each exhibit's text to DIR/<name>.txt")
     parser.add_argument("--svg", metavar="DIR", default=None,
                         help="also render figure exhibits to DIR/<name>.svg")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for sweep-shaped exhibits "
+                             "(1 = serial, 0 = one per CPU core)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed solver cache directory "
+                             "(warm entries skip LP solves and replays)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir: solve everything fresh")
+    parser.add_argument("--timings", action="store_true",
+                        help="print per-phase timings and cache counters")
+    parser.add_argument("--timings-json", metavar="FILE", default=None,
+                        help="also write the timing telemetry as JSON")
     args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
+
+    set_execution_options(ExecutionOptions(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    ))
 
     if args.exhibits == ["list"]:
         for name in EXHIBITS:
             print(name)
         return 0
+
+    telemetry = Telemetry()
+
+    def emit_timings() -> None:
+        if args.timings:
+            print(telemetry.summary())
+        if args.timings_json:
+            out = Path(args.timings_json)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(telemetry.to_json() + "\n")
 
     if args.exhibits and args.exhibits[0] == "verify-results":
         if len(args.exhibits) < 2:
@@ -91,13 +123,13 @@ def main(argv: list[str] | None = None) -> int:
         names = args.exhibits[2:] or [
             n for n in EXHIBITS if (Path(ref_dir) / f"{n}.txt").exists()
         ]
-        from pathlib import Path as _P  # noqa: F401 (Path imported below)
-
-        results = {
-            n: EXHIBITS[n](args.quick, args.ranks) for n in names
-        }
+        with use_telemetry(telemetry):
+            results = {
+                n: EXHIBITS[n](args.quick, args.ranks) for n in names
+            }
         report = verify_reference_results(ref_dir, results)
         print(report.summary())
+        emit_timings()
         return 0 if report.ok else 1
 
     names = list(EXHIBITS) if args.exhibits in (["all"], []) else args.exhibits
@@ -116,7 +148,8 @@ def main(argv: list[str] | None = None) -> int:
         svg_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
         t0 = time.time()
-        result = EXHIBITS[name](args.quick, ranks)
+        with use_telemetry(telemetry):
+            result = EXHIBITS[name](args.quick, ranks)
         text = result.render()
         print(text)
         print(f"[{name} regenerated in {time.time() - t0:.1f}s]")
@@ -129,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
             svg = exhibit_to_svg(result)
             if svg is not None:
                 (svg_dir / f"{name}.svg").write_text(svg)
+    emit_timings()
     return 0
 
 

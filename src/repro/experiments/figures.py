@@ -9,12 +9,17 @@ crossovers sit).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import functools
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.fixed_order_lp import solve_fixed_order_lp
 from ..core.flow_ilp import solve_flow_ilp
+from ..exec.cache import SolverCache
+from ..exec.keys import solver_key
+from ..exec.options import get_execution_options
+from ..exec.parallel import ParallelRunner
 from ..machine.configuration import ConfigPoint, measure_task_space
 from ..machine.pareto import convex_frontier, pareto_frontier
 from ..machine.power import SocketPowerModel
@@ -29,7 +34,6 @@ from .runner import (
     ComparisonResult,
     ExperimentConfig,
     make_power_models,
-    run_comparison,
     sweep_caps,
 )
 
@@ -87,7 +91,7 @@ class Figure1Result:
                      round(p.power_w, 1), round(p.duration_s, 4)]
                 )
             elif i == head:
-                rows.append([f"C_i,...", "...", "...", "...", "..."])
+                rows.append(["C_i,...", "...", "...", "...", "..."])
         return rows
 
     def render(self) -> str:
@@ -181,6 +185,38 @@ class Figure8Result:
         )
 
 
+@functools.lru_cache(maxsize=4)
+def _fig8_trace(phases: int):
+    """Figure 8's traced two-rank exchange (memoized per process)."""
+    app = two_rank_exchange(phases=phases)
+    pm = make_power_models(2, efficiency_seed=7, sigma=0.02)
+    return trace_application(app, pm)
+
+
+def _fig8_cell(
+    cell: tuple[float, int, float, str | None],
+) -> tuple[float | None, float | None]:
+    """(fixed LP, flow ILP) makespans at one cap — one fan-out unit."""
+    cap, phases, time_limit_s, cache_root = cell
+    trace = _fig8_trace(phases)
+    cache = SolverCache(cache_root) if cache_root is not None else None
+    if cache is not None:
+        key = solver_key(
+            trace, cap, formulation="fig8_cell",
+            params={"time_limit_s": time_limit_s},
+        )
+        payload = cache.get(key)
+        if payload is not None:
+            return payload["fixed"], payload["flow"]
+    lp = solve_fixed_order_lp(trace, cap)
+    fixed = lp.makespan_s if lp.feasible else None
+    ilp = solve_flow_ilp(trace, cap, time_limit_s=time_limit_s)
+    flow = ilp.makespan_s if ilp.feasible else None
+    if cache is not None:
+        cache.put(key, {"fixed": fixed, "flow": flow})
+    return fixed, flow
+
+
 def figure8_flow_vs_fixed(
     cap_min_w: float = 35.0,
     cap_max_w: float = 61.25,
@@ -188,19 +224,29 @@ def figure8_flow_vs_fixed(
     phases: int = 2,
     time_limit_s: float = 60.0,
 ) -> Figure8Result:
-    """Reproduce Figure 8 on the two-rank asynchronous exchange."""
-    app = two_rank_exchange(phases=phases)
-    pm = make_power_models(2, efficiency_seed=7, sigma=0.02)
-    trace = trace_application(app, pm)
-    caps = list(np.linspace(cap_min_w, cap_max_w, n_caps))
-    fixed: list[float | None] = []
-    flow: list[float | None] = []
-    for cap in caps:
-        lp = solve_fixed_order_lp(trace, cap)
-        fixed.append(lp.makespan_s if lp.feasible else None)
-        ilp = solve_flow_ilp(trace, cap, time_limit_s=time_limit_s)
-        flow.append(ilp.makespan_s if ilp.feasible else None)
-    return Figure8Result(caps_w=caps, fixed_s=fixed, flow_s=flow)
+    """Reproduce Figure 8 on the two-rank asynchronous exchange.
+
+    The per-cap cells (an LP plus an ILP each) fan out over the ambient
+    :class:`~repro.exec.options.ExecutionOptions` workers and are
+    memoized in the ambient cache; the default options run the paper's
+    serial, uncached loop.
+    """
+    caps = [float(c) for c in np.linspace(cap_min_w, cap_max_w, n_caps)]
+    opts = get_execution_options()
+    cache = opts.make_cache()
+    cache_root = str(cache.root) if cache is not None else None
+    runner = ParallelRunner(
+        max_workers=opts.workers,
+        timeout_s=opts.task_timeout_s,
+        retries=opts.task_retries,
+    )
+    cells = [(cap, phases, time_limit_s, cache_root) for cap in caps]
+    pairs = runner.map(_fig8_cell, cells)
+    return Figure8Result(
+        caps_w=caps,
+        fixed_s=[fixed for fixed, _ in pairs],
+        flow_s=[flow for _, flow in pairs],
+    )
 
 
 # ----------------------------------------------------------------------
@@ -341,7 +387,7 @@ class Figure12Result:
             [
                 render_kv(
                     self.stats(self.lp_points),
-                    title=f"Figure 12 (LP schedule, cap "
+                    title="Figure 12 (LP schedule, cap "
                           f"{self.cap_per_socket_w:.0f} W/socket)",
                 ),
                 render_kv(self.stats(self.static_points), title="(Static)"),

@@ -58,7 +58,7 @@ def figure12_svg(fig: Figure12Result) -> str:
     """Figure 12: long-task duration vs power, LP against Static."""
     return svg_scatter(
         title=(
-            f"Figure 12: CoMD Task Characteristics at "
+            "Figure 12: CoMD Task Characteristics at "
             f"{fig.cap_per_socket_w:.0f} W/socket"
         ),
         series={"LP": fig.lp_points, "Static": fig.static_points},

@@ -78,7 +78,6 @@ def power_profile_ascii(timeline, cap_w: float | None = None,
                         width: int = 72, height: int = 12) -> str:
     """Render a :class:`~repro.simulator.telemetry.PowerTimeline` as an
     ASCII area chart, with an optional cap line ('=')."""
-    import numpy as np
 
     times = timeline.times
     power = timeline.power

@@ -17,12 +17,16 @@ by x%" means ``t_B / t_A - 1`` in per-iteration time.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.fixed_order_lp import solve_fixed_order_lp
 from ..core.rounding import round_schedule
+from ..exec.cache import SolverCache, cached_solve_fixed_order_lp
+from ..exec.keys import experiment_key
+from ..exec.options import get_execution_options
+from ..exec.parallel import ParallelRunner, resolve_workers
 from ..machine.cpu import CpuSpec, XEON_E5_2670
 from ..machine.power import SocketPowerModel
 from ..machine.variability import sample_socket_efficiencies
@@ -58,6 +62,7 @@ class ExperimentConfig:
     steady_window: int = 12
     seed: int = 2015
     efficiency_seed: int = 42
+    efficiency_sigma: float = 0.04
     conductor: ConductorConfig = field(
         default_factory=lambda: ConductorConfig(
             realloc_period=4, measurement_noise=0.01, step_w=2.5
@@ -74,6 +79,12 @@ class ExperimentConfig:
             raise ValueError("run_iterations must exceed discard_iterations")
         if self.steady_window > self.run_iterations - self.discard_iterations:
             raise ValueError("steady_window larger than the measured region")
+        if self.efficiency_sigma < 0:
+            raise ValueError("efficiency_sigma must be >= 0")
+
+    def cache_document(self) -> dict:
+        """Canonical JSON-safe dictionary of every field (cache keying)."""
+        return dataclasses.asdict(self)
 
 
 @dataclass
@@ -128,9 +139,18 @@ def make_power_models(
     efficiency_seed: int = 42,
     spec: CpuSpec = XEON_E5_2670,
     sigma: float = 0.04,
+    rng: np.random.Generator | None = None,
 ) -> list[SocketPowerModel]:
-    """One socket per rank, with the seeded manufacturing-variability spread."""
-    eff = sample_socket_efficiencies(n_ranks, sigma=sigma, seed=efficiency_seed)
+    """One socket per rank, with the seeded manufacturing-variability spread.
+
+    The efficiency draw is always explicit — either the ``rng`` passed in
+    or a fresh generator from ``efficiency_seed`` — never global numpy
+    state, so parallel workers rebuild identical machines and cache keys
+    derived from (seed, sigma) are well-defined.
+    """
+    eff = sample_socket_efficiencies(
+        n_ranks, sigma=sigma, seed=rng if rng is not None else efficiency_seed
+    )
     return [SocketPowerModel(spec=spec, efficiency=float(e)) for e in eff]
 
 
@@ -151,7 +171,7 @@ _shared_cache: dict[tuple, _Shared] = {}
 def _shared_for(cfg: ExperimentConfig) -> _Shared:
     key = (
         cfg.benchmark, cfg.n_ranks, cfg.run_iterations, cfg.lp_iterations,
-        cfg.seed, cfg.efficiency_seed,
+        cfg.seed, cfg.efficiency_seed, cfg.efficiency_sigma,
     )
     if key not in _shared_cache:
         gen = BENCHMARKS[cfg.benchmark]
@@ -159,7 +179,9 @@ def _shared_for(cfg: ExperimentConfig) -> _Shared:
                                    iterations=cfg.run_iterations, seed=cfg.seed))
         app_lp = gen(WorkloadSpec(n_ranks=cfg.n_ranks,
                                   iterations=cfg.lp_iterations, seed=cfg.seed))
-        pm = make_power_models(cfg.n_ranks, cfg.efficiency_seed)
+        pm = make_power_models(
+            cfg.n_ranks, cfg.efficiency_seed, sigma=cfg.efficiency_sigma
+        )
         _shared_cache[key] = _Shared(
             app_run=app_run,
             app_lp=app_lp,
@@ -177,12 +199,63 @@ def _steady_per_iteration(
     return (result.makespan_s - start) / n_iterations
 
 
+def _comparison_key(
+    cfg: ExperimentConfig, cap_per_socket_w: float, include_discrete: bool
+) -> str:
+    return experiment_key(
+        cfg.cache_document(),
+        cap_per_socket_w,
+        include_discrete=include_discrete,
+        spec=XEON_E5_2670.name,
+    )
+
+
+_COMPARISON_FIELDS = (
+    "static_s", "conductor_s", "lp_s", "lp_discrete_s",
+    "conductor_reallocs", "schedulable",
+)
+
+
 def run_comparison(
     cfg: ExperimentConfig,
     cap_per_socket_w: float,
     include_discrete: bool = False,
+    cache: SolverCache | None = None,
 ) -> ComparisonResult:
-    """Run Static, Conductor, and the LP for one benchmark and cap."""
+    """Run Static, Conductor, and the LP for one benchmark and cap.
+
+    ``cache`` memoizes the whole comparison cell (both simulator replays
+    and the LP solution) by content address; None falls back to the
+    ambient :class:`~repro.exec.options.ExecutionOptions` (whose default
+    is no caching).  A warm cell skips tracing, both engine runs, and the
+    LP solve entirely.
+    """
+    if cache is None:
+        cache = get_execution_options().make_cache()
+    if cache is not None:
+        key = _comparison_key(cfg, cap_per_socket_w, include_discrete)
+        payload = cache.get(key)
+        if payload is not None:
+            return ComparisonResult(
+                benchmark=cfg.benchmark,
+                cap_per_socket_w=cap_per_socket_w,
+                n_ranks=cfg.n_ranks,
+                **{name: payload[name] for name in _COMPARISON_FIELDS},
+            )
+    result = _run_comparison(cfg, cap_per_socket_w, include_discrete, cache)
+    if cache is not None:
+        cache.put(
+            key, {name: getattr(result, name) for name in _COMPARISON_FIELDS}
+        )
+    return result
+
+
+def _run_comparison(
+    cfg: ExperimentConfig,
+    cap_per_socket_w: float,
+    include_discrete: bool,
+    cache: SolverCache | None,
+) -> ComparisonResult:
     shared = _shared_for(cfg)
     job_cap = cap_per_socket_w * cfg.n_ranks
 
@@ -212,7 +285,7 @@ def run_comparison(
     first_steady = cfg.run_iterations - cfg.steady_window
     t_cond = _steady_per_iteration(res_cond, first_steady, cfg.steady_window)
 
-    lp = solve_fixed_order_lp(shared.trace, job_cap)
+    lp = cached_solve_fixed_order_lp(shared.trace, job_cap, cache=cache)
     t_lp = lp.makespan_s / cfg.lp_iterations if lp.feasible else None
     t_lp_disc = None
     if include_discrete and lp.feasible:
@@ -231,9 +304,42 @@ def run_comparison(
     )
 
 
+def _sweep_cell(cell: tuple[ExperimentConfig, float, str | None]) -> ComparisonResult:
+    """One (config, cap) sweep cell — module-level so workers can unpickle it."""
+    cfg, cap, cache_root = cell
+    cache = SolverCache(cache_root) if cache_root is not None else None
+    return run_comparison(cfg, cap, cache=cache)
+
+
 def sweep_caps(
     cfg: ExperimentConfig,
     caps_per_socket_w: tuple[float, ...] = DEFAULT_CAPS_W,
+    workers: int | None = None,
+    cache: SolverCache | None = None,
 ) -> list[ComparisonResult]:
-    """Run the full cap sweep for one benchmark (one paper figure line)."""
-    return [run_comparison(cfg, cap) for cap in caps_per_socket_w]
+    """Run the full cap sweep for one benchmark (one paper figure line).
+
+    Every cap is an independent, fully seeded cell; with ``workers > 1``
+    the cells fan out over a process pool with results in cap order —
+    bit-identical to the serial sweep.  ``workers``/``cache`` default to
+    the ambient :class:`~repro.exec.options.ExecutionOptions` (serial,
+    uncached), which is also the benchmark harness's measured path.
+    """
+    opts = get_execution_options()
+    if workers is None:
+        workers = opts.workers
+    workers = resolve_workers(workers)  # 0 -> all cores, negative -> error
+    if cache is None:
+        cache = opts.make_cache()
+    if workers <= 1 or len(caps_per_socket_w) <= 1:
+        return [run_comparison(cfg, cap, cache=cache) for cap in caps_per_socket_w]
+    runner = ParallelRunner(
+        max_workers=workers,
+        timeout_s=opts.task_timeout_s,
+        retries=opts.task_retries,
+    )
+    cache_root = str(cache.root) if cache is not None else None
+    cells = [(cfg, float(cap), cache_root) for cap in caps_per_socket_w]
+    # Worker-side cache hit/miss accounting arrives via the telemetry
+    # snapshots that ParallelRunner merges into the active telemetry.
+    return runner.map(_sweep_cell, cells)

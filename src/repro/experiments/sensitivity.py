@@ -43,7 +43,7 @@ class SensitivityResult:
              f"{self.cap_per_socket_w:.0f} W (%)"],
             [list(r) for r in self.rows],
             title=(
-                f"Sensitivity of the headline to model constants "
+                "Sensitivity of the headline to model constants "
                 f"({self.n_ranks} ranks; baseline "
                 f"{self.baseline_pct:.1f}%)"
             ),

@@ -55,7 +55,7 @@ class Table3Result:
             [[r.method, r.median_time_s, r.power_stddev_rel, r.threads,
               r.median_freq_rel] for r in self.rows],
             title=(
-                f"Table 3: LULESH long-task characteristics at "
+                "Table 3: LULESH long-task characteristics at "
                 f"{self.cap_per_socket_w:.0f} W/socket (one steady iteration)"
             ),
         )

@@ -36,7 +36,7 @@ from ..machine.power import SocketPowerModel
 from ..machine.rapl import RaplController
 from ..simulator.engine import TaskRecord
 from ..simulator.program import Application, ComputeOp, TaskRef
-from .adagio import SlackEstimator, slowest_fitting_point, task_key
+from .adagio import SlackEstimator, slowest_fitting_point
 
 __all__ = ["ConductorPolicy", "ConductorConfig"]
 

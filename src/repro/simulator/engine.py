@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from ..exec.timing import span
 from ..machine.configuration import Configuration
 from ..machine.cpu import CpuSpec, XEON_E5_2670
 from ..machine.performance import TaskKernel, TaskTimeModel
@@ -204,6 +205,10 @@ class Engine:
     # ------------------------------------------------------------------
     def run(self, app: Application, policy: ConfigPolicy) -> SimulationResult:
         """Execute the application to completion under the policy."""
+        with span("replay"):
+            return self._run(app, policy)
+
+    def _run(self, app: Application, policy: ConfigPolicy) -> SimulationResult:
         if app.n_ranks != len(self.power_models):
             raise ValueError(
                 f"application has {app.n_ranks} ranks but engine has "

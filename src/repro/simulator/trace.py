@@ -24,6 +24,7 @@ import numpy as np
 
 from ..dag.builder import DagBuilder
 from ..dag.graph import TaskGraph, VertexKind
+from ..exec.timing import span
 from ..machine.configuration import ConfigPoint, measure_task_space
 from ..machine.cpu import CpuSpec, XEON_E5_2670
 from ..machine.pareto import convex_frontier, pareto_frontier
@@ -211,6 +212,20 @@ def trace_application(
     is applied per (kernel, socket), matching an exploration pass that
     profiles each distinct task shape once.
     """
+    with span("trace"):
+        return _trace_application(
+            app, power_models, network, spec, measurement_noise, seed
+        )
+
+
+def _trace_application(
+    app: Application,
+    power_models: list[SocketPowerModel],
+    network: NetworkModel,
+    spec: CpuSpec,
+    measurement_noise: float,
+    seed: int,
+) -> Trace:
     if len(power_models) != app.n_ranks:
         raise ValueError(
             f"need {app.n_ranks} power models, got {len(power_models)}"

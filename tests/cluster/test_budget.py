@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import JobAllocation, JobRequest, partition_power
+from repro.cluster import JobRequest, partition_power
 
 
 def req(name, sockets, lo=25.0, hi=80.0, priority=0):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import solve_energy_lp, solve_fixed_order_lp
 from repro.dag import unconstrained_schedule
-from repro.machine import SocketPowerModel, TaskKernel, TaskTimeModel
+from repro.machine import SocketPowerModel, TaskKernel
 from repro.simulator import trace_application
 
 from ..conftest import make_p2p_app
@@ -51,10 +51,6 @@ class TestEnergyLp:
         energy = solve_energy_lp(trace, slowdown=0.0)
         capped = solve_fixed_order_lp(trace, 58.0)
         assert capped.feasible
-        capped_energy = sum(
-            a.duration_s * a.power_w
-            for a in capped.schedule.assignments.values()
-        )
         # Power-capped runs longer but can use less energy than the
         # no-slowdown energy optimum (it is allowed to be slow).
         assert capped.makespan_s > energy.makespan_s

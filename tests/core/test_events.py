@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import build_event_structure
 from repro.dag import DagBuilder, unconstrained_schedule
-from repro.machine import TaskTimeModel
 
 
 @pytest.fixture
@@ -69,7 +68,6 @@ class TestActivitySets:
         """While the light rank spins in the allreduce, its previous task's
         power must still be counted (slack power = task power)."""
         ev = build_event_structure(imbalanced_graph, time_model)
-        times = ev.initial.vertex_times
         light = min(
             imbalanced_graph.compute_edges(), key=lambda e: e.kernel.cpu_seconds
         )
@@ -91,7 +89,7 @@ class TestActivitySets:
             imbalanced_graph.compute_edges(), key=lambda e: e.kernel.cpu_seconds
         )
         # Event at the heavy task's completion:
-        act = ev.active[heavy.dst]
+        assert heavy.dst in ev.active
         # The light task's window [src, dst) also ends there (same collective),
         # so at the *enter* vertex of the heavy rank, light must be active.
         enter_events = [

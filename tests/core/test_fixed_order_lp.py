@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import build_event_structure, solve_fixed_order_lp
 from repro.dag import unconstrained_schedule
-from repro.machine import TaskTimeModel
 from repro.simulator import TaskRef, trace_application
 
 from .. import conftest

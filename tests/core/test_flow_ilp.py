@@ -12,7 +12,6 @@ from repro.machine import SocketPowerModel
 from repro.simulator import trace_application
 from repro.workloads import WorkloadSpec, make_comd, two_rank_exchange
 
-from ..conftest import make_p2p_app
 
 
 @pytest.fixture(scope="module")

@@ -9,7 +9,7 @@ from repro.core import (
     solve_fixed_order_lp,
     validate_schedule,
 )
-from repro.core.schedule import PowerSchedule, TaskAssignment
+from repro.core.schedule import PowerSchedule
 from repro.machine import ConfigPoint, Configuration, SocketPowerModel, TaskKernel
 from repro.simulator import TaskRef, trace_application
 

@@ -12,7 +12,7 @@ from repro.dag import (
     schedule_fixed_durations,
     unconstrained_schedule,
 )
-from repro.machine import TaskTimeModel, XEON_E5_2670
+from repro.machine import XEON_E5_2670
 
 
 @pytest.fixture

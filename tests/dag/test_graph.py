@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dag import EdgeKind, TaskGraph, VertexKind
+from repro.dag import TaskGraph, VertexKind
 
 
 @pytest.fixture

@@ -1,17 +1,14 @@
 """Unit tests for slack reduction (paper §3.3)."""
 
-import numpy as np
 import pytest
 
 from repro.dag import (
     DagBuilder,
     edge_slack,
     reduce_slack,
-    schedule_fixed_durations,
     stretch_limits,
     unconstrained_schedule,
 )
-from repro.machine import SocketPowerModel
 from repro.simulator import trace_application
 
 from ..conftest import make_p2p_app

@@ -54,7 +54,6 @@ class TestDeepValidate:
         b.compute(0, kernel)
         b.isend(0, 1)  # creates program-order edges on rank 1's side later
         b.compute(1, kernel)
-        sv = b.graph.vertices[-1]
         b.wait(0)
         g = b.finalize()
         deep_validate(g)

@@ -1,0 +1,133 @@
+"""ParallelRunner: ordering, serial fallback, retries, timeouts, telemetry."""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exec.parallel import (
+    ParallelExecutionError,
+    ParallelRunner,
+    resolve_workers,
+)
+from repro.exec.timing import Telemetry, count, span, use_telemetry
+
+
+# Module-level task functions so worker processes can unpickle them.
+def _slow_identity(item: int) -> int:
+    time.sleep(0.02 * item)
+    return item * 10
+
+
+def _boom(item: int) -> int:
+    raise ValueError(f"boom {item}")
+
+
+def _flaky(marker: str) -> str:
+    """Fails once per marker path, then succeeds (exercises retries)."""
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("attempted")
+        raise RuntimeError("first attempt always fails")
+    return "ok"
+
+
+def _sleepy(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def _instrumented(item: int) -> int:
+    with span("worker.phase"):
+        count("worker.count", item)
+    return item
+
+
+class TestResolveWorkers:
+    def test_mapping(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestConstruction:
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(max_workers=2, timeout_s=0.0)
+
+    def test_bad_retries(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(max_workers=2, retries=-1)
+
+
+class TestSerialFallback:
+    def test_one_worker_runs_in_process(self):
+        # A closure is unpicklable: success proves no pool was involved.
+        runner = ParallelRunner(max_workers=1)
+        assert runner.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+
+    def test_single_item_runs_in_process(self):
+        runner = ParallelRunner(max_workers=4)
+        assert runner.map(lambda x: x + 1, [41]) == [42]
+
+    def test_empty_items(self):
+        assert ParallelRunner(max_workers=4).map(_slow_identity, []) == []
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            ParallelRunner(max_workers=1).map(_boom, [7])
+
+
+class TestParallelMap:
+    def test_results_in_submission_order(self):
+        runner = ParallelRunner(max_workers=4)
+        items = [3, 1, 2, 0, 4]
+        assert runner.map(_slow_identity, items) == [30, 10, 20, 0, 40]
+
+    def test_matches_serial(self):
+        items = list(range(6))
+        serial = ParallelRunner(max_workers=1).map(_slow_identity, items)
+        parallel = ParallelRunner(max_workers=3).map(_slow_identity, items)
+        assert parallel == serial
+
+    def test_failure_exhausts_retries(self):
+        runner = ParallelRunner(max_workers=2, retries=1)
+        with pytest.raises(ParallelExecutionError, match="failed on all 2"):
+            runner.map(_boom, [1, 2])
+
+    def test_retry_recovers_transient_failure(self, tmp_path):
+        runner = ParallelRunner(max_workers=2, retries=1)
+        markers = [str(tmp_path / f"m{i}") for i in range(3)]
+        assert runner.map(_flaky, markers) == ["ok"] * 3
+
+    def test_no_retries_fails_fast(self, tmp_path):
+        runner = ParallelRunner(max_workers=2, retries=0)
+        with pytest.raises(ParallelExecutionError, match="1 attempt"):
+            runner.map(_flaky, [str(tmp_path / "m0"), str(tmp_path / "m1")])
+
+    def test_timeout_raises_after_attempts(self):
+        runner = ParallelRunner(max_workers=2, timeout_s=0.2, retries=0)
+        with pytest.raises(ParallelExecutionError, match="timed out"):
+            runner.map(_sleepy, [1.5, 1.5])
+
+    def test_generous_timeout_passes(self):
+        runner = ParallelRunner(max_workers=2, timeout_s=30.0)
+        assert runner.map(_sleepy, [0.01, 0.02]) == [0.01, 0.02]
+
+    def test_worker_telemetry_merges_into_parent(self):
+        tel = Telemetry()
+        with use_telemetry(tel):
+            results = ParallelRunner(max_workers=2).map(_instrumented, [1, 2, 3])
+        assert results == [1, 2, 3]
+        assert tel.phases["worker.phase"].calls == 3
+        assert tel.counter("worker.count") == 6
+
+    def test_no_parent_telemetry_is_fine(self):
+        assert ParallelRunner(max_workers=2).map(_instrumented, [1, 2]) == [1, 2]

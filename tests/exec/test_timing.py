@@ -1,0 +1,92 @@
+"""Telemetry: spans, counters, merging, and the disabled fast path."""
+
+from __future__ import annotations
+
+import json
+
+from repro.exec.timing import (
+    Telemetry,
+    count,
+    current_telemetry,
+    span,
+    use_telemetry,
+)
+
+
+def test_span_accumulates_into_active_telemetry():
+    tel = Telemetry()
+    with use_telemetry(tel):
+        with span("solve"):
+            pass
+        with span("solve"):
+            pass
+        with span("trace"):
+            pass
+    assert tel.phases["solve"].calls == 2
+    assert tel.phases["trace"].calls == 1
+    assert tel.phase_seconds("solve") >= 0.0
+    assert tel.phase_seconds("absent") == 0.0
+
+
+def test_span_and_count_are_noops_when_disabled():
+    assert current_telemetry() is None
+    with span("anything"):
+        count("anything")
+    assert current_telemetry() is None
+
+
+def test_counters():
+    tel = Telemetry()
+    with use_telemetry(tel):
+        count("cache.hit")
+        count("cache.hit", 3)
+    assert tel.counter("cache.hit") == 4
+    assert tel.counter("cache.miss") == 0
+
+
+def test_use_telemetry_restores_previous():
+    outer, inner = Telemetry(), Telemetry()
+    with use_telemetry(outer):
+        with use_telemetry(inner):
+            count("c")
+        count("c")
+    assert inner.counter("c") == 1
+    assert outer.counter("c") == 1
+
+
+def test_to_dict_round_trip_and_merge():
+    tel = Telemetry()
+    with use_telemetry(tel):
+        with span("solve"):
+            pass
+        count("cache.hit", 2)
+    snapshot = json.loads(tel.to_json())
+
+    other = Telemetry()
+    other.merge(snapshot)
+    other.merge(snapshot)
+    assert other.phases["solve"].calls == 2
+    assert other.counter("cache.hit") == 4
+
+
+def test_summary_mentions_phases_and_counters():
+    tel = Telemetry()
+    with use_telemetry(tel):
+        with span("replay"):
+            pass
+        count("cache.miss")
+    text = tel.summary()
+    assert "replay" in text
+    assert "cache.miss" in text
+    assert "(no phases recorded)" in Telemetry().summary()
+
+
+def test_nested_spans_record_both():
+    tel = Telemetry()
+    with use_telemetry(tel):
+        with span("outer"):
+            with span("inner"):
+                pass
+    assert tel.phases["outer"].calls == 1
+    assert tel.phases["inner"].calls == 1
+    assert tel.phases["outer"].total_s >= tel.phases["inner"].total_s

@@ -9,7 +9,7 @@ machine works end to end.
 import pytest
 
 from repro.core import solve_fixed_order_lp
-from repro.machine import Configuration, CpuSpec, SocketPowerModel, TaskKernel
+from repro.machine import Configuration, CpuSpec, SocketPowerModel
 from repro.runtime import StaticPolicy
 from repro.simulator import (
     Application,

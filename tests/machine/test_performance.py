@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.machine import TaskKernel, TaskTimeModel, XEON_E5_2670
+from repro.machine import TaskKernel, XEON_E5_2670
 
 FMAX = XEON_E5_2670.fmax_ghz
 FMIN = XEON_E5_2670.fmin_ghz

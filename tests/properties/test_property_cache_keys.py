@@ -1,0 +1,94 @@
+"""Property: cache keys are injective over model inputs.
+
+Two solver invocations share a key *iff* every input the answer depends
+on is identical — the trace (workload shape, kernels, message sizes,
+machine efficiencies), the cap, and the formulation parameters.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.exec.keys import solver_key, trace_fingerprint
+from repro.experiments.runner import make_power_models
+from repro.simulator import trace_application
+from repro.workloads import two_rank_exchange
+
+# The whole input space is finite and small so traces can be memoized;
+# hypothesis explores the cross product of perturbations.
+PHASES = (1, 2)
+CPU_SECONDS = (0.6, 0.8)
+MESSAGE_BYTES = (1 << 20, 1 << 21)
+EFF_SEEDS = (7, 8)
+CAPS = (45.0, 50.0)
+TIEBREAKS = (1e-9, 1e-8)
+
+BASE = (PHASES[0], CPU_SECONDS[0], MESSAGE_BYTES[0], EFF_SEEDS[0],
+        CAPS[0], TIEBREAKS[0], False)
+
+
+@functools.lru_cache(maxsize=None)
+def _trace(phases: int, cpu_seconds: float, message_bytes: int, eff_seed: int):
+    app = two_rank_exchange(
+        phases=phases, cpu_seconds=cpu_seconds, message_bytes=message_bytes
+    )
+    pm = make_power_models(2, efficiency_seed=eff_seed, sigma=0.02)
+    return trace_application(app, pm)
+
+
+def _key(phases, cpu_seconds, message_bytes, eff_seed, cap, tiebreak, discrete):
+    trace = _trace(phases, cpu_seconds, message_bytes, eff_seed)
+    return solver_key(
+        trace, cap,
+        params={"power_tiebreak": tiebreak, "discrete": discrete},
+    )
+
+
+model_inputs = st.tuples(
+    st.sampled_from(PHASES),
+    st.sampled_from(CPU_SECONDS),
+    st.sampled_from(MESSAGE_BYTES),
+    st.sampled_from(EFF_SEEDS),
+    st.sampled_from(CAPS),
+    st.sampled_from(TIEBREAKS),
+    st.booleans(),
+)
+
+
+class TestKeyInjectivity:
+    @given(inputs=model_inputs)
+    @settings(max_examples=60, deadline=None)
+    def test_key_equal_iff_inputs_equal(self, inputs):
+        assert (_key(*inputs) == _key(*BASE)) == (inputs == BASE)
+
+    @given(a=model_inputs, b=model_inputs)
+    @settings(max_examples=60, deadline=None)
+    def test_pairwise(self, a, b):
+        assert (_key(*a) == _key(*b)) == (a == b)
+
+    @given(inputs=model_inputs)
+    @settings(max_examples=30, deadline=None)
+    def test_key_is_deterministic(self, inputs):
+        assert _key(*inputs) == _key(*inputs)
+
+
+class TestTraceFingerprint:
+    @given(
+        phases=st.sampled_from(PHASES),
+        cpu=st.sampled_from(CPU_SECONDS),
+        eff_seed=st.sampled_from(EFF_SEEDS),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_rebuilt_trace_has_same_fingerprint(self, phases, cpu, eff_seed):
+        """Tracing is deterministic: an independently rebuilt trace of the
+        same workload on the same machine fingerprints identically."""
+        fp_memo = trace_fingerprint(_trace(phases, cpu, MESSAGE_BYTES[0], eff_seed))
+        app = two_rank_exchange(
+            phases=phases, cpu_seconds=cpu, message_bytes=MESSAGE_BYTES[0]
+        )
+        pm = make_power_models(2, efficiency_seed=eff_seed, sigma=0.02)
+        rebuilt = trace_application(app, pm)
+        assert trace_fingerprint(rebuilt) == fp_memo

@@ -11,8 +11,7 @@ from repro.simulator import (
     MaxPerformancePolicy,
     build_dag,
     job_power_timeline,
-    trace_application,
-)
+    )
 from repro.workloads import random_application
 
 apps = st.builds(

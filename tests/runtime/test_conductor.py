@@ -116,7 +116,7 @@ class TestConductorEndToEnd:
     def test_beats_static_on_imbalanced_app(self, models, app):
         job_cap = 4 * 28.0
         engine = Engine(models)
-        t_static = engine.run(app, StaticPolicy(models, job_cap)).makespan_s
+        engine.run(app, StaticPolicy(models, job_cap))
         policy = ConductorPolicy(models, job_cap, app, config=FAST_CONDUCTOR)
         res = engine.run(app, policy)
         # Compare the last few iterations (post-convergence).

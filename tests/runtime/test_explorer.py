@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.machine import SocketPowerModel, XEON_E5_2670
+from repro.machine import SocketPowerModel
 from repro.runtime import ExplorationPlan, exploration_rounds_for_full_coverage
 
 

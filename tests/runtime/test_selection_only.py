@@ -1,6 +1,5 @@
 """Tests for configuration-selection-only (no reallocation) — paper §6."""
 
-import numpy as np
 import pytest
 
 from repro.machine import sample_socket_efficiencies, SocketPowerModel

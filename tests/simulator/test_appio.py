@@ -5,8 +5,7 @@ import json
 import pytest
 
 from repro.simulator import (
-    Application,
-    ComputeOp,
+        ComputeOp,
     Engine,
     MaxPerformancePolicy,
     application_from_dict,

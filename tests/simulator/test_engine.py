@@ -2,15 +2,14 @@
 
 import pytest
 
-from repro.machine import Configuration, TaskTimeModel, XEON_E5_2670
+from repro.machine import Configuration, XEON_E5_2670
 from repro.simulator import (
     Application,
     CollectiveOp,
     ComputeOp,
     Engine,
     IrecvOp,
-    IsendOp,
-    MaxPerformancePolicy,
+        MaxPerformancePolicy,
     PcontrolOp,
     RecvOp,
     SendOp,

@@ -54,7 +54,7 @@ class TestTagIsolation:
                  RecvOp(src=0, tag=5)],
             ],
         )
-        res = Engine(two_rank_models).run(app, MaxPerformancePolicy())
+        Engine(two_rank_models).run(app, MaxPerformancePolicy())
         graph, _ = build_dag(app)
         msgs = sorted(
             (e for e in graph.message_edges() if e.size_bytes > 0),

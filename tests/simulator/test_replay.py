@@ -4,9 +4,7 @@ import pytest
 
 from repro.machine import Configuration, TaskKernel
 from repro.simulator import (
-    Application,
-    ComputeOp,
-    ReplayPolicy,
+            ReplayPolicy,
     TaskRef,
     replay_schedule,
 )

@@ -52,7 +52,6 @@ class TestDynamicJitter:
         np.testing.assert_allclose(dynamic_jitter(8, 0.0, rng), 1.0)
 
     def test_spread_scales(self):
-        rng = np.random.default_rng(0)
         tight = dynamic_jitter(1000, 0.01, np.random.default_rng(1))
         wide = dynamic_jitter(1000, 0.1, np.random.default_rng(1))
         assert wide.std() > tight.std()

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dag import deep_validate
-from repro.machine import SocketPowerModel, TaskTimeModel
+from repro.machine import SocketPowerModel
 from repro.simulator import (
     CollectiveOp,
     ComputeOp,
