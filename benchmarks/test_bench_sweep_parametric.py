@@ -1,0 +1,88 @@
+"""Parametric cap-sweep benchmark: one assembled model, many caps.
+
+The paper's Figures 9-15 re-solve the same trace at dozens of caps.  The
+rebuild path pays trace -> events -> IR -> LP compilation -> sparse
+assembly at every cap; the parametric path
+(:class:`repro.core.ParametricCapSolver`) pays them once and re-solves
+with an updated RHS.  This benchmark pins both properties the refactor
+claims:
+
+* **speed** — the parametric dense sweep is at least 2x faster than the
+  per-cap rebuild on the same grid (measured as min over interleaved
+  repetitions, so a scheduler hiccup on either side cannot fake or mask
+  the speedup);
+* **identity** — the two paths return byte-identical makespans and
+  primal vectors (the model handed to HiGHS is the same, and HiGHS is
+  deterministic).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import ParametricCapSolver, solve_cap_sweep
+from repro.experiments.runner import make_power_models
+from repro.simulator import trace_application
+from repro.workloads import WorkloadSpec, make_bt
+
+#: Dense grid, as in a production figure sweep.
+N_CAPS = 50
+#: Interleaved timing repetitions per path.
+N_REPS = 3
+
+
+def _bt_trace(n_ranks=8, iterations=2):
+    app = make_bt(WorkloadSpec(n_ranks=n_ranks, iterations=iterations, seed=1))
+    return trace_application(app, make_power_models(n_ranks))
+
+
+def _cap_grid(n_ranks=8):
+    return [float(c) * n_ranks for c in np.linspace(22.0, 70.0, N_CAPS)]
+
+
+def test_parametric_sweep_2x_and_byte_identical(benchmark):
+    trace = _bt_trace()
+    caps = _cap_grid()
+
+    t_rebuild, t_parametric = [], []
+    rebuild = parametric = None
+    for _ in range(N_REPS):
+        t0 = time.perf_counter()
+        rebuild = solve_cap_sweep(trace, caps, parametric=False)
+        t_rebuild.append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        parametric = solve_cap_sweep(trace, caps, parametric=True)
+        t_parametric.append(time.perf_counter() - t0)
+
+    # Identity first: same feasibility verdicts, bit-equal makespans and
+    # primal vectors at every cap.
+    assert parametric.makespans() == rebuild.makespans()
+    for cap in caps:
+        a, b = parametric.results[cap], rebuild.results[cap]
+        assert np.array_equal(a.solution.x, b.solution.x)
+
+    speedup = min(t_rebuild) / min(t_parametric)
+    assert speedup >= 2.0, (
+        f"parametric sweep only {speedup:.2f}x faster "
+        f"({min(t_parametric):.2f}s vs {min(t_rebuild):.2f}s rebuild)"
+    )
+
+    # Record the parametric path for the regression baseline.
+    result = benchmark.pedantic(
+        solve_cap_sweep, args=(trace, caps), rounds=1, iterations=1
+    )
+    assert result.feasible_caps()
+
+
+def test_parametric_solver_reuse(benchmark):
+    """Per-cap cost on an already-frozen model (the sweep's steady state)."""
+    trace = _bt_trace()
+    solver = ParametricCapSolver(trace)
+    solver.solve(400.0)  # warm: first HiGHS call passes the model once
+
+    result = benchmark.pedantic(
+        solver.solve, args=(320.0,), rounds=3, iterations=1
+    )
+    assert result.feasible
+    assert solver.n_solves == 4

@@ -18,6 +18,11 @@ energy-optimal schedules routinely *violate* realistic power caps, while
 power-capped schedules burn more energy than the energy optimum — the
 paper's argument for why power-constrained optimization is a genuinely
 different problem.
+
+Both formulations now compile from the shared :mod:`.model` IR and decode
+solutions through the public :func:`~.model.extract_schedule` — the ~80%
+structural overlap (vertex times, configuration simplices, precedence)
+lives in :func:`~.model.base_model` exactly once.
 """
 
 from __future__ import annotations
@@ -26,16 +31,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..dag.graph import VertexKind
-from ..machine.cpu import XEON_E5_2670
-from ..machine.performance import TaskTimeModel
-from ..dag.analysis import unconstrained_schedule
 from ..simulator.trace import Trace
-from .fixed_order_lp import _extract_schedule
+from .model import (
+    CompiledModel,
+    ProblemInstance,
+    base_model,
+    build_problem_instance,
+    extract_schedule,
+)
 from .schedule import PowerSchedule
-from .solver import LinearProgram, LpSolution, LpStatus
+from .solver import LpSolution, LpStatus
 
-__all__ = ["EnergyLpResult", "solve_energy_lp"]
+__all__ = ["EnergyLpResult", "solve_energy_lp", "compile_energy"]
+
+#: Tag on the slowdown-budget row: re-solve a frozen energy model under a
+#: different time budget by overriding this row's RHS.
+BUDGET_ROW_TAG = "budget"
 
 
 @dataclass
@@ -58,10 +69,59 @@ class EnergyLpResult:
         return self.schedule.objective_s
 
 
+def compile_energy(
+    instance: ProblemInstance,
+    slowdown: float = 0.0,
+) -> CompiledModel:
+    """Compile the energy-bounding LP from the shared IR.
+
+    Minimizes ``sum c_ij * (d_ij * p_ij)`` subject to the base rows plus
+    ``v_finalize <= (1 + slowdown) * T_unconstrained`` (the budget row,
+    tagged for parametric slowdown sweeps).
+    """
+    if slowdown < 0:
+        raise ValueError(f"slowdown must be >= 0, got {slowdown}")
+    budget = (1.0 + slowdown) * instance.unconstrained_makespan_s()
+
+    lp, v_idx, c_idx = base_model(
+        instance, name=f"energy-{instance.trace.app.name}"
+    )
+    # Task energy is linear in the fractions: sum c_ij * (d_ij * p_ij).
+    objective: dict[int, float] = {}
+    for edge_id, cols in c_idx.items():
+        frontier = instance.convex[edge_id]
+        for col, d, p in zip(cols, frontier.durations, frontier.powers):
+            objective[col] = float(d * p)
+
+    # The performance guarantee replacing the paper's power constraint.
+    lp.add_le(
+        {v_idx[instance.fin_id]: 1.0},
+        budget,
+        label="slowdown-budget",
+        tag=BUDGET_ROW_TAG,
+    )
+    lp.set_objective(objective)
+
+    # cap_w is a required positive field of PowerSchedule; the formulation
+    # is uncapped, so record the budgetless marker of "fully provisioned"
+    # as +inf-like.
+    return CompiledModel(
+        instance=instance,
+        lp=lp,
+        v_idx=v_idx,
+        c_idx=c_idx,
+        frontiers=instance.convex,
+        formulation="energy-lp",
+        cap_w=float(np.finfo(float).max),
+        solver_info={"formulation": "energy-lp", "time_budget_s": budget},
+    )
+
+
 def solve_energy_lp(
     trace: Trace,
     slowdown: float = 0.0,
     time_limit_s: float | None = None,
+    instance: ProblemInstance | None = None,
 ) -> EnergyLpResult:
     """Minimize total task energy subject to a bounded slowdown.
 
@@ -71,59 +131,22 @@ def solve_energy_lp(
         Allowed relative makespan increase over the power-unconstrained
         optimum (0.0 reproduces the "save energy without increasing
         execution time" setting; 0.05 allows 5%).
+    instance:
+        A prebuilt :class:`ProblemInstance` for this trace (built once,
+        shared across formulations and sweeps).
     """
     if slowdown < 0:
         raise ValueError(f"slowdown must be >= 0, got {slowdown}")
-    graph = trace.graph
-    tm = TaskTimeModel(XEON_E5_2670)
-    t_best = unconstrained_schedule(graph, tm).makespan
-    budget = (1.0 + slowdown) * t_best
+    if instance is None:
+        instance = build_problem_instance(trace)
+    compiled = compile_energy(instance, slowdown=slowdown)
+    budget = compiled.solver_info["time_budget_s"]
 
-    lp = LinearProgram(name=f"energy-{trace.app.name}")
-    init_id = graph.find_vertex(VertexKind.INIT).id
-    fin_id = graph.find_vertex(VertexKind.FINALIZE).id
-    v_idx = [
-        lp.add_var(f"v{v.id}", lb=0.0,
-                   ub=0.0 if v.id == init_id else np.inf)
-        for v in graph.vertices
-    ]
-    c_idx: dict[int, list[int]] = {}
-    objective: dict[int, float] = {}
-    for edge_id, frontier in trace.frontiers.items():
-        cols = [lp.add_var(f"c{edge_id}_{j}", 0.0, 1.0)
-                for j in range(len(frontier))]
-        c_idx[edge_id] = cols
-        lp.add_eq({col: 1.0 for col in cols}, 1.0, label=f"onehot{edge_id}")
-        # Task energy is linear in the fractions: sum c_ij * (d_ij * p_ij).
-        for col, point in zip(cols, frontier):
-            objective[col] = point.duration_s * point.power_w
-
-    for e in graph.edges:
-        if e.is_compute:
-            terms = {v_idx[e.dst]: 1.0, v_idx[e.src]: -1.0}
-            for col, point in zip(c_idx[e.id], trace.frontiers[e.id]):
-                terms[col] = terms.get(col, 0.0) - point.duration_s
-            lp.add_ge(terms, 0.0, label=f"prec-task{e.id}")
-        else:
-            lp.add_ge({v_idx[e.dst]: 1.0, v_idx[e.src]: -1.0}, e.duration_s,
-                      label=f"prec-msg{e.id}")
-
-    # The performance guarantee replacing the paper's power constraint.
-    lp.add_le({v_idx[fin_id]: 1.0}, budget, label="slowdown-budget")
-    lp.set_objective(objective)
-
-    solution = lp.solve(time_limit_s=time_limit_s)
+    solution = compiled.lp.solve(time_limit_s=time_limit_s)
     if solution.status is not LpStatus.OPTIMAL:
         return EnergyLpResult(schedule=None, solution=solution,
                               energy_j=None, time_budget_s=budget)
-    # cap_w is a required positive field; the formulation is uncapped, so
-    # record the budgetless marker of "fully provisioned" as +inf-like.
-    schedule = _extract_schedule(
-        trace, cap_w=float(np.finfo(float).max), solution=solution, lp=lp,
-        v_idx=v_idx, c_idx=c_idx, fin_id=fin_id,
-    )
-    schedule.solver_info["formulation"] = "energy-lp"
-    schedule.solver_info["time_budget_s"] = budget
+    schedule = extract_schedule(compiled, solution)
     energy = sum(
         a.duration_s * a.power_w for a in schedule.assignments.values()
     )

@@ -7,7 +7,7 @@ whose order is fixed to a power-unconstrained initial schedule, which
 keeps the formulation purely linear — and solvable for realistic traces
 (thousands of processes / hundreds of edges per process, per the paper).
 
-Variable layout:
+Variable layout (compiled from the shared :mod:`.model` IR):
 
 * ``v[k]``   — time of vertex k (eq. 2 pins Init at 0; objective eq. 1
   minimizes the Finalize vertex's time);
@@ -19,7 +19,8 @@ Constraints:
 * precedence (eqs. 3-4): ``v_dst - v_src >= sum_j d_ej c_ej`` per compute
   edge, ``v_dst - v_src >= duration`` per message edge;
 * event power (eqs. 10-11): ``sum_{e in R_k} sum_j p_ej c_ej <= PC`` per
-  event;
+  event — these rows carry :data:`~.model.CAP_ROW_TAG`, so a compiled
+  model re-solves at any other cap by updating only the RHS;
 * event order (eqs. 12-13): vertex times follow the initial order, with
   coincident-in-initial-schedule vertices tied equal.
 """
@@ -28,20 +29,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..dag.graph import VertexKind
 from ..exec.timing import span
-from ..machine.configuration import ConfigPoint
-from ..machine.cpu import XEON_E5_2670
-from ..machine.performance import TaskTimeModel
-from ..simulator.program import TaskRef
 from ..simulator.trace import Trace
-from .events import EventStructure, build_event_structure
-from .schedule import PowerSchedule, TaskAssignment
-from .solver import InfeasibleError, LinearProgram, LpSolution, LpStatus
+from .events import EventStructure
+from .schedule import PowerSchedule
+from .model import (
+    CAP_ROW_TAG,
+    CompiledModel,
+    ProblemInstance,
+    base_model,
+    build_problem_instance,
+    extract_schedule,
+)
+from .solver import InfeasibleError, LpSolution, LpStatus
 
-__all__ = ["FixedOrderLpResult", "solve_fixed_order_lp"]
+__all__ = ["FixedOrderLpResult", "solve_fixed_order_lp", "compile_fixed_order"]
 
 
 @dataclass
@@ -69,6 +71,82 @@ class FixedOrderLpResult:
 MAX_DISCRETE_TASKS = 64
 
 
+def compile_fixed_order(
+    instance: ProblemInstance,
+    cap_w: float,
+    power_tiebreak: float = 1e-9,
+    discrete: bool = False,
+) -> CompiledModel:
+    """Compile the fixed-order LP (eqs. 1-13) from the shared IR.
+
+    The cap appears only in the RHS of the event-power rows, which are
+    tagged :data:`~.model.CAP_ROW_TAG`: freeze the compiled model once and
+    re-solve it at any cap via ``frozen.solve(rhs={CAP_ROW_TAG: cap})``.
+    """
+    if cap_w <= 0:
+        raise ValueError(f"cap must be positive, got {cap_w}")
+    frontiers = instance.frontier_family(discrete)
+    lp, v_idx, c_idx = base_model(
+        instance,
+        name=f"fixed-order-{instance.trace.app.name}",
+        frontiers=frontiers,
+        integer=discrete,
+    )
+    events = instance.events
+
+    # Event power (eqs. 8, 10-11): one constraint per event group (tied
+    # vertices share identical activity sets by construction, so one row
+    # per group representative suffices).  Consecutive groups with the
+    # same activity set yield *identical* rows — e.g. the many per-rank
+    # wait events inside a halo exchange — so only the first is emitted;
+    # this cuts LULESH-scale models by an order of magnitude with no
+    # change to the feasible region.
+    seen_sets: set[frozenset[int]] = set()
+    for group in events.groups:
+        rep = group[0]
+        act = frozenset(events.active[rep])
+        if not act or act in seen_sets:
+            continue
+        seen_sets.add(act)
+        terms: dict[int, float] = {}
+        for edge_id in act:
+            for col, power in zip(c_idx[edge_id], frontiers[edge_id].powers):
+                terms[col] = terms.get(col, 0.0) + power
+        lp.add_le(terms, cap_w, label=f"power@v{rep}", tag=CAP_ROW_TAG)
+
+    # Event order (eqs. 12-13).
+    for group in events.groups:
+        rep = group[0]
+        for other in group[1:]:
+            lp.add_eq(
+                {v_idx[other]: 1.0, v_idx[rep]: -1.0}, 0.0, label=f"tie{other}"
+            )
+    for prev, nxt in zip(events.groups, events.groups[1:]):
+        lp.add_ge(
+            {v_idx[nxt[0]]: 1.0, v_idx[prev[0]]: -1.0}, 0.0,
+            label=f"order{prev[0]}-{nxt[0]}",
+        )
+
+    # Objective (eq. 1) plus the minimal-power tiebreak.
+    objective: dict[int, float] = {v_idx[instance.fin_id]: 1.0}
+    if power_tiebreak > 0:
+        for edge_id, cols in c_idx.items():
+            for col, power in zip(cols, frontiers[edge_id].powers):
+                objective[col] = objective.get(col, 0.0) + power_tiebreak * power
+    lp.set_objective(objective)
+
+    return CompiledModel(
+        instance=instance,
+        lp=lp,
+        v_idx=v_idx,
+        c_idx=c_idx,
+        frontiers=frontiers,
+        formulation="fixed-order",
+        kind="discrete" if discrete else "continuous",
+        cap_w=float(cap_w),
+    )
+
+
 def solve_fixed_order_lp(
     trace: Trace,
     cap_w: float,
@@ -76,6 +154,7 @@ def solve_fixed_order_lp(
     power_tiebreak: float = 1e-9,
     time_limit_s: float | None = None,
     discrete: bool = False,
+    instance: ProblemInstance | None = None,
 ) -> FixedOrderLpResult:
     """Solve the fixed-vertex-order LP for a traced application.
 
@@ -99,183 +178,34 @@ def solve_fixed_order_lp(
         program over the full Pareto set.  Exact but only tractable for
         small traces — the continuous LP plus rounding is the production
         path (paper §3.2).
+    instance:
+        A prebuilt :class:`ProblemInstance` for this trace.  Callers
+        solving the same trace repeatedly (sweeps, experiment grids)
+        should build it once and pass it here; ``events`` is ignored
+        in that case.
     """
     if cap_w <= 0:
         raise ValueError(f"cap must be positive, got {cap_w}")
-    graph = trace.graph
     if discrete and len(trace.task_edges) > MAX_DISCRETE_TASKS:
         raise ValueError(
             f"discrete formulation limited to {MAX_DISCRETE_TASKS} tasks "
             f"(got {len(trace.task_edges)}); solve continuously and round"
         )
     with span("assemble"):
-        if events is None:
-            events = build_event_structure(graph, TaskTimeModel(XEON_E5_2670))
-
-        # The discrete variant selects one configuration outright, so
-        # convexity is unnecessary and the (larger) full Pareto set is
-        # strictly better.
-        frontiers = trace.pareto if discrete else trace.frontiers
-        lp, v_idx, c_idx, fin_id = _assemble_lp(
-            trace, frontiers, events, cap_w, power_tiebreak, discrete
+        if instance is None:
+            instance = build_problem_instance(trace, events=events)
+        compiled = compile_fixed_order(
+            instance, cap_w, power_tiebreak=power_tiebreak, discrete=discrete
         )
 
     with span("solve"):
-        solution = lp.solve(time_limit_s=time_limit_s)
+        solution = compiled.lp.solve(time_limit_s=time_limit_s)
     if solution.status is not LpStatus.OPTIMAL:
-        return FixedOrderLpResult(schedule=None, solution=solution, events=events)
-
-    schedule = _extract_schedule(
-        trace, cap_w, solution, lp, v_idx, c_idx, fin_id,
-        frontiers=frontiers, kind="discrete" if discrete else "continuous",
-    )
-    return FixedOrderLpResult(schedule=schedule, solution=solution, events=events)
-
-
-def _assemble_lp(
-    trace: Trace,
-    frontiers: dict[int, list[ConfigPoint]],
-    events: EventStructure,
-    cap_w: float,
-    power_tiebreak: float,
-    discrete: bool,
-) -> tuple[LinearProgram, list[int], dict[int, list[int]], int]:
-    """Build the LP rows/columns (eqs. 1-13); returns variable indexes."""
-    graph = trace.graph
-    lp = LinearProgram(name=f"fixed-order-{trace.app.name}")
-
-    # Vertex time variables (eq. 2: Init fixed at 0 via bounds).
-    init_id = graph.find_vertex(VertexKind.INIT).id
-    fin_id = graph.find_vertex(VertexKind.FINALIZE).id
-    v_idx: list[int] = []
-    for vertex in graph.vertices:
-        ub = 0.0 if vertex.id == init_id else np.inf
-        v_idx.append(lp.add_var(f"v{vertex.id}", lb=0.0, ub=ub))
-
-    # Configuration fraction variables per compute edge (eqs. 6, 9 — or the
-    # binary eq. 5 in the discrete variant).
-    c_idx: dict[int, list[int]] = {}
-    for edge_id, frontier in frontiers.items():
-        if not frontier:
-            raise ValueError(f"task edge {edge_id} has an empty frontier")
-        cols = [
-            lp.add_var(f"c{edge_id}_{j}", lb=0.0, ub=1.0, integer=discrete)
-            for j in range(len(frontier))
-        ]
-        c_idx[edge_id] = cols
-        lp.add_eq({col: 1.0 for col in cols}, 1.0, label=f"onehot{edge_id}")
-
-    # Precedence (eqs. 3-4, 7): v_dst - v_src - sum d_ej c_ej >= 0.
-    for e in graph.edges:
-        if e.is_compute:
-            frontier = frontiers[e.id]
-            terms = {v_idx[e.dst]: 1.0, v_idx[e.src]: -1.0}
-            for col, point in zip(c_idx[e.id], frontier):
-                terms[col] = terms.get(col, 0.0) - point.duration_s
-            lp.add_ge(terms, 0.0, label=f"prec-task{e.id}")
-        else:
-            lp.add_ge(
-                {v_idx[e.dst]: 1.0, v_idx[e.src]: -1.0},
-                e.duration_s,
-                label=f"prec-msg{e.id}",
-            )
-
-    # Event power (eqs. 8, 10-11): one constraint per event group (tied
-    # vertices share identical activity sets by construction, so one row
-    # per group representative suffices).  Consecutive groups with the
-    # same activity set yield *identical* rows — e.g. the many per-rank
-    # wait events inside a halo exchange — so only the first is emitted;
-    # this cuts LULESH-scale models by an order of magnitude with no
-    # change to the feasible region.
-    seen_sets: set[frozenset[int]] = set()
-    for group in events.groups:
-        rep = group[0]
-        act = frozenset(events.active[rep])
-        if not act or act in seen_sets:
-            continue
-        seen_sets.add(act)
-        terms: dict[int, float] = {}
-        for edge_id in act:
-            frontier = frontiers[edge_id]
-            for col, point in zip(c_idx[edge_id], frontier):
-                terms[col] = terms.get(col, 0.0) + point.power_w
-        lp.add_le(terms, cap_w, label=f"power@v{rep}")
-
-    # Event order (eqs. 12-13).
-    for group in events.groups:
-        rep = group[0]
-        for other in group[1:]:
-            lp.add_eq(
-                {v_idx[other]: 1.0, v_idx[rep]: -1.0}, 0.0, label=f"tie{other}"
-            )
-    for prev, nxt in zip(events.groups, events.groups[1:]):
-        lp.add_ge(
-            {v_idx[nxt[0]]: 1.0, v_idx[prev[0]]: -1.0}, 0.0,
-            label=f"order{prev[0]}-{nxt[0]}",
+        return FixedOrderLpResult(
+            schedule=None, solution=solution, events=instance.events
         )
 
-    # Objective (eq. 1) plus the minimal-power tiebreak.
-    objective: dict[int, float] = {v_idx[fin_id]: 1.0}
-    if power_tiebreak > 0:
-        for edge_id, cols in c_idx.items():
-            for col, point in zip(cols, frontiers[edge_id]):
-                objective[col] = objective.get(col, 0.0) + (
-                    power_tiebreak * point.power_w
-                )
-    lp.set_objective(objective)
-    return lp, v_idx, c_idx, fin_id
-
-
-def _extract_schedule(
-    trace: Trace,
-    cap_w: float,
-    solution: LpSolution,
-    lp: LinearProgram,
-    v_idx: list[int],
-    c_idx: dict[int, list[int]],
-    fin_id: int,
-    frontiers: dict[int, list[ConfigPoint]] | None = None,
-    kind: str = "continuous",
-    frac_tol: float = 1e-7,
-) -> PowerSchedule:
-    """Turn the primal vector into a PowerSchedule."""
-    if frontiers is None:
-        frontiers = trace.frontiers
-    x = solution.x
-    vertex_times = np.array([x[i] for i in v_idx])
-    assignments: dict[TaskRef, TaskAssignment] = {}
-    for ref, edge_id in trace.task_edges.items():
-        frontier = frontiers[edge_id]
-        fracs = np.array([x[c] for c in c_idx[edge_id]])
-        fracs = np.clip(fracs, 0.0, 1.0)
-        keep = fracs > frac_tol
-        if not keep.any():
-            keep[int(np.argmax(fracs))] = True
-        kept_points: list[ConfigPoint] = [
-            p for p, k in zip(frontier, keep) if k
-        ]
-        kept_fracs = fracs[keep]
-        kept_fracs = kept_fracs / kept_fracs.sum()
-        duration = float(
-            sum(p.duration_s * f for p, f in zip(kept_points, kept_fracs))
-        )
-        power = float(sum(p.power_w * f for p, f in zip(kept_points, kept_fracs)))
-        assignments[ref] = TaskAssignment(
-            ref=ref,
-            edge_id=edge_id,
-            mixture=tuple(zip(kept_points, map(float, kept_fracs))),
-            duration_s=duration,
-            power_w=power,
-        )
-    return PowerSchedule(
-        kind=kind,
-        cap_w=cap_w,
-        objective_s=float(x[v_idx[fin_id]]),
-        assignments=assignments,
-        vertex_times=vertex_times,
-        solver_info={
-            "n_vars": lp.n_vars,
-            "n_constraints": lp.n_constraints,
-            "objective_raw": solution.objective,
-        },
+    schedule = extract_schedule(compiled, solution)
+    return FixedOrderLpResult(
+        schedule=schedule, solution=solution, events=instance.events
     )

@@ -22,6 +22,10 @@ Configuration fractions stay continuous over each task's convex frontier —
 mid-task switching realizes any hull mixture, so integrality is needed
 only in the sequencing variables.
 
+The common equations (Fig. 4: vertex times, configuration simplices,
+precedence) come from :func:`~.model.base_model`; only the sequencing and
+flow machinery is built here, on top of the shared IR.
+
 Implementation notes: eqs. 19-20 and 22 of the appendix place *slack*
 edges, which this reproduction folds into its successor vertex; eq. 21
 (tasks sharing a source vertex are never sequenced) is kept.  Big-M values
@@ -35,15 +39,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..dag.graph import TaskGraph, VertexKind
+from ..dag.graph import TaskGraph
 from ..exec.timing import span
-from ..machine.configuration import ConfigPoint
-from ..simulator.program import TaskRef
 from ..simulator.trace import Trace
-from .schedule import PowerSchedule, TaskAssignment
-from .solver import LinearProgram, LpSolution, LpStatus
+from .model import (
+    CompiledModel,
+    ProblemInstance,
+    base_model,
+    build_problem_instance,
+    extract_schedule,
+)
+from .schedule import PowerSchedule
+from .solver import LpSolution, LpStatus
 
-__all__ = ["FlowIlpResult", "solve_flow_ilp", "MAX_FLOW_ILP_EDGES"]
+__all__ = ["FlowIlpResult", "solve_flow_ilp", "compile_flow_ilp",
+           "MAX_FLOW_ILP_EDGES"]
 
 #: Practical size guard mirroring the paper's observation that flow-ILP
 #: instances beyond ~30 DAG edges are intractable.
@@ -93,22 +103,17 @@ def _task_precedence_closure(graph: TaskGraph, tasks: list[int]) -> set[tuple[in
     return closure
 
 
-def solve_flow_ilp(
-    trace: Trace,
+def compile_flow_ilp(
+    instance: ProblemInstance,
     cap_w: float,
     power_tiebreak: float = 1e-9,
-    time_limit_s: float | None = 120.0,
-    max_edges: int = MAX_FLOW_ILP_EDGES,
-) -> FlowIlpResult:
-    """Solve the appendix's flow ILP for a (small) traced application."""
+) -> CompiledModel:
+    """Compile the appendix's flow ILP from the shared IR."""
     if cap_w <= 0:
         raise ValueError(f"cap must be positive, got {cap_w}")
-    graph = trace.graph
-    if graph.n_edges > max_edges:
-        raise ValueError(
-            f"flow ILP limited to {max_edges} DAG edges "
-            f"(got {graph.n_edges}); use the fixed-order LP"
-        )
+    graph = instance.graph
+    frontiers = instance.convex
+    fin_id = instance.fin_id
 
     tasks = [e.id for e in graph.compute_edges()]
     source, sink = -1, -2  # synthetic ids (paper's 0 and N+1)
@@ -116,39 +121,16 @@ def solve_flow_ilp(
     an1 = tasks + [sink]           # AN+1 = A ∪ {N+1}
     aprime = [source] + tasks + [sink]
 
-    lp = LinearProgram(name=f"flow-ilp-{trace.app.name}")
-
-    init_id = graph.find_vertex(VertexKind.INIT).id
-    fin_id = graph.find_vertex(VertexKind.FINALIZE).id
-    v_idx = [
-        lp.add_var(f"v{v.id}", lb=0.0, ub=0.0 if v.id == init_id else np.inf)
-        for v in graph.vertices
-    ]
-
-    # Config fractions (continuous, eqs. 6-9) and derived powers.
-    c_idx: dict[int, list[int]] = {}
-    for t in tasks:
-        frontier = trace.frontiers[t]
-        cols = [lp.add_var(f"c{t}_{j}", 0.0, 1.0) for j in range(len(frontier))]
-        c_idx[t] = cols
-        lp.add_eq({col: 1.0 for col in cols}, 1.0, label=f"onehot{t}")
-
-    # Common equations (Fig. 4): precedence through vertex times.
-    for e in graph.edges:
-        if e.is_compute:
-            terms = {v_idx[e.dst]: 1.0, v_idx[e.src]: -1.0}
-            for col, point in zip(c_idx[e.id], trace.frontiers[e.id]):
-                terms[col] = terms.get(col, 0.0) - point.duration_s
-            lp.add_ge(terms, 0.0, label=f"prec-task{e.id}")
-        else:
-            lp.add_ge(
-                {v_idx[e.dst]: 1.0, v_idx[e.src]: -1.0}, e.duration_s,
-                label=f"prec-msg{e.id}",
-            )
+    # Common equations (Fig. 4): vertex times, config simplices, precedence.
+    lp, v_idx, c_idx = base_model(
+        instance,
+        name=f"flow-ilp-{instance.trace.app.name}",
+        edge_order=tasks,
+    )
 
     # Horizon bound for big-M: everything serialized at slowest configs.
     horizon = sum(
-        max(p.duration_s for p in trace.frontiers[t]) for t in tasks
+        float(frontiers[t].durations.max()) for t in tasks
     ) + sum(e.duration_s for e in graph.message_edges())
     big_m = 2.0 * horizon + 1.0
 
@@ -221,8 +203,8 @@ def solve_flow_ilp(
         if i in (source, sink):
             return {}                               # eq. 24: d = 0
         return {
-            col: point.duration_s
-            for col, point in zip(c_idx[i], trace.frontiers[i])
+            col: float(d)
+            for col, d in zip(c_idx[i], frontiers[i].durations)
         }
 
     for i in aprime:
@@ -244,8 +226,10 @@ def solve_flow_ilp(
             lp.add_ge(terms, -big_m, label=f"seq{i}-{j}")
 
     # Power flows (eqs. 25-29).  p_i is the linear expression
-    # sum_j p_ij c_ij for tasks, PC for source and sink.
-    pmax = {t: max(p.power_w for p in trace.frontiers[t]) for t in tasks}
+    # sum_j p_ij c_ij for tasks, PC for source and sink.  Note the cap
+    # enters the *matrix* here (flow capacities), not just the RHS — the
+    # flow ILP is not parametric in the cap the way the fixed-order LP is.
+    pmax = {t: float(frontiers[t].powers.max()) for t in tasks}
     pmax[source] = cap_w
     pmax[sink] = cap_w
 
@@ -268,8 +252,8 @@ def solve_flow_ilp(
         if i in (source, sink):
             return {}
         return {
-            col: sign * point.power_w
-            for col, point in zip(c_idx[i], trace.frontiers[i])
+            col: sign * float(p)
+            for col, p in zip(c_idx[i], frontiers[i].powers)
         }
 
     for i in a0:  # eq. 28: outgoing flow equals task power
@@ -290,43 +274,49 @@ def solve_flow_ilp(
     objective: dict[int, float] = {v_idx[fin_id]: 1.0}
     if power_tiebreak > 0:
         for t in tasks:
-            for col, point in zip(c_idx[t], trace.frontiers[t]):
+            for col, p in zip(c_idx[t], frontiers[t].powers):
                 objective[col] = objective.get(col, 0.0) + (
-                    power_tiebreak * point.power_w
+                    power_tiebreak * float(p)
                 )
     lp.set_objective(objective)
 
+    return CompiledModel(
+        instance=instance,
+        lp=lp,
+        v_idx=v_idx,
+        c_idx=c_idx,
+        frontiers=frontiers,
+        formulation="flow-ilp",
+        cap_w=float(cap_w),
+        solver_info={"formulation": "flow-ilp"},
+    )
+
+
+def solve_flow_ilp(
+    trace: Trace,
+    cap_w: float,
+    power_tiebreak: float = 1e-9,
+    time_limit_s: float | None = 120.0,
+    max_edges: int = MAX_FLOW_ILP_EDGES,
+    instance: ProblemInstance | None = None,
+) -> FlowIlpResult:
+    """Solve the appendix's flow ILP for a (small) traced application."""
+    if cap_w <= 0:
+        raise ValueError(f"cap must be positive, got {cap_w}")
+    graph = trace.graph
+    if graph.n_edges > max_edges:
+        raise ValueError(
+            f"flow ILP limited to {max_edges} DAG edges "
+            f"(got {graph.n_edges}); use the fixed-order LP"
+        )
+    if instance is None:
+        instance = build_problem_instance(trace)
+    compiled = compile_flow_ilp(instance, cap_w, power_tiebreak=power_tiebreak)
+
     with span("solve"):
-        solution = lp.solve(time_limit_s=time_limit_s)
+        solution = compiled.lp.solve(time_limit_s=time_limit_s)
     if solution.status is not LpStatus.OPTIMAL:
         return FlowIlpResult(schedule=None, solution=solution)
 
-    x = solution.x
-    vertex_times = np.array([x[i] for i in v_idx])
-    assignments: dict[TaskRef, TaskAssignment] = {}
-    for ref, edge_id in trace.task_edges.items():
-        frontier = trace.frontiers[edge_id]
-        fracs = np.clip(np.array([x[c] for c in c_idx[edge_id]]), 0.0, 1.0)
-        keep = fracs > 1e-7
-        if not keep.any():
-            keep[int(np.argmax(fracs))] = True
-        points: list[ConfigPoint] = [p for p, k in zip(frontier, keep) if k]
-        kfr = fracs[keep]
-        kfr = kfr / kfr.sum()
-        assignments[ref] = TaskAssignment(
-            ref=ref,
-            edge_id=edge_id,
-            mixture=tuple(zip(points, map(float, kfr))),
-            duration_s=float(sum(p.duration_s * f for p, f in zip(points, kfr))),
-            power_w=float(sum(p.power_w * f for p, f in zip(points, kfr))),
-        )
-    schedule = PowerSchedule(
-        kind="continuous",
-        cap_w=cap_w,
-        objective_s=float(x[v_idx[fin_id]]),
-        assignments=assignments,
-        vertex_times=vertex_times,
-        solver_info={"formulation": "flow-ilp", "n_vars": lp.n_vars,
-                     "n_constraints": lp.n_constraints},
-    )
+    schedule = extract_schedule(compiled, solution)
     return FlowIlpResult(schedule=schedule, solution=solution)

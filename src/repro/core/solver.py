@@ -13,11 +13,29 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import types
+
 import numpy as np
 import scipy.optimize as sopt
 import scipy.sparse as sp
 
-__all__ = ["LpStatus", "LpSolution", "LinearProgram", "InfeasibleError"]
+try:  # SciPy's bundled HiGHS bindings; internal layout varies by version.
+    from scipy.optimize._highspy import _core as _hcore
+    from scipy.optimize._highspy._core import simplex_constants as _hsimplex
+    from scipy.optimize._linprog_highs import _highs_to_scipy_status_message
+
+    _HIGHS_DIRECT = True
+except Exception:  # pragma: no cover - exercised only on other scipy builds
+    _hcore = _hsimplex = _highs_to_scipy_status_message = None
+    _HIGHS_DIRECT = False
+
+__all__ = [
+    "LpStatus",
+    "LpSolution",
+    "LinearProgram",
+    "FrozenProgram",
+    "InfeasibleError",
+]
 
 
 class LpStatus(enum.Enum):
@@ -53,6 +71,7 @@ class _Constraint:
     coeff: list
     lb: float
     ub: float
+    tag: str = ""
 
 
 class LinearProgram:
@@ -108,24 +127,40 @@ class LinearProgram:
         lb: float = -np.inf,
         ub: float = np.inf,
         label: str = "",
+        tag: str = "",
     ) -> None:
-        """Add ``lb <= sum(coeff * x) <= ub`` (duplicate indices accumulate)."""
+        """Add ``lb <= sum(coeff * x) <= ub`` (duplicate indices accumulate).
+
+        ``tag`` marks rows whose bounds are a *parameter* of the model
+        rather than trace structure (e.g. the power-cap RHS); tagged rows
+        can be re-bounded between solves via :meth:`FrozenProgram.solve`
+        without reassembling the constraint matrix.
+        """
         if not terms:
             raise ValueError(f"empty constraint {label!r}")
         if lb > ub:
             raise ValueError(f"constraint {label!r}: lb {lb} > ub {ub}")
         self._constraints.append(
-            _Constraint(list(terms.keys()), list(terms.values()), lb, ub)
+            _Constraint(list(terms.keys()), list(terms.values()), lb, ub, tag)
         )
 
-    def add_eq(self, terms: dict[int, float], rhs: float, label: str = "") -> None:
-        self.add_constraint(terms, lb=rhs, ub=rhs, label=label)
+    def add_eq(
+        self, terms: dict[int, float], rhs: float, label: str = "", tag: str = ""
+    ) -> None:
+        """Add ``sum(coeff * x) == rhs``."""
+        self.add_constraint(terms, lb=rhs, ub=rhs, label=label, tag=tag)
 
-    def add_ge(self, terms: dict[int, float], rhs: float, label: str = "") -> None:
-        self.add_constraint(terms, lb=rhs, label=label)
+    def add_ge(
+        self, terms: dict[int, float], rhs: float, label: str = "", tag: str = ""
+    ) -> None:
+        """Add ``sum(coeff * x) >= rhs``."""
+        self.add_constraint(terms, lb=rhs, label=label, tag=tag)
 
-    def add_le(self, terms: dict[int, float], rhs: float, label: str = "") -> None:
-        self.add_constraint(terms, ub=rhs, label=label)
+    def add_le(
+        self, terms: dict[int, float], rhs: float, label: str = "", tag: str = ""
+    ) -> None:
+        """Add ``sum(coeff * x) <= rhs``."""
+        self.add_constraint(terms, ub=rhs, label=label, tag=tag)
 
     def set_objective(self, terms: dict[int, float]) -> None:
         """Minimization objective (replaces any previous one)."""
@@ -157,65 +192,281 @@ class LinearProgram:
     def is_mip(self) -> bool:
         return any(self._integrality)
 
+    def freeze(self) -> "FrozenProgram":
+        """Assemble once into a re-solvable sparse model.
+
+        The expensive work — COO triplet collection, CSR conversion, the
+        one-sided row split ``linprog`` wants — happens here exactly once;
+        the returned :class:`FrozenProgram` then solves any number of
+        times, optionally overriding the bounds of tagged rows (parametric
+        re-solve).
+        """
+        c, a, lo, hi = self._assemble()
+        tag_rows: dict[str, list[int]] = {}
+        for r, con in enumerate(self._constraints):
+            if con.tag:
+                tag_rows.setdefault(con.tag, []).append(r)
+        return FrozenProgram(
+            c=c,
+            a=a,
+            lo=lo,
+            hi=hi,
+            var_lb=list(self._lb),
+            var_ub=list(self._ub),
+            integrality=list(self._integrality),
+            tag_rows={t: np.asarray(rs) for t, rs in tag_rows.items()},
+        )
+
     def solve(self, time_limit_s: float | None = None) -> LpSolution:
         """Solve with HiGHS; dispatches to the MIP solver when needed."""
-        c, a, lo, hi = self._assemble()
-        if self.is_mip:
-            return self._solve_milp(c, a, lo, hi, time_limit_s)
-        return self._solve_lp(c, a, lo, hi, time_limit_s)
+        return self.freeze().solve(time_limit_s=time_limit_s)
 
-    def _solve_lp(self, c, a, lo, hi, time_limit_s) -> LpSolution:
-        # linprog wants one-sided rows: split two-sided into <= pairs.
-        ub_rows = np.isfinite(hi)
-        lb_rows = np.isfinite(lo)
-        a_ub = sp.vstack(
-            [a[ub_rows], -a[lb_rows]], format="csr"
-        ) if (ub_rows.any() or lb_rows.any()) else None
+
+class FrozenProgram:
+    """An assembled LP/MILP supporting parametric RHS re-solve.
+
+    Holds the objective, the CSR constraint matrix, variable bounds, and —
+    for the pure-LP path — the precomputed one-sided split, so repeated
+    solves skip everything but the HiGHS call itself.  Rows tagged at
+    :meth:`LinearProgram.add_constraint` time can have their finite bounds
+    replaced per solve: a row built as ``... <= cap`` re-solves with a new
+    cap by updating one entry of the RHS vector.  The matrix handed to the
+    solver is identical to what a from-scratch build at the new parameter
+    would produce, so parametric solutions match rebuild solutions exactly.
+
+    When SciPy's bundled HiGHS bindings are importable, LP solves go
+    through a persistent per-program HiGHS handle: the model and options
+    are passed once, re-solves update only the rows whose RHS moved, and
+    the solver state is cleared before each run so every solve starts
+    cold — bit-identical to ``scipy.optimize.linprog`` on the same data
+    (the tests assert this) while skipping its per-call model rebuild.
+    On builds where the bindings are unavailable the code falls back to
+    ``linprog``/``milp`` transparently.
+    """
+
+    def __init__(
+        self,
+        c: np.ndarray,
+        a: sp.csr_matrix,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        var_lb: list[float],
+        var_ub: list[float],
+        integrality: list[int],
+        tag_rows: dict[str, np.ndarray],
+    ) -> None:
+        self._c = c
+        self._a = a
+        self._lo = lo
+        self._hi = hi
+        self._var_lb = var_lb
+        self._var_ub = var_ub
+        self._integrality = integrality
+        self._tag_rows = tag_rows
+        self.n_solves = 0
+        self._direct = None  # lazy persistent HiGHS handle (LP path only)
+        self._direct_b_ub = None  # RHS last handed to that handle
+        self._direct_time_limit = np.inf  # time_limit the handle holds
+        self._status_cache: dict = {}  # HighsModelStatus -> (code, message)
+        # One-sided split for linprog, computed once.  The finiteness
+        # pattern is part of the model *structure*: RHS overrides replace
+        # finite bounds with finite values, so the split never changes.
+        self._ub_rows = np.isfinite(hi)
+        self._lb_rows = np.isfinite(lo)
+        if self._ub_rows.any() or self._lb_rows.any():
+            self._a_ub = sp.vstack(
+                [a[self._ub_rows], -a[self._lb_rows]], format="csr"
+            )
+        else:
+            self._a_ub = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vars(self) -> int:
+        return len(self._var_lb)
+
+    @property
+    def n_constraints(self) -> int:
+        return int(self._lo.shape[0])
+
+    @property
+    def is_mip(self) -> bool:
+        return any(self._integrality)
+
+    @property
+    def tags(self) -> tuple[str, ...]:
+        return tuple(sorted(self._tag_rows))
+
+    def rows_for(self, tag: str) -> np.ndarray:
+        """Row indices carrying ``tag`` (empty array for unknown tags)."""
+        return self._tag_rows.get(tag, np.empty(0, dtype=int))
+
+    def _bounds_with(self, rhs: dict[str, float] | None) -> tuple[
+        np.ndarray, np.ndarray
+    ]:
+        if not rhs:
+            return self._lo, self._hi
+        lo, hi = self._lo.copy(), self._hi.copy()
+        for tag, value in rhs.items():
+            rows = self._tag_rows.get(tag)
+            if rows is None:
+                raise KeyError(
+                    f"no constraint rows tagged {tag!r} "
+                    f"(known tags: {list(self._tag_rows)})"
+                )
+            if not np.isfinite(value):
+                raise ValueError(f"tag {tag!r}: RHS must be finite, got {value}")
+            hi[rows[self._ub_rows[rows]]] = value
+            lo[rows[self._lb_rows[rows]]] = value
+        return lo, hi
+
+    def solve(
+        self,
+        time_limit_s: float | None = None,
+        rhs: dict[str, float] | None = None,
+    ) -> LpSolution:
+        """Solve, optionally re-bounding tagged rows (``{tag: new_rhs}``).
+
+        An override replaces every finite bound of the tagged rows — the
+        upper bound of ``<=`` rows, the lower bound of ``>=`` rows, both
+        for equalities — leaving the assembled matrix untouched.
+        """
+        lo, hi = self._bounds_with(rhs)
+        self.n_solves += 1
+        if self.is_mip:
+            return self._solve_milp(lo, hi, time_limit_s)
+        return self._solve_lp(lo, hi, time_limit_s)
+
+    def _solve_lp(self, lo, hi, time_limit_s) -> LpSolution:
+        if _HIGHS_DIRECT and self._a_ub is not None:
+            return self._solve_lp_direct(lo, hi, time_limit_s)
         b_ub = (
-            np.concatenate([hi[ub_rows], -lo[lb_rows]])
-            if a_ub is not None
+            np.concatenate([hi[self._ub_rows], -lo[self._lb_rows]])
+            if self._a_ub is not None
             else None
         )
         options = {"presolve": True}
         if time_limit_s is not None:
             options["time_limit"] = time_limit_s
         res = sopt.linprog(
-            c,
-            A_ub=a_ub,
+            self._c,
+            A_ub=self._a_ub,
             b_ub=b_ub,
-            bounds=list(zip(self._lb, self._ub)),
+            bounds=list(zip(self._var_lb, self._var_ub)),
             method="highs",
             options=options,
         )
-        return self._wrap(res)
+        return _wrap_result(res)
 
-    def _solve_milp(self, c, a, lo, hi, time_limit_s) -> LpSolution:
-        constraints = sopt.LinearConstraint(a, lo, hi)
-        bounds = sopt.Bounds(np.array(self._lb), np.array(self._ub))
+    def _prep_direct(self):
+        """Build the persistent HiGHS model once (columns + matrix + options).
+
+        Mirrors exactly what ``scipy.optimize.linprog(method="highs")``
+        feeds HiGHS for this problem — same column-wise matrix, same
+        bounds, same option set (dual simplex, presolve on, silent) — so
+        the direct path returns bit-identical solutions.  Only the row
+        upper bounds (the parametric RHS) change between solves.
+        """
+        a = sp.csc_matrix(self._a_ub)
+        m, n = self._a_ub.shape
+        model = _hcore.HighsLp()
+        model.num_col_ = n
+        model.num_row_ = m
+        model.col_cost_ = self._c
+        model.col_lower_ = np.asarray(self._var_lb, dtype=float)
+        model.col_upper_ = np.asarray(self._var_ub, dtype=float)
+        model.row_lower_ = np.full(m, -np.inf)
+        model.a_matrix_.num_col_ = n
+        model.a_matrix_.num_row_ = m
+        model.a_matrix_.format_ = _hcore.MatrixFormat.kColwise
+        model.a_matrix_.start_ = a.indptr
+        model.a_matrix_.index_ = a.indices
+        model.a_matrix_.value_ = a.data
+        highs = _hcore._Highs()
+        options = _hcore.HighsOptions()
+        options.presolve = "on"
+        options.highs_debug_level = _hcore.HighsDebugLevel.kHighsDebugLevelNone
+        options.log_to_console = False
+        options.output_flag = False
+        options.simplex_strategy = (
+            _hsimplex.SimplexStrategy.kSimplexStrategyDual
+        )
+        highs.passOptions(options)
+        return highs, model
+
+    def _solve_lp_direct(self, lo, hi, time_limit_s) -> LpSolution:
+        if self._direct is None:
+            self._direct = self._prep_direct()
+        highs, model = self._direct
+        b_ub = np.concatenate([hi[self._ub_rows], -lo[self._lb_rows]])
+        limit = float(time_limit_s) if time_limit_s is not None else np.inf
+        if limit != self._direct_time_limit:
+            highs.setOptionValue("time_limit", limit)
+            self._direct_time_limit = limit
+        if self._direct_b_ub is None:
+            # First solve: hand HiGHS the whole model.
+            model.row_upper_ = b_ub
+            highs.passModel(model)
+        else:
+            # Re-solve: only parametric RHS entries moved; update those
+            # rows in place and drop any solver state so the run starts
+            # cold — same model, same start, bit-identical to a fresh
+            # passModel at this RHS.
+            for row in np.nonzero(b_ub != self._direct_b_ub)[0]:
+                highs.changeRowBounds(int(row), -np.inf, float(b_ub[row]))
+            highs.clearSolver()
+        self._direct_b_ub = b_ub
+        highs.run()
+        model_status = highs.getModelStatus()
+        cached = self._status_cache.get(model_status)
+        if cached is None:
+            cached = _highs_to_scipy_status_message(
+                model_status, highs.modelStatusToString(model_status)
+            )
+            self._status_cache[model_status] = cached
+        status, message = cached
+        if model_status == _hcore.HighsModelStatus.kOptimal:
+            x = np.asarray(highs.getSolution().col_value)
+            fun = highs.getInfo().objective_function_value
+        else:
+            x = fun = None
+        return _wrap_result(
+            types.SimpleNamespace(status=status, x=x, fun=fun, message=message)
+        )
+
+    def _solve_milp(self, lo, hi, time_limit_s) -> LpSolution:
+        constraints = sopt.LinearConstraint(self._a, lo, hi)
+        bounds = sopt.Bounds(np.array(self._var_lb), np.array(self._var_ub))
         options = {}
         if time_limit_s is not None:
             options["time_limit"] = time_limit_s
         res = sopt.milp(
-            c,
+            self._c,
             constraints=constraints,
             bounds=bounds,
             integrality=np.array(self._integrality),
             options=options,
         )
-        return self._wrap(res)
+        return _wrap_result(res)
 
-    @staticmethod
-    def _wrap(res) -> LpSolution:
-        if res.status == 0:
-            status = LpStatus.OPTIMAL
-        elif res.status == 2:
-            status = LpStatus.INFEASIBLE
-        elif res.status == 3:
-            status = LpStatus.UNBOUNDED
-        else:
-            status = LpStatus.ERROR
-        x = res.x if res.x is not None else np.array([])
-        obj = float(res.fun) if res.fun is not None else float("nan")
-        return LpSolution(
-            status=status, objective=obj, x=np.asarray(x), message=str(res.message)
-        )
+
+def _wrap_result(res) -> LpSolution:
+    """Map a scipy OptimizeResult onto :class:`LpSolution`.
+
+    HiGHS status codes: 0 optimal, 1 iteration/time limit, 2 infeasible,
+    3 unbounded, 4 numerical trouble — everything that is neither solved
+    nor a definite certificate maps to :attr:`LpStatus.ERROR`.
+    """
+    if res.status == 0:
+        status = LpStatus.OPTIMAL
+    elif res.status == 2:
+        status = LpStatus.INFEASIBLE
+    elif res.status == 3:
+        status = LpStatus.UNBOUNDED
+    else:
+        status = LpStatus.ERROR
+    x = res.x if res.x is not None else np.array([])
+    obj = float(res.fun) if res.fun is not None else float("nan")
+    return LpSolution(
+        status=status, objective=obj, x=np.asarray(x), message=str(res.message)
+    )

@@ -29,7 +29,7 @@ import numpy as np
 from ..core.fixed_order_lp import FixedOrderLpResult, solve_fixed_order_lp
 from ..core.serialize import schedule_from_dict, schedule_to_dict
 from ..core.solver import LpSolution, LpStatus
-from .keys import solver_key
+from .keys import fixed_order_lp_key
 from .timing import count
 
 __all__ = [
@@ -37,6 +37,8 @@ __all__ = [
     "SolverCache",
     "solution_to_dict",
     "solution_from_dict",
+    "lp_result_payload",
+    "lp_result_from_payload",
     "cached_solve_fixed_order_lp",
 ]
 
@@ -128,7 +130,8 @@ def solution_from_dict(data: dict) -> LpSolution:
     )
 
 
-def _lp_payload(result: FixedOrderLpResult) -> dict:
+def lp_result_payload(result: FixedOrderLpResult) -> dict:
+    """JSON-safe cache payload for a fixed-order LP result."""
     return {
         "solution": solution_to_dict(result.solution),
         "schedule": (
@@ -137,7 +140,8 @@ def _lp_payload(result: FixedOrderLpResult) -> dict:
     }
 
 
-def _lp_from_payload(payload: dict, events) -> FixedOrderLpResult:
+def lp_result_from_payload(payload: dict, events) -> FixedOrderLpResult:
+    """Rehydrate a cached fixed-order LP result (exact round trip)."""
     schedule = payload.get("schedule")
     return FixedOrderLpResult(
         schedule=schedule_from_dict(schedule) if schedule is not None else None,
@@ -154,13 +158,17 @@ def cached_solve_fixed_order_lp(
     power_tiebreak: float = 1e-9,
     time_limit_s: float | None = None,
     discrete: bool = False,
+    instance=None,
 ) -> FixedOrderLpResult:
     """Memoized :func:`~repro.core.fixed_order_lp.solve_fixed_order_lp`.
 
     With ``cache=None`` this is a plain pass-through.  On a hit the
     returned result carries the caller's ``events`` (or None): the event
     structure is a function of the trace alone and is only needed by
-    callers that iterate further caps, which pass their own.
+    callers that iterate further caps, which pass their own.  ``instance``
+    (a prebuilt :class:`~repro.core.model.ProblemInstance`) skips the
+    IR rebuild on misses; it does not affect the key, which fingerprints
+    the trace the instance was built from.
     """
     if cache is None:
         return solve_fixed_order_lp(
@@ -170,20 +178,20 @@ def cached_solve_fixed_order_lp(
             power_tiebreak=power_tiebreak,
             time_limit_s=time_limit_s,
             discrete=discrete,
+            instance=instance,
         )
-    key = solver_key(
+    key = fixed_order_lp_key(
         trace,
         cap_w,
-        formulation="fixed_order_lp",
-        params={
-            "power_tiebreak": power_tiebreak,
-            "time_limit_s": time_limit_s,
-            "discrete": discrete,
-        },
+        power_tiebreak=power_tiebreak,
+        time_limit_s=time_limit_s,
+        discrete=discrete,
     )
     payload = cache.get(key)
     if payload is not None:
-        return _lp_from_payload(payload, events)
+        return lp_result_from_payload(
+            payload, instance.events if instance is not None else events
+        )
     result = solve_fixed_order_lp(
         trace,
         cap_w,
@@ -191,6 +199,7 @@ def cached_solve_fixed_order_lp(
         power_tiebreak=power_tiebreak,
         time_limit_s=time_limit_s,
         discrete=discrete,
+        instance=instance,
     )
-    cache.put(key, _lp_payload(result))
+    cache.put(key, lp_result_payload(result))
     return result

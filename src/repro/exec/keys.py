@@ -21,6 +21,7 @@ import hashlib
 import json
 from typing import Any
 
+from ..core.model import MODEL_LAYER_VERSION
 from ..machine.configuration import ConfigPoint
 from ..machine.performance import TaskKernel
 from ..machine.power import SocketPowerModel
@@ -33,6 +34,7 @@ __all__ = [
     "trace_fingerprint",
     "machine_fingerprint",
     "solver_key",
+    "fixed_order_lp_key",
     "experiment_key",
 ]
 
@@ -144,15 +146,47 @@ def solver_key(
     formulation: str = "fixed_order_lp",
     params: dict[str, Any] | None = None,
 ) -> str:
-    """Cache key for one solver invocation on one traced application."""
+    """Cache key for one solver invocation on one traced application.
+
+    The model-layer version is part of the key: cached solutions are
+    answers of a *compiled model*, so any change to how formulations
+    compile from the :class:`~repro.core.model.ProblemInstance` IR
+    (a ``MODEL_LAYER_VERSION`` bump) invalidates them wholesale.
+    """
     doc = {
         "key_version": KEY_VERSION,
+        "model_layer": MODEL_LAYER_VERSION,
         "formulation": formulation,
         "cap_w": float(cap_w),
         "params": dict(sorted((params or {}).items())),
         "trace": trace_fingerprint(trace),
     }
     return digest(doc)
+
+
+def fixed_order_lp_key(
+    trace: Trace,
+    cap_w: float,
+    power_tiebreak: float = 1e-9,
+    time_limit_s: float | None = None,
+    discrete: bool = False,
+) -> str:
+    """The canonical fixed-order-LP solver key.
+
+    Shared by every caller that caches fixed-order solutions — the
+    per-cap solver, sweeps, and the parametric re-solver — so a cap
+    solved by any of them is a warm hit for all of them.
+    """
+    return solver_key(
+        trace,
+        cap_w,
+        formulation="fixed_order_lp",
+        params={
+            "power_tiebreak": power_tiebreak,
+            "time_limit_s": time_limit_s,
+            "discrete": discrete,
+        },
+    )
 
 
 def experiment_key(config_doc: dict[str, Any], cap_w: float, **extra: Any) -> str:
@@ -165,6 +199,7 @@ def experiment_key(config_doc: dict[str, Any], cap_w: float, **extra: Any) -> st
     """
     doc = {
         "key_version": KEY_VERSION,
+        "model_layer": MODEL_LAYER_VERSION,
         "kind": "comparison",
         "config": config_doc,
         "cap_w": float(cap_w),

@@ -30,6 +30,7 @@ from .runner import (
 )
 from .tables import (
     energy_comparison,
+    minimum_cap_table,
     overheads_summary,
     table3_lulesh_task_characteristics,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "headline_summary",
     "improvement_pct",
     "make_power_models",
+    "minimum_cap_table",
     "overheads_summary",
     "render_kv",
     "verify_reference_results",

@@ -55,6 +55,9 @@ EXHIBITS = {
     "table3": lambda q, n: tables.table3_lulesh_task_characteristics(n_ranks=n),
     "overheads": lambda q, n: tables.overheads_summary(),
     "energy": lambda q, n: tables.energy_comparison(n_ranks=min(n, 8)),
+    "mincap": lambda q, n: tables.minimum_cap_table(
+        n_ranks=min(n, 8), iterations=2 if q else 3
+    ),
     "sensitivity": lambda q, n: _sensitivity(q),
     "headline": lambda q, n: figures.headline_summary(n),
 }

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.fixed_order_lp import solve_fixed_order_lp
 from ..core.flow_ilp import solve_flow_ilp
+from ..core.model import build_problem_instance
 from ..exec.cache import SolverCache
 from ..exec.keys import solver_key
 from ..exec.options import get_execution_options
@@ -193,12 +194,19 @@ def _fig8_trace(phases: int):
     return trace_application(app, pm)
 
 
+@functools.lru_cache(maxsize=4)
+def _fig8_instance(phases: int):
+    """The trace's shared problem IR — both formulations compile from it."""
+    return build_problem_instance(_fig8_trace(phases))
+
+
 def _fig8_cell(
     cell: tuple[float, int, float, str | None],
 ) -> tuple[float | None, float | None]:
     """(fixed LP, flow ILP) makespans at one cap — one fan-out unit."""
     cap, phases, time_limit_s, cache_root = cell
     trace = _fig8_trace(phases)
+    instance = _fig8_instance(phases)
     cache = SolverCache(cache_root) if cache_root is not None else None
     if cache is not None:
         key = solver_key(
@@ -208,9 +216,9 @@ def _fig8_cell(
         payload = cache.get(key)
         if payload is not None:
             return payload["fixed"], payload["flow"]
-    lp = solve_fixed_order_lp(trace, cap)
+    lp = solve_fixed_order_lp(trace, cap, instance=instance)
     fixed = lp.makespan_s if lp.feasible else None
-    ilp = solve_flow_ilp(trace, cap, time_limit_s=time_limit_s)
+    ilp = solve_flow_ilp(trace, cap, time_limit_s=time_limit_s, instance=instance)
     flow = ilp.makespan_s if ilp.feasible else None
     if cache is not None:
         cache.put(key, {"fixed": fixed, "flow": flow})

@@ -22,12 +22,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.model import ProblemInstance, build_problem_instance
 from ..core.rounding import round_schedule
 from ..exec.cache import SolverCache, cached_solve_fixed_order_lp
 from ..exec.keys import experiment_key
 from ..exec.options import get_execution_options
 from ..exec.parallel import ParallelRunner, resolve_workers
 from ..machine.cpu import CpuSpec, XEON_E5_2670
+from ..machine.frontiers import FrontierStore
 from ..machine.power import SocketPowerModel
 from ..machine.variability import sample_socket_efficiencies
 from ..runtime.conductor import ConductorConfig, ConductorPolicy
@@ -163,6 +165,8 @@ class _Shared:
     power_models: list[SocketPowerModel]
     engine: Engine
     trace: Trace
+    frontiers: FrontierStore
+    instance: ProblemInstance
 
 
 _shared_cache: dict[tuple, _Shared] = {}
@@ -182,12 +186,18 @@ def _shared_for(cfg: ExperimentConfig) -> _Shared:
         pm = make_power_models(
             cfg.n_ranks, cfg.efficiency_seed, sigma=cfg.efficiency_sigma
         )
+        # One frontier store per machine: the tracer fills it, every
+        # runtime policy in the sweep reads it back.
+        store = FrontierStore(pm)
+        trace = trace_application(app_lp, pm, frontier_store=store)
         _shared_cache[key] = _Shared(
             app_run=app_run,
             app_lp=app_lp,
             power_models=pm,
             engine=Engine(pm),
-            trace=trace_application(app_lp, pm),
+            trace=trace,
+            frontiers=store,
+            instance=build_problem_instance(trace),
         )
     return _shared_cache[key]
 
@@ -279,13 +289,16 @@ def _run_comparison(
     )
 
     conductor = ConductorPolicy(
-        shared.power_models, job_cap, shared.app_run, config=cfg.conductor
+        shared.power_models, job_cap, shared.app_run, config=cfg.conductor,
+        frontier_store=shared.frontiers,
     )
     res_cond = shared.engine.run(shared.app_run, conductor)
     first_steady = cfg.run_iterations - cfg.steady_window
     t_cond = _steady_per_iteration(res_cond, first_steady, cfg.steady_window)
 
-    lp = cached_solve_fixed_order_lp(shared.trace, job_cap, cache=cache)
+    lp = cached_solve_fixed_order_lp(
+        shared.trace, job_cap, cache=cache, instance=shared.instance
+    )
     t_lp = lp.makespan_s / cfg.lp_iterations if lp.feasible else None
     t_lp_disc = None
     if include_discrete and lp.feasible:

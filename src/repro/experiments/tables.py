@@ -24,7 +24,8 @@ from .report import render_kv, render_table
 from .runner import ExperimentConfig, make_power_models
 
 __all__ = ["Table3Result", "table3_lulesh_task_characteristics", "OverheadsResult",
-           "overheads_summary", "EnergyComparisonResult", "energy_comparison"]
+           "overheads_summary", "EnergyComparisonResult", "energy_comparison",
+           "MinimumCapResult", "minimum_cap_table"]
 
 
 @dataclass(frozen=True)
@@ -249,6 +250,78 @@ class EnergyComparisonResult:
                 f"{self.cap_per_socket_w:.0f} W/socket)"
             ),
         )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class MinimumCapResult:
+    """Smallest feasible job cap per benchmark (facility `min_w` requests).
+
+    Each row bisects :func:`repro.core.sweep.minimum_feasible_cap` over one
+    parametric solver: the LP is assembled once per benchmark and re-solved
+    per probe, with the ambient solver cache serving repeated probes.
+    """
+
+    rows: list[tuple[str, float, float, int]]
+    # (benchmark, min cap W/socket, unconstrained makespan s, probe solves)
+    tol_w: float
+    n_ranks: int
+
+    def row(self, benchmark: str) -> tuple[str, float, float, int]:
+        for r in self.rows:
+            if r[0] == benchmark:
+                return r
+        raise KeyError(benchmark)
+
+    def render(self) -> str:
+        return render_table(
+            ["benchmark", "min cap (W/socket)", "unconstrained time (s)",
+             "LP solves"],
+            [list(r) for r in self.rows],
+            title=(
+                f"Minimum feasible power caps ({self.n_ranks} ranks, "
+                f"bisection tol {self.tol_w:g} W)"
+            ),
+        )
+
+
+def minimum_cap_table(
+    n_ranks: int = 8,
+    iterations: int = 3,
+    tol_w: float = 0.5,
+    seed: int = 2015,
+) -> MinimumCapResult:
+    """Bisect the minimum feasible cap for each of the paper's benchmarks."""
+    from ..core.model import build_problem_instance
+    from ..core.sweep import ParametricCapSolver, minimum_feasible_cap
+    from ..exec.options import get_execution_options
+    from ..workloads import BENCHMARKS
+
+    cache = get_execution_options().make_cache()
+    rows: list[tuple[str, float, float, int]] = []
+    for name, make in BENCHMARKS.items():
+        app = make(WorkloadSpec(n_ranks=n_ranks, iterations=iterations,
+                                seed=seed))
+        pm = make_power_models(n_ranks)
+        trace = trace_application(app, pm)
+        instance = build_problem_instance(trace)
+        # At most n_ranks tasks run concurrently, so this cap is feasible.
+        pmax = max(f.powers.max() for f in instance.convex.values())
+        hi_w = float(pmax) * n_ranks
+        solver = ParametricCapSolver(trace, instance=instance)
+        min_w = minimum_feasible_cap(
+            trace, lo_w=1.0, hi_w=hi_w, tol_w=tol_w * n_ranks,
+            cache=cache, instance=instance, solver=solver,
+        )
+        if min_w is None:
+            raise RuntimeError(f"{name}: no feasible cap below {hi_w} W")
+        rows.append((
+            name,
+            min_w / n_ranks,
+            instance.unconstrained_makespan_s(),
+            solver.n_solves,
+        ))
+    return MinimumCapResult(rows=rows, tol_w=tol_w, n_ranks=n_ranks)
 
 
 def energy_comparison(

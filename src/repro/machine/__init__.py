@@ -21,6 +21,7 @@ from .configuration import (
     measure_task_space,
 )
 from .cpu import XEON_E5_2670, CpuSpec, effective_frequency
+from .frontiers import FrontierProfile, FrontierStore
 from .pareto import (
     bracket_for_power,
     convex_frontier,
@@ -39,6 +40,8 @@ __all__ = [
     "Configuration",
     "CpuSpec",
     "DEFAULT_POWER_PARAMS",
+    "FrontierProfile",
+    "FrontierStore",
     "PowerModelParams",
     "RaplController",
     "RaplDecision",

@@ -1,0 +1,142 @@
+"""Shared frontier store: one profile cache per machine.
+
+Profiling a task — evaluating the machine models at every configuration
+and reducing the scatter to Pareto/convex frontiers — is a pure function
+of (kernel, socket power model).  Before this module, six call sites
+(the tracer, the exploration tracer, Conductor, Adagio, selection-only,
+and the exploration planner) each kept a private ``dict`` cache of the
+same computation.  :class:`FrontierStore` is the one shared cache: build
+it once per machine (per list of per-rank power models) and hand it to
+every consumer, so a kernel profiled by the tracer is never re-measured
+by a runtime policy running on the same machine.
+
+Measurement noise is supported for the tracing path: perturbations are
+drawn per (kernel, socket) on first touch, in call order, from the rng
+the caller provides — matching an exploration pass that profiles each
+distinct task shape once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .configuration import ConfigPoint, measure_task_space
+from .pareto import convex_frontier, pareto_frontier
+from .performance import TaskKernel
+from .power import SocketPowerModel
+
+__all__ = ["FrontierProfile", "FrontierStore"]
+
+
+@dataclass(frozen=True)
+class FrontierProfile:
+    """One task shape's measured configuration space and its reductions."""
+
+    points: list[ConfigPoint]  #: full configuration scatter (Figure 1)
+    pareto: list[ConfigPoint]  #: Pareto-efficient subset (discrete MILP)
+    convex: list[ConfigPoint]  #: lower convex hull (the LP's C_i)
+
+
+class FrontierStore:
+    """Memoized per-(kernel, power model) configuration profiles.
+
+    Parameters
+    ----------
+    power_models:
+        One :class:`SocketPowerModel` per rank.  Noiseless profiles are
+        keyed on the *model* — ranks sharing identical silicon share one
+        entry — while noisy profiles stay keyed per rank so the draw
+        sequence matches a per-rank profiling pass exactly.
+    measurement_noise:
+        Multiplicative lognormal sigma applied to every measured
+        (duration, power) — 0.0 for the oracle path.
+    rng:
+        Source of the noise draws; defaults to a fresh seed-0 generator.
+        Pass the tracing seed's generator to reproduce traced noise.
+    """
+
+    def __init__(
+        self,
+        power_models: list[SocketPowerModel],
+        measurement_noise: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if measurement_noise < 0:
+            raise ValueError("measurement_noise must be >= 0")
+        if not power_models:
+            raise ValueError("need at least one power model")
+        self.power_models = list(power_models)
+        self.measurement_noise = float(measurement_noise)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._canon = self._canonical_ranks()
+        self._profiles: dict[tuple[TaskKernel, int], FrontierProfile] = {}
+
+    def _canonical_ranks(self) -> list[int]:
+        """Map each rank to the first rank carrying an equal power model.
+
+        Only the noiseless store deduplicates: noisy entries must stay
+        per-rank so noise draws line up with a per-rank profiling order.
+        """
+        if self.measurement_noise > 0:
+            return list(range(len(self.power_models)))
+        canon: list[int] = []
+        for r, pm in enumerate(self.power_models):
+            match = r
+            for r2 in range(r):
+                other = self.power_models[r2]
+                if other is pm or (
+                    other.spec == pm.spec
+                    and other.params == pm.params
+                    and other.efficiency == pm.efficiency
+                ):
+                    match = r2
+                    break
+            canon.append(match)
+        return canon
+
+    # ------------------------------------------------------------------
+    def profile(self, rank: int, kernel: TaskKernel) -> FrontierProfile:
+        """The (points, pareto, convex) profile of a kernel on a rank's socket."""
+        key = (kernel, self._canon[rank])
+        prof = self._profiles.get(key)
+        if prof is None:
+            points = measure_task_space(kernel, self.power_models[key[1]])
+            if self.measurement_noise > 0:
+                sigma = self.measurement_noise
+                noisy = []
+                for p in points:
+                    td = self._rng.lognormal(0.0, sigma)
+                    tp = self._rng.lognormal(0.0, sigma)
+                    noisy.append(
+                        ConfigPoint(p.config, p.duration_s * td, p.power_w * tp)
+                    )
+                points = noisy
+            pareto, convex = self.reduce(points)
+            prof = FrontierProfile(points=points, pareto=pareto, convex=convex)
+            self._profiles[key] = prof
+        return prof
+
+    def points(self, rank: int, kernel: TaskKernel) -> list[ConfigPoint]:
+        return self.profile(rank, kernel).points
+
+    def pareto(self, rank: int, kernel: TaskKernel) -> list[ConfigPoint]:
+        return self.profile(rank, kernel).pareto
+
+    def convex(self, rank: int, kernel: TaskKernel) -> list[ConfigPoint]:
+        return self.profile(rank, kernel).convex
+
+    @staticmethod
+    def reduce(
+        points: list[ConfigPoint],
+    ) -> tuple[list[ConfigPoint], list[ConfigPoint]]:
+        """(pareto, convex) frontiers of an arbitrary observation set.
+
+        The shared reduction for measurement-based paths that assemble
+        their own point sets (partial exploration, executed-run traces).
+        """
+        return pareto_frontier(points), convex_frontier(points)
+
+    def __len__(self) -> int:
+        return len(self._profiles)

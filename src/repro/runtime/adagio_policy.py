@@ -11,9 +11,9 @@ measured against the energy-LP bound (:func:`repro.core.solve_energy_lp`).
 
 from __future__ import annotations
 
-from ..machine.configuration import ConfigPoint, Configuration, measure_task_space
+from ..machine.configuration import ConfigPoint, Configuration
 from ..machine.cpu import CpuSpec, XEON_E5_2670
-from ..machine.pareto import convex_frontier
+from ..machine.frontiers import FrontierStore
 from ..machine.performance import TaskKernel
 from ..machine.power import SocketPowerModel
 from ..simulator.engine import TaskRecord
@@ -35,6 +35,7 @@ class AdagioPolicy:
         safety: float = 0.9,
         switch_overhead_s: float = 145e-6,
         min_switch_duration_s: float = 1e-3,
+        frontier_store: FrontierStore | None = None,
     ) -> None:
         if not (0.0 <= safety <= 1.0):
             raise ValueError(f"safety must be in [0,1], got {safety}")
@@ -56,15 +57,14 @@ class AdagioPolicy:
         }
         self.tasks_per_iteration = tpi
         self.slack = SlackEstimator(tpi)
-        self._frontiers: dict[tuple[TaskKernel, int], list[ConfigPoint]] = {}
+        self.frontiers = (
+            frontier_store
+            if frontier_store is not None
+            else FrontierStore(power_models)
+        )
 
     def _frontier(self, rank: int, kernel: TaskKernel) -> list[ConfigPoint]:
-        key = (kernel, rank)
-        if key not in self._frontiers:
-            self._frontiers[key] = convex_frontier(
-                measure_task_space(kernel, self.power_models[rank])
-            )
-        return self._frontiers[key]
+        return self.frontiers.convex(rank, kernel)
 
     def configure(
         self,

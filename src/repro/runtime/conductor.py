@@ -28,9 +28,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..machine.configuration import ConfigPoint, Configuration, measure_task_space
+from ..machine.configuration import ConfigPoint, Configuration
 from ..machine.cpu import CpuSpec, XEON_E5_2670
-from ..machine.pareto import convex_frontier
+from ..machine.frontiers import FrontierStore
 from ..machine.performance import TaskKernel, TaskTimeModel
 from ..machine.power import SocketPowerModel
 from ..machine.rapl import RaplController
@@ -109,6 +109,7 @@ class ConductorPolicy:
         app: Application,
         spec: CpuSpec = XEON_E5_2670,
         config: ConductorConfig = ConductorConfig(),
+        frontier_store: FrontierStore | None = None,
     ) -> None:
         if job_cap_w <= 0:
             raise ValueError(f"job cap must be positive, got {job_cap_w}")
@@ -136,8 +137,14 @@ class ConductorPolicy:
         self.tasks_per_iteration = {r: max(1, c) for r, c in tpi.items()}
         self.slack = SlackEstimator(self.tasks_per_iteration)
 
-        self._frontier_cache: dict[tuple[TaskKernel, int], list[ConfigPoint]] = {}
-        self._all_configs_cache: dict[tuple[TaskKernel, int], list[ConfigPoint]] = {}
+        # The shared frontier store: Conductor's profiling pass measures
+        # the same (kernel, power model) spaces as every other consumer,
+        # so a store handed in by the harness is a warm cache.
+        self.frontiers = (
+            frontier_store
+            if frontier_store is not None
+            else FrontierStore(power_models)
+        )
         self._pcontrol_count = 0
         self.realloc_count = 0
         self.alloc_history: list[np.ndarray] = []
@@ -146,12 +153,8 @@ class ConductorPolicy:
     def _profiles(self, rank: int, kernel: TaskKernel) -> tuple[
         list[ConfigPoint], list[ConfigPoint]
     ]:
-        key = (kernel, rank)
-        if key not in self._frontier_cache:
-            points = measure_task_space(kernel, self.power_models[rank])
-            self._all_configs_cache[key] = points
-            self._frontier_cache[key] = convex_frontier(points)
-        return self._all_configs_cache[key], self._frontier_cache[key]
+        prof = self.frontiers.profile(rank, kernel)
+        return prof.points, prof.convex
 
     def _exploration_config(
         self, ref: TaskRef, kernel: TaskKernel, iteration: int

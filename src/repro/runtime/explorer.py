@@ -21,7 +21,7 @@ from ..machine.configuration import (
     measure_task,
 )
 from ..machine.cpu import CpuSpec, XEON_E5_2670
-from ..machine.pareto import convex_frontier, pareto_frontier
+from ..machine.frontiers import FrontierStore
 from ..machine.performance import TaskKernel
 from ..machine.power import SocketPowerModel
 
@@ -75,7 +75,7 @@ class ExplorationPlan:
         points = [
             measure_task(kernel, self.configs[i], power_model) for i in seen_idx
         ]
-        return pareto_frontier(points), convex_frontier(points)
+        return FrontierStore.reduce(points)
 
 
 def exploration_rounds_for_full_coverage(n_ranks: int, spec: CpuSpec = XEON_E5_2670) -> int:

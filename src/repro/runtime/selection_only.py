@@ -14,9 +14,9 @@ virtually all of LULESH's (thread-count mismatch) and almost none of BT's
 
 from __future__ import annotations
 
-from ..machine.configuration import ConfigPoint, Configuration, measure_task_space
+from ..machine.configuration import ConfigPoint, Configuration
 from ..machine.cpu import CpuSpec, XEON_E5_2670
-from ..machine.pareto import convex_frontier
+from ..machine.frontiers import FrontierStore
 from ..machine.performance import TaskKernel
 from ..machine.power import SocketPowerModel
 from ..machine.rapl import RaplController
@@ -40,6 +40,7 @@ class SelectionOnlyPolicy:
         adagio_safety: float = 0.9,
         switch_overhead_s: float = 145e-6,
         min_switch_duration_s: float = 1e-3,
+        frontier_store: FrontierStore | None = None,
     ) -> None:
         if job_cap_w <= 0:
             raise ValueError(f"job cap must be positive, got {job_cap_w}")
@@ -63,15 +64,14 @@ class SelectionOnlyPolicy:
         }
         self.tasks_per_iteration = tpi
         self.slack = SlackEstimator(tpi)
-        self._frontiers: dict[tuple[TaskKernel, int], list[ConfigPoint]] = {}
+        self.frontiers = (
+            frontier_store
+            if frontier_store is not None
+            else FrontierStore(power_models)
+        )
 
     def _frontier(self, rank: int, kernel: TaskKernel) -> list[ConfigPoint]:
-        key = (kernel, rank)
-        if key not in self._frontiers:
-            self._frontiers[key] = convex_frontier(
-                measure_task_space(kernel, self.power_models[rank])
-            )
-        return self._frontiers[key]
+        return self.frontiers.convex(rank, kernel)
 
     def configure(
         self,

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from ..machine.configuration import ConfigPoint, Configuration, enumerate_configurations
 from ..machine.cpu import CpuSpec, XEON_E5_2670
-from ..machine.pareto import convex_frontier, pareto_frontier
+from ..machine.frontiers import FrontierStore
 from ..machine.performance import TaskKernel
 from ..machine.power import SocketPowerModel
 from .engine import Engine, TaskRecord
@@ -117,8 +117,7 @@ def trace_from_exploration(
         points = list(observations[ref].values())
         if not points:
             raise RuntimeError(f"task {ref} was never observed")
-        pareto[edge_id] = pareto_frontier(points)
-        frontiers[edge_id] = convex_frontier(points)
+        pareto[edge_id], frontiers[edge_id] = FrontierStore.reduce(points)
 
     edge_refs = {eid: ref for ref, eid in task_edges.items()}
     return Trace(

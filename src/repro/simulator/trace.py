@@ -25,10 +25,9 @@ import numpy as np
 from ..dag.builder import DagBuilder
 from ..dag.graph import TaskGraph, VertexKind
 from ..exec.timing import span
-from ..machine.configuration import ConfigPoint, measure_task_space
+from ..machine.configuration import ConfigPoint
 from ..machine.cpu import CpuSpec, XEON_E5_2670
-from ..machine.pareto import convex_frontier, pareto_frontier
-from ..machine.performance import TaskKernel
+from ..machine.frontiers import FrontierStore
 from ..machine.power import SocketPowerModel
 from .network import IB_QDR, NetworkModel
 from .program import (
@@ -203,6 +202,7 @@ def trace_application(
     spec: CpuSpec = XEON_E5_2670,
     measurement_noise: float = 0.0,
     seed: int = 0,
+    frontier_store: FrontierStore | None = None,
 ) -> Trace:
     """Trace an application and profile every task across all configurations.
 
@@ -211,10 +211,16 @@ def trace_application(
     system.  Identical (kernel, socket) pairs share a cached profile; noise
     is applied per (kernel, socket), matching an exploration pass that
     profiles each distinct task shape once.
+
+    ``frontier_store`` shares profiles with other consumers on the same
+    machine (runtime policies, other traces); when given it takes
+    precedence over ``measurement_noise``/``seed``, which configure the
+    internally created store.
     """
     with span("trace"):
         return _trace_application(
-            app, power_models, network, spec, measurement_noise, seed
+            app, power_models, network, spec, measurement_noise, seed,
+            frontier_store,
         )
 
 
@@ -225,36 +231,30 @@ def _trace_application(
     spec: CpuSpec,
     measurement_noise: float,
     seed: int,
+    frontier_store: FrontierStore | None = None,
 ) -> Trace:
     if len(power_models) != app.n_ranks:
         raise ValueError(
             f"need {app.n_ranks} power models, got {len(power_models)}"
         )
-    if measurement_noise < 0:
-        raise ValueError("measurement_noise must be >= 0")
+    # Per-rank power models: heterogeneous machines profile correctly.
+    store = (
+        frontier_store
+        if frontier_store is not None
+        else FrontierStore(
+            power_models,
+            measurement_noise=measurement_noise,
+            rng=np.random.default_rng(seed),
+        )
+    )
     graph, task_edges = build_dag(app, network)
-    rng = np.random.default_rng(seed)
 
-    cache: dict[tuple[TaskKernel, int], tuple[list, list]] = {}
     pareto: dict[int, list[ConfigPoint]] = {}
     frontiers: dict[int, list[ConfigPoint]] = {}
     for ref, edge_id in task_edges.items():
         kernel = graph.edges[edge_id].kernel
-        key = (kernel, ref.rank)
-        if key not in cache:
-            # Per-rank spec: heterogeneous machines profile correctly.
-            points = measure_task_space(kernel, power_models[ref.rank])
-            if measurement_noise > 0:
-                noisy = []
-                for p in points:
-                    td = rng.lognormal(0.0, measurement_noise)
-                    tp = rng.lognormal(0.0, measurement_noise)
-                    noisy.append(
-                        ConfigPoint(p.config, p.duration_s * td, p.power_w * tp)
-                    )
-                points = noisy
-            cache[key] = (pareto_frontier(points), convex_frontier(points))
-        pareto[edge_id], frontiers[edge_id] = cache[key]
+        prof = store.profile(ref.rank, kernel)
+        pareto[edge_id], frontiers[edge_id] = prof.pareto, prof.convex
 
     edge_refs = {eid: ref for ref, eid in task_edges.items()}
     return Trace(

@@ -82,3 +82,38 @@ class TestMinimumFeasibleCap:
             minimum_feasible_cap(trace, 0.0, 100.0)
         with pytest.raises(ValueError):
             minimum_feasible_cap(trace, 100.0, 50.0)
+
+    def test_cache_threaded_through_bisection(self, trace, tmp_path):
+        from repro.core import ParametricCapSolver
+        from repro.exec import SolverCache
+
+        cache = SolverCache(tmp_path)
+        first = minimum_feasible_cap(trace, 10.0, 400.0, cache=cache)
+        # Replaying the identical bisection hits the cache at every probe:
+        # the second solver never calls HiGHS at all.
+        solver = ParametricCapSolver(trace)
+        second = minimum_feasible_cap(
+            trace, 10.0, 400.0, cache=cache, solver=solver
+        )
+        assert second == first
+        assert solver.n_solves == 0
+
+    def test_sweep_warms_bisection_endpoints(self, trace, tmp_path):
+        from repro.core import ParametricCapSolver
+        from repro.exec import SolverCache
+
+        cache = SolverCache(tmp_path)
+        solve_cap_sweep(trace, (10.0, 400.0), cache=cache)
+        solver = ParametricCapSolver(trace)
+        minimum_feasible_cap(trace, 10.0, 400.0, cache=cache, solver=solver)
+        # Both endpoints came from the sweep's cache; only interior
+        # bisection probes hit the solver.
+        assert solver.n_solves <= 11  # log2(390 / 0.25) ~ 10.6
+
+    def test_shared_solver_reused(self, trace):
+        from repro.core import ParametricCapSolver
+
+        solver = ParametricCapSolver(trace)
+        found = minimum_feasible_cap(trace, 10.0, 400.0, solver=solver)
+        assert found is not None
+        assert solver.n_solves >= 3  # endpoints + at least one bisection probe

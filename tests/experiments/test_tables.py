@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.experiments import overheads_summary, table3_lulesh_task_characteristics
+from repro.experiments import (
+    minimum_cap_table,
+    overheads_summary,
+    table3_lulesh_task_characteristics,
+)
 
 
 class TestTable3:
@@ -65,3 +69,41 @@ class TestOverheads:
 
     def test_render(self, result):
         assert "34 us" in result.render()
+
+
+class TestMinimumCap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return minimum_cap_table(n_ranks=4, iterations=2)
+
+    def test_covers_all_benchmarks(self, result):
+        assert [r[0] for r in result.rows] == ["comd", "lulesh", "bt", "sp"]
+
+    def test_caps_physical(self, result):
+        # Per-socket minima must sit inside the machine's power range.
+        for _, min_w, _, _ in result.rows:
+            assert 5.0 < min_w < 120.0
+
+    def test_min_cap_actually_feasible(self, result):
+        from repro.core import solve_fixed_order_lp
+        from repro.experiments import make_power_models
+        from repro.simulator import trace_application
+        from repro.workloads import BENCHMARKS, WorkloadSpec
+
+        name, min_w, _, _ = result.row("comd")
+        app = BENCHMARKS[name](WorkloadSpec(n_ranks=4, iterations=2, seed=2015))
+        trace = trace_application(app, make_power_models(4))
+        assert solve_fixed_order_lp(trace, min_w * 4).feasible
+
+    def test_solve_counts_reported(self, result):
+        for _, _, _, n_solves in result.rows:
+            assert n_solves >= 2  # at least the two bracket probes
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Minimum feasible power caps" in text
+        assert "lulesh" in text
+
+    def test_unknown_benchmark_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row("hpl")

@@ -1,0 +1,82 @@
+"""Layering guards: no module reaches into another module's privates.
+
+The energy LP used to import ``_extract_schedule`` from
+``fixed_order_lp`` — a private helper crossing a module boundary, which
+is how formulation internals leak into each other.  Schedule extraction
+is public now (:func:`repro.core.model.extract_schedule`); this test
+keeps the door shut by walking every module under ``src/repro`` and
+rejecting any ``from X import _private`` whose target is a leading
+underscore name (dunders excluded) and whose source is another repro
+module — relative imports or absolute ``repro.*`` ones.  Imports of
+private names from *external* packages (e.g. the guarded use of SciPy's
+bundled HiGHS bindings in ``core/solver.py``) are a dependency-pinning
+concern, not a layering one, and are left to code review.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _private_imports(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    bad = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        internal = node.level > 0 or (
+            node.module is not None
+            and (node.module == "repro" or node.module.startswith("repro."))
+        )
+        if not internal:
+            continue
+        for alias in node.names:
+            name = alias.name
+            if name.startswith("_") and not (
+                name.startswith("__") and name.endswith("__")
+            ):
+                where = (
+                    path.relative_to(SRC.parent)
+                    if path.is_relative_to(SRC.parent)
+                    else path
+                )
+                bad.append(
+                    f"{where}:{node.lineno}: "
+                    f"from {'.' * node.level}{node.module or ''} import {name}"
+                )
+    return bad
+
+
+def test_no_cross_module_private_imports():
+    assert SRC.is_dir(), SRC
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        offenders.extend(_private_imports(path))
+    assert not offenders, (
+        "private names imported across module boundaries:\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_guard_catches_the_original_offense(tmp_path):
+    # The exact import this guard exists to prevent must trip it.
+    mod = tmp_path / "offender.py"
+    mod.write_text("from .fixed_order_lp import _extract_schedule\n")
+    assert _private_imports(mod)
+
+
+def test_guard_catches_absolute_repro_imports(tmp_path):
+    mod = tmp_path / "offender.py"
+    mod.write_text("from repro.core.fixed_order_lp import _extract_schedule\n")
+    assert _private_imports(mod)
+
+
+def test_guard_allows_dunder_public_and_external(tmp_path):
+    mod = tmp_path / "fine.py"
+    mod.write_text(
+        "from __future__ import annotations\n"
+        "from .model import extract_schedule\n"
+        "from scipy.optimize._highspy import _core\n"
+    )
+    assert not _private_imports(mod)
