@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import shutil
 import sys
 from pathlib import Path
@@ -46,6 +47,7 @@ def compare(
     fresh: dict[str, float],
     threshold_pct: float,
     calibrate: str | None,
+    aggregate: bool = False,
 ) -> int:
     scale = 1.0
     if calibrate is not None:
@@ -71,6 +73,7 @@ def compare(
         print(f"note: {name} has no baseline yet (run with --update to add)")
 
     regressions = []
+    ratios_for_mean: list[float] = []
     width = max(len(n) for n in shared)
     print(f"{'benchmark':<{width}}  {'baseline':>10}  {'fresh':>10}  {'delta':>8}")
     for name in shared:
@@ -78,13 +81,35 @@ def compare(
         fresh_s = fresh[name] / scale
         delta_pct = (fresh_s / base_s - 1.0) * 100.0
         flag = ""
-        if delta_pct > threshold_pct and name != calibrate:
+        is_probe = calibrate is not None and calibrate in name
+        if aggregate:
+            if not is_probe:
+                ratios_for_mean.append(fresh_s / base_s)
+        elif delta_pct > threshold_pct and name != calibrate:
             flag = "  << REGRESSION"
             regressions.append((name, delta_pct))
         print(
             f"{name:<{width}}  {base_s:>9.4f}s  {fresh_s:>9.4f}s  "
             f"{delta_pct:>+7.1f}%{flag}"
         )
+
+    if aggregate:
+        if not ratios_for_mean:
+            print("error: no non-probe benchmarks to aggregate")
+            return 2
+        geomean = math.exp(
+            sum(math.log(r) for r in ratios_for_mean) / len(ratios_for_mean)
+        )
+        delta_pct = (geomean - 1.0) * 100.0
+        print(
+            f"\ngeometric-mean slowdown over {len(ratios_for_mean)} "
+            f"benchmark(s): {delta_pct:+.1f}%"
+        )
+        if delta_pct > threshold_pct:
+            print(f"FAIL: aggregate exceeds the {threshold_pct:.0f}% gate")
+            return 1
+        print(f"OK: aggregate within the {threshold_pct:.0f}% gate")
+        return 0
 
     if regressions:
         print(
@@ -122,6 +147,15 @@ def main(argv: list[str] | None = None) -> int:
         help="benchmark (substring of fullname) used as a machine-speed probe",
     )
     parser.add_argument(
+        "--aggregate",
+        action="store_true",
+        help=(
+            "gate on the geometric mean of all calibrated fresh/baseline "
+            "ratios instead of per-benchmark deltas (robust to noise on "
+            "any single benchmark)"
+        ),
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="replace the baseline with the fresh run and exit",
@@ -145,6 +179,7 @@ def main(argv: list[str] | None = None) -> int:
         load_times(args.fresh),
         args.threshold,
         args.calibrate,
+        aggregate=args.aggregate,
     )
 
 

@@ -11,6 +11,7 @@ build linear in the number of nonzeros (the event-power constraints of a
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 
 import types
@@ -18,6 +19,10 @@ import types
 import numpy as np
 import scipy.optimize as sopt
 import scipy.sparse as sp
+
+from ..obs.audit import SolveRecord, current_audit
+from ..obs.events import SolveEvent
+from ..obs.recorder import current_recorder
 
 try:  # SciPy's bundled HiGHS bindings; internal layout varies by version.
     from scipy.optimize._highspy import _core as _hcore
@@ -215,6 +220,7 @@ class LinearProgram:
             var_ub=list(self._ub),
             integrality=list(self._integrality),
             tag_rows={t: np.asarray(rs) for t, rs in tag_rows.items()},
+            name=self.name,
         )
 
     def solve(self, time_limit_s: float | None = None) -> LpSolution:
@@ -254,7 +260,9 @@ class FrozenProgram:
         var_ub: list[float],
         integrality: list[int],
         tag_rows: dict[str, np.ndarray],
+        name: str = "lp",
     ) -> None:
+        self.name = name
         self._c = c
         self._a = a
         self._lo = lo
@@ -330,14 +338,50 @@ class FrozenProgram:
         An override replaces every finite bound of the tagged rows — the
         upper bound of ``<=`` rows, the lower bound of ``>=`` rows, both
         for equalities — leaving the assembled matrix untouched.
+
+        Every solve is audited: when a :class:`repro.obs.SolveAudit` is
+        active, the model shape, iteration count, status, objective,
+        wall time, and provenance (cold first solve vs parametric
+        re-solve) are recorded; an active
+        :class:`repro.obs.TraceRecorder` additionally gets a solve
+        event.  Both are no-ops when disabled.
         """
         lo, hi = self._bounds_with(rhs)
         self.n_solves += 1
+        source = "cold" if self.n_solves == 1 else "resolve"
+        audit = current_audit()
+        recorder = current_recorder()
+        t0 = time.perf_counter() if audit is not None else 0.0
         if self.is_mip:
-            return self._solve_milp(lo, hi, time_limit_s)
-        return self._solve_lp(lo, hi, time_limit_s)
+            solution, backend, iterations = self._solve_milp(lo, hi, time_limit_s)
+        else:
+            solution, backend, iterations = self._solve_lp(lo, hi, time_limit_s)
+        if audit is not None:
+            audit.record(SolveRecord(
+                program=self.name,
+                backend=backend,
+                source=source,
+                rows=self.n_constraints,
+                cols=self.n_vars,
+                nnz=int(self._a.nnz),
+                iterations=iterations,
+                status=solution.status.value,
+                objective=solution.objective if solution.ok else None,
+                wall_s=time.perf_counter() - t0,
+            ))
+        if recorder is not None:
+            recorder.emit(SolveEvent(
+                program=self.name,
+                source=source,
+                backend=backend,
+                rows=self.n_constraints,
+                cols=self.n_vars,
+                nnz=int(self._a.nnz),
+                status=solution.status.value,
+            ))
+        return solution
 
-    def _solve_lp(self, lo, hi, time_limit_s) -> LpSolution:
+    def _solve_lp(self, lo, hi, time_limit_s) -> tuple[LpSolution, str, int | None]:
         if _HIGHS_DIRECT and self._a_ub is not None:
             return self._solve_lp_direct(lo, hi, time_limit_s)
         b_ub = (
@@ -356,7 +400,10 @@ class FrozenProgram:
             method="highs",
             options=options,
         )
-        return _wrap_result(res)
+        iterations = getattr(res, "nit", None)
+        return _wrap_result(res), "linprog", (
+            int(iterations) if iterations is not None else None
+        )
 
     def _prep_direct(self):
         """Build the persistent HiGHS model once (columns + matrix + options).
@@ -394,7 +441,9 @@ class FrozenProgram:
         highs.passOptions(options)
         return highs, model
 
-    def _solve_lp_direct(self, lo, hi, time_limit_s) -> LpSolution:
+    def _solve_lp_direct(
+        self, lo, hi, time_limit_s
+    ) -> tuple[LpSolution, str, int | None]:
         if self._direct is None:
             self._direct = self._prep_direct()
         highs, model = self._direct
@@ -425,16 +474,20 @@ class FrozenProgram:
             )
             self._status_cache[model_status] = cached
         status, message = cached
+        info = highs.getInfo()
         if model_status == _hcore.HighsModelStatus.kOptimal:
             x = np.asarray(highs.getSolution().col_value)
-            fun = highs.getInfo().objective_function_value
+            fun = info.objective_function_value
         else:
             x = fun = None
-        return _wrap_result(
+        solution = _wrap_result(
             types.SimpleNamespace(status=status, x=x, fun=fun, message=message)
         )
+        return solution, "highs-direct", int(info.simplex_iteration_count)
 
-    def _solve_milp(self, lo, hi, time_limit_s) -> LpSolution:
+    def _solve_milp(
+        self, lo, hi, time_limit_s
+    ) -> tuple[LpSolution, str, int | None]:
         constraints = sopt.LinearConstraint(self._a, lo, hi)
         bounds = sopt.Bounds(np.array(self._var_lb), np.array(self._var_ub))
         options = {}
@@ -447,7 +500,10 @@ class FrozenProgram:
             integrality=np.array(self._integrality),
             options=options,
         )
-        return _wrap_result(res)
+        iterations = getattr(res, "nit", None)
+        return _wrap_result(res), "milp", (
+            int(iterations) if iterations is not None else None
+        )
 
 
 def _wrap_result(res) -> LpSolution:

@@ -19,6 +19,7 @@ parsed back exactly, so a cache hit reproduces the solver's
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import tempfile
@@ -27,8 +28,11 @@ from pathlib import Path
 import numpy as np
 
 from ..core.fixed_order_lp import FixedOrderLpResult, solve_fixed_order_lp
+from ..core.model import MODEL_LAYER_VERSION
 from ..core.serialize import schedule_from_dict, schedule_to_dict
 from ..core.solver import LpSolution, LpStatus
+from ..obs.audit import note_cache
+from ..obs.provenance import collect_manifest
 from .keys import fixed_order_lp_key
 from .timing import count
 
@@ -44,6 +48,21 @@ __all__ = [
 
 #: Bump when the payload layout changes; old entries are then ignored.
 CACHE_SCHEMA_VERSION = 1
+
+
+@functools.lru_cache(maxsize=1)
+def _entry_provenance() -> dict:
+    """The manifest stamped into every stored entry (built once).
+
+    Forensics, not keying: readers never look at it, but a cache
+    directory inspected later says exactly which code produced each
+    entry (see :mod:`repro.obs.provenance`).
+    """
+    manifest = collect_manifest(
+        config={"kind": "solver-cache", "cache_schema": CACHE_SCHEMA_VERSION},
+        model_layer_version=MODEL_LAYER_VERSION,
+    )
+    return manifest.to_dict()
 
 
 class SolverCache:
@@ -71,20 +90,28 @@ class SolverCache:
         except (OSError, ValueError):
             self.misses += 1
             count("cache.miss")
+            note_cache(False)
             return None
         if data.get("schema") != CACHE_SCHEMA_VERSION or data.get("key") != key:
             self.misses += 1
             count("cache.miss")
+            note_cache(False)
             return None
         self.hits += 1
         count("cache.hit")
+        note_cache(True)
         return data["payload"]
 
     def put(self, key: str, payload: dict) -> None:
         """Atomically store ``payload`` under ``key``."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        doc = {"schema": CACHE_SCHEMA_VERSION, "key": key, "payload": payload}
+        doc = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "payload": payload,
+            "provenance": _entry_provenance(),
+        }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:

@@ -17,16 +17,25 @@ measured path.
 Telemetry: each worker runs its task under a fresh
 :class:`~repro.exec.timing.Telemetry` and ships the snapshot back with
 the result; the parent folds all snapshots into its own active telemetry,
-so cache hit counters and phase times survive process boundaries.
+so cache hit counters and phase times survive process boundaries.  Trace
+events and solver audits travel the same way: when the parent has a
+:class:`~repro.obs.recorder.TraceRecorder` or
+:class:`~repro.obs.audit.SolveAudit` active, each worker activates fresh
+ones, ships the batches back, and the parent folds them in *submission
+order* — so a parallel run's trace and audit are identical to a serial
+run's (modulo re-sequencing, which is itself deterministic).
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Any, Callable, Iterable, Sequence
 
+from ..obs.audit import SolveAudit, current_audit, use_audit
+from ..obs.recorder import TraceRecorder, current_recorder, use_recorder
 from .timing import Telemetry, current_telemetry, use_telemetry
 
 __all__ = ["ParallelRunner", "ParallelExecutionError", "resolve_workers"]
@@ -47,12 +56,34 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
-def _run_task(fn: Callable[[Any], Any], item: Any) -> tuple[Any, dict]:
-    """Worker-side wrapper: run one task under fresh telemetry."""
+def _run_task(
+    fn: Callable[[Any], Any],
+    item: Any,
+    want_trace: bool = False,
+    want_audit: bool = False,
+) -> tuple[Any, dict, list[dict] | None, dict | None]:
+    """Worker-side wrapper: run one task under fresh observability state.
+
+    Telemetry is always collected; a trace recorder and solve audit are
+    activated only when the parent had them active (``want_*``), keeping
+    the common path free of event-buffer overhead.
+    """
     telemetry = Telemetry()
-    with use_telemetry(telemetry):
+    recorder = TraceRecorder() if want_trace else None
+    audit = SolveAudit() if want_audit else None
+    with ExitStack() as stack:
+        stack.enter_context(use_telemetry(telemetry))
+        if recorder is not None:
+            stack.enter_context(use_recorder(recorder))
+        if audit is not None:
+            stack.enter_context(use_audit(audit))
         result = fn(item)
-    return result, telemetry.to_dict()
+    return (
+        result,
+        telemetry.to_dict(),
+        recorder.snapshot() if recorder is not None else None,
+        audit.to_dicts() if audit is not None else None,
+    )
 
 
 class ParallelRunner:
@@ -101,25 +132,45 @@ class ParallelRunner:
     def _map_parallel(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list:
         results: list[Any] = [None] * len(items)
         parent = current_telemetry()
+        recorder = current_recorder()
+        audit = current_audit()
+        want_trace = recorder is not None
+        want_audit = audit is not None
         n_workers = min(self.max_workers, len(items))
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [pool.submit(_run_task, fn, item) for item in items]
+            futures = [
+                pool.submit(_run_task, fn, item, want_trace, want_audit)
+                for item in items
+            ]
             for i in range(len(items)):
                 attempt = 0
                 while True:
                     try:
-                        result, snapshot = futures[i].result(timeout=self.timeout_s)
+                        result, snapshot, batch, audit_snap = futures[i].result(
+                            timeout=self.timeout_s
+                        )
                         break
                     except FuturesTimeoutError as exc:
                         futures[i].cancel()
                         attempt = self._check_attempts(i, attempt, "timed out", exc)
-                        futures[i] = pool.submit(_run_task, fn, items[i])
+                        futures[i] = pool.submit(
+                            _run_task, fn, items[i], want_trace, want_audit
+                        )
                     except Exception as exc:
                         attempt = self._check_attempts(i, attempt, "failed", exc)
-                        futures[i] = pool.submit(_run_task, fn, items[i])
+                        futures[i] = pool.submit(
+                            _run_task, fn, items[i], want_trace, want_audit
+                        )
                 results[i] = result
+                # Fold worker observability in submission order: the loop
+                # consumes futures by index, so the merged stream is stable
+                # regardless of which worker finished first.
                 if parent is not None:
                     parent.merge(snapshot)
+                if recorder is not None and batch is not None:
+                    recorder.extend(batch)
+                if audit is not None and audit_snap is not None:
+                    audit.extend(audit_snap)
         return results
 
     def _check_attempts(

@@ -26,6 +26,7 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 
 __all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
     "PhaseStats",
     "Telemetry",
     "current_telemetry",
@@ -33,6 +34,11 @@ __all__ = [
     "span",
     "count",
 ]
+
+#: Version of the :meth:`Telemetry.to_dict` snapshot layout.  Bump on any
+#: layout change; :meth:`Telemetry.merge` rejects mismatched snapshots so
+#: a new parent never silently folds in a stale worker's numbers.
+TELEMETRY_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -72,6 +78,7 @@ class Telemetry:
     def to_dict(self) -> dict:
         """JSON-safe snapshot (the CLI's ``--timings-json`` payload)."""
         return {
+            "version": TELEMETRY_SCHEMA_VERSION,
             "phases": {
                 name: {"calls": s.calls, "total_s": s.total_s}
                 for name, s in sorted(self.phases.items())
@@ -84,7 +91,18 @@ class Telemetry:
 
     def merge(self, snapshot: dict) -> None:
         """Fold a :meth:`to_dict` snapshot (e.g. from a worker) into this
-        telemetry."""
+        telemetry.
+
+        Raises :class:`ValueError` when the snapshot's schema ``version``
+        is missing or differs from :data:`TELEMETRY_SCHEMA_VERSION` —
+        numbers from a different layout must not be silently summed in.
+        """
+        version = snapshot.get("version")
+        if version != TELEMETRY_SCHEMA_VERSION:
+            raise ValueError(
+                f"telemetry snapshot version {version!r} does not match "
+                f"schema version {TELEMETRY_SCHEMA_VERSION}"
+            )
         for name, s in snapshot.get("phases", {}).items():
             stats = self.phases.setdefault(name, PhaseStats())
             stats.calls += int(s["calls"])

@@ -1,26 +1,46 @@
 """Command-line entry point: regenerate any paper exhibit.
 
-Usage (installed as ``repro-experiments``)::
+Usage (installed as ``repro-experiments``, with ``repro-exp`` as a short
+alias)::
 
     repro-experiments list
     repro-experiments fig1 fig8 fig9 ... table3 overheads headline
     repro-experiments all [--ranks 32]
     repro-experiments all --quick        # 8 ranks, small fig8 sweep
 
+    repro-exp run --quick --trace trace.json   # one traced comparison
+    repro-exp audit [exhibit ...]              # solver audit table
+    repro-exp validate-trace trace.json        # schema-check a trace
+
 ``--quick`` shrinks rank counts and sweep densities for smoke runs; the
 full defaults match the measurement protocol recorded in EXPERIMENTS.md.
+
+Observability (see ``docs/observability.md``): ``--trace FILE`` /
+``--trace-dir DIR`` export a Chrome trace-event JSON (Perfetto-loadable)
+plus a raw ``.jsonl`` of every event the run emitted; ``--timings`` and
+``--timings-json`` additionally surface the solver audit ledger; and
+``--save DIR`` stamps a ``manifest.json`` of run provenance next to the
+saved artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from contextlib import ExitStack, contextmanager
 from pathlib import Path
 
+from ..core.model import MODEL_LAYER_VERSION
 from ..exec.options import ExecutionOptions, set_execution_options
 from ..exec.timing import Telemetry, use_telemetry
+from ..obs.audit import SolveAudit, use_audit
+from ..obs.export import export_chrome_trace, export_jsonl, validate_trace_file
+from ..obs.provenance import collect_manifest, write_manifest
+from ..obs.recorder import TraceRecorder, use_recorder
 from . import figures, tables
+from .runner import ComparisonResult, ExperimentConfig, run_comparison
 
 __all__ = ["main", "EXHIBITS"]
 
@@ -62,6 +82,40 @@ EXHIBITS = {
     "headline": lambda q, n: figures.headline_summary(n),
 }
 
+def _run_config(args) -> ExperimentConfig:
+    """The comparison config for ``run``/``audit`` from the CLI flags.
+
+    ``--quick`` shrinks the comparison to 4 ranks and a 12-iteration run
+    (steady window 6) — small enough for CI smoke, large enough that the
+    Conductor exits exploration and reallocates at least once.
+    """
+    if args.quick:
+        ranks = 4 if args.ranks == 32 else args.ranks
+        return ExperimentConfig(
+            benchmark=args.benchmark, n_ranks=ranks,
+            run_iterations=12, lp_iterations=2, steady_window=6,
+        )
+    return ExperimentConfig(benchmark=args.benchmark, n_ranks=args.ranks)
+
+
+def _comparison_text(result: ComparisonResult) -> str:
+    """Human summary of one comparison cell (the ``run`` subcommand)."""
+
+    def fmt(value: float | None) -> str:
+        return f"{value:.4f} s/iter" if value is not None else "unschedulable"
+
+    lines = [
+        f"{result.benchmark}: {result.n_ranks} ranks at "
+        f"{result.cap_per_socket_w:g} W/socket ({result.job_cap_w:g} W job cap)",
+        f"  static     {fmt(result.static_s)}",
+        f"  conductor  {fmt(result.conductor_s)}"
+        f"  ({result.conductor_reallocs} reallocations)",
+        f"  lp bound   {fmt(result.lp_s)}",
+    ]
+    if result.lp_vs_static_pct is not None:
+        lines.append(f"  lp improves on static by {result.lp_vs_static_pct:.1f}%")
+    return "\n".join(lines)
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -70,14 +124,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "exhibits", nargs="*", default=["all"],
-        help="exhibit names (see 'list'), or 'all'",
+        help="exhibit names (see 'list'), 'all', or a subcommand: "
+             "run, audit, validate-trace, verify-results",
     )
     parser.add_argument("--ranks", type=int, default=32,
                         help="MPI ranks / sockets (default 32, as in the paper)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller sweeps for a fast smoke run")
+    parser.add_argument("--benchmark", default="comd",
+                        help="benchmark for the run/audit subcommands")
+    parser.add_argument("--cap", type=float, default=50.0,
+                        help="per-socket cap (W) for the run/audit subcommands")
     parser.add_argument("--save", metavar="DIR", default=None,
-                        help="also write each exhibit's text to DIR/<name>.txt")
+                        help="also write each exhibit's text to DIR/<name>.txt "
+                             "plus a manifest.json of run provenance")
     parser.add_argument("--svg", metavar="DIR", default=None,
                         help="also render figure exhibits to DIR/<name>.svg")
     parser.add_argument("--workers", type=int, default=1,
@@ -89,12 +149,41 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir: solve everything fresh")
     parser.add_argument("--timings", action="store_true",
-                        help="print per-phase timings and cache counters")
+                        help="print per-phase timings, cache counters, and "
+                             "the solver audit table")
     parser.add_argument("--timings-json", metavar="FILE", default=None,
-                        help="also write the timing telemetry as JSON")
+                        help="also write the timing telemetry (with the "
+                             "solver audit ledger) as JSON")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="export a Chrome trace-event JSON (open in "
+                             "Perfetto) plus FILE's .jsonl sibling")
+    parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                        help="like --trace, writing DIR/trace.json[l]")
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
+
+    command = args.exhibits[0] if args.exhibits else None
+
+    if command == "list":
+        for name in EXHIBITS:
+            print(name)
+        return 0
+
+    if command == "validate-trace":
+        if len(args.exhibits) < 2:
+            parser.error("validate-trace needs a trace file")
+        rc = 0
+        for path in args.exhibits[1:]:
+            errors = validate_trace_file(path)
+            if errors:
+                rc = 1
+                for err in errors:
+                    print(f"{path}: {err}", file=sys.stderr)
+                print(f"{path}: INVALID ({len(errors)} error(s))")
+            else:
+                print(f"{path}: OK")
+        return rc
 
     set_execution_options(ExecutionOptions(
         workers=args.workers,
@@ -102,22 +191,106 @@ def main(argv: list[str] | None = None) -> int:
         use_cache=not args.no_cache,
     ))
 
-    if args.exhibits == ["list"]:
-        for name in EXHIBITS:
-            print(name)
-        return 0
-
     telemetry = Telemetry()
+    recorder = (
+        TraceRecorder() if (args.trace or args.trace_dir) else None
+    )
+    audit = (
+        SolveAudit()
+        if (args.timings or args.timings_json or command in ("run", "audit"))
+        else None
+    )
+
+    @contextmanager
+    def observe():
+        """Activate every requested observability sink for a block."""
+        with ExitStack() as stack:
+            stack.enter_context(use_telemetry(telemetry))
+            if recorder is not None:
+                stack.enter_context(use_recorder(recorder))
+            if audit is not None:
+                stack.enter_context(use_audit(audit))
+            yield
+
+    def export_traces() -> None:
+        if recorder is None:
+            return
+        events = recorder.snapshot()
+        targets = []
+        if args.trace:
+            targets.append(Path(args.trace))
+        if args.trace_dir:
+            targets.append(Path(args.trace_dir) / "trace.json")
+        for target in targets:
+            export_chrome_trace(events, target)
+            export_jsonl(events, target.with_suffix(".jsonl"))
+            print(f"[trace: {len(events)} events -> {target}]")
+        if recorder.dropped:
+            print(f"[trace: {recorder.dropped} events dropped at capacity]",
+                  file=sys.stderr)
 
     def emit_timings() -> None:
         if args.timings:
             print(telemetry.summary())
+            if audit is not None:
+                print()
+                print(audit.table())
         if args.timings_json:
+            doc = telemetry.to_dict()
+            if audit is not None:
+                doc["solve_audit"] = audit.to_dicts()
             out = Path(args.timings_json)
             out.parent.mkdir(parents=True, exist_ok=True)
-            out.write_text(telemetry.to_json() + "\n")
+            out.write_text(json.dumps(doc, indent=1) + "\n")
 
-    if args.exhibits and args.exhibits[0] == "verify-results":
+    def save_manifest(save_dir: Path, config: object, seed: int | None) -> None:
+        manifest = collect_manifest(
+            config, seed=seed, model_layer_version=MODEL_LAYER_VERSION
+        )
+        write_manifest(manifest, save_dir / "manifest.json")
+
+    if command == "run":
+        if len(args.exhibits) > 1:
+            parser.error("run takes no positional arguments; use --benchmark")
+        cfg = _run_config(args)
+        t0 = time.time()
+        with observe():
+            result = run_comparison(cfg, args.cap)
+        text = _comparison_text(result)
+        print(text)
+        print(f"[run finished in {time.time() - t0:.1f}s]")
+        if args.save:
+            save_dir = Path(args.save)
+            save_dir.mkdir(parents=True, exist_ok=True)
+            (save_dir / "run.txt").write_text(text + "\n")
+            save_manifest(
+                save_dir,
+                {"command": "run", "cap_per_socket_w": args.cap,
+                 "config": cfg.cache_document()},
+                cfg.seed,
+            )
+        export_traces()
+        emit_timings()
+        return 0
+
+    if command == "audit":
+        names = args.exhibits[1:]
+        unknown = [n for n in names if n not in EXHIBITS]
+        if unknown:
+            parser.error(f"unknown exhibits: {unknown}; try 'list'")
+        ranks = 8 if args.quick and args.ranks == 32 else args.ranks
+        with observe():
+            if names:
+                for name in names:
+                    EXHIBITS[name](args.quick, ranks)
+            else:
+                run_comparison(_run_config(args), args.cap)
+        print(audit.table())
+        export_traces()
+        emit_timings()
+        return 0
+
+    if command == "verify-results":
         if len(args.exhibits) < 2:
             parser.error("verify-results needs a reference directory")
         from .regression import verify_reference_results
@@ -126,12 +299,13 @@ def main(argv: list[str] | None = None) -> int:
         names = args.exhibits[2:] or [
             n for n in EXHIBITS if (Path(ref_dir) / f"{n}.txt").exists()
         ]
-        with use_telemetry(telemetry):
+        with observe():
             results = {
                 n: EXHIBITS[n](args.quick, args.ranks) for n in names
             }
         report = verify_reference_results(ref_dir, results)
         print(report.summary())
+        export_traces()
         emit_timings()
         return 0 if report.ok else 1
 
@@ -151,7 +325,7 @@ def main(argv: list[str] | None = None) -> int:
         svg_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
         t0 = time.time()
-        with use_telemetry(telemetry):
+        with observe():
             result = EXHIBITS[name](args.quick, ranks)
         text = result.render()
         print(text)
@@ -165,6 +339,14 @@ def main(argv: list[str] | None = None) -> int:
             svg = exhibit_to_svg(result)
             if svg is not None:
                 (svg_dir / f"{name}.svg").write_text(svg)
+    if save_dir is not None:
+        save_manifest(
+            save_dir,
+            {"command": "exhibits", "exhibits": names, "ranks": ranks,
+             "quick": args.quick},
+            None,
+        )
+    export_traces()
     emit_timings()
     return 0
 

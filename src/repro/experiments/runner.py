@@ -18,6 +18,7 @@ by x%" means ``t_B / t_A - 1`` in per-iteration time.
 from __future__ import annotations
 
 import dataclasses
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,9 +33,12 @@ from ..machine.cpu import CpuSpec, XEON_E5_2670
 from ..machine.frontiers import FrontierStore
 from ..machine.power import SocketPowerModel
 from ..machine.variability import sample_socket_efficiencies
+from ..obs.events import CounterEvent
+from ..obs.recorder import TraceRecorder, current_recorder
 from ..runtime.conductor import ConductorConfig, ConductorPolicy
 from ..runtime.static import StaticPolicy
 from ..simulator.engine import Engine, SimulationResult
+from ..simulator.telemetry import job_power_timeline
 from ..simulator.trace import Trace, trace_application
 from ..workloads import BENCHMARKS, WorkloadSpec
 
@@ -260,6 +264,37 @@ def run_comparison(
     return result
 
 
+def _scope(rec: TraceRecorder | None, label: str):
+    """The recorder's run scope, or a no-op when tracing is disabled."""
+    return rec.run_scope(label) if rec is not None else nullcontext()
+
+
+def _emit_power_counters(
+    rec: TraceRecorder,
+    result: SimulationResult,
+    power_models: list[SocketPowerModel],
+    job_cap_w: float,
+) -> None:
+    """Counter samples for the job power timeline and the cap it ran under.
+
+    Every breakpoint of the piecewise-constant timeline becomes a sample,
+    so the Perfetto counter track reproduces the timeline exactly; the cap
+    is sampled at both ends to draw as a flat line over the same span.
+    """
+    timeline = job_power_timeline(result, power_models)
+    for t, p in zip(timeline.times[:-1], timeline.power):
+        rec.emit(
+            CounterEvent(
+                name="job_power_w", ts_s=float(t), values={"watts": float(p)}
+            )
+        )
+    end_s = float(timeline.times[-1])
+    final_w = float(timeline.power[-1]) if len(timeline.power) else 0.0
+    rec.emit(CounterEvent(name="job_power_w", ts_s=end_s, values={"watts": final_w}))
+    for t in (0.0, end_s):
+        rec.emit(CounterEvent(name="cap_w", ts_s=t, values={"watts": job_cap_w}))
+
+
 def _run_comparison(
     cfg: ExperimentConfig,
     cap_per_socket_w: float,
@@ -268,6 +303,8 @@ def _run_comparison(
 ) -> ComparisonResult:
     shared = _shared_for(cfg)
     job_cap = cap_per_socket_w * cfg.n_ranks
+    rec = current_recorder()
+    tag = f"{cfg.benchmark} cap={cap_per_socket_w:g}W"
 
     min_cap = shared.app_run.metadata.get("min_cap_per_socket_w")
     if min_cap is not None and cap_per_socket_w < min_cap:
@@ -282,7 +319,10 @@ def _run_comparison(
         )
 
     static = StaticPolicy(shared.power_models, job_cap)
-    res_static = shared.engine.run(shared.app_run, static)
+    with _scope(rec, f"static {tag}"):
+        res_static = shared.engine.run(shared.app_run, static)
+        if rec is not None:
+            _emit_power_counters(rec, res_static, shared.power_models, job_cap)
     t_static = _steady_per_iteration(
         res_static, cfg.discard_iterations,
         cfg.run_iterations - cfg.discard_iterations,
@@ -292,13 +332,17 @@ def _run_comparison(
         shared.power_models, job_cap, shared.app_run, config=cfg.conductor,
         frontier_store=shared.frontiers,
     )
-    res_cond = shared.engine.run(shared.app_run, conductor)
+    with _scope(rec, f"conductor {tag}"):
+        res_cond = shared.engine.run(shared.app_run, conductor)
+        if rec is not None:
+            _emit_power_counters(rec, res_cond, shared.power_models, job_cap)
     first_steady = cfg.run_iterations - cfg.steady_window
     t_cond = _steady_per_iteration(res_cond, first_steady, cfg.steady_window)
 
-    lp = cached_solve_fixed_order_lp(
-        shared.trace, job_cap, cache=cache, instance=shared.instance
-    )
+    with _scope(rec, f"lp {tag}"):
+        lp = cached_solve_fixed_order_lp(
+            shared.trace, job_cap, cache=cache, instance=shared.instance
+        )
     t_lp = lp.makespan_s / cfg.lp_iterations if lp.feasible else None
     t_lp_disc = None
     if include_discrete and lp.feasible:

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.events import CapExceededEvent
+from ..obs.recorder import emit
 from .configuration import Configuration, ConfigPoint, measure_task
 from .performance import TaskKernel, TaskTimeModel
 from .power import SocketPowerModel
@@ -106,6 +108,12 @@ class RaplController:
             mem_intensity=kernel.mem_intensity,
             duty=chosen.duty,
         )
+        if not cap_met:
+            # The trace records every overshoot: this is the mechanism
+            # behind the paper's "22% of max clock" pathology, and a
+            # throttled-to-the-floor socket is the first thing to look
+            # for when a run underperforms its bound.
+            emit(CapExceededEvent(cap_w=cap_w, power_w=power))
         return RaplDecision(config=chosen, power_w=power, cap_w=cap_w, cap_met=cap_met)
 
     def measure(

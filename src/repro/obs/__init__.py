@@ -1,0 +1,94 @@
+"""repro.obs — structured observability: tracing, solver audit, provenance.
+
+Three pillars, all contextvar-activated and zero-cost when disabled:
+
+* **Event tracing** (:mod:`.events`, :mod:`.recorder`, :mod:`.export`) —
+  the simulator engine, the Conductor runtime, RAPL, and the LP solver
+  emit typed events into a ring-buffer :class:`TraceRecorder`; exporters
+  render Chrome trace-event JSON (loadable in Perfetto) and JSONL.
+* **Solver audit** (:mod:`.audit`) — every LP/MILP solve records model
+  shape, iterations, status, objective, wall time, and provenance
+  (cold / parametric re-solve / cache hit) into a :class:`SolveAudit`
+  ledger.
+* **Run provenance** (:mod:`.provenance`) — a :class:`RunManifest`
+  (config hash, seed, model-layer version, package version, platform)
+  stamped into saved artifacts and cache entries.
+
+The package is stdlib-only and sits at the bottom of the layering,
+beside :mod:`repro.exec.timing`: every other layer may import it.
+See ``docs/observability.md`` for the event taxonomy and workflows.
+"""
+
+from .audit import (
+    SolveAudit,
+    SolveRecord,
+    current_audit,
+    note_cache,
+    record_solve,
+    use_audit,
+)
+from .events import (
+    EVENT_KINDS,
+    CapExceededEvent,
+    CollectiveEvent,
+    CounterEvent,
+    MpiWaitEvent,
+    ReallocEvent,
+    SolveEvent,
+    TaskEvent,
+)
+from .export import (
+    chrome_trace,
+    export_chrome_trace,
+    export_jsonl,
+    validate_chrome_trace,
+    validate_trace_file,
+)
+from .provenance import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    collect_manifest,
+    config_hash,
+    read_manifest,
+    write_manifest,
+)
+from .recorder import (
+    DEFAULT_CAPACITY,
+    TraceRecorder,
+    current_recorder,
+    emit,
+    use_recorder,
+)
+
+__all__ = [
+    "CapExceededEvent",
+    "CollectiveEvent",
+    "CounterEvent",
+    "DEFAULT_CAPACITY",
+    "EVENT_KINDS",
+    "MANIFEST_SCHEMA_VERSION",
+    "MpiWaitEvent",
+    "ReallocEvent",
+    "RunManifest",
+    "SolveAudit",
+    "SolveEvent",
+    "SolveRecord",
+    "TaskEvent",
+    "TraceRecorder",
+    "chrome_trace",
+    "collect_manifest",
+    "config_hash",
+    "current_audit",
+    "current_recorder",
+    "emit",
+    "export_chrome_trace",
+    "export_jsonl",
+    "note_cache",
+    "read_manifest",
+    "record_solve",
+    "use_audit",
+    "use_recorder",
+    "validate_chrome_trace",
+    "validate_trace_file",
+    "write_manifest",
+]

@@ -1,0 +1,245 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and JSONL.
+
+The Chrome trace-event format (the ``traceEvents`` JSON loadable in
+`ui.perfetto.dev <https://ui.perfetto.dev>`_ or ``chrome://tracing``) is
+the visualization target: one *process* per recorded run scope (e.g.
+``static comd cap=40W`` and ``conductor comd cap=40W`` side by side),
+one *thread track* per rank carrying its task / MPI-wait / collective
+spans, dedicated tracks for runtime decisions (power reallocations) and
+solver activity, and counter tracks for the instantaneous job power and
+the cap.
+
+Determinism: exported bytes are a pure function of the recorded events.
+Simulated timestamps convert to microseconds; *logical* events (solver,
+RAPL) have no simulated time and are placed by emission sequence on
+their own tracks.  JSON is written with sorted keys and no incidental
+whitespace, so two seeded runs export byte-identical traces — a
+property the test suite asserts.
+
+:func:`validate_chrome_trace` is the schema check used by the tests and
+the CI smoke job: required keys per event (``ph``/``ts``/``pid``/
+``tid``/``name``), known phase types, and per-track monotone timestamps.
+
+Stdlib-only, like every ``repro.obs`` module.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "RUNTIME_TID",
+    "SOLVER_TID",
+    "RAPL_TID",
+    "COUNTER_TID",
+    "chrome_trace",
+    "export_chrome_trace",
+    "export_jsonl",
+    "validate_chrome_trace",
+    "validate_trace_file",
+]
+
+#: Synthetic thread ids for non-rank tracks (ranks use their own number).
+RUNTIME_TID = 9_997
+SOLVER_TID = 9_998
+RAPL_TID = 9_999
+COUNTER_TID = 10_000
+
+_TRACK_NAMES = {
+    RUNTIME_TID: "runtime decisions",
+    SOLVER_TID: "solver",
+    RAPL_TID: "rapl",
+    COUNTER_TID: "power counters",
+}
+
+#: Phase types the exporter produces (and the validator accepts).
+_KNOWN_PHASES = frozenset({"X", "i", "C", "M"})
+
+
+def _us(seconds: float) -> float:
+    """Simulated seconds -> trace microseconds (stable rounding)."""
+    return round(seconds * 1e6, 3)
+
+
+def _convert(doc: dict, pid: int) -> dict | None:
+    """One recorded event dict -> one Chrome trace event (or None)."""
+    kind = doc["kind"]
+    if kind in ("task", "mpi_wait", "collective"):
+        return {
+            "ph": "X",
+            "name": doc["name"],
+            "cat": kind,
+            "ts": _us(doc["ts_s"]),
+            "dur": _us(doc["dur_s"]),
+            "pid": pid,
+            "tid": doc["rank"],
+            "args": doc["args"],
+        }
+    if kind == "realloc":
+        return {
+            "ph": "i",
+            "name": doc["name"],
+            "cat": kind,
+            "ts": _us(doc["ts_s"]),
+            "pid": pid,
+            "tid": RUNTIME_TID,
+            "s": "p",
+            "args": doc["args"],
+        }
+    if kind in ("solve", "cap_exceeded"):
+        # Logical events: no simulated time; sequence-ordered on their
+        # own track (1 µs per emission keeps per-track ts monotone).
+        return {
+            "ph": "i",
+            "name": doc["name"],
+            "cat": kind,
+            "ts": float(doc["seq"]),
+            "pid": pid,
+            "tid": SOLVER_TID if kind == "solve" else RAPL_TID,
+            "s": "t",
+            "args": doc["args"],
+        }
+    if kind == "counter":
+        return {
+            "ph": "C",
+            "name": doc["name"],
+            "ts": _us(doc["ts_s"]),
+            "pid": pid,
+            "tid": COUNTER_TID,
+            "args": doc["args"],
+        }
+    return None  # unknown kinds are skipped, not fatal
+
+
+def chrome_trace(events: list[dict]) -> dict:
+    """Recorded event dicts -> a Chrome trace-event document.
+
+    Run-scope labels become process ids in first-seen order; per-rank
+    tracks, the runtime/solver tracks, and the counter tracks hang off
+    each process.  Events are sorted per track by timestamp (ties by
+    emission sequence), which guarantees the monotonicity the validator
+    checks.
+    """
+    pids: dict[str, int] = {}
+    converted: list[tuple[tuple, dict]] = []
+    meta: list[dict] = []
+    named_tracks: set[tuple[int, int]] = set()
+
+    for doc in events:
+        run = doc.get("run", "run")
+        if run not in pids:
+            pid = len(pids) + 1
+            pids[run] = pid
+            meta.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": run},
+                }
+            )
+        pid = pids[run]
+        event = _convert(doc, pid)
+        if event is None:
+            continue
+        tid = event["tid"]
+        if (pid, tid) not in named_tracks:
+            named_tracks.add((pid, tid))
+            meta.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": _TRACK_NAMES.get(tid, f"rank {tid}")},
+                }
+            )
+        converted.append(((pid, tid, event["ts"], doc["seq"]), event))
+
+    converted.sort(key=lambda pair: pair[0])
+    meta.sort(key=lambda e: (e["pid"], e["tid"], e["name"]))
+    return {
+        "traceEvents": meta + [event for _, event in converted],
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs"},
+    }
+
+
+def export_chrome_trace(events: list[dict], path: str | Path) -> Path:
+    """Write the Chrome trace for ``events`` to ``path`` (canonical bytes)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = chrome_trace(events)
+    path.write_text(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+    return path
+
+
+def export_jsonl(events: list[dict], path: str | Path) -> Path:
+    """Write the raw event stream as one canonical JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for doc in events:
+            fh.write(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+            fh.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Schema-check a Chrome trace document; returns a list of problems.
+
+    Checks the structural contract the tests and CI rely on: a
+    ``traceEvents`` list whose entries carry ``ph``/``ts``/``pid``/
+    ``tid``/``name``, phase types the format defines, non-negative
+    durations on complete events, and non-decreasing timestamps within
+    every (pid, tid) track.  An empty list means the trace is valid.
+    """
+    errors: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts: dict[tuple, float] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        missing = [k for k in ("ph", "ts", "pid", "tid", "name") if k not in event]
+        if missing:
+            errors.append(f"event {i}: missing keys {missing}")
+            continue
+        ph = event["ph"]
+        if ph not in _KNOWN_PHASES:
+            errors.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            errors.append(f"event {i}: non-numeric ts {ts!r}")
+            continue
+        if ph == "X" and event.get("dur", 0) < 0:
+            errors.append(f"event {i}: negative duration {event.get('dur')}")
+        if ph == "M":
+            continue  # metadata is timeless
+        track = (event["pid"], event["tid"])
+        if ts < last_ts.get(track, float("-inf")):
+            errors.append(
+                f"event {i}: ts {ts} goes backwards on track pid="
+                f"{track[0]} tid={track[1]}"
+            )
+        last_ts[track] = ts
+    return errors
+
+
+def validate_trace_file(path: str | Path) -> list[str]:
+    """Load and validate a trace file; JSON errors become messages too."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return [f"unreadable trace: {exc}"]
+    return validate_chrome_trace(doc)

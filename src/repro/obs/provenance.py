@@ -1,0 +1,137 @@
+"""Run provenance: the manifest stamped into artifacts and cache entries.
+
+A result file that cannot say which code, configuration, and seed
+produced it is a liability — the paper's evaluation lives on seeded,
+re-runnable comparisons.  A :class:`RunManifest` captures the identity
+of a run: the SHA-256 of its canonical configuration document, the RNG
+seed, the model-layer version (cache-compatibility epoch of the LP
+compiler), the package version, and the interpreter/platform it ran on.
+
+Producers:
+
+* the CLI writes ``manifest.json`` next to every ``--save`` directory's
+  artifacts;
+* :class:`~repro.exec.cache.SolverCache` stamps a manifest into every
+  entry it stores (readers ignore it — it is for forensics, not keying).
+
+The manifest deliberately contains no wall-clock timestamp: everything
+in it is a pure function of code + configuration, so manifests — like
+traces — are byte-identical across repeated runs of the same thing.
+
+Stdlib-only.  ``model_layer_version`` and ``package_version`` are passed
+in by callers (the layers above know them); importing them here would
+invert the layering that lets everything import ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "config_hash",
+    "collect_manifest",
+    "write_manifest",
+    "read_manifest",
+]
+
+#: Bump when the manifest layout changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def config_hash(config: object) -> str:
+    """SHA-256 of a configuration document's canonical JSON form.
+
+    Canonical form matches :mod:`repro.exec.keys`: sorted keys, no
+    whitespace, shortest-round-trip floats.
+    """
+    doc = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Identity of one run: configuration, seed, code, and platform."""
+
+    config_hash: str
+    seed: int | None
+    model_layer_version: int | None
+    package_version: str
+    python_version: str
+    platform: str
+    schema: int = MANIFEST_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "config_hash": self.config_hash,
+            "seed": self.seed,
+            "model_layer_version": self.model_layer_version,
+            "package_version": self.package_version,
+            "python_version": self.python_version,
+            "platform": self.platform,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunManifest":
+        return cls(
+            config_hash=str(doc["config_hash"]),
+            seed=doc.get("seed"),
+            model_layer_version=doc.get("model_layer_version"),
+            package_version=str(doc.get("package_version", "unknown")),
+            python_version=str(doc.get("python_version", "unknown")),
+            platform=str(doc.get("platform", "unknown")),
+            schema=int(doc.get("schema", MANIFEST_SCHEMA_VERSION)),
+        )
+
+
+def _default_package_version() -> str:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except Exception:  # PackageNotFoundError or a broken metadata backend
+        return "unknown"
+
+
+def collect_manifest(
+    config: object,
+    seed: int | None = None,
+    model_layer_version: int | None = None,
+    package_version: str | None = None,
+) -> RunManifest:
+    """Build the manifest for a run described by ``config``.
+
+    ``config`` is any JSON-serializable document fully describing what
+    was run (an :meth:`ExperimentConfig.cache_document`, the CLI's
+    argument record, ...).  Only its hash is retained.
+    """
+    return RunManifest(
+        config_hash=config_hash(config),
+        seed=seed,
+        model_layer_version=model_layer_version,
+        package_version=(
+            package_version if package_version is not None
+            else _default_package_version()
+        ),
+        python_version=platform.python_version(),
+        platform=f"{sys.platform}-{platform.machine()}",
+    )
+
+
+def write_manifest(manifest: RunManifest, path: str | Path) -> Path:
+    """Write ``manifest.json``-style provenance next to saved artifacts."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest.to_dict(), indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def read_manifest(path: str | Path) -> RunManifest:
+    return RunManifest.from_dict(json.loads(Path(path).read_text()))

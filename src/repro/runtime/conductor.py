@@ -34,6 +34,8 @@ from ..machine.frontiers import FrontierStore
 from ..machine.performance import TaskKernel, TaskTimeModel
 from ..machine.power import SocketPowerModel
 from ..machine.rapl import RaplController
+from ..obs.events import ReallocEvent
+from ..obs.recorder import current_recorder
 from ..simulator.engine import TaskRecord
 from ..simulator.program import Application, ComputeOp, TaskRef
 from .adagio import SlackEstimator, slowest_fitting_point
@@ -222,9 +224,21 @@ class ConductorPolicy:
         self.slack.update(records, rng=self.rng, noise=self.cfg.measurement_noise)
         if self._pcontrol_count % self.cfg.realloc_period != 0:
             return 0.0
+        recorder = current_recorder()
+        before = (
+            tuple(float(w) for w in self.alloc_w) if recorder is not None else ()
+        )
         self._reallocate(records)
         self.realloc_count += 1
         self.alloc_history.append(self.alloc_w.copy())
+        if recorder is not None:
+            recorder.emit(ReallocEvent(
+                ts_s=max(r.end_s for r in records),
+                iteration=iteration,
+                job_cap_w=self.job_cap_w,
+                alloc_before_w=before,
+                alloc_after_w=tuple(float(w) for w in self.alloc_w),
+            ))
         return self.cfg.realloc_overhead_s
 
     def _reallocate(self, records: list[TaskRecord]) -> None:

@@ -21,11 +21,13 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Protocol
 
-from ..exec.timing import span
+from ..exec.timing import count, span
 from ..machine.configuration import Configuration
 from ..machine.cpu import CpuSpec, XEON_E5_2670
 from ..machine.performance import TaskKernel, TaskTimeModel
 from ..machine.power import SocketPowerModel
+from ..obs.events import CollectiveEvent, MpiWaitEvent, TaskEvent
+from ..obs.recorder import current_recorder
 from .network import IB_QDR, NetworkModel
 from .program import (
     Application,
@@ -222,9 +224,13 @@ class Engine:
         task_seq = [0] * n
         iteration_records: list[TaskRecord] = []
         mpi_calls = 0
+        mpi_waits = 0
         collectives = 0
         pcontrol_overhead = 0.0
         dvfs_switches = 0
+        # Tracing: one contextvar read per run; with tracing off the only
+        # per-event cost is a local `is not None` branch.
+        rec = current_recorder()
 
         def arrival(src: int, dst: int, tag: int, send_time: float, size: int) -> None:
             channels.setdefault((src, dst, tag), deque()).append(
@@ -232,7 +238,7 @@ class Engine:
             )
 
         def try_advance(rank: int) -> bool:
-            nonlocal mpi_calls, dvfs_switches
+            nonlocal mpi_calls, mpi_waits, dvfs_switches
             st = states[rank]
             if st.waiting_collective or st.ptr >= len(app.programs[rank]):
                 return False
@@ -255,13 +261,20 @@ class Engine:
                     mem_intensity=op.kernel.mem_intensity,
                     duty=cfg.duty,
                 )
-                rec = TaskRecord(
+                rec_task = TaskRecord(
                     ref=ref, iteration=op.iteration, label=op.label, config=cfg,
                     start_s=st.clock, duration_s=duration, power_w=power,
                     kernel=op.kernel,
                 )
-                records.append(rec)
-                iteration_records.append(rec)
+                records.append(rec_task)
+                iteration_records.append(rec_task)
+                if rec is not None:
+                    rec.emit(TaskEvent(
+                        label=op.label, rank=rank, iteration=op.iteration,
+                        ts_s=st.clock, dur_s=duration,
+                        freq_ghz=cfg.freq_ghz, threads=cfg.threads,
+                        duty=cfg.duty, power_w=power,
+                    ))
                 st.clock += duration
                 task_seq[rank] += 1
                 st.ptr += 1
@@ -294,8 +307,14 @@ class Engine:
                 if not q:
                     return False  # blocked: matching send not yet executed
                 t_arrive = q.popleft()
+                if rec is not None and t_arrive > st.clock:
+                    rec.emit(MpiWaitEvent(
+                        name="recv", rank=rank, ts_s=st.clock,
+                        dur_s=t_arrive - st.clock,
+                    ))
                 st.clock = max(st.clock, t_arrive) + self.call_cost
                 mpi_calls += 1
+                mpi_waits += 1
                 st.ptr += 1
                 return True
 
@@ -313,8 +332,14 @@ class Engine:
                     if not q:
                         return False
                     t_arrive = q.popleft()
+                    if rec is not None and t_arrive > st.clock:
+                        rec.emit(MpiWaitEvent(
+                            name="wait", rank=rank, ts_s=st.clock,
+                            dur_s=t_arrive - st.clock,
+                        ))
                     st.clock = max(st.clock, t_arrive) + self.call_cost
                 mpi_calls += 1
+                mpi_waits += 1
                 del st.requests[op.request]
                 st.ptr += 1
                 return True
@@ -345,6 +370,7 @@ class Engine:
                 )
             done = max(st.collective_enter_s for st in states)
             if isinstance(first, PcontrolOp):
+                name = "pcontrol"
                 overhead = policy.on_pcontrol(first.iteration, list(iteration_records))
                 if overhead < 0:
                     raise ValueError("pcontrol overhead must be >= 0")
@@ -352,12 +378,18 @@ class Engine:
                 pcontrol_overhead += overhead
                 iteration_records = []
             else:
-                kind = first.kind
+                name = first.kind
                 size = max(
                     op.size_bytes for op in ops if isinstance(op, CollectiveOp)
                 )
-                done += self.network.collective_time(kind, n, size)
+                done += self.network.collective_time(name, n, size)
             collectives += 1
+            if rec is not None:
+                for r, st in enumerate(states):
+                    rec.emit(CollectiveEvent(
+                        name=name, rank=r, ts_s=st.collective_enter_s,
+                        dur_s=done - st.collective_enter_s,
+                    ))
             for st in states:
                 st.clock = done
                 st.waiting_collective = False
@@ -383,6 +415,9 @@ class Engine:
             }
             raise RuntimeError(f"deadlock: ranks blocked at {details}")
 
+        count("sim.tasks", len(records))
+        count("sim.mpi_waits", mpi_waits)
+        count("sim.collectives", collectives)
         return SimulationResult(
             app_name=app.name,
             makespan_s=max(st.clock for st in states),

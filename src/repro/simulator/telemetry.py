@@ -122,13 +122,15 @@ def rank_power_timeline(
     job timeline)."""
     if not (0 <= rank < result.n_ranks):
         raise ValueError(f"rank {rank} out of range [0, {result.n_ranks})")
+    # Carry the run's MPI/collective counts through: the sub-result is the
+    # same job viewed through one rank's records, not a smaller job.
     sub = SimulationResult(
         app_name=result.app_name,
         makespan_s=result.makespan_s,
         records=[r for r in result.records if r.ref.rank == rank],
         n_ranks=result.n_ranks,
-        mpi_call_count=0,
-        collective_count=0,
+        mpi_call_count=result.mpi_call_count,
+        collective_count=result.collective_count,
     )
     # Reuse the job aggregation with only this rank's records; other
     # sockets contribute their idle floor, which we subtract back out.

@@ -125,6 +125,30 @@ class TestSolverCache:
         assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
         assert len(cache) == 1
 
+    def test_entries_carry_provenance(self, tmp_path):
+        from repro.core.model import MODEL_LAYER_VERSION
+
+        cache = SolverCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, {"answer": 42})
+        doc = json.loads(cache._path(key).read_text())
+        prov = doc["provenance"]
+        assert prov["model_layer_version"] == MODEL_LAYER_VERSION
+        assert len(prov["config_hash"]) == 64
+        # Readers key on schema+key only: provenance never affects hits.
+        assert cache.get(key) == {"answer": 42}
+
+    def test_cache_traffic_reaches_the_audit_ledger(self, tmp_path):
+        from repro.obs.audit import SolveAudit, use_audit
+
+        cache = SolverCache(tmp_path)
+        audit = SolveAudit()
+        with use_audit(audit):
+            cache.get("ab" * 32)
+            cache.put("ab" * 32, {"v": 1})
+            cache.get("ab" * 32)
+        assert (audit.cache_hits, audit.cache_misses) == (1, 1)
+
     def test_corrupt_file_is_a_miss(self, tmp_path):
         cache = SolverCache(tmp_path)
         key = "cd" * 32

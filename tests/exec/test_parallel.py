@@ -13,6 +13,9 @@ from repro.exec.parallel import (
     resolve_workers,
 )
 from repro.exec.timing import Telemetry, count, span, use_telemetry
+from repro.obs.audit import SolveAudit, SolveRecord, record_solve, use_audit
+from repro.obs.events import CounterEvent
+from repro.obs.recorder import TraceRecorder, emit, use_recorder
 
 
 # Module-level task functions so worker processes can unpickle them.
@@ -42,6 +45,15 @@ def _sleepy(seconds: float) -> float:
 def _instrumented(item: int) -> int:
     with span("worker.phase"):
         count("worker.count", item)
+    return item
+
+
+def _emits_observability(item: int) -> int:
+    emit(CounterEvent(name="w", ts_s=float(item), values={"v": item}))
+    record_solve(SolveRecord(
+        program=f"p{item}", backend="linprog", source="cold", rows=1, cols=1,
+        nnz=1, iterations=1, status="optimal", objective=0.0, wall_s=0.001,
+    ))
     return item
 
 
@@ -131,3 +143,19 @@ class TestParallelMap:
 
     def test_no_parent_telemetry_is_fine(self):
         assert ParallelRunner(max_workers=2).map(_instrumented, [1, 2]) == [1, 2]
+
+    def test_worker_traces_merge_in_submission_order(self):
+        rec = TraceRecorder()
+        audit = SolveAudit()
+        with use_recorder(rec), use_audit(audit):
+            ParallelRunner(max_workers=2).map(_emits_observability, [2, 0, 1])
+        counters = [d for d in rec.snapshot() if d["kind"] == "counter"]
+        # Batches fold in submission order, not completion order.
+        assert [d["ts_s"] for d in counters] == [2.0, 0.0, 1.0]
+        assert [d["seq"] for d in counters] == [0, 1, 2]
+        assert [r.program for r in audit.records] == ["p2", "p0", "p1"]
+
+    def test_workers_skip_observability_when_parent_has_none(self):
+        # No recorder/audit in the parent: workers must not build them.
+        results = ParallelRunner(max_workers=2).map(_emits_observability, [1, 2])
+        assert results == [1, 2]

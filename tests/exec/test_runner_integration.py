@@ -11,7 +11,7 @@ from repro.exec.options import (
     get_execution_options,
     set_execution_options,
 )
-from repro.exec.timing import Telemetry, use_telemetry
+from repro.exec.timing import TELEMETRY_SCHEMA_VERSION, Telemetry, use_telemetry
 from repro.experiments.cli import main
 from repro.experiments.runner import (
     ExperimentConfig,
@@ -106,4 +106,5 @@ def test_cli_flags_wire_through(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "fig1 regenerated" in out
     doc = json.loads(timings.read_text())
-    assert set(doc) == {"phases", "counters"}
+    assert set(doc) == {"version", "phases", "counters", "solve_audit"}
+    assert doc["version"] == TELEMETRY_SCHEMA_VERSION

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.exec.timing import (
+    TELEMETRY_SCHEMA_VERSION,
     Telemetry,
     count,
     current_telemetry,
@@ -90,3 +93,20 @@ def test_nested_spans_record_both():
     assert tel.phases["outer"].calls == 1
     assert tel.phases["inner"].calls == 1
     assert tel.phases["outer"].total_s >= tel.phases["inner"].total_s
+
+
+def test_snapshot_carries_schema_version():
+    assert Telemetry().to_dict()["version"] == TELEMETRY_SCHEMA_VERSION
+
+
+def test_merge_rejects_mismatched_schema_version():
+    snapshot = Telemetry().to_dict()
+    snapshot["version"] = TELEMETRY_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="does not match"):
+        Telemetry().merge(snapshot)
+
+
+def test_merge_rejects_versionless_snapshot():
+    # Pre-versioning snapshots must not be silently folded in either.
+    with pytest.raises(ValueError, match="None"):
+        Telemetry().merge({"phases": {}, "counters": {}})

@@ -1,8 +1,11 @@
 """Tests for the repro-experiments CLI."""
 
+import json
+
 import pytest
 
 from repro.experiments.cli import EXHIBITS, main
+from repro.obs.provenance import MANIFEST_SCHEMA_VERSION
 
 
 class TestCli:
@@ -36,3 +39,68 @@ class TestCli:
         capsys.readouterr()
         assert (tmp_path / "fig1.txt").read_text().startswith("Figure 1")
         assert "566" in (tmp_path / "overheads.txt").read_text()
+
+    def test_save_stamps_manifest(self, capsys, tmp_path):
+        assert main(["--save", str(tmp_path), "fig1"]) == 0
+        capsys.readouterr()
+        doc = json.loads((tmp_path / "manifest.json").read_text())
+        assert doc["schema"] == MANIFEST_SCHEMA_VERSION
+        assert len(doc["config_hash"]) == 64
+
+
+class TestRunSubcommand:
+    def test_quick_run_prints_comparison(self, capsys):
+        assert main(["run", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "comd: 4 ranks" in out
+        assert "conductor" in out and "lp bound" in out
+
+    def test_run_rejects_positionals(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig1"])
+
+    def test_run_save_writes_summary_and_manifest(self, capsys, tmp_path):
+        assert main(["run", "--quick", "--save", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert "comd" in (tmp_path / "run.txt").read_text()
+        doc = json.loads((tmp_path / "manifest.json").read_text())
+        assert doc["seed"] == 2015  # the paper's RNG seed
+        assert doc["model_layer_version"] is not None
+
+    def test_trace_dir_exports_both_formats(self, capsys, tmp_path):
+        assert main(["run", "--quick", "--trace-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "trace.json").exists()
+        assert (tmp_path / "trace.jsonl").exists()
+
+    def test_timings_json_embeds_solve_audit(self, capsys, tmp_path):
+        out = tmp_path / "timings.json"
+        assert main(["run", "--quick", "--timings-json", str(out)]) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        audit = doc["solve_audit"]
+        assert audit["solves"], "the LP solve must be in the ledger"
+        assert audit["solves"][0]["status"] == "optimal"
+        assert set(audit["cache"]) == {"hits", "misses"}
+
+
+class TestAuditSubcommand:
+    def test_default_comparison_table(self, capsys):
+        assert main(["audit", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "solver audit" in out
+        assert "cold" in out
+
+    def test_audit_rejects_unknown_exhibit(self):
+        with pytest.raises(SystemExit):
+            main(["audit", "not-a-figure"])
+
+
+class TestValidateTraceSubcommand:
+    def test_needs_a_file(self):
+        with pytest.raises(SystemExit):
+            main(["validate-trace"])
+
+    def test_missing_file_is_invalid(self, capsys, tmp_path):
+        assert main(["validate-trace", str(tmp_path / "nope.json")]) == 1
+        assert "INVALID" in capsys.readouterr().out

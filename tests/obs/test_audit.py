@@ -1,0 +1,116 @@
+"""SolveAudit ledger: recording, merging, the table, solver integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import LinearProgram
+from repro.obs.audit import (
+    SolveAudit,
+    SolveRecord,
+    current_audit,
+    note_cache,
+    record_solve,
+    use_audit,
+)
+from repro.obs.recorder import TraceRecorder, use_recorder
+
+
+def _record(program: str = "lp", source: str = "cold") -> SolveRecord:
+    return SolveRecord(
+        program=program, backend="highs-direct", source=source,
+        rows=10, cols=20, nnz=40, iterations=7, status="optimal",
+        objective=1.25, wall_s=0.004,
+    )
+
+
+class TestLedger:
+    def test_record_and_totals(self):
+        audit = SolveAudit()
+        audit.record(_record())
+        audit.record(_record(source="resolve"))
+        assert len(audit) == 2
+        assert audit.total_wall_s() == pytest.approx(0.008)
+
+    def test_snapshot_roundtrip(self):
+        audit = SolveAudit()
+        audit.record(_record())
+        audit.note_cache(True)
+        audit.note_cache(False)
+        other = SolveAudit()
+        other.extend(audit.to_dicts())
+        assert other.records == audit.records
+        assert (other.cache_hits, other.cache_misses) == (1, 1)
+
+    def test_record_none_fields_survive_roundtrip(self):
+        record = SolveRecord(
+            program="milp", backend="milp", source="cold", rows=1, cols=1,
+            nnz=1, iterations=None, status="infeasible", objective=None,
+            wall_s=0.001,
+        )
+        assert SolveRecord.from_dict(record.to_dict()) == record
+
+    def test_table_lists_solves_and_cache(self):
+        audit = SolveAudit()
+        audit.record(_record(program="fixed-order-comd"))
+        audit.note_cache(True)
+        table = audit.table()
+        assert "solver audit" in table
+        assert "fixed-order-comd" in table
+        assert "1 hit(s)" in table
+
+    def test_empty_table(self):
+        assert "(no solves recorded)" in SolveAudit().table()
+
+
+class TestActivation:
+    def test_helpers_are_noops_when_disabled(self):
+        assert current_audit() is None
+        record_solve(_record())
+        note_cache(True)
+
+    def test_helpers_target_active_audit(self):
+        audit = SolveAudit()
+        with use_audit(audit):
+            record_solve(_record())
+            note_cache(False)
+        assert len(audit) == 1 and audit.cache_misses == 1
+
+
+def _toy_program() -> LinearProgram:
+    lp = LinearProgram(name="toy")
+    x = lp.add_var("x")
+    y = lp.add_var("y")
+    lp.add_ge({x: 1.0, y: 1.0}, 1.0, tag="budget")
+    lp.set_objective({x: 2.0, y: 3.0})
+    return lp
+
+
+class TestSolverIntegration:
+    def test_every_solve_is_audited(self):
+        frozen = _toy_program().freeze()
+        audit = SolveAudit()
+        with use_audit(audit):
+            assert frozen.solve().ok
+            assert frozen.solve().ok
+        assert [r.source for r in audit.records] == ["cold", "resolve"]
+        record = audit.records[0]
+        assert record.program == "toy"
+        assert (record.rows, record.cols) == (1, 2)
+        assert record.status == "optimal"
+        assert record.objective == pytest.approx(2.0)
+        assert record.wall_s >= 0.0
+
+    def test_solve_events_reach_the_recorder(self):
+        frozen = _toy_program().freeze()
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            frozen.solve()
+        docs = [d for d in rec.snapshot() if d["kind"] == "solve"]
+        assert len(docs) == 1
+        assert docs[0]["name"] == "solve:toy"
+        assert docs[0]["args"]["source"] == "cold"
+
+    def test_unaudited_solve_is_silent(self):
+        frozen = _toy_program().freeze()
+        assert frozen.solve().ok  # no audit, no recorder: nothing to trip on

@@ -1,0 +1,50 @@
+"""Run provenance: config hashing and the manifest round trip."""
+
+from __future__ import annotations
+
+from repro.obs.provenance import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    collect_manifest,
+    config_hash,
+    read_manifest,
+    write_manifest,
+)
+
+
+class TestConfigHash:
+    def test_deterministic(self):
+        cfg = {"benchmark": "comd", "ranks": 8, "caps": [30.0, 40.0]}
+        assert config_hash(cfg) == config_hash(dict(cfg))
+
+    def test_key_order_insensitive(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+
+class TestManifest:
+    def test_collect_fills_environment_fields(self):
+        manifest = collect_manifest({"x": 1}, seed=7, model_layer_version=2)
+        assert manifest.schema == MANIFEST_SCHEMA_VERSION
+        assert manifest.seed == 7
+        assert manifest.model_layer_version == 2
+        assert manifest.python_version
+        assert manifest.platform
+
+    def test_collect_is_deterministic(self):
+        # No wall-clock field: two manifests of the same run are equal,
+        # which is what lets saved artifacts be byte-compared.
+        a = collect_manifest({"x": 1}, seed=7, model_layer_version=2)
+        b = collect_manifest({"x": 1}, seed=7, model_layer_version=2)
+        assert a == b
+
+    def test_dict_roundtrip(self):
+        manifest = collect_manifest({"x": 1}, seed=None, model_layer_version=None)
+        assert RunManifest.from_dict(manifest.to_dict()) == manifest
+
+    def test_file_roundtrip(self, tmp_path):
+        manifest = collect_manifest({"x": 1}, seed=3, model_layer_version=2)
+        path = write_manifest(manifest, tmp_path / "results" / "manifest.json")
+        assert read_manifest(path) == manifest

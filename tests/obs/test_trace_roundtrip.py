@@ -1,0 +1,74 @@
+"""End-to-end acceptance: a quick traced run exports a valid, reproducible
+Chrome trace with per-rank tracks, power counters, and Conductor decisions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.obs.export import validate_trace_file
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One quick traced comparison; the module's tests share its output."""
+    out = tmp_path_factory.mktemp("trace")
+    path = out / "trace.json"
+    assert main(["run", "--quick", "--trace", str(path)]) == 0
+    return path
+
+
+class TestRoundTrip:
+    def test_trace_passes_schema_validation(self, traced_run):
+        assert validate_trace_file(traced_run) == []
+        assert main(["validate-trace", str(traced_run)]) == 0
+
+    def test_trace_is_byte_identical_across_runs(self, traced_run, tmp_path):
+        again = tmp_path / "trace.json"
+        assert main(["run", "--quick", "--trace", str(again)]) == 0
+        assert again.read_bytes() == traced_run.read_bytes()
+        jsonl = traced_run.with_suffix(".jsonl")
+        assert jsonl.read_bytes() == again.with_suffix(".jsonl").read_bytes()
+
+    def test_per_rank_task_tracks(self, traced_run):
+        doc = json.loads(traced_run.read_text())
+        events = doc["traceEvents"]
+        track_names = {e["args"]["name"] for e in events
+                       if e["ph"] == "M" and e["name"] == "thread_name"}
+        # --quick runs 4 ranks; each must have its own named track.
+        assert {f"rank {r}" for r in range(4)} <= track_names
+        task_tids = {e["tid"] for e in events if e.get("cat") == "task"}
+        assert task_tids == {0, 1, 2, 3}
+
+    def test_job_power_and_cap_counter_tracks(self, traced_run):
+        doc = json.loads(traced_run.read_text())
+        counters = {e["name"] for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert {"job_power_w", "cap_w"} <= counters
+
+    def test_conductor_reallocation_present(self, traced_run):
+        doc = json.loads(traced_run.read_text())
+        reallocs = [e for e in doc["traceEvents"] if e.get("cat") == "realloc"]
+        assert len(reallocs) >= 1
+        args = reallocs[0]["args"]
+        assert len(args["alloc_before_w"]) == 4
+        assert args["moved_w"] >= 0.0
+
+    def test_static_and_conductor_runs_are_separate_processes(self, traced_run):
+        doc = json.loads(traced_run.read_text())
+        procs = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert any(p.startswith("static ") for p in procs)
+        assert any(p.startswith("conductor ") for p in procs)
+
+    def test_validate_trace_flags_corruption(self, traced_run, tmp_path, capsys):
+        doc = json.loads(traced_run.read_text())
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                del event["name"]
+                break
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(doc))
+        assert main(["validate-trace", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out

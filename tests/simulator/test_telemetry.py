@@ -152,3 +152,27 @@ class TestRankTimeline:
             r.power_w for r in res.records if r.ref.rank == 1
         )
         assert r1.max_power() == pytest.approx(peak_task)
+
+    def test_single_rank_view_preserves_counts(
+        self, kernel, two_rank_models, monkeypatch
+    ):
+        # The one-rank sub-result is the same job viewed through one
+        # rank's records; it must carry the run's MPI/collective counts
+        # rather than dropping them to zero.
+        import repro.simulator.telemetry as tel_mod
+
+        app = conftest.make_p2p_app(kernel)
+        res = Engine(two_rank_models).run(app, FixedPolicy())
+        assert res.mpi_call_count > 0 and res.collective_count > 0
+        seen = []
+        original = tel_mod.job_power_timeline
+        monkeypatch.setattr(
+            tel_mod, "job_power_timeline",
+            lambda result, models, slack_mode="task": (
+                seen.append(result) or original(result, models, slack_mode)
+            ),
+        )
+        tel_mod.rank_power_timeline(res, two_rank_models, 0)
+        sub = seen[0]
+        assert sub.mpi_call_count == res.mpi_call_count
+        assert sub.collective_count == res.collective_count
