@@ -34,6 +34,8 @@ Subpackages
     Static, Adagio, and Conductor power-allocation runtimes.
 ``repro.workloads``
     CoMD / LULESH / NAS-MZ BT / NAS-MZ SP proxy generators.
+``repro.scenarios``
+    Declarative N-way experiment scenarios over a policy registry.
 ``repro.experiments``
     Harness regenerating every table and figure of the paper.
 """
@@ -81,6 +83,14 @@ from .runtime import (
     SelectionOnlyPolicy,
     StaticPolicy,
 )
+from .scenarios import (
+    PolicyRegistry,
+    PolicySpec,
+    ScenarioResult,
+    ScenarioSpec,
+    default_registry,
+    run_scenarios,
+)
 from .simulator import (
     Application,
     Engine,
@@ -120,8 +130,12 @@ __all__ = [
     "JobRequest",
     "MaxPerformancePolicy",
     "NetworkModel",
+    "PolicyRegistry",
+    "PolicySpec",
     "PowerSchedule",
     "RaplController",
+    "ScenarioResult",
+    "ScenarioSpec",
     "SocketPowerModel",
     "SelectionOnlyPolicy",
     "StaticPolicy",
@@ -133,6 +147,7 @@ __all__ = [
     "XEON_E5_2670",
     "__version__",
     "convex_frontier",
+    "default_registry",
     "make_bt",
     "make_comd",
     "make_lulesh",
@@ -146,6 +161,7 @@ __all__ = [
     "save_schedule",
     "solve_energy_lp",
     "run_comparison",
+    "run_scenarios",
     "sample_socket_efficiencies",
     "solve_fixed_order_lp",
     "solve_flow_ilp",

@@ -23,10 +23,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.fixed_order_lp import solve_fixed_order_lp
-from ..experiments.runner import make_power_models
-from ..runtime.static import StaticPolicy
-from ..simulator.engine import Engine
+from ..machine.variability import make_power_models
+from ..scenarios.registry import default_registry
+from ..scenarios.run import policy_iteration_time
 from ..simulator.trace import trace_application
 from ..workloads import BENCHMARKS, WorkloadSpec
 from .budget import JobRequest, partition_power
@@ -69,9 +68,15 @@ class ClusterJob:
 class JobPerformanceModel:
     """Per-iteration time of one job as a function of its power bound.
 
-    Solves the job's LP (or measures Static) at a few anchor caps and
-    interpolates log-linearly between them — iteration time is smooth and
-    convex in the cap, so sparse anchors suffice.
+    Evaluates any registered policy (see :func:`repro.scenarios.registry.
+    default_registry`) at a few anchor caps and interpolates log-linearly
+    between them — iteration time is smooth and convex in the cap, so
+    sparse anchors suffice.  ``strategy`` is a registry name: ``"lp"``
+    and ``"static"`` reproduce the historical anchors exactly, and any
+    other policy (``"conductor"``, ``"adagio"``, ...) now works the same
+    way.  Each anchor evaluation runs in a trace scope named after the
+    job and strategy, so co-scheduling anchors are attributable in
+    exported traces.
     """
 
     def __init__(
@@ -81,31 +86,45 @@ class JobPerformanceModel:
         anchor_caps_per_socket: tuple[float, ...] = (30.0, 40.0, 55.0, 80.0),
         lp_iterations: int = 2,
         efficiency_seed: int = 42,
+        policy_config: dict | None = None,
     ) -> None:
-        if strategy not in ("lp", "static"):
-            raise ValueError(f"strategy must be 'lp' or 'static', got {strategy}")
+        registry = default_registry()
+        if strategy not in registry:
+            raise ValueError(
+                f"strategy must be a registered policy "
+                f"{registry.names()}, got {strategy!r}"
+            )
         self.job = job
         self.strategy = strategy
         gen = BENCHMARKS[job.benchmark]
         app = gen(WorkloadSpec(n_ranks=job.n_sockets,
                                iterations=lp_iterations, seed=job.seed))
         models = make_power_models(job.n_sockets, efficiency_seed)
+        # Bounds re-schedule the same deterministic trace at every anchor;
+        # trace once instead of once per cap (identical numbers).
+        trace = (
+            trace_application(app, models)
+            if registry.get(strategy).kind == "bound" else None
+        )
         min_cap = app.metadata.get("min_cap_per_socket_w", 0.0)
         caps: list[float] = []
         times: list[float] = []
         for cap in sorted(set(anchor_caps_per_socket)):
             if cap < max(min_cap, job.min_w_per_socket):
                 continue
-            total = cap * job.n_sockets
-            if strategy == "lp":
-                trace = trace_application(app, models)
-                res = solve_fixed_order_lp(trace, total)
-                if not res.feasible:
-                    continue
-                times.append(res.makespan_s / lp_iterations)
-            else:
-                run = Engine(models).run(app, StaticPolicy(models, total))
-                times.append(run.makespan_s / lp_iterations)
+            t = policy_iteration_time(
+                strategy,
+                app,
+                models,
+                cap * job.n_sockets,
+                lp_iterations,
+                config=policy_config,
+                trace=trace,
+                label=f"anchor {job.name} {strategy} cap={cap:g}W",
+            )
+            if t is None:  # infeasible bound at this cap
+                continue
+            times.append(t)
             caps.append(cap)
         if len(caps) < 2:
             raise ValueError(

@@ -36,6 +36,7 @@ __all__ = [
     "solver_key",
     "fixed_order_lp_key",
     "experiment_key",
+    "scenario_cell_key",
 ]
 
 #: Bump to invalidate every existing key when the canonical documents or
@@ -202,6 +203,31 @@ def experiment_key(config_doc: dict[str, Any], cap_w: float, **extra: Any) -> st
         "model_layer": MODEL_LAYER_VERSION,
         "kind": "comparison",
         "config": config_doc,
+        "cap_w": float(cap_w),
+        "extra": dict(sorted(extra.items())),
+    }
+    return digest(doc)
+
+
+def scenario_cell_key(
+    cell_hash: str, cap_w: float, scenario_layer: int, **extra: Any
+) -> str:
+    """Cache key for one (scenario spec, cap) cell.
+
+    ``cell_hash`` is the spec's cap-grid-independent digest (see
+    ``ScenarioSpec.cell_hash``), so a single-cap run and a wider sweep of
+    the same scenario share cells; ``scenario_layer`` versions the cell
+    *semantics* (payload layout, measurement protocol), so a layer bump
+    turns every stale cell into a miss rather than a mis-read.  The
+    scenario layer sits above this module, so the hash and version arrive
+    as plain arguments.
+    """
+    doc = {
+        "key_version": KEY_VERSION,
+        "model_layer": MODEL_LAYER_VERSION,
+        "scenario_layer": int(scenario_layer),
+        "kind": "scenario-cell",
+        "spec": str(cell_hash),
         "cap_w": float(cap_w),
         "extra": dict(sorted(extra.items())),
     }

@@ -2,6 +2,7 @@
 
 from .figures import (
     BENCH_CAPS,
+    ScenarioSweepFigure,
     benchmark_config,
     figure1_pareto_frontier,
     figure8_flow_vs_fixed,
@@ -13,16 +14,18 @@ from .figures import (
     figure14_sp,
     figure15_lulesh,
     headline_summary,
+    scenario_sweep_figure,
 )
 from .figures_svg import exhibit_to_svg, figure1_svg, figure8_svg, figure12_svg, sweep_svg
 from .gantt import gantt_from_result, gantt_from_schedule, power_profile_ascii
 from .regression import DriftReport, verify_reference_results
-from .report import render_kv, render_table
+from .report import render_kv, render_series, render_table
 from .sensitivity import SensitivityResult, sensitivity_analysis
 from .runner import (
     DEFAULT_CAPS_W,
     ComparisonResult,
     ExperimentConfig,
+    comparison_spec,
     improvement_pct,
     make_power_models,
     run_comparison,
@@ -32,6 +35,7 @@ from .tables import (
     energy_comparison,
     minimum_cap_table,
     overheads_summary,
+    scenario_summary,
     table3_lulesh_task_characteristics,
 )
 
@@ -40,7 +44,9 @@ __all__ = [
     "ComparisonResult",
     "DEFAULT_CAPS_W",
     "ExperimentConfig",
+    "ScenarioSweepFigure",
     "benchmark_config",
+    "comparison_spec",
     "energy_comparison",
     "exhibit_to_svg",
     "figure1_pareto_frontier",
@@ -61,8 +67,11 @@ __all__ = [
     "minimum_cap_table",
     "overheads_summary",
     "render_kv",
+    "render_series",
     "verify_reference_results",
     "render_table",
+    "scenario_summary",
+    "scenario_sweep_figure",
     "sensitivity_analysis",
     "run_comparison",
     "sweep_caps",

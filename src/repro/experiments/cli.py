@@ -12,8 +12,19 @@ alias)::
     repro-exp audit [exhibit ...]              # solver audit table
     repro-exp validate-trace trace.json        # schema-check a trace
 
+    repro-exp run --policies static,conductor,adagio,lp --cap 50
+    repro-exp sweep --policies static,adagio,lp --caps 30,50,70
+    repro-exp run --scenario my_scenario.json  # spec from a JSON file
+
 ``--quick`` shrinks rank counts and sweep densities for smoke runs; the
 full defaults match the measurement protocol recorded in EXPERIMENTS.md.
+
+N-way scenarios (see ``docs/scenarios.md``): ``--policies`` names any
+policies from the scenario registry (``static``, ``conductor``,
+``adagio``, ``selection-only``, ``lp``, ``flow-ilp``), ``--scenario``
+loads a full declarative spec, and ``--baseline`` picks the policy the
+improvement columns compare against.  Without either flag, ``run`` keeps
+its historical three-way Static/Conductor/LP output.
 
 Observability (see ``docs/observability.md``): ``--trace FILE`` /
 ``--trace-dir DIR`` export a Chrome trace-event JSON (Perfetto-loadable)
@@ -39,8 +50,17 @@ from ..obs.audit import SolveAudit, use_audit
 from ..obs.export import export_chrome_trace, export_jsonl, validate_trace_file
 from ..obs.provenance import collect_manifest, write_manifest
 from ..obs.recorder import TraceRecorder, use_recorder
+from ..scenarios.registry import default_registry
+from ..scenarios.run import ScenarioCell, run_scenarios
+from ..scenarios.spec import PolicySpec, ScenarioSpec
 from . import figures, tables
-from .runner import ComparisonResult, ExperimentConfig, run_comparison
+from .runner import (
+    DEFAULT_CAPS_W,
+    ComparisonResult,
+    ExperimentConfig,
+    improvement_pct,
+    run_comparison,
+)
 
 __all__ = ["main", "EXHIBITS"]
 
@@ -98,6 +118,106 @@ def _run_config(args) -> ExperimentConfig:
     return ExperimentConfig(benchmark=args.benchmark, n_ranks=args.ranks)
 
 
+def _scenario_protocol(args) -> dict:
+    """Measurement-protocol fields of a scenario built from CLI flags.
+
+    Mirrors :func:`_run_config`'s ``--quick`` shrink so the N-way path
+    and the legacy three-way path measure the same windows.
+    """
+    if args.quick:
+        ranks = 4 if args.ranks == 32 else args.ranks
+        return {
+            "n_ranks": ranks, "run_iterations": 12, "lp_iterations": 2,
+            "steady_window": 6,
+        }
+    return {"n_ranks": args.ranks}
+
+
+def _scenario_spec(args, caps: tuple[float, ...] | None, parser) -> ScenarioSpec:
+    """The scenario to run, from ``--scenario FILE`` or ``--policies``.
+
+    A spec file carries everything — ``caps`` (when not None) overrides
+    its grid, which is how ``run`` pins a file to one ``--cap`` cell and
+    ``sweep --caps`` re-grids it; ``--policies`` builds a spec around the
+    CLI's benchmark and protocol flags.  Policy names are validated
+    against the registry up front so typos fail before any simulation.
+    """
+    if args.scenario and args.policies:
+        parser.error("--scenario and --policies are mutually exclusive")
+    if args.scenario:
+        try:
+            spec = ScenarioSpec.from_json(Path(args.scenario).read_text())
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"--scenario {args.scenario}: {exc}")
+        if caps is not None:
+            doc = spec.to_doc()
+            doc["caps_per_socket_w"] = [float(c) for c in caps]
+            spec = ScenarioSpec.from_doc(doc)
+    else:
+        if caps is None:
+            caps = tuple(DEFAULT_CAPS_W)
+        names = [p.strip() for p in args.policies.split(",") if p.strip()]
+        if not names:
+            parser.error("--policies needs at least one policy name")
+        registry = default_registry()
+        for name in names:
+            if name not in registry:
+                parser.error(
+                    f"unknown policy {name!r}; registered: {registry.names()}"
+                )
+        spec = ScenarioSpec(
+            benchmark=args.benchmark,
+            caps_per_socket_w=caps,
+            policies=tuple(PolicySpec(n) for n in names),
+            **_scenario_protocol(args),
+        )
+    if args.baseline is not None and args.baseline not in spec.policy_labels():
+        parser.error(
+            f"--baseline {args.baseline!r} is not in the scenario; "
+            f"policies: {spec.policy_labels()}"
+        )
+    return spec
+
+
+def _parse_caps(text: str, parser) -> tuple[float, ...]:
+    """Parse ``--caps 30,50,70`` into a cap grid."""
+    try:
+        caps = tuple(float(c) for c in text.split(",") if c.strip())
+    except ValueError:
+        parser.error(f"--caps must be comma-separated numbers, got {text!r}")
+    if not caps:
+        parser.error("--caps needs at least one cap")
+    return caps
+
+
+def _scenario_cell_text(cell: ScenarioCell, baseline: str | None) -> str:
+    """Human summary of one N-way scenario cell (the ``run`` subcommand)."""
+    width = max(len(n) for n in cell.outcomes)
+    lines = [
+        f"{cell.benchmark}: {cell.n_ranks} ranks at "
+        f"{cell.cap_per_socket_w:g} W/socket ({cell.job_cap_w:g} W job cap)"
+    ]
+    base_t = cell.outcomes[baseline].time_s if baseline else None
+    for name, outcome in cell.outcomes.items():
+        t = outcome.time_s
+        text = f"{t:.4f} s/iter" if t is not None else (
+            "unschedulable" if not cell.schedulable else "infeasible"
+        )
+        notes = []
+        if outcome.kind == "bound":
+            notes.append("bound")
+        reallocs = outcome.extra.get("reallocs")
+        if reallocs is not None:
+            notes.append(f"{reallocs} reallocations")
+        if baseline and name != baseline:
+            imp = improvement_pct(base_t, t)
+            if imp is not None:
+                notes.append(f"{imp:+.1f}% vs {baseline}")
+        suffix = f"  ({', '.join(notes)})" if notes else ""
+        lines.append(f"  {name.ljust(width)}  {text}{suffix}")
+    return "\n".join(lines)
+
+
 def _comparison_text(result: ComparisonResult) -> str:
     """Human summary of one comparison cell (the ``run`` subcommand)."""
 
@@ -125,7 +245,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "exhibits", nargs="*", default=["all"],
         help="exhibit names (see 'list'), 'all', or a subcommand: "
-             "run, audit, validate-trace, verify-results",
+             "run, sweep, audit, validate-trace, verify-results",
     )
     parser.add_argument("--ranks", type=int, default=32,
                         help="MPI ranks / sockets (default 32, as in the paper)")
@@ -135,6 +255,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="benchmark for the run/audit subcommands")
     parser.add_argument("--cap", type=float, default=50.0,
                         help="per-socket cap (W) for the run/audit subcommands")
+    parser.add_argument("--policies", metavar="LIST", default=None,
+                        help="comma-separated registry policy names for an "
+                             "N-way run/sweep (e.g. static,conductor,adagio,lp)")
+    parser.add_argument("--scenario", metavar="FILE", default=None,
+                        help="declarative scenario spec (JSON) for run/sweep; "
+                             "see docs/scenarios.md")
+    parser.add_argument("--caps", metavar="LIST", default=None,
+                        help="comma-separated per-socket caps (W) for the "
+                             "sweep subcommand (default: the paper's grid)")
+    parser.add_argument("--baseline", metavar="POLICY", default=None,
+                        help="policy the N-way improvement columns compare "
+                             "against (default: the first policy)")
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write each exhibit's text to DIR/<name>.txt "
                              "plus a manifest.json of run provenance")
@@ -243,31 +375,75 @@ def main(argv: list[str] | None = None) -> int:
             out.parent.mkdir(parents=True, exist_ok=True)
             out.write_text(json.dumps(doc, indent=1) + "\n")
 
-    def save_manifest(save_dir: Path, config: object, seed: int | None) -> None:
+    def save_manifest(
+        save_dir: Path,
+        config: object,
+        seed: int | None,
+        scenario: dict | None = None,
+    ) -> None:
         manifest = collect_manifest(
-            config, seed=seed, model_layer_version=MODEL_LAYER_VERSION
+            config, seed=seed, model_layer_version=MODEL_LAYER_VERSION,
+            scenario=scenario,
         )
         write_manifest(manifest, save_dir / "manifest.json")
 
-    if command == "run":
+    if command in ("run", "sweep"):
         if len(args.exhibits) > 1:
-            parser.error("run takes no positional arguments; use --benchmark")
-        cfg = _run_config(args)
+            parser.error(f"{command} takes no positional arguments; "
+                         "use --benchmark/--policies/--scenario")
+        n_way = bool(args.policies or args.scenario)
+        if command == "sweep" and not n_way:
+            args.policies = "static,conductor,lp"
+            n_way = True
+        if not n_way:
+            # Historical three-way output (byte-stable for CI greps).
+            cfg = _run_config(args)
+            t0 = time.time()
+            with observe():
+                result = run_comparison(cfg, args.cap)
+            text = _comparison_text(result)
+            print(text)
+            print(f"[run finished in {time.time() - t0:.1f}s]")
+            if args.save:
+                save_dir = Path(args.save)
+                save_dir.mkdir(parents=True, exist_ok=True)
+                (save_dir / "run.txt").write_text(text + "\n")
+                save_manifest(
+                    save_dir,
+                    {"command": "run", "cap_per_socket_w": args.cap,
+                     "config": cfg.cache_document()},
+                    cfg.seed,
+                )
+            export_traces()
+            emit_timings()
+            return 0
+
+        if command == "run":
+            caps = (args.cap,)
+        else:
+            caps = _parse_caps(args.caps, parser) if args.caps else None
+        spec = _scenario_spec(args, caps, parser)
         t0 = time.time()
         with observe():
-            result = run_comparison(cfg, args.cap)
-        text = _comparison_text(result)
+            result = run_scenarios(spec)
+        if command == "run":
+            text = _scenario_cell_text(result.cells[0], args.baseline)
+        else:
+            fig = figures.scenario_sweep_figure(result, baseline=args.baseline)
+            summary = tables.scenario_summary(result, baseline=args.baseline)
+            text = fig.render() + "\n\n" + summary.render()
         print(text)
-        print(f"[run finished in {time.time() - t0:.1f}s]")
+        print(f"[{command} ({len(spec.policies)}-way, spec "
+              f"{spec.spec_hash()[:12]}) finished in {time.time() - t0:.1f}s]")
         if args.save:
             save_dir = Path(args.save)
             save_dir.mkdir(parents=True, exist_ok=True)
-            (save_dir / "run.txt").write_text(text + "\n")
+            (save_dir / f"{command}.txt").write_text(text + "\n")
             save_manifest(
                 save_dir,
-                {"command": "run", "cap_per_socket_w": args.cap,
-                 "config": cfg.cache_document()},
-                cfg.seed,
+                {"command": command, "scenario": spec.to_doc()},
+                spec.seed,
+                scenario=spec.to_doc(),
             )
         export_traces()
         emit_timings()

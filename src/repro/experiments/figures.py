@@ -29,11 +29,13 @@ from ..simulator.engine import Engine
 from ..simulator.trace import trace_application
 from ..workloads import WorkloadSpec, make_comd, two_rank_exchange
 from ..workloads.comd import FORCE_KERNEL
-from .report import render_kv, render_table
+from ..scenarios.run import ScenarioResult
+from .report import render_kv, render_series, render_table
 from .runner import (
     DEFAULT_CAPS_W,
     ComparisonResult,
     ExperimentConfig,
+    improvement_pct,
     make_power_models,
     sweep_caps,
 )
@@ -50,6 +52,8 @@ __all__ = [
     "figure15_lulesh",
     "headline_summary",
     "benchmark_config",
+    "scenario_sweep_figure",
+    "ScenarioSweepFigure",
     "BENCH_CAPS",
 ]
 
@@ -307,6 +311,75 @@ class SweepFigure:
     def render(self) -> str:
         headers, rows = self.rows()
         return render_table(headers, rows, title=self.title, digits=1)
+
+
+@dataclass
+class ScenarioSweepFigure:
+    """An N-way time-vs-cap figure for one scenario result.
+
+    One ``s/iter`` column per policy instance, plus — when a ``baseline``
+    is named — one improvement column per non-baseline policy, computed
+    the way the paper reports improvements (``t_base / t_policy - 1``).
+    """
+
+    title: str
+    result: ScenarioResult
+    baseline: str | None = None
+
+    def __post_init__(self) -> None:
+        names = self.result.policy_names()
+        if self.baseline is not None and self.baseline not in names:
+            raise ValueError(
+                f"baseline {self.baseline!r} is not in the scenario; "
+                f"policies: {names}"
+            )
+
+    def series(self) -> dict[str, list[float | None]]:
+        """Per-policy s/iter across the cap grid, in spec order."""
+        return {n: self.result.series(n) for n in self.result.policy_names()}
+
+    def improvement_series(self) -> dict[str, list[float | None]]:
+        """Per-policy improvement (%) over the baseline across the grid."""
+        if self.baseline is None:
+            return {}
+        base = self.result.series(self.baseline)
+        return {
+            name: [
+                improvement_pct(b, t)
+                for b, t in zip(base, self.result.series(name))
+            ]
+            for name in self.result.policy_names()
+            if name != self.baseline
+        }
+
+    def render(self) -> str:
+        """The N-way table: caps x (times + improvement columns)."""
+        caps = list(self.result.spec.caps_per_socket_w)
+        columns: dict[str, list] = {
+            f"{n} (s/iter)": vs for n, vs in self.series().items()
+        }
+        for name, vals in self.improvement_series().items():
+            columns[f"{name} vs {self.baseline} (%)"] = [
+                None if v is None else round(v, 1) for v in vals
+            ]
+        return render_series(
+            "cap (W/socket)", caps, columns, title=self.title, digits=4
+        )
+
+
+def scenario_sweep_figure(
+    result: ScenarioResult,
+    baseline: str | None = None,
+    title: str | None = None,
+) -> ScenarioSweepFigure:
+    """The standard exhibit for an N-way scenario sweep."""
+    spec = result.spec
+    if title is None:
+        title = (
+            f"Scenario: {spec.benchmark}, {spec.n_ranks} ranks, "
+            f"{len(spec.policies)}-way {{{', '.join(spec.policy_labels())}}}"
+        )
+    return ScenarioSweepFigure(title=title, result=result, baseline=baseline)
 
 
 def _sweep(benchmark: str, n_ranks: int = 32) -> list[ComparisonResult]:

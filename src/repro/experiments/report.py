@@ -6,7 +6,7 @@ CI logs can diff them; no plotting dependency is required offline.
 
 from __future__ import annotations
 
-__all__ = ["render_table", "fmt", "render_kv"]
+__all__ = ["render_table", "fmt", "render_kv", "render_series"]
 
 
 def fmt(value, digits: int = 3) -> str:
@@ -46,3 +46,29 @@ def render_kv(pairs: dict, title: str = "") -> str:
     for k, v in pairs.items():
         lines.append(f"  {k.ljust(width)} : {fmt(v)}")
     return "\n".join(lines)
+
+
+def render_series(
+    x_header: str,
+    x_values: list,
+    series: dict[str, list],
+    title: str = "",
+    digits: int = 3,
+) -> str:
+    """Render an x column plus one aligned column per named series.
+
+    Every series must have one value per x (None renders as '-'); the
+    N-way scenario exhibits use this for an arbitrary number of policies.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_values)} x points"
+            )
+    headers = [x_header] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title, digits=digits)

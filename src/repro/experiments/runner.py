@@ -13,39 +13,33 @@ The measurement protocol mirrors the paper's (§5.3, §6):
 
 Improvements are reported the way the paper states them: "A improves on B
 by x%" means ``t_B / t_A - 1`` in per-iteration time.
+
+Since the scenario layer landed, this module is a *view*: the paper's
+three-way comparison is one particular :class:`~repro.scenarios.spec.
+ScenarioSpec` (see :func:`comparison_spec`), executed by
+:func:`~repro.scenarios.run.run_scenarios` like any other N-way scenario
+and then projected onto the historical :class:`ComparisonResult` shape.
+Caching, parallel fan-out, and trace scopes all come from that layer;
+the numbers are bit-identical to the pre-scenario implementation.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from contextlib import nullcontext
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from ..core.model import ProblemInstance, build_problem_instance
-from ..core.rounding import round_schedule
-from ..exec.cache import SolverCache, cached_solve_fixed_order_lp
-from ..exec.keys import experiment_key
-from ..exec.options import get_execution_options
-from ..exec.parallel import ParallelRunner, resolve_workers
-from ..machine.cpu import CpuSpec, XEON_E5_2670
-from ..machine.frontiers import FrontierStore
-from ..machine.power import SocketPowerModel
-from ..machine.variability import sample_socket_efficiencies
-from ..obs.events import CounterEvent
-from ..obs.recorder import TraceRecorder, current_recorder
-from ..runtime.conductor import ConductorConfig, ConductorPolicy
-from ..runtime.static import StaticPolicy
-from ..simulator.engine import Engine, SimulationResult
-from ..simulator.telemetry import job_power_timeline
-from ..simulator.trace import Trace, trace_application
-from ..workloads import BENCHMARKS, WorkloadSpec
+from ..exec.cache import SolverCache
+from ..machine.variability import make_power_models
+from ..runtime.conductor import ConductorConfig
+from ..scenarios.run import ScenarioCell, run_scenario_cell, run_scenarios
+from ..scenarios.spec import PolicySpec, ScenarioSpec
+from ..workloads import BENCHMARKS
 
 __all__ = [
     "ExperimentConfig",
     "ComparisonResult",
     "make_power_models",
+    "comparison_spec",
     "run_comparison",
     "sweep_caps",
     "improvement_pct",
@@ -113,22 +107,27 @@ class ComparisonResult:
 
     @property
     def job_cap_w(self) -> float:
+        """Total job power budget: per-socket cap times rank count."""
         return self.cap_per_socket_w * self.n_ranks
 
     @property
     def feasible(self) -> bool:
+        """Whether the LP found a schedule at this cap."""
         return self.lp_s is not None
 
     @property
     def lp_vs_static_pct(self) -> float | None:
+        """LP bound's improvement over Static, in percent."""
         return improvement_pct(self.static_s, self.lp_s)
 
     @property
     def lp_vs_conductor_pct(self) -> float | None:
+        """LP bound's improvement over Conductor, in percent."""
         return improvement_pct(self.conductor_s, self.lp_s)
 
     @property
     def conductor_vs_static_pct(self) -> float | None:
+        """Conductor's improvement over Static, in percent."""
         return improvement_pct(self.static_s, self.conductor_s)
 
 
@@ -140,94 +139,54 @@ def improvement_pct(slower: float | None, faster: float | None) -> float | None:
     return (slower / faster - 1.0) * 100.0
 
 
-def make_power_models(
-    n_ranks: int,
-    efficiency_seed: int = 42,
-    spec: CpuSpec = XEON_E5_2670,
-    sigma: float = 0.04,
-    rng: np.random.Generator | None = None,
-) -> list[SocketPowerModel]:
-    """One socket per rank, with the seeded manufacturing-variability spread.
+# ----------------------------------------------------------------------
+def comparison_spec(
+    cfg: ExperimentConfig,
+    caps_per_socket_w: tuple[float, ...] = DEFAULT_CAPS_W,
+    include_discrete: bool = False,
+) -> ScenarioSpec:
+    """The paper's three-way comparison expressed as a scenario spec.
 
-    The efficiency draw is always explicit — either the ``rng`` passed in
-    or a fresh generator from ``efficiency_seed`` — never global numpy
-    state, so parallel workers rebuild identical machines and cache keys
-    derived from (seed, sigma) are well-defined.
+    This is the single source of truth for what ``run_comparison`` and
+    ``sweep_caps`` evaluate: a ``{static, conductor, lp}`` policy list
+    with the experiment's Conductor tunables and measurement protocol
+    carried over verbatim.
     """
-    eff = sample_socket_efficiencies(
-        n_ranks, sigma=sigma, seed=rng if rng is not None else efficiency_seed
-    )
-    return [SocketPowerModel(spec=spec, efficiency=float(e)) for e in eff]
-
-
-@dataclass
-class _Shared:
-    """Per-benchmark reusables across a cap sweep."""
-
-    app_run: object
-    app_lp: object
-    power_models: list[SocketPowerModel]
-    engine: Engine
-    trace: Trace
-    frontiers: FrontierStore
-    instance: ProblemInstance
-
-
-_shared_cache: dict[tuple, _Shared] = {}
-
-
-def _shared_for(cfg: ExperimentConfig) -> _Shared:
-    key = (
-        cfg.benchmark, cfg.n_ranks, cfg.run_iterations, cfg.lp_iterations,
-        cfg.seed, cfg.efficiency_seed, cfg.efficiency_sigma,
-    )
-    if key not in _shared_cache:
-        gen = BENCHMARKS[cfg.benchmark]
-        app_run = gen(WorkloadSpec(n_ranks=cfg.n_ranks,
-                                   iterations=cfg.run_iterations, seed=cfg.seed))
-        app_lp = gen(WorkloadSpec(n_ranks=cfg.n_ranks,
-                                  iterations=cfg.lp_iterations, seed=cfg.seed))
-        pm = make_power_models(
-            cfg.n_ranks, cfg.efficiency_seed, sigma=cfg.efficiency_sigma
-        )
-        # One frontier store per machine: the tracer fills it, every
-        # runtime policy in the sweep reads it back.
-        store = FrontierStore(pm)
-        trace = trace_application(app_lp, pm, frontier_store=store)
-        _shared_cache[key] = _Shared(
-            app_run=app_run,
-            app_lp=app_lp,
-            power_models=pm,
-            engine=Engine(pm),
-            trace=trace,
-            frontiers=store,
-            instance=build_problem_instance(trace),
-        )
-    return _shared_cache[key]
-
-
-def _steady_per_iteration(
-    result: SimulationResult, first_iteration: int, n_iterations: int
-) -> float:
-    start = min(r.start_s for r in result.records if r.iteration >= first_iteration)
-    return (result.makespan_s - start) / n_iterations
-
-
-def _comparison_key(
-    cfg: ExperimentConfig, cap_per_socket_w: float, include_discrete: bool
-) -> str:
-    return experiment_key(
-        cfg.cache_document(),
-        cap_per_socket_w,
-        include_discrete=include_discrete,
-        spec=XEON_E5_2670.name,
+    return ScenarioSpec(
+        benchmark=cfg.benchmark,
+        caps_per_socket_w=tuple(caps_per_socket_w),
+        policies=(
+            PolicySpec("static"),
+            PolicySpec("conductor", config=dataclasses.asdict(cfg.conductor)),
+            PolicySpec("lp", config={"include_discrete": include_discrete}),
+        ),
+        n_ranks=cfg.n_ranks,
+        run_iterations=cfg.run_iterations,
+        lp_iterations=cfg.lp_iterations,
+        discard_iterations=cfg.discard_iterations,
+        steady_window=cfg.steady_window,
+        seed=cfg.seed,
+        efficiency_seed=cfg.efficiency_seed,
+        efficiency_sigma=cfg.efficiency_sigma,
     )
 
 
-_COMPARISON_FIELDS = (
-    "static_s", "conductor_s", "lp_s", "lp_discrete_s",
-    "conductor_reallocs", "schedulable",
-)
+def _cell_to_comparison(cell: ScenarioCell) -> ComparisonResult:
+    """Project one three-policy scenario cell onto the historical shape."""
+    static = cell.outcomes["static"]
+    conductor = cell.outcomes["conductor"]
+    lp = cell.outcomes["lp"]
+    return ComparisonResult(
+        benchmark=cell.benchmark,
+        cap_per_socket_w=cell.cap_per_socket_w,
+        n_ranks=cell.n_ranks,
+        static_s=static.time_s,
+        conductor_s=conductor.time_s,
+        lp_s=lp.time_s,
+        lp_discrete_s=lp.extra.get("discrete_s"),
+        conductor_reallocs=int(conductor.extra.get("reallocs") or 0),
+        schedulable=cell.schedulable,
+    )
 
 
 def run_comparison(
@@ -242,130 +201,13 @@ def run_comparison(
     and the LP solution) by content address; None falls back to the
     ambient :class:`~repro.exec.options.ExecutionOptions` (whose default
     is no caching).  A warm cell skips tracing, both engine runs, and the
-    LP solve entirely.
+    LP solve entirely.  Cell keys are derived from the scenario spec's
+    hash, so the same cell is warm for ``sweep_caps`` and for any N-way
+    scenario with identical protocol and policy list.
     """
-    if cache is None:
-        cache = get_execution_options().make_cache()
-    if cache is not None:
-        key = _comparison_key(cfg, cap_per_socket_w, include_discrete)
-        payload = cache.get(key)
-        if payload is not None:
-            return ComparisonResult(
-                benchmark=cfg.benchmark,
-                cap_per_socket_w=cap_per_socket_w,
-                n_ranks=cfg.n_ranks,
-                **{name: payload[name] for name in _COMPARISON_FIELDS},
-            )
-    result = _run_comparison(cfg, cap_per_socket_w, include_discrete, cache)
-    if cache is not None:
-        cache.put(
-            key, {name: getattr(result, name) for name in _COMPARISON_FIELDS}
-        )
-    return result
-
-
-def _scope(rec: TraceRecorder | None, label: str):
-    """The recorder's run scope, or a no-op when tracing is disabled."""
-    return rec.run_scope(label) if rec is not None else nullcontext()
-
-
-def _emit_power_counters(
-    rec: TraceRecorder,
-    result: SimulationResult,
-    power_models: list[SocketPowerModel],
-    job_cap_w: float,
-) -> None:
-    """Counter samples for the job power timeline and the cap it ran under.
-
-    Every breakpoint of the piecewise-constant timeline becomes a sample,
-    so the Perfetto counter track reproduces the timeline exactly; the cap
-    is sampled at both ends to draw as a flat line over the same span.
-    """
-    timeline = job_power_timeline(result, power_models)
-    for t, p in zip(timeline.times[:-1], timeline.power):
-        rec.emit(
-            CounterEvent(
-                name="job_power_w", ts_s=float(t), values={"watts": float(p)}
-            )
-        )
-    end_s = float(timeline.times[-1])
-    final_w = float(timeline.power[-1]) if len(timeline.power) else 0.0
-    rec.emit(CounterEvent(name="job_power_w", ts_s=end_s, values={"watts": final_w}))
-    for t in (0.0, end_s):
-        rec.emit(CounterEvent(name="cap_w", ts_s=t, values={"watts": job_cap_w}))
-
-
-def _run_comparison(
-    cfg: ExperimentConfig,
-    cap_per_socket_w: float,
-    include_discrete: bool,
-    cache: SolverCache | None,
-) -> ComparisonResult:
-    shared = _shared_for(cfg)
-    job_cap = cap_per_socket_w * cfg.n_ranks
-    rec = current_recorder()
-    tag = f"{cfg.benchmark} cap={cap_per_socket_w:g}W"
-
-    min_cap = shared.app_run.metadata.get("min_cap_per_socket_w")
-    if min_cap is not None and cap_per_socket_w < min_cap:
-        return ComparisonResult(
-            benchmark=cfg.benchmark,
-            cap_per_socket_w=cap_per_socket_w,
-            n_ranks=cfg.n_ranks,
-            static_s=None,
-            conductor_s=None,
-            lp_s=None,
-            schedulable=False,
-        )
-
-    static = StaticPolicy(shared.power_models, job_cap)
-    with _scope(rec, f"static {tag}"):
-        res_static = shared.engine.run(shared.app_run, static)
-        if rec is not None:
-            _emit_power_counters(rec, res_static, shared.power_models, job_cap)
-    t_static = _steady_per_iteration(
-        res_static, cfg.discard_iterations,
-        cfg.run_iterations - cfg.discard_iterations,
-    )
-
-    conductor = ConductorPolicy(
-        shared.power_models, job_cap, shared.app_run, config=cfg.conductor,
-        frontier_store=shared.frontiers,
-    )
-    with _scope(rec, f"conductor {tag}"):
-        res_cond = shared.engine.run(shared.app_run, conductor)
-        if rec is not None:
-            _emit_power_counters(rec, res_cond, shared.power_models, job_cap)
-    first_steady = cfg.run_iterations - cfg.steady_window
-    t_cond = _steady_per_iteration(res_cond, first_steady, cfg.steady_window)
-
-    with _scope(rec, f"lp {tag}"):
-        lp = cached_solve_fixed_order_lp(
-            shared.trace, job_cap, cache=cache, instance=shared.instance
-        )
-    t_lp = lp.makespan_s / cfg.lp_iterations if lp.feasible else None
-    t_lp_disc = None
-    if include_discrete and lp.feasible:
-        disc = round_schedule(shared.trace, lp.schedule)
-        t_lp_disc = disc.objective_s / cfg.lp_iterations
-
-    return ComparisonResult(
-        benchmark=cfg.benchmark,
-        cap_per_socket_w=cap_per_socket_w,
-        n_ranks=cfg.n_ranks,
-        static_s=t_static,
-        conductor_s=t_cond,
-        lp_s=t_lp,
-        lp_discrete_s=t_lp_disc,
-        conductor_reallocs=conductor.realloc_count,
-    )
-
-
-def _sweep_cell(cell: tuple[ExperimentConfig, float, str | None]) -> ComparisonResult:
-    """One (config, cap) sweep cell — module-level so workers can unpickle it."""
-    cfg, cap, cache_root = cell
-    cache = SolverCache(cache_root) if cache_root is not None else None
-    return run_comparison(cfg, cap, cache=cache)
+    spec = comparison_spec(cfg, (cap_per_socket_w,), include_discrete)
+    cell = run_scenario_cell(spec, cap_per_socket_w, cache=cache)
+    return _cell_to_comparison(cell)
 
 
 def sweep_caps(
@@ -382,21 +224,6 @@ def sweep_caps(
     the ambient :class:`~repro.exec.options.ExecutionOptions` (serial,
     uncached), which is also the benchmark harness's measured path.
     """
-    opts = get_execution_options()
-    if workers is None:
-        workers = opts.workers
-    workers = resolve_workers(workers)  # 0 -> all cores, negative -> error
-    if cache is None:
-        cache = opts.make_cache()
-    if workers <= 1 or len(caps_per_socket_w) <= 1:
-        return [run_comparison(cfg, cap, cache=cache) for cap in caps_per_socket_w]
-    runner = ParallelRunner(
-        max_workers=workers,
-        timeout_s=opts.task_timeout_s,
-        retries=opts.task_retries,
-    )
-    cache_root = str(cache.root) if cache is not None else None
-    cells = [(cfg, float(cap), cache_root) for cap in caps_per_socket_w]
-    # Worker-side cache hit/miss accounting arrives via the telemetry
-    # snapshots that ParallelRunner merges into the active telemetry.
-    return runner.map(_sweep_cell, cells)
+    spec = comparison_spec(cfg, tuple(caps_per_socket_w))
+    result = run_scenarios(spec, workers=workers, cache=cache)
+    return [_cell_to_comparison(cell) for cell in result.cells]

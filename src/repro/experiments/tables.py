@@ -21,11 +21,13 @@ from ..simulator.engine import Engine, TaskRecord
 from ..simulator.trace import trace_application
 from ..workloads import WorkloadSpec, make_lulesh
 from .report import render_kv, render_table
-from .runner import ExperimentConfig, make_power_models
+from ..scenarios.run import ScenarioResult
+from .runner import ExperimentConfig, improvement_pct, make_power_models
 
 __all__ = ["Table3Result", "table3_lulesh_task_characteristics", "OverheadsResult",
            "overheads_summary", "EnergyComparisonResult", "energy_comparison",
-           "MinimumCapResult", "minimum_cap_table"]
+           "MinimumCapResult", "minimum_cap_table",
+           "ScenarioSummaryResult", "scenario_summary"]
 
 
 @dataclass(frozen=True)
@@ -364,3 +366,87 @@ def energy_comparison(
              power_lp_res.makespan_s, power_energy)
         )
     return EnergyComparisonResult(rows=rows, cap_per_socket_w=cap_per_socket_w)
+
+
+@dataclass
+class ScenarioSummaryResult:
+    """Per-policy summary of one N-way scenario sweep.
+
+    One row per policy instance: kind, best per-iteration time with the
+    cap it occurred at, how many caps the policy won outright, and the
+    mean improvement over the baseline across caps where both are
+    defined.
+    """
+
+    result: ScenarioResult
+    baseline: str
+
+    def rows(self) -> list[list]:
+        """The summary rows, one per policy instance in spec order."""
+        res = self.result
+        base = res.series(self.baseline)
+        names = res.policy_names()
+        # A policy "wins" a cap when it has the strictly fastest defined
+        # time among all policies at that cap.
+        wins = {n: 0 for n in names}
+        for cell in res.cells:
+            timed = {
+                n: o.time_s for n, o in cell.outcomes.items()
+                if o.time_s is not None
+            }
+            if timed:
+                best = min(timed.values())
+                for n, t in timed.items():
+                    if t == best:
+                        wins[n] += 1
+        rows = []
+        for name in names:
+            outcome = res.cells[0].outcomes[name]
+            series = res.series(name)
+            defined = [
+                (t, cap) for t, cap in zip(series, res.spec.caps_per_socket_w)
+                if t is not None
+            ]
+            best_t, best_cap = min(defined, default=(None, None))
+            imps = [
+                improvement_pct(b, t)
+                for b, t in zip(base, series)
+                if b is not None and t is not None
+            ]
+            mean_imp = (
+                None if name == self.baseline or not imps
+                else sum(imps) / len(imps)
+            )
+            rows.append([
+                name, outcome.kind, best_t, best_cap, wins[name],
+                None if mean_imp is None else round(mean_imp, 1),
+            ])
+        return rows
+
+    def render(self) -> str:
+        spec = self.result.spec
+        return render_table(
+            ["policy", "kind", "best (s/iter)", "at cap (W)", "caps won",
+             f"mean vs {self.baseline} (%)"],
+            self.rows(),
+            title=(
+                f"Scenario summary: {spec.benchmark}, {spec.n_ranks} ranks, "
+                f"caps {', '.join(f'{c:g}' for c in spec.caps_per_socket_w)} "
+                "W/socket"
+            ),
+            digits=4,
+        )
+
+
+def scenario_summary(
+    result: ScenarioResult, baseline: str | None = None
+) -> ScenarioSummaryResult:
+    """Summarize an N-way scenario result (baseline: first policy)."""
+    names = result.policy_names()
+    if baseline is None:
+        baseline = names[0]
+    if baseline not in names:
+        raise ValueError(
+            f"baseline {baseline!r} is not in the scenario; policies: {names}"
+        )
+    return ScenarioSummaryResult(result=result, baseline=baseline)

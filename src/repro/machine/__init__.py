@@ -32,7 +32,7 @@ from .pareto import (
 from .performance import TaskKernel, TaskTimeModel
 from .power import DEFAULT_POWER_PARAMS, PowerModelParams, SocketPowerModel
 from .rapl import RaplController, RaplDecision
-from .variability import sample_socket_efficiencies
+from .variability import make_power_models, sample_socket_efficiencies
 
 __all__ = [
     "CalibrationResult",
@@ -54,6 +54,7 @@ __all__ = [
     "effective_frequency",
     "enumerate_configurations",
     "interpolate_duration",
+    "make_power_models",
     "measure_task",
     "measure_task_space",
     "nearest_point",

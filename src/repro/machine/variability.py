@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["sample_socket_efficiencies"]
+from .cpu import CpuSpec, XEON_E5_2670
+from .power import SocketPowerModel
+
+__all__ = ["sample_socket_efficiencies", "make_power_models"]
 
 
 def sample_socket_efficiencies(
@@ -48,3 +51,23 @@ def sample_socket_efficiencies(
     rng = np.random.default_rng(seed)
     factors = rng.lognormal(mean=0.0, sigma=sigma, size=n_sockets)
     return np.clip(factors, 0.85, 1.20)
+
+
+def make_power_models(
+    n_ranks: int,
+    efficiency_seed: int = 42,
+    spec: CpuSpec = XEON_E5_2670,
+    sigma: float = 0.04,
+    rng: np.random.Generator | None = None,
+) -> list[SocketPowerModel]:
+    """One socket per rank, with the seeded manufacturing-variability spread.
+
+    The efficiency draw is always explicit — either the ``rng`` passed in
+    or a fresh generator from ``efficiency_seed`` — never global numpy
+    state, so parallel workers rebuild identical machines and cache keys
+    derived from (seed, sigma) are well-defined.
+    """
+    eff = sample_socket_efficiencies(
+        n_ranks, sigma=sigma, seed=rng if rng is not None else efficiency_seed
+    )
+    return [SocketPowerModel(spec=spec, efficiency=float(e)) for e in eff]

@@ -42,7 +42,10 @@ __all__ = [
 ]
 
 #: Bump when the manifest layout changes.
-MANIFEST_SCHEMA_VERSION = 1
+#: 2: optional ``scenario`` field — the full scenario-spec document of
+#: N-way runs (readers of schema-1 manifests are unaffected: the field
+#: is omitted when absent).
+MANIFEST_SCHEMA_VERSION = 2
 
 
 def config_hash(config: object) -> str:
@@ -66,9 +69,11 @@ class RunManifest:
     python_version: str
     platform: str
     schema: int = MANIFEST_SCHEMA_VERSION
+    scenario: dict | None = None  # full scenario-spec doc of N-way runs
 
     def to_dict(self) -> dict:
-        return {
+        """JSON-safe manifest document (``scenario`` omitted when None)."""
+        doc = {
             "schema": self.schema,
             "config_hash": self.config_hash,
             "seed": self.seed,
@@ -77,9 +82,13 @@ class RunManifest:
             "python_version": self.python_version,
             "platform": self.platform,
         }
+        if self.scenario is not None:
+            doc["scenario"] = self.scenario
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output (any schema)."""
         return cls(
             config_hash=str(doc["config_hash"]),
             seed=doc.get("seed"),
@@ -88,6 +97,7 @@ class RunManifest:
             python_version=str(doc.get("python_version", "unknown")),
             platform=str(doc.get("platform", "unknown")),
             schema=int(doc.get("schema", MANIFEST_SCHEMA_VERSION)),
+            scenario=doc.get("scenario"),
         )
 
 
@@ -105,12 +115,16 @@ def collect_manifest(
     seed: int | None = None,
     model_layer_version: int | None = None,
     package_version: str | None = None,
+    scenario: dict | None = None,
 ) -> RunManifest:
     """Build the manifest for a run described by ``config``.
 
     ``config`` is any JSON-serializable document fully describing what
     was run (an :meth:`ExperimentConfig.cache_document`, the CLI's
-    argument record, ...).  Only its hash is retained.
+    argument record, ...).  Only its hash is retained — except for
+    ``scenario``, the full scenario-spec document of an N-way run, which
+    is embedded verbatim so a saved run is replayable from its manifest
+    alone.
     """
     return RunManifest(
         config_hash=config_hash(config),
@@ -122,6 +136,7 @@ def collect_manifest(
         ),
         python_version=platform.python_version(),
         platform=f"{sys.platform}-{platform.machine()}",
+        scenario=scenario,
     )
 
 

@@ -1,0 +1,314 @@
+"""The policy registry: name -> factory + typed per-policy configuration.
+
+Every power-allocation policy the repo implements — the runtimes under
+:mod:`repro.runtime` and the LP/ILP schedulability bounds under
+:mod:`repro.core` — is registered here under a stable name, with a
+default configuration document and a factory/solver callable.  Scenario
+specs (:mod:`repro.scenarios.spec`) reference policies purely by name +
+config overrides, which is what makes experiments *data*: adding a policy
+to the registry makes it reachable from the CLI, sweeps, caching, traces,
+and the cluster co-scheduler with no further plumbing.
+
+Two kinds of entry:
+
+* ``runtime`` — builds a simulator policy object (``build(ctx, cfg)``);
+  the executor runs it through the :class:`~repro.simulator.engine.Engine`
+  and measures the per-iteration time over the entry's window
+  (``measure``: ``"discard"`` drops the first ``discard_iterations``,
+  ``"steady"`` keeps the trailing ``steady_window`` — the protocol the
+  paper uses for non-adaptive vs adaptive systems).
+* ``bound`` — solves an offline formulation (``solve(ctx, cfg, scope)``)
+  and reports the scheduled per-iteration bound; ``scope`` is the trace
+  scope factory so only the solve proper lands inside the policy's span.
+
+A layering guard (``tests/test_layering.py``) asserts every ``*Policy``
+exported from ``repro.runtime.__all__`` is registered, so new runtimes
+cannot silently stay unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable
+
+from ..core.fixed_order_lp import FixedOrderLpResult
+from ..core.flow_ilp import solve_flow_ilp
+from ..core.model import ProblemInstance
+from ..core.rounding import round_schedule
+from ..exec.cache import SolverCache, cached_solve_fixed_order_lp
+from ..machine.frontiers import FrontierStore
+from ..machine.power import SocketPowerModel
+from ..runtime.adagio_policy import AdagioPolicy
+from ..runtime.conductor import ConductorConfig, ConductorPolicy
+from ..runtime.selection_only import SelectionOnlyPolicy
+from ..runtime.static import StaticPolicy
+from ..simulator.program import Application
+from ..simulator.trace import Trace
+
+__all__ = [
+    "PolicyContext",
+    "BoundResult",
+    "PolicyEntry",
+    "PolicyRegistry",
+    "default_registry",
+]
+
+
+@dataclass
+class PolicyContext:
+    """Everything a policy factory or bound solver may consume for one cell.
+
+    Built once per (benchmark, cap) cell by the executor; the fields a
+    given entry actually reads depend on its kind (runtime policies use
+    the application/machine state, bounds use the trace/IR/cache).
+    """
+
+    power_models: list[SocketPowerModel]
+    job_cap_w: float
+    app: Application | None = None
+    frontier_store: FrontierStore | None = None
+    trace: Trace | None = None
+    instance: ProblemInstance | None = None
+    cache: SolverCache | None = None
+    lp_iterations: int = 1
+
+
+@dataclass(frozen=True)
+class BoundResult:
+    """What a bound entry reports: per-iteration time (None = infeasible)
+    plus formulation-specific extras (e.g. the rounded discrete time)."""
+
+    time_s: float | None
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One registered policy: identity, defaults, and evaluation hooks."""
+
+    name: str
+    kind: str  # "runtime" | "bound"
+    summary: str
+    default_config: dict
+    measure: str = "discard"  # runtime entries: "discard" | "steady"
+    policy_class: type | None = None
+    build: Callable[[PolicyContext, dict], Any] | None = None
+    solve: Callable[[PolicyContext, dict, Callable[[], Any]], BoundResult] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("runtime", "bound"):
+            raise ValueError(f"kind must be 'runtime' or 'bound', got {self.kind!r}")
+        if self.measure not in ("discard", "steady"):
+            raise ValueError(
+                f"measure must be 'discard' or 'steady', got {self.measure!r}"
+            )
+        if self.kind == "runtime" and self.build is None:
+            raise ValueError(f"runtime entry {self.name!r} needs a build callable")
+        if self.kind == "bound" and self.solve is None:
+            raise ValueError(f"bound entry {self.name!r} needs a solve callable")
+
+    def resolve_config(self, overrides: dict | None) -> dict:
+        """Defaults merged with ``overrides``; unknown keys are an error."""
+        overrides = dict(overrides or {})
+        unknown = sorted(set(overrides) - set(self.default_config))
+        if unknown:
+            raise ValueError(
+                f"policy {self.name!r}: unknown config keys {unknown}; "
+                f"valid keys: {sorted(self.default_config)}"
+            )
+        merged = dict(self.default_config)
+        merged.update(overrides)
+        return merged
+
+
+class PolicyRegistry:
+    """Name-unique collection of :class:`PolicyEntry` objects."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, PolicyEntry] = {}
+
+    def register(self, entry: PolicyEntry) -> PolicyEntry:
+        """Add an entry; a duplicate name is a hard error."""
+        if entry.name in self._entries:
+            raise ValueError(f"policy {entry.name!r} is already registered")
+        self._entries[entry.name] = entry
+        return entry
+
+    def get(self, name: str) -> PolicyEntry:
+        """Look up an entry, with a helpful error naming the registry."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown policy {name!r}; registered: {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Registered policy names, sorted."""
+        return sorted(self._entries)
+
+    def entries(self) -> list[PolicyEntry]:
+        """All entries, in registration order."""
+        return list(self._entries.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ----------------------------------------------------------------------
+# Built-in entries.
+
+def _build_static(ctx: PolicyContext, cfg: dict) -> StaticPolicy:
+    return StaticPolicy(ctx.power_models, ctx.job_cap_w, threads=cfg["threads"])
+
+
+def _build_conductor(ctx: PolicyContext, cfg: dict) -> ConductorPolicy:
+    return ConductorPolicy(
+        ctx.power_models,
+        ctx.job_cap_w,
+        ctx.app,
+        config=ConductorConfig(**cfg),
+        frontier_store=ctx.frontier_store,
+    )
+
+
+def _build_adagio(ctx: PolicyContext, cfg: dict) -> AdagioPolicy:
+    return AdagioPolicy(
+        ctx.power_models,
+        ctx.app,
+        safety=cfg["safety"],
+        switch_overhead_s=cfg["switch_overhead_s"],
+        min_switch_duration_s=cfg["min_switch_duration_s"],
+        frontier_store=ctx.frontier_store,
+    )
+
+
+def _build_selection_only(ctx: PolicyContext, cfg: dict) -> SelectionOnlyPolicy:
+    return SelectionOnlyPolicy(
+        ctx.power_models,
+        ctx.job_cap_w,
+        ctx.app,
+        adagio_safety=cfg["adagio_safety"],
+        switch_overhead_s=cfg["switch_overhead_s"],
+        min_switch_duration_s=cfg["min_switch_duration_s"],
+        frontier_store=ctx.frontier_store,
+    )
+
+
+def _solve_lp(ctx: PolicyContext, cfg: dict, scope: Callable[[], Any]) -> BoundResult:
+    with scope():
+        lp: FixedOrderLpResult = cached_solve_fixed_order_lp(
+            ctx.trace,
+            ctx.job_cap_w,
+            cache=ctx.cache,
+            instance=ctx.instance,
+            power_tiebreak=cfg["power_tiebreak"],
+            time_limit_s=cfg["time_limit_s"],
+        )
+    if not lp.feasible:
+        return BoundResult(time_s=None, extra={"feasible": False})
+    extra: dict = {"feasible": True}
+    if cfg["include_discrete"]:
+        # Rounding replays outside the solver's trace scope, exactly as
+        # the legacy comparison did.
+        disc = round_schedule(ctx.trace, lp.schedule)
+        extra["discrete_s"] = disc.objective_s / ctx.lp_iterations
+    return BoundResult(time_s=lp.makespan_s / ctx.lp_iterations, extra=extra)
+
+
+def _solve_flow_ilp(
+    ctx: PolicyContext, cfg: dict, scope: Callable[[], Any]
+) -> BoundResult:
+    with scope():
+        ilp = solve_flow_ilp(
+            ctx.trace,
+            ctx.job_cap_w,
+            time_limit_s=cfg["time_limit_s"],
+            instance=ctx.instance,
+        )
+    if not ilp.feasible:
+        return BoundResult(time_s=None, extra={"feasible": False})
+    return BoundResult(
+        time_s=ilp.makespan_s / ctx.lp_iterations, extra={"feasible": True}
+    )
+
+
+def _build_default_registry() -> PolicyRegistry:
+    reg = PolicyRegistry()
+    reg.register(PolicyEntry(
+        name="static",
+        kind="runtime",
+        summary="uniform per-socket RAPL caps, full-width threads (paper §4.1)",
+        default_config={"threads": None},
+        measure="discard",
+        policy_class=StaticPolicy,
+        build=_build_static,
+    ))
+    reg.register(PolicyEntry(
+        name="conductor",
+        kind="runtime",
+        summary="adaptive selection + power reallocation (paper §4.2)",
+        default_config=asdict(ConductorConfig()),
+        measure="steady",
+        policy_class=ConductorPolicy,
+        build=_build_conductor,
+    ))
+    reg.register(PolicyEntry(
+        name="adagio",
+        kind="runtime",
+        summary="uncapped slack reclamation (Rountree et al., ICS'09; §7)",
+        default_config={
+            "safety": 0.9,
+            "switch_overhead_s": 145e-6,
+            "min_switch_duration_s": 1e-3,
+        },
+        measure="steady",
+        policy_class=AdagioPolicy,
+        build=_build_adagio,
+    ))
+    reg.register(PolicyEntry(
+        name="selection-only",
+        kind="runtime",
+        summary="Pareto selection under immovable uniform budgets (§6 ablation)",
+        default_config={
+            "adagio_safety": 0.9,
+            "switch_overhead_s": 145e-6,
+            "min_switch_duration_s": 1e-3,
+        },
+        measure="steady",
+        policy_class=SelectionOnlyPolicy,
+        build=_build_selection_only,
+    ))
+    reg.register(PolicyEntry(
+        name="lp",
+        kind="bound",
+        summary="fixed-vertex-order LP performance bound (paper §3)",
+        default_config={
+            "include_discrete": False,
+            "power_tiebreak": 1e-9,
+            "time_limit_s": None,
+        },
+        solve=_solve_lp,
+    ))
+    reg.register(PolicyEntry(
+        name="flow-ilp",
+        kind="bound",
+        summary="flow ILP bound (paper §3.3; practical below ~30 task edges)",
+        default_config={"time_limit_s": 60.0},
+        solve=_solve_flow_ilp,
+    ))
+    return reg
+
+
+_default: PolicyRegistry | None = None
+
+
+def default_registry() -> PolicyRegistry:
+    """The process-wide registry of built-in policies (built once)."""
+    global _default
+    if _default is None:
+        _default = _build_default_registry()
+    return _default

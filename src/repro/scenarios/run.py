@@ -1,0 +1,485 @@
+"""The N-way scenario executor: one spec in, one result table out.
+
+:func:`run_scenarios` evaluates every policy of a
+:class:`~repro.scenarios.spec.ScenarioSpec` at every cap of its grid.
+Each (spec, cap) cell is an independent, fully seeded computation:
+
+* shared per-benchmark state (applications, power models, the traced DAG
+  and its compiled :class:`~repro.core.model.ProblemInstance`) is built
+  once per process and reused across the cap grid;
+* with ``workers > 1`` the cells fan out over a process pool in cap
+  order — bit-identical to the serial sweep, worker observability folded
+  back in submission order (see :mod:`repro.exec.parallel`);
+* each cell is memoized in the ambient
+  :class:`~repro.exec.cache.SolverCache` under a key derived from the
+  spec's :meth:`~repro.scenarios.spec.ScenarioSpec.cell_hash` and the
+  ``SCENARIO_LAYER_VERSION`` — never from a hardwired field list — and a
+  payload whose policy-name set does not exactly match the spec is
+  recomputed, not mis-mapped;
+* every policy run lands in its own trace scope
+  (``"<name> <benchmark> cap=<cap>W"``), so Perfetto shows one process
+  group per policy instance.
+
+The legacy three-way ``run_comparison``/``sweep_caps`` entry points are
+thin wrappers over a ``{static, conductor, lp}`` spec (see
+:mod:`repro.experiments.runner`) and reproduce their historical numbers
+exactly.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from functools import partial
+
+from ..core.model import ProblemInstance, build_problem_instance
+from ..exec.cache import SolverCache
+from ..exec.keys import scenario_cell_key
+from ..exec.options import get_execution_options
+from ..exec.parallel import ParallelRunner, resolve_workers
+from ..machine.frontiers import FrontierStore
+from ..machine.power import SocketPowerModel
+from ..machine.variability import make_power_models
+from ..obs.events import CounterEvent
+from ..obs.recorder import TraceRecorder, current_recorder
+from ..simulator.engine import Engine, SimulationResult
+from ..simulator.telemetry import job_power_timeline
+from ..simulator.trace import Trace, trace_application
+from ..workloads import WorkloadSpec
+from .registry import PolicyContext, PolicyRegistry, default_registry
+from .spec import SCENARIO_BENCHMARKS, SCENARIO_LAYER_VERSION, ScenarioSpec
+
+__all__ = [
+    "PolicyOutcome",
+    "ScenarioCell",
+    "ScenarioResult",
+    "run_scenario_cell",
+    "run_scenarios",
+    "policy_iteration_time",
+]
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """One policy's measured (or bounded) per-iteration time at one cap."""
+
+    name: str  # instance label from the spec
+    policy: str  # registry name
+    kind: str  # "runtime" | "bound"
+    time_s: float | None  # None: unschedulable cap or infeasible bound
+    extra: dict = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        """JSON-safe cache payload for this outcome."""
+        return {
+            "policy": self.policy,
+            "kind": self.kind,
+            "time_s": self.time_s,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_payload(cls, name: str, doc: dict) -> "PolicyOutcome":
+        """Rehydrate an outcome from :meth:`to_payload` output."""
+        return cls(
+            name=name,
+            policy=str(doc["policy"]),
+            kind=str(doc["kind"]),
+            time_s=doc["time_s"],
+            extra=dict(doc.get("extra") or {}),
+        )
+
+
+@dataclass
+class ScenarioCell:
+    """All policy outcomes of one scenario at one per-socket cap."""
+
+    benchmark: str
+    cap_per_socket_w: float
+    n_ranks: int
+    schedulable: bool
+    outcomes: dict[str, PolicyOutcome]  # insertion order = spec order
+
+    @property
+    def job_cap_w(self) -> float:
+        """Total job power: per-socket cap times rank count."""
+        return self.cap_per_socket_w * self.n_ranks
+
+    def time_s(self, name: str) -> float | None:
+        """Per-iteration time of one policy instance (by label)."""
+        return self.outcomes[name].time_s
+
+
+@dataclass
+class ScenarioResult:
+    """The N-way table: one :class:`ScenarioCell` per cap, in cap order."""
+
+    spec: ScenarioSpec
+    cells: list[ScenarioCell]
+
+    def policy_names(self) -> list[str]:
+        """Instance labels in spec (evaluation) order."""
+        return self.spec.policy_labels()
+
+    def series(self, name: str) -> list[float | None]:
+        """One policy's per-iteration times across the cap grid."""
+        return [cell.time_s(name) for cell in self.cells]
+
+    def cell_at(self, cap_per_socket_w: float) -> ScenarioCell:
+        """The cell for one cap of the grid."""
+        for cell in self.cells:
+            if cell.cap_per_socket_w == cap_per_socket_w:
+                return cell
+        raise KeyError(f"no cell at {cap_per_socket_w} W/socket")
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class _Shared:
+    """Per-benchmark reusables across a cap grid."""
+
+    app_run: object
+    app_lp: object
+    power_models: list[SocketPowerModel]
+    engine: Engine
+    trace: Trace
+    frontiers: FrontierStore
+    instance: ProblemInstance
+
+
+_shared_cache: dict[tuple, _Shared] = {}
+
+
+def _shared_for(spec: ScenarioSpec) -> _Shared:
+    key = (
+        spec.benchmark, spec.n_ranks, spec.run_iterations, spec.lp_iterations,
+        spec.seed, spec.efficiency_seed, spec.efficiency_sigma,
+    )
+    if key not in _shared_cache:
+        gen = SCENARIO_BENCHMARKS[spec.benchmark]
+        app_run = gen(WorkloadSpec(n_ranks=spec.n_ranks,
+                                   iterations=spec.run_iterations, seed=spec.seed))
+        app_lp = gen(WorkloadSpec(n_ranks=spec.n_ranks,
+                                  iterations=spec.lp_iterations, seed=spec.seed))
+        pm = make_power_models(
+            spec.n_ranks, spec.efficiency_seed, sigma=spec.efficiency_sigma
+        )
+        # One frontier store per machine: the tracer fills it, every
+        # runtime policy in the scenario reads it back.
+        store = FrontierStore(pm)
+        trace = trace_application(app_lp, pm, frontier_store=store)
+        _shared_cache[key] = _Shared(
+            app_run=app_run,
+            app_lp=app_lp,
+            power_models=pm,
+            engine=Engine(pm),
+            trace=trace,
+            frontiers=store,
+            instance=build_problem_instance(trace),
+        )
+    return _shared_cache[key]
+
+
+def _steady_per_iteration(
+    result: SimulationResult, first_iteration: int, n_iterations: int
+) -> float:
+    start = min(r.start_s for r in result.records if r.iteration >= first_iteration)
+    return (result.makespan_s - start) / n_iterations
+
+
+def _measured_time(result: SimulationResult, spec: ScenarioSpec, measure: str) -> float:
+    """Per-iteration time over the entry's measurement window."""
+    if measure == "steady":
+        first = spec.run_iterations - spec.steady_window
+        return _steady_per_iteration(result, first, spec.steady_window)
+    first = spec.discard_iterations
+    return _steady_per_iteration(
+        result, first, spec.run_iterations - spec.discard_iterations
+    )
+
+
+def _scope(rec: TraceRecorder | None, label: str):
+    """The recorder's run scope, or a no-op when tracing is disabled."""
+    return rec.run_scope(label) if rec is not None else nullcontext()
+
+
+def _emit_power_counters(
+    rec: TraceRecorder,
+    result: SimulationResult,
+    power_models: list[SocketPowerModel],
+    job_cap_w: float,
+) -> None:
+    """Counter samples for the job power timeline and the cap it ran under.
+
+    Every breakpoint of the piecewise-constant timeline becomes a sample,
+    so the Perfetto counter track reproduces the timeline exactly; the cap
+    is sampled at both ends to draw as a flat line over the same span.
+    """
+    timeline = job_power_timeline(result, power_models)
+    for t, p in zip(timeline.times[:-1], timeline.power):
+        rec.emit(
+            CounterEvent(
+                name="job_power_w", ts_s=float(t), values={"watts": float(p)}
+            )
+        )
+    end_s = float(timeline.times[-1])
+    final_w = float(timeline.power[-1]) if len(timeline.power) else 0.0
+    rec.emit(CounterEvent(name="job_power_w", ts_s=end_s, values={"watts": final_w}))
+    for t in (0.0, end_s):
+        rec.emit(CounterEvent(name="cap_w", ts_s=t, values={"watts": job_cap_w}))
+
+
+# ----------------------------------------------------------------------
+def _cell_payload(spec: ScenarioSpec, cell: ScenarioCell) -> dict:
+    """The cache payload of one cell: schema-guarded, spec-derived."""
+    return {
+        "scenario_layer": SCENARIO_LAYER_VERSION,
+        "cell_hash": spec.cell_hash(),
+        "schedulable": cell.schedulable,
+        "outcomes": {
+            name: outcome.to_payload() for name, outcome in cell.outcomes.items()
+        },
+    }
+
+
+def _cell_from_payload(
+    spec: ScenarioSpec, cap_per_socket_w: float, payload: dict
+) -> ScenarioCell | None:
+    """Rehydrate a cached cell; None when the payload is stale or foreign.
+
+    The guard is structural, not positional: the payload must carry the
+    current ``SCENARIO_LAYER_VERSION``, the spec's own cell hash, and an
+    outcome per policy instance name of the spec — a payload written by a
+    different spec (or by the pre-scenario three-way field list) misses
+    instead of silently mis-mapping fields.
+    """
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("scenario_layer") != SCENARIO_LAYER_VERSION:
+        return None
+    if payload.get("cell_hash") != spec.cell_hash():
+        return None
+    outcomes_doc = payload.get("outcomes")
+    if not isinstance(outcomes_doc, dict):
+        return None
+    labels = spec.policy_labels()
+    if sorted(outcomes_doc) != sorted(labels):
+        return None
+    try:
+        outcomes = {
+            name: PolicyOutcome.from_payload(name, outcomes_doc[name])
+            for name in labels
+        }
+    except (KeyError, TypeError, ValueError):
+        return None
+    return ScenarioCell(
+        benchmark=spec.benchmark,
+        cap_per_socket_w=cap_per_socket_w,
+        n_ranks=spec.n_ranks,
+        schedulable=bool(payload.get("schedulable", True)),
+        outcomes=outcomes,
+    )
+
+
+def run_scenario_cell(
+    spec: ScenarioSpec,
+    cap_per_socket_w: float,
+    cache: SolverCache | None = None,
+    registry: PolicyRegistry | None = None,
+) -> ScenarioCell:
+    """Evaluate every policy of ``spec`` at one per-socket cap.
+
+    ``cache`` memoizes the whole cell (all simulator replays and solver
+    calls) by content address; None falls back to the ambient
+    :class:`~repro.exec.options.ExecutionOptions` (default: no caching).
+    A warm cell skips tracing, every engine run, and every solve.
+    """
+    registry = registry if registry is not None else default_registry()
+    if cache is None:
+        cache = get_execution_options().make_cache()
+    key = None
+    if cache is not None:
+        key = scenario_cell_key(
+            spec.cell_hash(), cap_per_socket_w, SCENARIO_LAYER_VERSION
+        )
+        payload = cache.get(key)
+        if payload is not None:
+            cell = _cell_from_payload(spec, cap_per_socket_w, payload)
+            if cell is not None:
+                return cell
+            # Stale or foreign payload under our key: recompute (and
+            # overwrite) rather than mis-map fields.
+    cell = _run_scenario_cell(spec, cap_per_socket_w, cache, registry)
+    if cache is not None:
+        cache.put(key, _cell_payload(spec, cell))
+    return cell
+
+
+def _run_scenario_cell(
+    spec: ScenarioSpec,
+    cap_per_socket_w: float,
+    cache: SolverCache | None,
+    registry: PolicyRegistry,
+) -> ScenarioCell:
+    shared = _shared_for(spec)
+    job_cap = cap_per_socket_w * spec.n_ranks
+    rec = current_recorder()
+    tag = f"{spec.benchmark} cap={cap_per_socket_w:g}W"
+
+    min_cap = shared.app_run.metadata.get("min_cap_per_socket_w")
+    if min_cap is not None and cap_per_socket_w < min_cap:
+        outcomes = {
+            p.label: PolicyOutcome(
+                name=p.label, policy=p.policy,
+                kind=registry.get(p.policy).kind, time_s=None,
+            )
+            for p in spec.policies
+        }
+        return ScenarioCell(
+            benchmark=spec.benchmark,
+            cap_per_socket_w=cap_per_socket_w,
+            n_ranks=spec.n_ranks,
+            schedulable=False,
+            outcomes=outcomes,
+        )
+
+    ctx = PolicyContext(
+        power_models=shared.power_models,
+        job_cap_w=job_cap,
+        app=shared.app_run,
+        frontier_store=shared.frontiers,
+        trace=shared.trace,
+        instance=shared.instance,
+        cache=cache,
+        lp_iterations=spec.lp_iterations,
+    )
+    outcomes: dict[str, PolicyOutcome] = {}
+    for pspec in spec.policies:
+        entry = registry.get(pspec.policy)
+        cfg = entry.resolve_config(pspec.config)
+        label = pspec.label
+        scope = partial(_scope, rec, f"{label} {tag}")
+        if entry.kind == "runtime":
+            policy = entry.build(ctx, cfg)
+            with scope():
+                result = shared.engine.run(shared.app_run, policy)
+                if rec is not None:
+                    _emit_power_counters(rec, result, shared.power_models, job_cap)
+            extra: dict = {}
+            reallocs = getattr(policy, "realloc_count", None)
+            if reallocs is not None:
+                extra["reallocs"] = reallocs
+            outcomes[label] = PolicyOutcome(
+                name=label, policy=pspec.policy, kind="runtime",
+                time_s=_measured_time(result, spec, entry.measure), extra=extra,
+            )
+        else:
+            bound = entry.solve(ctx, cfg, scope)
+            outcomes[label] = PolicyOutcome(
+                name=label, policy=pspec.policy, kind="bound",
+                time_s=bound.time_s, extra=dict(bound.extra),
+            )
+    return ScenarioCell(
+        benchmark=spec.benchmark,
+        cap_per_socket_w=cap_per_socket_w,
+        n_ranks=spec.n_ranks,
+        schedulable=True,
+        outcomes=outcomes,
+    )
+
+
+# ----------------------------------------------------------------------
+def _scenario_cell_task(cell: tuple[str, float, str | None]) -> ScenarioCell:
+    """One (spec, cap) cell — module-level so workers can unpickle it."""
+    spec_json, cap, cache_root = cell
+    spec = ScenarioSpec.from_json(spec_json)
+    cache = SolverCache(cache_root) if cache_root is not None else None
+    return run_scenario_cell(spec, cap, cache=cache)
+
+
+def run_scenarios(
+    spec: ScenarioSpec,
+    workers: int | None = None,
+    cache: SolverCache | None = None,
+    registry: PolicyRegistry | None = None,
+) -> ScenarioResult:
+    """Run the full scenario: every policy at every cap of the grid.
+
+    Every cap is an independent, fully seeded cell; with ``workers > 1``
+    the cells fan out over a process pool with results in cap order —
+    bit-identical to the serial sweep.  ``workers``/``cache`` default to
+    the ambient :class:`~repro.exec.options.ExecutionOptions` (serial,
+    uncached).  A non-default ``registry`` runs serially: worker
+    processes rebuild policies from the default registry only.
+    """
+    opts = get_execution_options()
+    if workers is None:
+        workers = opts.workers
+    workers = resolve_workers(workers)  # 0 -> all cores, negative -> error
+    if cache is None:
+        cache = opts.make_cache()
+    caps = spec.caps_per_socket_w
+    if workers <= 1 or len(caps) <= 1 or registry is not None:
+        cells = [
+            run_scenario_cell(spec, cap, cache=cache, registry=registry)
+            for cap in caps
+        ]
+        return ScenarioResult(spec=spec, cells=cells)
+    runner = ParallelRunner(
+        max_workers=workers,
+        timeout_s=opts.task_timeout_s,
+        retries=opts.task_retries,
+    )
+    cache_root = str(cache.root) if cache is not None else None
+    spec_json = spec.to_json()
+    tasks = [(spec_json, float(cap), cache_root) for cap in caps]
+    # Worker-side cache hit/miss accounting arrives via the telemetry
+    # snapshots that ParallelRunner merges into the active telemetry.
+    return ScenarioResult(spec=spec, cells=runner.map(_scenario_cell_task, tasks))
+
+
+# ----------------------------------------------------------------------
+def policy_iteration_time(
+    policy: str,
+    app,
+    power_models: list[SocketPowerModel],
+    job_cap_w: float,
+    iterations: int,
+    config: dict | None = None,
+    trace: Trace | None = None,
+    cache: SolverCache | None = None,
+    registry: PolicyRegistry | None = None,
+    label: str | None = None,
+) -> float | None:
+    """Raw per-iteration time of one registered policy on one app + cap.
+
+    The building block for callers that model performance as a function
+    of power (the cluster co-scheduler's anchor evaluations): a runtime
+    policy is engine-run over the whole application (makespan divided by
+    ``iterations``); a bound is solved on ``trace`` (traced on demand
+    when omitted).  Returns None when the bound is infeasible at the cap.
+    ``label``, when given, wraps the evaluation in a trace scope so
+    cluster anchors are attributable in exported traces.
+    """
+    registry = registry if registry is not None else default_registry()
+    entry = registry.get(policy)
+    cfg = entry.resolve_config(config)
+    rec = current_recorder()
+    scope = partial(_scope, rec, label) if label is not None else nullcontext
+    if entry.kind == "bound":
+        if trace is None:
+            trace = trace_application(app, power_models)
+        ctx = PolicyContext(
+            power_models=power_models, job_cap_w=job_cap_w, app=app,
+            trace=trace, cache=cache, lp_iterations=iterations,
+        )
+        bound = entry.solve(ctx, cfg, scope)
+        return bound.time_s
+    ctx = PolicyContext(
+        power_models=power_models, job_cap_w=job_cap_w, app=app,
+        lp_iterations=iterations,
+    )
+    policy_obj = entry.build(ctx, cfg)
+    with scope():
+        result = Engine(power_models).run(app, policy_obj)
+    return result.makespan_s / iterations

@@ -13,6 +13,7 @@ verification, returning the replayed makespan and the observed power peak.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from ..machine.configuration import Configuration
@@ -106,13 +107,19 @@ def replay_schedule(
     cap_rel_tol: float = 5e-3,
     switch_overhead_s: float = 145e-6,
     min_switch_duration_s: float = 1e-3,
+    label: str | None = None,
 ) -> ReplayOutcome:
     """Run ``app`` under a schedule and verify the job power constraint.
 
     ``cap_rel_tol`` allows the small overshoot inherent to discrete
     rounding (the paper's replayed schedules are "within their power
-    constraints" after the same rounding).
+    constraints" after the same rounding).  ``label``, when given, wraps
+    the replay in a trace-recorder run scope (the scenario layer passes
+    its policy-instance labels here), so replays land in their own
+    Perfetto process group; None leaves the ambient scope untouched.
     """
+    from ..obs.recorder import current_recorder
+
     engine = Engine(power_models, network=network, spec=spec)
     policy = ReplayPolicy(
         assignment,
@@ -120,7 +127,9 @@ def replay_schedule(
         switch_overhead_s=switch_overhead_s,
         min_switch_duration_s=min_switch_duration_s,
     )
-    result = engine.run(app, policy)
+    rec = current_recorder() if label is not None else None
+    with rec.run_scope(label) if rec is not None else nullcontext():
+        result = engine.run(app, policy)
     ok, peak = verify_power_cap(
         result, power_models, cap_w, slack_mode=slack_mode, rel_tol=cap_rel_tol
     )

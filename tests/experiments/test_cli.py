@@ -84,6 +84,88 @@ class TestRunSubcommand:
         assert set(audit["cache"]) == {"hits", "misses"}
 
 
+class TestScenarioRuns:
+    QUICK = ["--quick", "--benchmark", "synthetic"]
+
+    def test_run_policies_four_way(self, capsys):
+        argv = ["run", *self.QUICK, "--cap", "50",
+                "--policies", "static,conductor,adagio,lp"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        for label in ("static", "conductor", "adagio", "lp"):
+            assert label in out
+        assert "(4-way, spec " in out
+
+    def test_run_baseline_annotations(self, capsys):
+        argv = ["run", *self.QUICK, "--cap", "50",
+                "--policies", "static,lp", "--baseline", "static"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "% vs static" in out
+
+    def test_run_unknown_policy_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["run", *self.QUICK, "--policies", "static,magic"])
+
+    def test_run_baseline_must_be_in_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["run", *self.QUICK, "--policies", "static,lp",
+                  "--baseline", "conductor"])
+
+    def test_scenario_and_policies_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", *self.QUICK, "--policies", "static",
+                  "--scenario", str(tmp_path / "s.json")])
+
+    def test_sweep_defaults_to_three_way(self, capsys):
+        argv = ["sweep", *self.QUICK, "--caps", "40,60"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "(3-way, spec " in out
+        assert "Scenario summary" in out
+
+    def test_sweep_scenario_file_keeps_its_grid(self, capsys, tmp_path):
+        from repro.scenarios.spec import PolicySpec, ScenarioSpec
+
+        spec = ScenarioSpec(
+            benchmark="synthetic", caps_per_socket_w=(45.0, 65.0),
+            policies=(PolicySpec("static"),
+                      PolicySpec("conductor", name="cond-fast",
+                                 config={"realloc_period": 2})),
+            n_ranks=4, run_iterations=8, lp_iterations=2,
+            discard_iterations=2, steady_window=4,
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert main(["sweep", "--scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cond-fast" in out
+        assert "45" in out and "65" in out
+
+    def test_run_save_embeds_scenario_in_manifest(self, capsys, tmp_path):
+        argv = ["run", *self.QUICK, "--cap", "50",
+                "--policies", "static,adagio,lp", "--save", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        doc = json.loads((tmp_path / "manifest.json").read_text())
+        assert doc["schema"] == MANIFEST_SCHEMA_VERSION
+        scenario = doc["scenario"]
+        assert scenario["benchmark"] == "synthetic"
+        assert [p["policy"] for p in scenario["policies"]] == [
+            "static", "adagio", "lp",
+        ]
+        assert "static" in (tmp_path / "run.txt").read_text()
+
+    def test_run_policies_with_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        argv = ["run", *self.QUICK, "--cap", "50",
+                "--policies", "static,lp", "--trace", str(trace)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["validate-trace", str(trace)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
 class TestAuditSubcommand:
     def test_default_comparison_table(self, capsys):
         assert main(["audit", "--quick"]) == 0

@@ -80,3 +80,44 @@ def test_guard_allows_dunder_public_and_external(tmp_path):
         "from scipy.optimize._highspy import _core\n"
     )
     assert not _private_imports(mod)
+
+
+def test_every_runtime_policy_is_registered():
+    """Every policy class exported by ``repro.runtime`` has a scenario
+    registry entry whose ``policy_class`` matches — a new runtime cannot
+    silently stay unreachable from the CLI/scenario layer."""
+    import repro.runtime as runtime
+    from repro.scenarios.registry import default_registry
+
+    registry = default_registry()
+    registered = {
+        e.policy_class for e in registry.entries() if e.policy_class is not None
+    }
+    missing = [
+        name
+        for name in runtime.__all__
+        if name.endswith("Policy")
+        and isinstance(getattr(runtime, name), type)
+        and getattr(runtime, name) not in registered
+    ]
+    assert not missing, (
+        f"runtime policies with no scenario registry entry: {missing}; "
+        "register them in repro/scenarios/registry.py"
+    )
+
+
+def test_exec_does_not_import_scenarios():
+    """``repro.exec`` sits below the scenario layer: cell keys take the
+    spec hash as a plain argument, never the spec object."""
+    offenders = []
+    for path in sorted((SRC / "exec").rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            mod = getattr(node, "module", None)
+            if isinstance(node, ast.ImportFrom) and mod and "scenarios" in mod:
+                offenders.append(f"{path.name}:{node.lineno}")
+            if isinstance(node, ast.Import) and any(
+                "scenarios" in a.name for a in node.names
+            ):
+                offenders.append(f"{path.name}:{node.lineno}")
+    assert not offenders, f"repro.exec imports the scenario layer: {offenders}"
