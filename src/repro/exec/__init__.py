@@ -13,8 +13,15 @@ they compute:
     On-disk memoization of LP solutions and comparison cells, with
     versioned invalidation and exact (bit-identical) round trips.
 ``repro.exec.parallel``
-    Ordered process-pool map with per-task timeout, retry, and a serial
-    fallback.
+    Ordered process-pool map with per-task deadlines, seeded retry
+    backoff, broken-pool recovery, structured per-cell outcomes, and a
+    serial fallback.
+``repro.exec.checkpoint``
+    JSONL sweep journal: checkpoint completed cells, resume interrupted
+    sweeps byte-identically.
+``repro.exec.faults``
+    Deterministic seeded fault injection (raise / delay / corrupt) — the
+    test substrate of the resilience layer and the CI chaos smoke.
 ``repro.exec.options``
     Ambient workers/cache configuration consumed by the sweep layer.
 
@@ -40,7 +47,14 @@ __all__ = [
     "machine_fingerprint",
     "ParallelRunner",
     "ParallelExecutionError",
+    "PoolBrokenError",
+    "CellOutcome",
+    "retry_delay_s",
     "resolve_workers",
+    "SweepJournal",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectedFault",
     "ExecutionOptions",
     "get_execution_options",
     "set_execution_options",
@@ -61,7 +75,14 @@ _EXPORTS = {
     "machine_fingerprint": "keys",
     "ParallelRunner": "parallel",
     "ParallelExecutionError": "parallel",
+    "PoolBrokenError": "parallel",
+    "CellOutcome": "parallel",
+    "retry_delay_s": "parallel",
     "resolve_workers": "parallel",
+    "SweepJournal": "checkpoint",
+    "FaultSpec": "faults",
+    "FaultInjector": "faults",
+    "InjectedFault": "faults",
     "ExecutionOptions": "options",
     "get_execution_options": "options",
     "set_execution_options": "options",

@@ -23,6 +23,7 @@ import functools
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
@@ -66,13 +67,45 @@ def _entry_provenance() -> dict:
 
 
 class SolverCache:
-    """A content-addressed JSON store with hit/miss/store accounting."""
+    """A content-addressed JSON store with hit/miss/store accounting.
 
-    def __init__(self, root: str | Path) -> None:
+    ``stale_tmp_age_s`` bounds how long an orphaned ``*.tmp`` file — the
+    debris of a worker killed between ``mkstemp`` and ``os.replace`` —
+    may linger before construction sweeps it.  The age gate keeps a
+    freshly constructed cache from deleting a temp file a *live*
+    concurrent worker is still writing.
+    """
+
+    def __init__(
+        self, root: str | Path, stale_tmp_age_s: float = 3600.0
+    ) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.tmp_swept = self._sweep_stale_tmp(stale_tmp_age_s)
+
+    def _sweep_stale_tmp(self, age_s: float) -> int:
+        """Delete orphaned temp files older than ``age_s``; returns count.
+
+        Without this, every worker death mid-:meth:`put` leaks one temp
+        file into a shared cache directory, which then grows unboundedly
+        across chaos-prone production sweeps.
+        """
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - age_s
+        swept = 0
+        for tmp in self.root.glob("v*/*/*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:
+                pass  # another sweeper won the race, or a live writer
+        if swept:
+            count("cache.tmp_swept", swept)
+        return swept
 
     def _path(self, key: str) -> Path:
         return self.root / f"v{CACHE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"

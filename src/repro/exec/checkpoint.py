@@ -1,0 +1,114 @@
+"""The sweep journal: checkpoint cells as they settle, resume later.
+
+A production sweep dies for reasons that have nothing to do with the
+cells it computes — ``Ctrl-C``, an OOM-killed parent, a pre-empted node.
+The :class:`SweepJournal` is an append-only JSONL file that records every
+*settled* cell (ok with its cache payload, or failed with its structured
+failure) keyed by the cell's content address
+(:func:`~repro.exec.keys.scenario_cell_key`).  A re-run with the same
+journal rehydrates every journaled-ok cell without recomputation and
+only runs the rest — and because payloads round-trip exactly (same
+guarantee as :class:`~repro.exec.cache.SolverCache`), the resumed sweep's
+final tables and manifest are byte-identical to an uninterrupted run.
+
+Failed cells are journaled too — that is what the manifest's failure
+report is rebuilt from — but they are *retried* on resume: a resume is a
+fresh chance, and deterministic failures (e.g. injected ones) simply
+fail identically again.
+
+Durability: each record is one line, flushed and fsynced before the
+append returns, so a journal is never missing a cell the caller was told
+about.  Loading is tolerant by construction — a torn trailing line
+(the process died mid-append) is skipped, unknown schemas are ignored,
+and the *last* record per key wins, so a cell that failed in one run and
+succeeded in the next reads back as ok.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["JOURNAL_SCHEMA_VERSION", "SweepJournal"]
+
+#: Bump when the record layout changes; old records are then ignored.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of settled sweep cells."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    # ------------------------------------------------------------------
+    def load(self) -> dict[str, dict]:
+        """All usable records, keyed by cell key; later records win.
+
+        A missing file is an empty journal; torn lines and records with
+        an unknown schema or no key are skipped, never fatal.
+        """
+        records: dict[str, dict] = {}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return records
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue  # torn trailing write from a killed process
+            if not isinstance(doc, dict):
+                continue
+            if doc.get("schema") != JOURNAL_SCHEMA_VERSION:
+                continue
+            key = doc.get("key")
+            if not isinstance(key, str):
+                continue
+            records[key] = doc
+        return records
+
+    # ------------------------------------------------------------------
+    def record_ok(
+        self, key: str, cap_per_socket_w: float, payload: dict, **extra
+    ) -> None:
+        """Journal one completed cell with its rehydratable payload."""
+        self._append(
+            {
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "key": key,
+                "cap_per_socket_w": float(cap_per_socket_w),
+                "status": "ok",
+                "payload": payload,
+                **extra,
+            }
+        )
+
+    def record_failed(
+        self, key: str, cap_per_socket_w: float, failure: dict, **extra
+    ) -> None:
+        """Journal one failed cell with its structured failure document."""
+        self._append(
+            {
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "key": key,
+                "cap_per_socket_w": float(cap_per_socket_w),
+                "status": "failed",
+                "failure": failure,
+                **extra,
+            }
+        )
+
+    def _append(self, doc: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

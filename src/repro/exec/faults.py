@@ -1,0 +1,233 @@
+"""Deterministic seeded fault injection for sweep execution.
+
+Production sweeps fail in boring, repeatable ways — a worker raises, a
+solver wedges, a shared cache entry gets torn.  This module makes those
+failures *reproducible on demand*: a :class:`FaultInjector` wraps a
+sweep's task function and, on deterministically selected cells, raises
+an :class:`InjectedFault`, delays the task, or corrupts solver-cache
+entries after it completes.
+
+Selection is a pure function of ``(seed, cell key)``: the SHA-256 of the
+pair is mapped to a unit float and compared against ``rate``, optionally
+restricted to keys containing ``match``.  Two runs with the same spec
+hit exactly the same cells — which is what lets CI assert that a
+fault-injected ``--keep-going`` sweep, and its interrupted-and-resumed
+twin, produce byte-identical failure reports.
+
+Transient faults (``times=N``) need cross-process state — "this cell has
+already failed twice" — which lives as marker files in a ``state_dir``,
+claimed with ``O_EXCL`` so concurrent workers never double-count.
+Without ``times`` a selected cell faults on every attempt.
+
+Everything here is test/chaos machinery: the production path never
+imports it unless an injector is explicitly passed in (or the CLI's
+``--inject-faults`` flag builds one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["InjectedFault", "FaultSpec", "FaultInjector"]
+
+#: Modes the injector understands.
+FAULT_MODES = ("raise", "delay", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The failure raised by ``mode="raise"`` injection."""
+
+
+def _unit(seed: int, key: str) -> float:
+    """Map (seed, key) to a deterministic float in [0, 1)."""
+    digest = hashlib.sha256(f"{seed}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _digest(key: str) -> str:
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What to inject, where, and how often — as plain data.
+
+    ``rate`` is the selection probability per cell (deterministic, see
+    :func:`_unit`); ``match`` further restricts selection to cell keys
+    containing the substring; ``times`` bounds how many injections each
+    selected cell suffers (None = every attempt, the stateless mode CI
+    byte-identity checks rely on); ``state_dir`` holds the cross-process
+    markers ``times`` needs.
+    """
+
+    mode: str = "raise"
+    rate: float = 1.0
+    seed: int = 0
+    match: str = ""
+    times: int | None = None
+    delay_s: float = 0.05
+    state_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; known: {FAULT_MODES}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.times is not None:
+            if self.times < 1:
+                raise ValueError(f"times must be >= 1, got {self.times}")
+            if self.state_dir is None:
+                raise ValueError("times= needs a state_dir for its markers")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Build a spec from ``key=value`` pairs: the CLI surface.
+
+        Example: ``mode=raise,rate=0.5,seed=7`` or
+        ``mode=delay,match=cap=50,delay_s=0.2``.  Values may themselves
+        contain ``=`` (only the first one splits), so ``match=cap=50``
+        works.
+        """
+        fields: dict[str, Any] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"fault spec part {part!r} is not key=value")
+            name, value = part.split("=", 1)
+            name = name.strip()
+            if name in ("rate", "delay_s"):
+                fields[name] = float(value)
+            elif name in ("seed", "times"):
+                fields[name] = int(value)
+            elif name in ("mode", "match", "state_dir"):
+                fields[name] = value
+            else:
+                raise ValueError(f"unknown fault spec field {name!r}")
+        return cls(**fields)
+
+    # ------------------------------------------------------------------
+    def selects(self, key: str) -> bool:
+        """Whether this spec targets the cell identified by ``key``."""
+        if self.match and self.match not in key:
+            return False
+        return _unit(self.seed, key) < self.rate
+
+
+class FaultInjector:
+    """Wraps a task function to inject faults on selected cells.
+
+    The wrapped callable is picklable whenever ``fn`` and ``key_fn``
+    are (module-level functions), so it travels to pool workers intact.
+    ``key_fn`` maps an item to the stable string identity that drives
+    selection — it must not include run-scoped paths (temp dirs) or two
+    otherwise-identical runs would fault different cells; by default the
+    item's ``repr`` is used.  ``cache_root``, when given with
+    ``mode="corrupt"``, names the solver-cache directory whose entries
+    get deterministically torn after a selected cell completes.
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        key_fn: Callable[[Any], str] | None = None,
+        cache_root: str | Path | None = None,
+    ) -> None:
+        self.spec = spec
+        self.key_fn = key_fn
+        self.cache_root = str(cache_root) if cache_root is not None else None
+
+    @classmethod
+    def from_string(
+        cls,
+        text: str,
+        key_fn: Callable[[Any], str] | None = None,
+        cache_root: str | Path | None = None,
+    ) -> "FaultInjector":
+        return cls(FaultSpec.parse(text), key_fn=key_fn, cache_root=cache_root)
+
+    def wrap(self, fn: Callable[[Any], Any]) -> "_FaultyTask":
+        """The task function with this injector's faults applied."""
+        return _FaultyTask(fn, self.spec, self.key_fn, self.cache_root)
+
+
+class _FaultyTask:
+    """The picklable wrapped task (module-level so workers unpickle it)."""
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        spec: FaultSpec,
+        key_fn: Callable[[Any], str] | None,
+        cache_root: str | None,
+    ) -> None:
+        self.fn = fn
+        self.spec = spec
+        self.key_fn = key_fn
+        self.cache_root = cache_root
+
+    def _key(self, item: Any) -> str:
+        return self.key_fn(item) if self.key_fn is not None else repr(item)
+
+    def __call__(self, item: Any) -> Any:
+        spec = self.spec
+        key = self._key(item)
+        if spec.selects(key) and self._claim(key):
+            if spec.mode == "raise":
+                raise InjectedFault(f"injected fault on cell {key}")
+            if spec.mode == "delay":
+                time.sleep(spec.delay_s)
+        result = self.fn(item)
+        if spec.mode == "corrupt" and spec.selects(key) and self.cache_root:
+            _corrupt_cache(self.cache_root, spec.seed, spec.rate)
+        return result
+
+    def _claim(self, key: str) -> bool:
+        """Whether this attempt may inject (bounded by ``spec.times``).
+
+        Claims one marker file per injection with ``O_EXCL``, so the
+        count is exact even when attempts race across worker processes.
+        """
+        if self.spec.times is None:
+            return True
+        state = Path(self.spec.state_dir)
+        state.mkdir(parents=True, exist_ok=True)
+        digest = _digest(key)[:32]
+        for k in range(self.spec.times):
+            try:
+                fd = os.open(state / f"{digest}.{k}", os.O_CREAT | os.O_EXCL)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+
+def _corrupt_cache(root: str, seed: int, rate: float) -> None:
+    """Deterministically tear solver-cache entries under ``root``.
+
+    Truncates each selected ``*.json`` entry to half its bytes —
+    exactly the torn-write damage :class:`~repro.exec.cache.SolverCache`
+    must degrade to a miss on, never an error.  Selection hashes the
+    entry filename, so repeated chaos runs tear the same entries.
+    """
+    base = Path(root)
+    if not base.is_dir():
+        return
+    for path in sorted(base.glob("v*/*/*.json")):
+        if _unit(seed, f"corrupt:{path.name}") < rate:
+            try:
+                data = path.read_bytes()
+                path.write_bytes(data[: len(data) // 2])
+            except OSError:
+                pass  # best-effort chaos: a vanished entry is fine too

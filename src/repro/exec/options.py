@@ -38,6 +38,7 @@ class ExecutionOptions:
     use_cache: bool = True
     task_timeout_s: float | None = None
     task_retries: int = 1
+    task_backoff_s: float = 0.05
 
     def make_cache(self) -> SolverCache | None:
         """A cache handle per these options (None when caching is off)."""

@@ -1,4 +1,4 @@
-"""Deterministic process-pool fan-out for sweep-shaped experiments.
+"""Deterministic, fault-tolerant process-pool fan-out for sweep cells.
 
 A cap sweep is embarrassingly parallel: every (workload, cap, seed) cell
 is an independent, fully seeded computation.  :class:`ParallelRunner`
@@ -7,9 +7,31 @@ fans such cells out over a ``ProcessPoolExecutor`` while keeping the
 loop would produce, so parallel and serial runs are interchangeable
 byte-for-byte.
 
-Reliability knobs: a per-task timeout (a wedged solver does not hang the
-sweep) and bounded retries (a task that times out or raises is
-resubmitted up to ``retries`` more times before the whole map fails).
+Failure semantics come in two flavors:
+
+* :meth:`ParallelRunner.map` — the strict map: a task that fails (or
+  times out) on every allowed attempt aborts the whole map with
+  :class:`ParallelExecutionError` (or :class:`PoolBrokenError` when the
+  worker pool itself died).
+* :meth:`ParallelRunner.map_outcomes` — the keep-going map: every item
+  produces a :class:`CellOutcome`, ok or failed, and the sweep completes
+  around failed cells.  An ``on_outcome`` callback fires per item in
+  submission order, which is how the sweep journal checkpoints progress
+  (see :mod:`repro.exec.checkpoint`).
+
+Reliability machinery, hardened for production sweeps:
+
+* per-task deadlines are measured **from submission**, not from when the
+  parent starts waiting on that index — every concurrent cell gets the
+  same wall-clock budget;
+* a broken pool (a worker killed by the OOM killer, ``os._exit``, a
+  segfault) is detected distinctly from task failures: the pool is
+  rebuilt and every not-yet-completed future is resubmitted to the new
+  pool rather than to the dead one;
+* retries back off with deterministic seeded exponential delays plus
+  jitter (:func:`retry_delay_s`), so a thundering herd of workers
+  retrying a shared resource de-synchronizes the same way every run.
+
 With ``max_workers <= 1`` the runner degrades to a plain in-process loop
 — no pickling, no subprocesses — which is also the benchmark harness's
 measured path.
@@ -29,20 +51,72 @@ run's (modulo re-sequencing, which is itself deterministic).
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from contextlib import ExitStack
+import random
+import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
+from contextlib import ExitStack
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from ..obs.audit import SolveAudit, current_audit, use_audit
 from ..obs.recorder import TraceRecorder, current_recorder, use_recorder
-from .timing import Telemetry, current_telemetry, use_telemetry
+from .timing import Telemetry, count, current_telemetry, use_telemetry
 
-__all__ = ["ParallelRunner", "ParallelExecutionError", "resolve_workers"]
+__all__ = [
+    "ParallelRunner",
+    "ParallelExecutionError",
+    "PoolBrokenError",
+    "CellOutcome",
+    "retry_delay_s",
+    "resolve_workers",
+]
 
 
 class ParallelExecutionError(RuntimeError):
     """A task failed (or timed out) on every allowed attempt."""
+
+
+class PoolBrokenError(ParallelExecutionError):
+    """The worker pool died on every allowed attempt of a task.
+
+    Raised instead of the generic :class:`ParallelExecutionError` when
+    what kept failing was not the task's own code but the pool beneath
+    it — a worker killed by the OOM killer, ``os._exit``, or a crash in
+    the pickling machinery.  The runner rebuilds the pool between
+    attempts, so seeing this means even fresh pools kept dying.
+    """
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """The structured result of one mapped item: ok, or how it failed.
+
+    ``error_type``/``error_message``/``attempts`` are deterministic for
+    deterministic failures (e.g. injected faults), so they may be stored
+    in journals and manifests that must be byte-stable across runs.
+    ``elapsed_s`` is wall-clock and ``error`` is the live exception —
+    both are diagnostics only and excluded from :meth:`failure_doc`.
+    """
+
+    index: int
+    ok: bool
+    value: Any = None
+    error_type: str | None = None
+    error_message: str | None = None
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    error: BaseException | None = field(default=None, compare=False, repr=False)
+
+    def failure_doc(self) -> dict:
+        """Deterministic JSON-safe record of a failed outcome."""
+        if self.ok:
+            raise ValueError("failure_doc() on an ok outcome")
+        return {
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "attempts": self.attempts,
+        }
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -54,6 +128,24 @@ def resolve_workers(workers: int | None) -> int:
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     return workers
+
+
+def retry_delay_s(
+    seed: int, index: int, attempt: int, base_s: float, cap_s: float = 2.0
+) -> float:
+    """Deterministic exponential backoff with jitter for one retry.
+
+    The delay doubles per attempt from ``base_s`` up to ``cap_s``, then
+    is scaled into [0.5, 1.0) by a PRNG seeded from (seed, index,
+    attempt) — every run, and every retrying worker, computes the same
+    schedule, but different cells de-synchronize from each other.
+    ``base_s <= 0`` disables backoff entirely.
+    """
+    if base_s <= 0:
+        return 0.0
+    rng = random.Random(f"{seed}:{index}:{attempt}")
+    exp = min(cap_s, base_s * (2 ** max(0, attempt - 1)))
+    return exp * (0.5 + 0.5 * rng.random())
 
 
 def _run_task(
@@ -95,12 +187,19 @@ class ParallelRunner:
         Worker processes; ``<= 1`` runs serially in-process (``0`` means
         one per CPU core, via :func:`resolve_workers`).
     timeout_s:
-        Per-task wall-clock budget.  None waits forever.  A timed-out
-        task is retried; its abandoned worker finishes (or idles) in the
-        background — ``ProcessPoolExecutor`` cannot interrupt a running
-        call — so timeouts should be generous, a last line of defense.
+        Per-task wall-clock budget, measured from the task's (re-)
+        submission.  None waits forever.  A timed-out task is retried;
+        its abandoned worker finishes (or idles) in the background —
+        ``ProcessPoolExecutor`` cannot interrupt a running call — so
+        timeouts should be generous, a last line of defense.
     retries:
         Extra attempts per task after the first failure or timeout.
+    backoff_s:
+        Base retry delay; retries sleep a deterministic seeded
+        exponential backoff with jitter (:func:`retry_delay_s`).
+        ``0`` retries immediately.
+    backoff_seed:
+        Seed of the jitter schedule (so backoff is reproducible).
     """
 
     def __init__(
@@ -108,77 +207,258 @@ class ParallelRunner:
         max_workers: int | None = 1,
         timeout_s: float | None = None,
         retries: int = 1,
+        backoff_s: float = 0.05,
+        backoff_seed: int = 0,
     ) -> None:
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {timeout_s}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
         self.max_workers = resolve_workers(max_workers)
         self.timeout_s = timeout_s
         self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_seed = backoff_seed
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         """Apply ``fn`` to every item; results in item order.
 
-        ``fn`` and the items must be picklable when ``max_workers > 1``
-        (``fn`` should be a module-level function).
+        A task that fails every attempt aborts the map with
+        :class:`ParallelExecutionError` (:class:`PoolBrokenError` when
+        the pool itself kept dying).  ``fn`` and the items must be
+        picklable when ``max_workers > 1`` (``fn`` should be a
+        module-level function).  Serially, exceptions propagate raw —
+        the in-process loop adds no retry machinery.
         """
         items = list(items)
         if self.max_workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        return self._map_parallel(fn, items)
+        return [
+            outcome.value
+            for outcome in self._map_parallel(fn, items, keep_going=False)
+        ]
 
-    def _map_parallel(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list:
-        results: list[Any] = [None] * len(items)
+    def map_outcomes(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        on_outcome: Callable[[CellOutcome], None] | None = None,
+    ) -> list[CellOutcome]:
+        """Keep-going map: one :class:`CellOutcome` per item, in order.
+
+        A task that exhausts its attempts becomes a failed outcome
+        instead of aborting the map; the remaining items still run.
+        ``on_outcome`` (when given) fires once per item, in submission
+        order, as soon as that item settles — the checkpoint hook: an
+        interrupted sweep has journaled every settled prefix cell.
+        Serially the same retry/backoff policy applies in-process
+        (without the timeout, which needs a pool to enforce).
+        """
+        items = list(items)
+        if self.max_workers <= 1 or len(items) <= 1:
+            return self._map_serial_outcomes(fn, items, on_outcome)
+        return self._map_parallel(fn, items, keep_going=True, on_outcome=on_outcome)
+
+    # ------------------------------------------------------------------
+    def _map_serial_outcomes(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        on_outcome: Callable[[CellOutcome], None] | None,
+    ) -> list[CellOutcome]:
+        outcomes: list[CellOutcome] = []
+        for i, item in enumerate(items):
+            attempt = 0
+            t0 = time.monotonic()
+            while True:
+                try:
+                    value = fn(item)
+                    outcome = CellOutcome(
+                        index=i, ok=True, value=value, attempts=attempt + 1,
+                        elapsed_s=time.monotonic() - t0,
+                    )
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > self.retries:
+                        count("task.failed")
+                        outcome = CellOutcome(
+                            index=i, ok=False,
+                            error_type=type(exc).__name__,
+                            error_message=str(exc),
+                            attempts=attempt,
+                            elapsed_s=time.monotonic() - t0,
+                            error=exc,
+                        )
+                        break
+                    count("task.retry")
+                    time.sleep(
+                        retry_delay_s(self.backoff_seed, i, attempt, self.backoff_s)
+                    )
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _map_parallel(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        keep_going: bool,
+        on_outcome: Callable[[CellOutcome], None] | None = None,
+    ) -> list[CellOutcome]:
+        outcomes: list[CellOutcome | None] = [None] * len(items)
         parent = current_telemetry()
         recorder = current_recorder()
         audit = current_audit()
         want_trace = recorder is not None
         want_audit = audit is not None
         n_workers = min(self.max_workers, len(items))
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [
-                pool.submit(_run_task, fn, item, want_trace, want_audit)
-                for item in items
-            ]
+
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        deadlines: list[float | None] = [None] * len(items)
+        started: list[float] = [0.0] * len(items)
+        futures: list[Future] = [None] * len(items)  # type: ignore[list-item]
+
+        def submit(i: int) -> None:
+            # The deadline starts at (re-)submission: every attempt of
+            # every cell gets the same wall-clock budget, regardless of
+            # when the parent reaches index i in its wait loop.
+            futures[i] = pool.submit(_run_task, fn, items[i], want_trace, want_audit)
+            now = time.monotonic()
+            if not started[i]:
+                started[i] = now
+            deadlines[i] = None if self.timeout_s is None else now + self.timeout_s
+
+        try:
+            for i in range(len(items)):
+                submit(i)
             for i in range(len(items)):
                 attempt = 0
                 while True:
                     try:
+                        wait = None
+                        if deadlines[i] is not None:
+                            wait = max(0.0, deadlines[i] - time.monotonic())
                         result, snapshot, batch, audit_snap = futures[i].result(
-                            timeout=self.timeout_s
+                            timeout=wait
                         )
+                        outcomes[i] = CellOutcome(
+                            index=i, ok=True, value=result, attempts=attempt + 1,
+                            elapsed_s=time.monotonic() - started[i],
+                        )
+                        # Fold worker observability in submission order:
+                        # the loop consumes futures by index, so the
+                        # merged stream is stable regardless of which
+                        # worker finished first.
+                        if parent is not None:
+                            parent.merge(snapshot)
+                        if recorder is not None and batch is not None:
+                            recorder.extend(batch)
+                        if audit is not None and audit_snap is not None:
+                            audit.extend(audit_snap)
                         break
                     except FuturesTimeoutError as exc:
                         futures[i].cancel()
-                        attempt = self._check_attempts(i, attempt, "timed out", exc)
-                        futures[i] = pool.submit(
-                            _run_task, fn, items[i], want_trace, want_audit
+                        attempt, failed = self._note_failure(
+                            i, attempt, "timed out", exc, keep_going,
+                            started, outcomes,
                         )
+                        if failed:
+                            break
+                        submit(i)
+                    except BrokenExecutor as exc:
+                        # The pool itself died (a worker was killed).
+                        # Resubmitting to it would fail instantly and
+                        # misreport the cause, so rebuild it first; the
+                        # breakage is charged to the task being awaited —
+                        # the closest observable culprit.
+                        pool = self._rebuild_pool(pool, n_workers)
+                        attempt, failed = self._note_failure(
+                            i, attempt, "broke the worker pool", exc,
+                            keep_going, started, outcomes, broke_pool=True,
+                        )
+                        for j in range(i + (1 if failed else 0), len(items)):
+                            if outcomes[j] is None and _needs_resubmit(futures[j]):
+                                submit(j)
+                        if failed:
+                            break
                     except Exception as exc:
-                        attempt = self._check_attempts(i, attempt, "failed", exc)
-                        futures[i] = pool.submit(
-                            _run_task, fn, items[i], want_trace, want_audit
+                        attempt, failed = self._note_failure(
+                            i, attempt, "failed", exc, keep_going,
+                            started, outcomes,
                         )
-                results[i] = result
-                # Fold worker observability in submission order: the loop
-                # consumes futures by index, so the merged stream is stable
-                # regardless of which worker finished first.
-                if parent is not None:
-                    parent.merge(snapshot)
-                if recorder is not None and batch is not None:
-                    recorder.extend(batch)
-                if audit is not None and audit_snap is not None:
-                    audit.extend(audit_snap)
-        return results
+                        if failed:
+                            break
+                        submit(i)
+                if on_outcome is not None:
+                    on_outcome(outcomes[i])
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return outcomes  # type: ignore[return-value]
 
-    def _check_attempts(
-        self, index: int, attempt: int, what: str, exc: BaseException
-    ) -> int:
+    @staticmethod
+    def _rebuild_pool(pool: ProcessPoolExecutor, n_workers: int) -> ProcessPoolExecutor:
+        pool.shutdown(wait=False, cancel_futures=True)
+        count("pool.rebuilt")
+        return ProcessPoolExecutor(max_workers=n_workers)
+
+    def _note_failure(
+        self,
+        index: int,
+        attempt: int,
+        what: str,
+        exc: BaseException,
+        keep_going: bool,
+        started: list[float],
+        outcomes: list[CellOutcome | None],
+        broke_pool: bool = False,
+    ) -> tuple[int, bool]:
+        """Account one failed attempt; returns (attempt, exhausted).
+
+        Below the retry budget: sleeps the deterministic backoff and
+        reports (attempt, False) so the caller resubmits.  At the
+        budget: either records a failed :class:`CellOutcome`
+        (``keep_going``) or raises.
+        """
         attempt += 1
-        if attempt > self.retries:
-            raise ParallelExecutionError(
-                f"task {index} {what} on all {attempt} attempt(s): {exc!r}"
-            ) from exc
-        return attempt
+        if attempt <= self.retries:
+            count("task.retry")
+            time.sleep(
+                retry_delay_s(self.backoff_seed, index, attempt, self.backoff_s)
+            )
+            return attempt, False
+        count("task.failed")
+        if keep_going:
+            outcomes[index] = CellOutcome(
+                index=index, ok=False,
+                error_type=type(exc).__name__,
+                error_message=str(exc),
+                attempts=attempt,
+                elapsed_s=time.monotonic() - started[index],
+                error=exc,
+            )
+            return attempt, True
+        error_cls = PoolBrokenError if broke_pool else ParallelExecutionError
+        raise error_cls(
+            f"task {index} {what} on all {attempt} attempt(s): {exc!r}"
+        ) from exc
+
+
+def _needs_resubmit(future: Future) -> bool:
+    """Whether a future was lost to a pool breakage (vs settled for real).
+
+    A future that finished with a result — or with its *own* exception —
+    keeps its state; one that is still pending, was cancelled by the
+    shutdown, or was failed *by the pool dying underneath it* must be
+    resubmitted to the rebuilt pool.
+    """
+    if not future.done():
+        return True
+    if future.cancelled():
+        return True
+    return isinstance(future.exception(), BrokenExecutor)

@@ -44,7 +44,9 @@ from contextlib import ExitStack, contextmanager
 from pathlib import Path
 
 from ..core.model import MODEL_LAYER_VERSION
+from ..exec.faults import FaultInjector
 from ..exec.options import ExecutionOptions, set_execution_options
+from ..exec.parallel import ParallelExecutionError
 from ..exec.timing import Telemetry, use_telemetry
 from ..obs.audit import SolveAudit, use_audit
 from ..obs.export import export_chrome_trace, export_jsonl, validate_trace_file
@@ -191,17 +193,28 @@ def _parse_caps(text: str, parser) -> tuple[float, ...]:
 
 
 def _scenario_cell_text(cell: ScenarioCell, baseline: str | None) -> str:
-    """Human summary of one N-way scenario cell (the ``run`` subcommand)."""
+    """Human summary of one N-way scenario cell (the ``run`` subcommand).
+
+    A cell whose computation failed outright (``--keep-going``) renders
+    as a gap: every policy shows ``failed`` and the failure itself is
+    itemized below the cell header.
+    """
     width = max(len(n) for n in cell.outcomes)
     lines = [
         f"{cell.benchmark}: {cell.n_ranks} ranks at "
         f"{cell.cap_per_socket_w:g} W/socket ({cell.job_cap_w:g} W job cap)"
     ]
+    if cell.failed:
+        lines.append(
+            f"  cell failed: {cell.failure.error_type} after "
+            f"{cell.failure.attempts} attempt(s): {cell.failure.error_message}"
+        )
     base_t = cell.outcomes[baseline].time_s if baseline else None
     for name, outcome in cell.outcomes.items():
         t = outcome.time_s
         text = f"{t:.4f} s/iter" if t is not None else (
-            "unschedulable" if not cell.schedulable else "infeasible"
+            "failed" if cell.failed
+            else "unschedulable" if not cell.schedulable else "infeasible"
         )
         notes = []
         if outcome.kind == "bound":
@@ -280,6 +293,24 @@ def main(argv: list[str] | None = None) -> int:
                              "(warm entries skip LP solves and replays)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir: solve everything fresh")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="complete an N-way sweep around failed cells: "
+                             "render them as gaps, record them in the "
+                             "manifest, exit 1 (see docs/execution.md)")
+    parser.add_argument("--journal", metavar="FILE", default=None,
+                        help="JSONL sweep journal: checkpoint every settled "
+                             "cell; an interrupted sweep resumes from FILE "
+                             "with byte-identical final output")
+    parser.add_argument("--inject-faults", metavar="SPEC", default=None,
+                        help="deterministic fault injection for chaos runs, "
+                             "e.g. 'mode=raise,rate=0.3,seed=1' or "
+                             "'mode=raise,match=cap=50' (docs/execution.md)")
+    parser.add_argument("--task-retries", type=int, default=1,
+                        help="retries per sweep task after its first attempt "
+                             "(default 1; seeded exponential backoff)")
+    parser.add_argument("--task-timeout", type=float, default=None, metavar="S",
+                        help="per-task deadline in seconds, measured from "
+                             "submission (default: none)")
     parser.add_argument("--timings", action="store_true",
                         help="print per-phase timings, cache counters, and "
                              "the solver audit table")
@@ -294,8 +325,21 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.task_retries < 0:
+        parser.error(f"--task-retries must be >= 0, got {args.task_retries}")
 
     command = args.exhibits[0] if args.exhibits else None
+
+    resilience_flags = args.keep_going or args.journal or args.inject_faults
+    if resilience_flags and command not in ("run", "sweep"):
+        parser.error("--keep-going/--journal/--inject-faults only apply to "
+                     "the run and sweep subcommands")
+    faults = None
+    if args.inject_faults:
+        try:
+            faults = FaultInjector.from_string(args.inject_faults)
+        except ValueError as exc:
+            parser.error(f"--inject-faults: {exc}")
 
     if command == "list":
         for name in EXHIBITS:
@@ -321,6 +365,8 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        task_timeout_s=args.task_timeout,
+        task_retries=args.task_retries,
     ))
 
     telemetry = Telemetry()
@@ -380,10 +426,11 @@ def main(argv: list[str] | None = None) -> int:
         config: object,
         seed: int | None,
         scenario: dict | None = None,
+        failures: list[dict] | None = None,
     ) -> None:
         manifest = collect_manifest(
             config, seed=seed, model_layer_version=MODEL_LAYER_VERSION,
-            scenario=scenario,
+            scenario=scenario, failures=failures,
         )
         write_manifest(manifest, save_dir / "manifest.json")
 
@@ -395,6 +442,9 @@ def main(argv: list[str] | None = None) -> int:
         if command == "sweep" and not n_way:
             args.policies = "static,conductor,lp"
             n_way = True
+        if resilience_flags and not n_way:
+            parser.error("--keep-going/--journal/--inject-faults require an "
+                         "N-way run (--policies or --scenario)")
         if not n_way:
             # Historical three-way output (byte-stable for CI greps).
             cfg = _run_config(args)
@@ -424,8 +474,25 @@ def main(argv: list[str] | None = None) -> int:
             caps = _parse_caps(args.caps, parser) if args.caps else None
         spec = _scenario_spec(args, caps, parser)
         t0 = time.time()
-        with observe():
-            result = run_scenarios(spec)
+        try:
+            with observe():
+                result = run_scenarios(
+                    spec,
+                    keep_going=args.keep_going,
+                    journal=args.journal,
+                    faults=faults,
+                )
+        except ParallelExecutionError as exc:
+            # Without --keep-going a failed cell aborts the sweep; the
+            # journal (when given) still holds every settled cell, so a
+            # rerun resumes instead of recomputing.
+            print(f"error: {exc}", file=sys.stderr)
+            if args.journal:
+                print(f"[journal {args.journal} keeps completed cells; "
+                      "rerun to resume]", file=sys.stderr)
+            export_traces()
+            emit_timings()
+            return 1
         if command == "run":
             text = _scenario_cell_text(result.cells[0], args.baseline)
         else:
@@ -435,6 +502,7 @@ def main(argv: list[str] | None = None) -> int:
         print(text)
         print(f"[{command} ({len(spec.policies)}-way, spec "
               f"{spec.spec_hash()[:12]}) finished in {time.time() - t0:.1f}s]")
+        failures = result.failure_docs()
         if args.save:
             save_dir = Path(args.save)
             save_dir.mkdir(parents=True, exist_ok=True)
@@ -444,9 +512,14 @@ def main(argv: list[str] | None = None) -> int:
                 {"command": command, "scenario": spec.to_doc()},
                 spec.seed,
                 scenario=spec.to_doc(),
+                failures=failures or None,
             )
         export_traces()
         emit_timings()
+        if failures:
+            print(f"[keep-going: {len(failures)} of {len(result.cells)} "
+                  "cell(s) failed]", file=sys.stderr)
+            return 1
         return 0
 
     if command == "audit":

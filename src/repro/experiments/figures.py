@@ -353,7 +353,12 @@ class ScenarioSweepFigure:
         }
 
     def render(self) -> str:
-        """The N-way table: caps x (times + improvement columns)."""
+        """The N-way table: caps x (times + improvement columns).
+
+        Cells that failed outright (a ``--keep-going`` sweep) render as
+        gaps in the table and are itemized in a footer, so a partial
+        sweep is never mistaken for a complete one.
+        """
         caps = list(self.result.spec.caps_per_socket_w)
         columns: dict[str, list] = {
             f"{n} (s/iter)": vs for n, vs in self.series().items()
@@ -362,9 +367,20 @@ class ScenarioSweepFigure:
             columns[f"{name} vs {self.baseline} (%)"] = [
                 None if v is None else round(v, 1) for v in vals
             ]
-        return render_series(
+        text = render_series(
             "cap (W/socket)", caps, columns, title=self.title, digits=4
         )
+        failed = self.result.failed_cells()
+        if failed:
+            lines = [text, "", f"failed cells ({len(failed)}):"]
+            lines += [
+                f"  cap={cell.cap_per_socket_w:g} W/socket: "
+                f"{cell.failure.error_type} after {cell.failure.attempts} "
+                f"attempt(s): {cell.failure.error_message}"
+                for cell in failed
+            ]
+            text = "\n".join(lines)
+        return text
 
 
 def scenario_sweep_figure(

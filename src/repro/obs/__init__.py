@@ -30,6 +30,7 @@ from .audit import (
 from .events import (
     EVENT_KINDS,
     CapExceededEvent,
+    CellFailureEvent,
     CollectiveEvent,
     CounterEvent,
     MpiWaitEvent,
@@ -62,6 +63,7 @@ from .recorder import (
 
 __all__ = [
     "CapExceededEvent",
+    "CellFailureEvent",
     "CollectiveEvent",
     "CounterEvent",
     "DEFAULT_CAPACITY",

@@ -36,6 +36,7 @@ __all__ = [
     "CapExceededEvent",
     "SolveEvent",
     "CounterEvent",
+    "CellFailureEvent",
     "EVENT_KINDS",
 ]
 
@@ -222,6 +223,42 @@ class CounterEvent:
         }
 
 
+@dataclass(frozen=True)
+class CellFailureEvent:
+    """A sweep cell that exhausted its attempts under ``--keep-going``.
+
+    Logical (``ts_s=None``): the failure has no simulated time — it is a
+    property of the run that computed the cell, not of the workload.
+    ``error_type``/``error_message``/``attempts`` mirror the structured
+    :class:`~repro.exec.parallel.CellOutcome` recorded in the journal
+    and manifest, so trace, journal, and manifest agree on every
+    failure.
+    """
+
+    kind: ClassVar[str] = "cell_failure"
+
+    benchmark: str
+    cap_per_socket_w: float
+    error_type: str
+    error_message: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": f"cell_failure:{self.benchmark}",
+            "rank": None,
+            "ts_s": None,
+            "dur_s": None,
+            "args": {
+                "cap_per_socket_w": self.cap_per_socket_w,
+                "error_type": self.error_type,
+                "error_message": self.error_message,
+                "attempts": self.attempts,
+            },
+        }
+
+
 #: Every kind the exporter understands, in taxonomy order.
 EVENT_KINDS = (
     TaskEvent.kind,
@@ -231,4 +268,5 @@ EVENT_KINDS = (
     CapExceededEvent.kind,
     SolveEvent.kind,
     CounterEvent.kind,
+    CellFailureEvent.kind,
 )

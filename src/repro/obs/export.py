@@ -87,16 +87,17 @@ def _convert(doc: dict, pid: int) -> dict | None:
             "s": "p",
             "args": doc["args"],
         }
-    if kind in ("solve", "cap_exceeded"):
+    if kind in ("solve", "cap_exceeded", "cell_failure"):
         # Logical events: no simulated time; sequence-ordered on their
         # own track (1 µs per emission keeps per-track ts monotone).
+        tids = {"solve": SOLVER_TID, "cap_exceeded": RAPL_TID}
         return {
             "ph": "i",
             "name": doc["name"],
             "cat": kind,
             "ts": float(doc["seq"]),
             "pid": pid,
-            "tid": SOLVER_TID if kind == "solve" else RAPL_TID,
+            "tid": tids.get(kind, RUNTIME_TID),
             "s": "t",
             "args": doc["args"],
         }

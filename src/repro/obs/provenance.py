@@ -45,7 +45,10 @@ __all__ = [
 #: 2: optional ``scenario`` field — the full scenario-spec document of
 #: N-way runs (readers of schema-1 manifests are unaffected: the field
 #: is omitted when absent).
-MANIFEST_SCHEMA_VERSION = 2
+#: 3: optional ``failures`` field — the structured per-cell failures of
+#: a ``--keep-going`` sweep, in cap order (omitted when every cell
+#: succeeded, so fully-ok manifests are unchanged).
+MANIFEST_SCHEMA_VERSION = 3
 
 
 def config_hash(config: object) -> str:
@@ -70,9 +73,10 @@ class RunManifest:
     platform: str
     schema: int = MANIFEST_SCHEMA_VERSION
     scenario: dict | None = None  # full scenario-spec doc of N-way runs
+    failures: tuple | None = None  # per-cell failure docs of a keep-going run
 
     def to_dict(self) -> dict:
-        """JSON-safe manifest document (``scenario`` omitted when None)."""
+        """JSON-safe manifest document (optional fields omitted when None)."""
         doc = {
             "schema": self.schema,
             "config_hash": self.config_hash,
@@ -84,6 +88,8 @@ class RunManifest:
         }
         if self.scenario is not None:
             doc["scenario"] = self.scenario
+        if self.failures is not None:
+            doc["failures"] = list(self.failures)
         return doc
 
     @classmethod
@@ -98,6 +104,9 @@ class RunManifest:
             platform=str(doc.get("platform", "unknown")),
             schema=int(doc.get("schema", MANIFEST_SCHEMA_VERSION)),
             scenario=doc.get("scenario"),
+            failures=(
+                tuple(doc["failures"]) if doc.get("failures") is not None else None
+            ),
         )
 
 
@@ -116,6 +125,7 @@ def collect_manifest(
     model_layer_version: int | None = None,
     package_version: str | None = None,
     scenario: dict | None = None,
+    failures: list[dict] | None = None,
 ) -> RunManifest:
     """Build the manifest for a run described by ``config``.
 
@@ -124,7 +134,9 @@ def collect_manifest(
     argument record, ...).  Only its hash is retained — except for
     ``scenario``, the full scenario-spec document of an N-way run, which
     is embedded verbatim so a saved run is replayable from its manifest
-    alone.
+    alone, and ``failures``, the structured per-cell failure documents
+    of a keep-going sweep (deterministic: no wall-clock fields), so the
+    manifest says not just what ran but what *didn't*.
     """
     return RunManifest(
         config_hash=config_hash(config),
@@ -137,6 +149,7 @@ def collect_manifest(
         python_version=platform.python_version(),
         platform=f"{sys.platform}-{platform.machine()}",
         scenario=scenario,
+        failures=tuple(failures) if failures else None,
     )
 
 

@@ -31,17 +31,26 @@ from __future__ import annotations
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from functools import partial
+from pathlib import Path
 
+from ..exec.checkpoint import SweepJournal
 from ..core.model import ProblemInstance, build_problem_instance
 from ..exec.cache import SolverCache
+from ..exec.faults import FaultInjector
 from ..exec.keys import scenario_cell_key
 from ..exec.options import get_execution_options
-from ..exec.parallel import ParallelRunner, resolve_workers
+from ..exec.parallel import (
+    CellOutcome,
+    ParallelExecutionError,
+    ParallelRunner,
+    resolve_workers,
+)
+from ..exec.timing import count
 from ..machine.frontiers import FrontierStore
 from ..machine.power import SocketPowerModel
 from ..machine.variability import make_power_models
-from ..obs.events import CounterEvent
-from ..obs.recorder import TraceRecorder, current_recorder
+from ..obs.events import CellFailureEvent, CounterEvent
+from ..obs.recorder import TraceRecorder, current_recorder, emit
 from ..simulator.engine import Engine, SimulationResult
 from ..simulator.telemetry import job_power_timeline
 from ..simulator.trace import Trace, trace_application
@@ -50,6 +59,7 @@ from .registry import PolicyContext, PolicyRegistry, default_registry
 from .spec import SCENARIO_BENCHMARKS, SCENARIO_LAYER_VERSION, ScenarioSpec
 
 __all__ = [
+    "CellFailure",
     "PolicyOutcome",
     "ScenarioCell",
     "ScenarioResult",
@@ -90,20 +100,66 @@ class PolicyOutcome:
         )
 
 
+@dataclass(frozen=True)
+class CellFailure:
+    """How one sweep cell failed, as stable data.
+
+    Everything here is deterministic for deterministic failures —
+    exception type, message, and attempt count, never wall-clock — so
+    failures may be journaled, stamped into manifests, and compared
+    byte-for-byte across an interrupted run and its resumed twin.
+    """
+
+    error_type: str
+    error_message: str
+    attempts: int
+
+    def to_doc(self) -> dict:
+        return {
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "CellFailure":
+        return cls(
+            error_type=str(doc["error_type"]),
+            error_message=str(doc["error_message"]),
+            attempts=int(doc["attempts"]),
+        )
+
+    @classmethod
+    def from_outcome(cls, outcome: CellOutcome) -> "CellFailure":
+        return cls.from_doc(outcome.failure_doc())
+
+
 @dataclass
 class ScenarioCell:
-    """All policy outcomes of one scenario at one per-socket cap."""
+    """All policy outcomes of one scenario at one per-socket cap.
+
+    A cell that could not be computed at all (its task exhausted every
+    attempt under ``keep_going``) carries a :class:`CellFailure` and
+    ``None`` times for every policy — exhibits render it as a gap, never
+    as a number.
+    """
 
     benchmark: str
     cap_per_socket_w: float
     n_ranks: int
     schedulable: bool
     outcomes: dict[str, PolicyOutcome]  # insertion order = spec order
+    failure: CellFailure | None = None
 
     @property
     def job_cap_w(self) -> float:
         """Total job power: per-socket cap times rank count."""
         return self.cap_per_socket_w * self.n_ranks
+
+    @property
+    def failed(self) -> bool:
+        """Whether this cell's computation failed outright."""
+        return self.failure is not None
 
     def time_s(self, name: str) -> float | None:
         """Per-iteration time of one policy instance (by label)."""
@@ -131,6 +187,18 @@ class ScenarioResult:
             if cell.cap_per_socket_w == cap_per_socket_w:
                 return cell
         raise KeyError(f"no cell at {cap_per_socket_w} W/socket")
+
+    def failed_cells(self) -> list[ScenarioCell]:
+        """Cells whose computation failed, in cap order."""
+        return [cell for cell in self.cells if cell.failed]
+
+    def failure_docs(self) -> list[dict]:
+        """Deterministic per-failure documents (manifest ``failures``)."""
+        return [
+            {"cap_per_socket_w": cell.cap_per_socket_w, **cell.failure.to_doc()}
+            for cell in self.cells
+            if cell.failure is not None
+        ]
 
 
 # ----------------------------------------------------------------------
@@ -397,11 +465,52 @@ def _scenario_cell_task(cell: tuple[str, float, str | None]) -> ScenarioCell:
     return run_scenario_cell(spec, cap, cache=cache)
 
 
+def _cell_fault_key(item) -> str:
+    """The stable fault-selection identity of one sweep item.
+
+    Works for both task shapes — the pool's ``(spec_json, cap, root)``
+    tuples and the serial path's bare caps — and deliberately excludes
+    run-scoped paths (cache/temp directories), so two runs of the same
+    scenario fault exactly the same cells regardless of where their
+    caches live.  Module-level so it pickles to workers.
+    """
+    cap = item[1] if isinstance(item, tuple) else item
+    return f"cap={float(cap):g}"
+
+
+def _failed_cell(
+    spec: ScenarioSpec,
+    cap_per_socket_w: float,
+    registry: PolicyRegistry,
+    failure: CellFailure,
+) -> ScenarioCell:
+    """The gap cell standing in for a computation that failed outright."""
+    outcomes = {
+        p.label: PolicyOutcome(
+            name=p.label, policy=p.policy,
+            kind=registry.get(p.policy).kind, time_s=None,
+        )
+        for p in spec.policies
+    }
+    return ScenarioCell(
+        benchmark=spec.benchmark,
+        cap_per_socket_w=cap_per_socket_w,
+        n_ranks=spec.n_ranks,
+        schedulable=True,
+        outcomes=outcomes,
+        failure=failure,
+    )
+
+
 def run_scenarios(
     spec: ScenarioSpec,
     workers: int | None = None,
     cache: SolverCache | None = None,
     registry: PolicyRegistry | None = None,
+    *,
+    keep_going: bool = False,
+    journal: SweepJournal | str | Path | None = None,
+    faults: FaultInjector | None = None,
 ) -> ScenarioResult:
     """Run the full scenario: every policy at every cap of the grid.
 
@@ -411,6 +520,23 @@ def run_scenarios(
     the ambient :class:`~repro.exec.options.ExecutionOptions` (serial,
     uncached).  A non-default ``registry`` runs serially: worker
     processes rebuild policies from the default registry only.
+
+    Resilience (see ``docs/execution.md``):
+
+    * ``keep_going`` — a cell that exhausts its attempts becomes a
+      failed :class:`ScenarioCell` (a rendered gap, a journal record, a
+      ``cell_failure`` trace event, a manifest entry) instead of
+      aborting the sweep;
+    * ``journal`` — a :class:`~repro.exec.checkpoint.SweepJournal`
+      (or its path) checkpointing every settled cell as it completes;
+      on entry, journaled-ok cells are rehydrated without recomputation,
+      so an interrupted sweep resumes where it stopped and produces
+      byte-identical output.  Failed cells are retried on resume.
+      Without ``keep_going``, a failure still aborts — after the
+      remaining cells settle and are journaled;
+    * ``faults`` — a :class:`~repro.exec.faults.FaultInjector` wrapped
+      around the cell task (chaos testing; cells are selected by their
+      stable ``cap=<cap>`` identity, never by run-scoped paths).
     """
     opts = get_execution_options()
     if workers is None:
@@ -418,24 +544,119 @@ def run_scenarios(
     workers = resolve_workers(workers)  # 0 -> all cores, negative -> error
     if cache is None:
         cache = opts.make_cache()
-    caps = spec.caps_per_socket_w
-    if workers <= 1 or len(caps) <= 1 or registry is not None:
-        cells = [
-            run_scenario_cell(spec, cap, cache=cache, registry=registry)
-            for cap in caps
-        ]
-        return ScenarioResult(spec=spec, cells=cells)
-    runner = ParallelRunner(
-        max_workers=workers,
-        timeout_s=opts.task_timeout_s,
-        retries=opts.task_retries,
-    )
-    cache_root = str(cache.root) if cache is not None else None
-    spec_json = spec.to_json()
-    tasks = [(spec_json, float(cap), cache_root) for cap in caps]
-    # Worker-side cache hit/miss accounting arrives via the telemetry
-    # snapshots that ParallelRunner merges into the active telemetry.
-    return ScenarioResult(spec=spec, cells=runner.map(_scenario_cell_task, tasks))
+    if isinstance(journal, (str, Path)):
+        journal = SweepJournal(journal)
+    reg = registry if registry is not None else default_registry()
+    caps = [float(cap) for cap in spec.caps_per_socket_w]
+    keys = {
+        cap: scenario_cell_key(spec.cell_hash(), cap, SCENARIO_LAYER_VERSION)
+        for cap in caps
+    }
+
+    cells: dict[float, ScenarioCell] = {}
+    if journal is not None:
+        records = journal.load()
+        for cap in caps:
+            doc = records.get(keys[cap])
+            if doc is not None and doc.get("status") == "ok":
+                cell = _cell_from_payload(spec, cap, doc.get("payload"))
+                if cell is not None:
+                    # Same structural guard as the cache path: a stale
+                    # or foreign payload is recomputed, not mis-mapped.
+                    cells[cap] = cell
+                    count("journal.resumed")
+    pending = [cap for cap in caps if cap not in cells]
+
+    use_pool = workers > 1 and len(pending) > 1 and registry is None
+    if use_pool:
+        cache_root = str(cache.root) if cache is not None else None
+        spec_json = spec.to_json()
+        items: list = [(spec_json, cap, cache_root) for cap in pending]
+        fn = _scenario_cell_task
+    else:
+        items = list(pending)
+        fn = partial(run_scenario_cell, spec, cache=cache, registry=registry)
+    if faults is not None:
+        # Re-anchor the injector on the stable cell identity and the
+        # actual cache root, whatever shape the items take.
+        faults = FaultInjector(
+            faults.spec,
+            key_fn=faults.key_fn if faults.key_fn is not None else _cell_fault_key,
+            cache_root=(
+                faults.cache_root if faults.cache_root is not None
+                else (str(cache.root) if cache is not None else None)
+            ),
+        )
+        fn = faults.wrap(fn)
+
+    if keep_going or journal is not None or faults is not None:
+        def on_outcome(outcome: CellOutcome) -> None:
+            # Fires in submission (cap) order as each cell settles, so
+            # an interrupted sweep has journaled its whole settled
+            # prefix.  Worker cache hit/miss accounting arrives via the
+            # telemetry snapshots ParallelRunner merges.
+            cap = pending[outcome.index]
+            if outcome.ok:
+                if journal is not None:
+                    journal.record_ok(
+                        keys[cap], cap, _cell_payload(spec, outcome.value),
+                        spec_hash=spec.spec_hash(),
+                    )
+                return
+            count("cell.failed")
+            emit(CellFailureEvent(
+                benchmark=spec.benchmark,
+                cap_per_socket_w=cap,
+                error_type=outcome.error_type,
+                error_message=outcome.error_message,
+                attempts=outcome.attempts,
+            ))
+            if journal is not None:
+                journal.record_failed(
+                    keys[cap], cap, outcome.failure_doc(),
+                    spec_hash=spec.spec_hash(),
+                )
+
+        runner = ParallelRunner(
+            max_workers=workers if use_pool else 1,
+            timeout_s=opts.task_timeout_s,
+            retries=opts.task_retries,
+            backoff_s=opts.task_backoff_s,
+            backoff_seed=spec.seed,
+        )
+        first_failed: CellOutcome | None = None
+        for cap, outcome in zip(
+            pending, runner.map_outcomes(fn, items, on_outcome=on_outcome)
+        ):
+            if outcome.ok:
+                cells[cap] = outcome.value
+            else:
+                cells[cap] = _failed_cell(
+                    spec, cap, reg, CellFailure.from_outcome(outcome)
+                )
+                if first_failed is None:
+                    first_failed = outcome
+        if first_failed is not None and not keep_going:
+            raise ParallelExecutionError(
+                f"cell cap={pending[first_failed.index]:g} "
+                f"{first_failed.error_type} on all {first_failed.attempts} "
+                f"attempt(s): {first_failed.error_message}"
+            ) from first_failed.error
+    elif use_pool:
+        runner = ParallelRunner(
+            max_workers=workers,
+            timeout_s=opts.task_timeout_s,
+            retries=opts.task_retries,
+            backoff_s=opts.task_backoff_s,
+            backoff_seed=spec.seed,
+        )
+        for cap, cell in zip(pending, runner.map(fn, items)):
+            cells[cap] = cell
+    else:
+        for cap in pending:
+            cells[cap] = fn(cap)
+
+    return ScenarioResult(spec=spec, cells=[cells[cap] for cap in caps])
 
 
 # ----------------------------------------------------------------------

@@ -183,6 +183,29 @@ class TestSolverCache:
             cache.put(f"{i:02x}" * 32, {"i": i})
         assert not list(tmp_path.rglob("*.tmp"))
 
+    def test_stale_tmp_swept_on_construction(self, tmp_path):
+        """A worker killed mid-put leaks a temp file; construction reaps it."""
+        cache = SolverCache(tmp_path)
+        cache.put("ab" * 32, {"v": 1})
+        orphan = cache._path("ab" * 32).parent / "orphanXYZ.tmp"
+        orphan.write_text("{half a wri")
+        old = os.stat(orphan).st_mtime - 7200
+        os.utime(orphan, (old, old))
+        fresh = SolverCache(tmp_path)
+        assert fresh.tmp_swept == 1
+        assert not orphan.exists()
+        assert fresh.get("ab" * 32) == {"v": 1}  # real entries untouched
+
+    def test_live_tmp_survives_sweep(self, tmp_path):
+        """A recent temp file may belong to a live writer: never reaped."""
+        cache = SolverCache(tmp_path)
+        cache.put("cd" * 32, {"v": 1})
+        live = cache._path("cd" * 32).parent / "liveXYZ.tmp"
+        live.write_text("{half a wri")
+        fresh = SolverCache(tmp_path)
+        assert fresh.tmp_swept == 0
+        assert live.exists()
+
 
 # ----------------------------------------------------------------------
 # Solver memoization round trips

@@ -1,0 +1,79 @@
+"""SweepJournal: durability, torn-line tolerance, last-record-wins."""
+
+from __future__ import annotations
+
+import json
+
+from repro.exec.checkpoint import JOURNAL_SCHEMA_VERSION, SweepJournal
+
+
+class TestRoundTrip:
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = SweepJournal(tmp_path / "missing.jsonl")
+        assert journal.load() == {}
+        assert len(journal) == 0
+
+    def test_record_ok(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record_ok("k1", 50.0, {"cell": 1}, spec_hash="abc")
+        records = journal.load()
+        assert records["k1"]["status"] == "ok"
+        assert records["k1"]["payload"] == {"cell": 1}
+        assert records["k1"]["cap_per_socket_w"] == 50.0
+        assert records["k1"]["spec_hash"] == "abc"
+
+    def test_record_failed(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        failure = {"error_type": "ValueError", "error_message": "x", "attempts": 2}
+        journal.record_failed("k1", 50.0, failure)
+        records = journal.load()
+        assert records["k1"]["status"] == "failed"
+        assert records["k1"]["failure"] == failure
+
+    def test_creates_parent_directories(self, tmp_path):
+        journal = SweepJournal(tmp_path / "deep" / "dir" / "j.jsonl")
+        journal.record_ok("k", 40.0, {})
+        assert len(journal) == 1
+
+    def test_one_canonical_json_line_per_record(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record_ok("k1", 40.0, {"a": 1})
+        journal.record_ok("k2", 50.0, {"a": 2})
+        lines = (tmp_path / "j.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert line == json.dumps(
+                json.loads(line), sort_keys=True, separators=(",", ":")
+            )
+
+
+class TestTolerantLoad:
+    def test_last_record_per_key_wins(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record_failed("k", 50.0, {"error_type": "E", "attempts": 1})
+        journal.record_ok("k", 50.0, {"cell": "good"})
+        records = journal.load()
+        assert records["k"]["status"] == "ok"
+        assert len(journal) == 1
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record_ok("k1", 40.0, {})
+        with (tmp_path / "j.jsonl").open("a") as fh:
+            fh.write('{"schema": 1, "key": "k2", "status"')  # died mid-append
+        assert set(journal.load()) == {"k1"}
+
+    def test_unknown_schema_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        doc = {"schema": JOURNAL_SCHEMA_VERSION + 1, "key": "k", "status": "ok"}
+        path.write_text(json.dumps(doc) + "\n")
+        assert SweepJournal(path).load() == {}
+
+    def test_non_dict_and_keyless_lines_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            "[1, 2]\n"
+            + json.dumps({"schema": JOURNAL_SCHEMA_VERSION, "status": "ok"})
+            + "\n\n"
+        )
+        assert SweepJournal(path).load() == {}

@@ -1,0 +1,182 @@
+"""Fault injection: deterministic selection, modes, bounded counts."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exec.cache import SolverCache
+from repro.exec.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    _unit,
+)
+
+
+def _double(item: int) -> int:
+    return item * 2
+
+
+def _key(item: int) -> str:
+    return f"cell-{item}"
+
+
+class TestFaultSpecParse:
+    def test_basic(self):
+        spec = FaultSpec.parse("mode=raise,rate=0.5,seed=7")
+        assert spec.mode == "raise"
+        assert spec.rate == 0.5
+        assert spec.seed == 7
+
+    def test_match_value_may_contain_equals(self):
+        spec = FaultSpec.parse("mode=raise,match=cap=50")
+        assert spec.match == "cap=50"
+
+    def test_delay_fields(self):
+        spec = FaultSpec.parse("mode=delay,delay_s=0.2")
+        assert spec.mode == "delay"
+        assert spec.delay_s == 0.2
+
+    def test_times_with_state_dir(self, tmp_path):
+        spec = FaultSpec.parse(f"mode=raise,times=2,state_dir={tmp_path}")
+        assert spec.times == 2
+
+    def test_empty_parts_ignored(self):
+        assert FaultSpec.parse("mode=raise,,").mode == "raise"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault spec field"):
+            FaultSpec.parse("mode=raise,bogus=1")
+
+    def test_not_key_value_rejected(self):
+        with pytest.raises(ValueError, match="not key=value"):
+            FaultSpec.parse("raise")
+
+
+class TestFaultSpecValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultSpec(mode="explode")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(rate=1.5)
+
+    def test_times_needs_state_dir(self):
+        with pytest.raises(ValueError, match="state_dir"):
+            FaultSpec(times=1)
+
+    def test_negative_delay(self):
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultSpec(mode="delay", delay_s=-0.1)
+
+
+class TestSelection:
+    def test_deterministic(self):
+        spec = FaultSpec(rate=0.5, seed=3)
+        picks = [spec.selects(f"cell-{i}") for i in range(50)]
+        assert picks == [
+            FaultSpec(rate=0.5, seed=3).selects(f"cell-{i}") for i in range(50)
+        ]
+        # A 0.5 rate over 50 cells selects some and spares some.
+        assert any(picks) and not all(picks)
+
+    def test_rate_extremes(self):
+        assert not any(
+            FaultSpec(rate=0.0).selects(f"c{i}") for i in range(20)
+        )
+        assert all(FaultSpec(rate=1.0).selects(f"c{i}") for i in range(20))
+
+    def test_match_restricts(self):
+        spec = FaultSpec(rate=1.0, match="cap=50")
+        assert spec.selects("cap=50")
+        assert not spec.selects("cap=60")
+
+    def test_unit_is_stable_in_unit_interval(self):
+        values = [_unit(0, f"k{i}") for i in range(100)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert values == [_unit(0, f"k{i}") for i in range(100)]
+
+
+class TestInjectorModes:
+    def test_raise_on_selected_cell(self):
+        injector = FaultInjector(FaultSpec(rate=1.0), key_fn=_key)
+        wrapped = injector.wrap(_double)
+        with pytest.raises(InjectedFault, match="cell-3"):
+            wrapped(3)
+
+    def test_unselected_cell_passes_through(self):
+        injector = FaultInjector(FaultSpec(rate=1.0, match="cell-9"), key_fn=_key)
+        wrapped = injector.wrap(_double)
+        assert wrapped(3) == 6
+        with pytest.raises(InjectedFault):
+            wrapped(9)
+
+    def test_delay_still_returns_result(self):
+        injector = FaultInjector(
+            FaultSpec(mode="delay", rate=1.0, delay_s=0.01), key_fn=_key
+        )
+        assert injector.wrap(_double)(4) == 8
+
+    def test_default_key_is_repr(self):
+        wrapped = FaultInjector(FaultSpec(rate=1.0, match="'x'")).wrap(_double)
+        with pytest.raises(InjectedFault):
+            wrapped("x")
+
+    def test_wrapped_task_pickles(self):
+        wrapped = FaultInjector(FaultSpec(rate=1.0), key_fn=_key).wrap(_double)
+        clone = pickle.loads(pickle.dumps(wrapped))
+        with pytest.raises(InjectedFault):
+            clone(1)
+
+    def test_from_string(self):
+        injector = FaultInjector.from_string("mode=raise,rate=1.0", key_fn=_key)
+        with pytest.raises(InjectedFault):
+            injector.wrap(_double)(1)
+
+
+class TestBoundedInjection:
+    def test_times_limits_injections(self, tmp_path):
+        spec = FaultSpec(rate=1.0, times=2, state_dir=str(tmp_path / "state"))
+        wrapped = FaultInjector(spec, key_fn=_key).wrap(_double)
+        with pytest.raises(InjectedFault):
+            wrapped(1)
+        with pytest.raises(InjectedFault):
+            wrapped(1)
+        assert wrapped(1) == 2  # budget spent: the task now succeeds
+
+    def test_times_is_per_cell(self, tmp_path):
+        spec = FaultSpec(rate=1.0, times=1, state_dir=str(tmp_path / "state"))
+        wrapped = FaultInjector(spec, key_fn=_key).wrap(_double)
+        with pytest.raises(InjectedFault):
+            wrapped(1)
+        with pytest.raises(InjectedFault):
+            wrapped(2)  # a different cell has its own budget
+        assert wrapped(1) == 2
+        assert wrapped(2) == 4
+
+
+class TestCorruptMode:
+    def test_torn_entries_degrade_to_cache_miss(self, tmp_path):
+        cache = SolverCache(tmp_path / "cache")
+        key = "ab" + "0" * 62
+        cache.put(key, {"answer": 42})
+        assert cache.get(key) == {"answer": 42}
+
+        spec = FaultSpec(mode="corrupt", rate=1.0)
+        wrapped = FaultInjector(
+            spec, key_fn=_key, cache_root=tmp_path / "cache"
+        ).wrap(_double)
+        assert wrapped(1) == 2  # corrupt mode never fails the task itself
+
+        fresh = SolverCache(tmp_path / "cache")
+        assert fresh.get(key) is None  # torn entry reads as a miss, not an error
+
+    def test_missing_cache_root_is_noop(self):
+        spec = FaultSpec(mode="corrupt", rate=1.0)
+        wrapped = FaultInjector(spec, key_fn=_key, cache_root="/nonexistent").wrap(
+            _double
+        )
+        assert wrapped(1) == 2

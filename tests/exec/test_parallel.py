@@ -2,15 +2,19 @@
 
 from __future__ import annotations
 
+import os
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.exec.parallel import (
+    CellOutcome,
     ParallelExecutionError,
     ParallelRunner,
+    PoolBrokenError,
     resolve_workers,
+    retry_delay_s,
 )
 from repro.exec.timing import Telemetry, count, span, use_telemetry
 from repro.obs.audit import SolveAudit, SolveRecord, record_solve, use_audit
@@ -40,6 +44,31 @@ def _flaky(marker: str) -> str:
 def _sleepy(seconds: float) -> float:
     time.sleep(seconds)
     return seconds
+
+
+def _flaky_n(marker_and_n: tuple[str, int]) -> str:
+    """Fails until the marker directory holds n attempt files."""
+    marker, n = marker_and_n
+    base = Path(marker)
+    base.mkdir(parents=True, exist_ok=True)
+    attempt = len(list(base.iterdir()))
+    (base / f"a{attempt}").write_text("attempted")
+    if attempt < n:
+        raise RuntimeError(f"attempt {attempt} fails")
+    return "ok"
+
+
+def _kill_self_once(marker: str) -> str:
+    """Kills its own worker process on the first attempt, then succeeds."""
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("dying")
+        os._exit(13)  # hard kill: breaks the pool, not just the task
+    return "survived"
+
+
+def _kill_self_always(item: int) -> int:
+    os._exit(13)
 
 
 def _instrumented(item: int) -> int:
@@ -159,3 +188,138 @@ class TestParallelMap:
         # No recorder/audit in the parent: workers must not build them.
         results = ParallelRunner(max_workers=2).map(_emits_observability, [1, 2])
         assert results == [1, 2]
+
+
+class TestRetryBackoff:
+    def test_deterministic(self):
+        a = retry_delay_s(7, 3, 2, 0.05)
+        assert a == retry_delay_s(7, 3, 2, 0.05)
+
+    def test_varies_by_cell_and_attempt(self):
+        delays = {
+            retry_delay_s(0, i, a, 0.05) for i in range(4) for a in (1, 2, 3)
+        }
+        assert len(delays) == 12  # every (cell, attempt) de-synchronizes
+
+    def test_exponential_within_jitter_band(self):
+        for attempt in (1, 2, 3):
+            exp = min(2.0, 0.1 * 2 ** (attempt - 1))
+            d = retry_delay_s(0, 0, attempt, 0.1)
+            assert 0.5 * exp <= d < exp
+
+    def test_caps_out(self):
+        assert retry_delay_s(0, 0, 20, 0.1) <= 2.0
+
+    def test_zero_base_disables(self):
+        assert retry_delay_s(0, 0, 1, 0.0) == 0.0
+
+
+class TestMapOutcomes:
+    def test_all_ok_outcomes(self):
+        runner = ParallelRunner(max_workers=2, retries=1, backoff_s=0.0)
+        outcomes = runner.map_outcomes(_slow_identity, [0, 1])
+        assert all(o.ok for o in outcomes)
+        assert [o.value for o in outcomes] == [0, 10]
+
+    def test_failed_cell_reports_attempts_and_type(self):
+        runner = ParallelRunner(max_workers=2, retries=1, backoff_s=0.0)
+        outcomes = runner.map_outcomes(_boom, [5, 6])
+        for i, outcome in enumerate(outcomes):
+            assert not outcome.ok
+            assert outcome.index == i
+            assert outcome.error_type == "ValueError"
+            assert outcome.attempts == 2  # first try + one retry
+            assert "boom" in outcome.error_message
+
+    def test_flaky_task_succeeds_with_attempt_count(self, tmp_path):
+        runner = ParallelRunner(max_workers=2, retries=3, backoff_s=0.0)
+        items = [(str(tmp_path / f"m{i}"), 2) for i in range(3)]
+        outcomes = runner.map_outcomes(_flaky_n, items)
+        assert [o.value for o in outcomes] == ["ok"] * 3
+        assert [o.attempts for o in outcomes] == [3, 3, 3]
+
+    def test_serial_matches_parallel(self):
+        serial = ParallelRunner(max_workers=1, retries=1, backoff_s=0.0)
+        parallel = ParallelRunner(max_workers=3, retries=1, backoff_s=0.0)
+        items = [0, 1, 2, 3]
+        s = serial.map_outcomes(_slow_identity, items)
+        p = parallel.map_outcomes(_slow_identity, items)
+        assert [o.value for o in s] == [o.value for o in p]
+        assert [o.attempts for o in s] == [o.attempts for o in p]
+
+    def test_on_outcome_fires_in_submission_order(self):
+        seen: list[int] = []
+        runner = ParallelRunner(max_workers=3)
+        runner.map_outcomes(
+            _slow_identity, [3, 0, 1], on_outcome=lambda o: seen.append(o.index)
+        )
+        assert seen == [0, 1, 2]
+
+    def test_serial_on_outcome_and_retries(self, tmp_path):
+        seen: list[CellOutcome] = []
+        runner = ParallelRunner(max_workers=1, retries=1, backoff_s=0.0)
+        outcomes = runner.map_outcomes(
+            _flaky, [str(tmp_path / "m0")], on_outcome=seen.append
+        )
+        assert outcomes[0].ok and outcomes[0].attempts == 2
+        assert seen == outcomes
+
+    def test_failure_doc_is_deterministic_fields_only(self):
+        outcome = ParallelRunner(max_workers=1, retries=0).map_outcomes(
+            _boom, [1]
+        )[0]
+        doc = outcome.failure_doc()
+        assert doc == {
+            "error_type": "ValueError",
+            "error_message": "boom 1",
+            "attempts": 1,
+        }
+        assert "elapsed_s" not in doc  # wall clock never reaches journals
+
+    def test_failure_doc_rejected_on_ok(self):
+        outcome = CellOutcome(index=0, ok=True, value=1)
+        with pytest.raises(ValueError):
+            outcome.failure_doc()
+
+
+class TestDeadlines:
+    def test_deadline_measured_from_submission(self):
+        # Both cells start together and share one wall-clock budget; when
+        # the first times out, the second's deadline has already passed,
+        # so it settles immediately instead of earning a fresh timeout.
+        settled: list[float] = []
+        runner = ParallelRunner(max_workers=2, timeout_s=0.4, retries=0)
+        outcomes = runner.map_outcomes(
+            _sleepy, [1.2, 1.2],
+            on_outcome=lambda o: settled.append(time.monotonic()),
+        )
+        assert all(not o.ok for o in outcomes)
+        assert all(o.error_type == "TimeoutError" for o in outcomes)
+        assert settled[1] - settled[0] < 0.3
+
+
+class TestBrokenPool:
+    def test_worker_death_rebuilds_pool_and_retries(self, tmp_path):
+        # Breakage is charged to the awaited index, so one cell may absorb
+        # blame for both kills; retries=3 covers the worst interleaving.
+        tel = Telemetry()
+        runner = ParallelRunner(max_workers=2, retries=3, backoff_s=0.0)
+        markers = [str(tmp_path / "k0"), str(tmp_path / "k1")]
+        with use_telemetry(tel):
+            results = runner.map(_kill_self_once, markers)
+        assert results == ["survived", "survived"]
+        assert tel.counter("pool.rebuilt") >= 1
+
+    def test_persistent_breakage_raises_pool_broken(self):
+        runner = ParallelRunner(max_workers=2, retries=0)
+        with pytest.raises(PoolBrokenError, match="broke the worker pool"):
+            runner.map(_kill_self_always, [1, 2])
+
+    def test_keep_going_records_pool_breakage(self):
+        runner = ParallelRunner(max_workers=2, retries=0)
+        outcomes = runner.map_outcomes(_kill_self_always, [1, 2])
+        assert all(not o.ok for o in outcomes)
+        assert all(o.error_type == "BrokenProcessPool" for o in outcomes)
+
+    def test_pool_broken_is_a_parallel_execution_error(self):
+        assert issubclass(PoolBrokenError, ParallelExecutionError)

@@ -186,3 +186,78 @@ class TestValidateTraceSubcommand:
     def test_missing_file_is_invalid(self, capsys, tmp_path):
         assert main(["validate-trace", str(tmp_path / "nope.json")]) == 1
         assert "INVALID" in capsys.readouterr().out
+
+
+class TestResilienceFlags:
+    QUICK = ["--quick", "--benchmark", "synthetic", "--policies", "static,lp"]
+    FAULT = ["--inject-faults", "mode=raise,match=cap=50"]
+
+    def test_keep_going_renders_gap_and_exits_nonzero(self, capsys):
+        argv = ["sweep", *self.QUICK, "--caps", "40,50,60",
+                "--keep-going", *self.FAULT]
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert "failed cells (1):" in captured.out
+        assert "InjectedFault" in captured.out
+        assert "keep-going: 1 of 3 cell(s) failed" in captured.err
+
+    def test_keep_going_manifest_records_failures(self, capsys, tmp_path):
+        argv = ["sweep", *self.QUICK, "--caps", "40,50,60", "--keep-going",
+                *self.FAULT, "--save", str(tmp_path)]
+        assert main(argv) == 1
+        capsys.readouterr()
+        doc = json.loads((tmp_path / "manifest.json").read_text())
+        (failure,) = doc["failures"]
+        assert failure["cap_per_socket_w"] == 50.0
+        assert failure["error_type"] == "InjectedFault"
+
+    def test_clean_manifest_omits_failures(self, capsys, tmp_path):
+        argv = ["sweep", *self.QUICK, "--caps", "40,60",
+                "--save", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert "failures" not in json.loads((tmp_path / "manifest.json").read_text())
+
+    def test_fault_without_keep_going_aborts_cleanly(self, capsys):
+        argv = ["sweep", *self.QUICK, "--caps", "40,50,60", *self.FAULT]
+        assert main(argv) == 1
+        assert "error: cell cap=50" in capsys.readouterr().err
+
+    def test_run_single_cell_failure_text(self, capsys):
+        argv = ["run", *self.QUICK, "--cap", "50", "--keep-going", *self.FAULT]
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "cell failed: InjectedFault" in out
+        assert "failed" in out
+
+    def test_journal_resume_is_byte_identical_to_clean_run(
+        self, capsys, tmp_path
+    ):
+        base = ["sweep", *self.QUICK, "--caps", "40,50,60"]
+        journal = str(tmp_path / "j.jsonl")
+        assert main([*base, "--keep-going", "--journal", journal, *self.FAULT,
+                     "--save", str(tmp_path / "chaos")]) == 1
+        assert main([*base, "--keep-going", "--journal", journal,
+                     "--save", str(tmp_path / "resumed")]) == 0
+        assert main([*base, "--save", str(tmp_path / "clean")]) == 0
+        capsys.readouterr()
+        for name in ("sweep.txt", "manifest.json"):
+            resumed = (tmp_path / "resumed" / name).read_bytes()
+            clean = (tmp_path / "clean" / name).read_bytes()
+            assert resumed == clean, name
+
+    def test_resilience_flags_require_n_way(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--quick", "--keep-going"])
+
+    def test_resilience_flags_require_run_or_sweep(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--keep-going"])
+
+    def test_bad_fault_spec_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", *self.QUICK, "--inject-faults", "mode=bogus"])
+
+    def test_bad_task_retries_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", *self.QUICK, "--task-retries", "-1"])

@@ -7,6 +7,7 @@ import pytest
 from repro.obs.events import (
     EVENT_KINDS,
     CapExceededEvent,
+    CellFailureEvent,
     CollectiveEvent,
     CounterEvent,
     MpiWaitEvent,
@@ -119,6 +120,10 @@ class TestEventShapes:
             SolveEvent(program="lp", source="cold", backend="highs-direct",
                        rows=10, cols=20, nnz=40, status="optimal"),
             CounterEvent(name="job_power_w", ts_s=0.0, values={"watts": 120.0}),
+            CellFailureEvent(benchmark="comd", cap_per_socket_w=50.0,
+                             error_type="InjectedFault",
+                             error_message="injected fault on cell cap=50",
+                             attempts=2),
         ]
         assert sorted(e.kind for e in events) == sorted(EVENT_KINDS)
         for event in events:
