@@ -48,6 +48,8 @@ def compare(
     threshold_pct: float,
     calibrate: str | None,
     aggregate: bool = False,
+    per_bench_threshold_pct: float | None = None,
+    allow: list[str] | None = None,
 ) -> int:
     scale = 1.0
     if calibrate is not None:
@@ -72,6 +74,18 @@ def compare(
     for name in sorted(set(fresh) - set(baseline)):
         print(f"note: {name} has no baseline yet (run with --update to add)")
 
+    # Under --aggregate the geomean is the headline gate, but a single
+    # benchmark regressing wildly must not hide inside an otherwise-flat
+    # mean: any individual slowdown beyond the per-bench ceiling (default
+    # max(threshold, 25%)) still fails, unless the name matches an
+    # --allow entry (a deliberate, documented trade).
+    if per_bench_threshold_pct is None:
+        per_bench_threshold_pct = max(threshold_pct, 25.0)
+    allow = allow or []
+
+    def allowed(name: str) -> bool:
+        return any(pattern in name for pattern in allow)
+
     regressions = []
     ratios_for_mean: list[float] = []
     width = max(len(n) for n in shared)
@@ -85,9 +99,18 @@ def compare(
         if aggregate:
             if not is_probe:
                 ratios_for_mean.append(fresh_s / base_s)
-        elif delta_pct > threshold_pct and name != calibrate:
-            flag = "  << REGRESSION"
-            regressions.append((name, delta_pct))
+                if delta_pct > per_bench_threshold_pct:
+                    if allowed(name):
+                        flag = "  (allowed)"
+                    else:
+                        flag = "  << REGRESSION"
+                        regressions.append((name, delta_pct))
+        elif delta_pct > threshold_pct and not is_probe:
+            if allowed(name):
+                flag = "  (allowed)"
+            else:
+                flag = "  << REGRESSION"
+                regressions.append((name, delta_pct))
         print(
             f"{name:<{width}}  {base_s:>9.4f}s  {fresh_s:>9.4f}s  "
             f"{delta_pct:>+7.1f}%{flag}"
@@ -105,11 +128,21 @@ def compare(
             f"\ngeometric-mean slowdown over {len(ratios_for_mean)} "
             f"benchmark(s): {delta_pct:+.1f}%"
         )
+        rc = 0
         if delta_pct > threshold_pct:
             print(f"FAIL: aggregate exceeds the {threshold_pct:.0f}% gate")
-            return 1
-        print(f"OK: aggregate within the {threshold_pct:.0f}% gate")
-        return 0
+            rc = 1
+        else:
+            print(f"OK: aggregate within the {threshold_pct:.0f}% gate")
+        if regressions:
+            print(
+                f"FAIL: {len(regressions)} benchmark(s) individually beyond "
+                f"the {per_bench_threshold_pct:.0f}% per-benchmark ceiling:"
+            )
+            for name, d in regressions:
+                print(f"  {name}: +{d:.1f}%")
+            rc = 1
+        return rc
 
     if regressions:
         print(
@@ -156,6 +189,27 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--per-bench-threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help=(
+            "with --aggregate: per-benchmark slowdown ceiling that fails "
+            "even when the geomean passes (default max(threshold, 25))"
+        ),
+    )
+    parser.add_argument(
+        "--allow",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "benchmark (substring of fullname) exempted from the "
+            "per-benchmark gate; repeatable, for deliberate documented "
+            "trades"
+        ),
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="replace the baseline with the fresh run and exit",
@@ -180,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
         args.threshold,
         args.calibrate,
         aggregate=args.aggregate,
+        per_bench_threshold_pct=args.per_bench_threshold,
+        allow=args.allow,
     )
 
 

@@ -20,9 +20,20 @@ import time
 
 import numpy as np
 
-from repro.core import ParametricCapSolver, solve_cap_sweep
+from repro.core import (
+    ParametricCapSolver,
+    round_schedule,
+    solve_cap_sweep,
+    solve_fixed_order_lp,
+)
 from repro.experiments.runner import make_power_models
-from repro.simulator import trace_application
+from repro.simulator import (
+    job_power_timeline,
+    replay_schedule_sweep,
+    trace_application,
+)
+from repro.simulator.engine import Engine
+from repro.simulator.replay import ReplayPolicy
 from repro.workloads import WorkloadSpec, make_bt
 
 #: Dense grid, as in a production figure sweep.
@@ -73,6 +84,108 @@ def test_parametric_sweep_2x_and_byte_identical(benchmark):
         solve_cap_sweep, args=(trace, caps), rounds=1, iterations=1
     )
     assert result.feasible_caps()
+
+
+def _assignment(trace, lp):
+    disc = round_schedule(trace, lp.schedule)
+    return {ref: a.mixture[0][0].config for ref, a in disc.assignments.items()}
+
+
+def _ref_pipeline(trace, app_run, pms, caps):
+    """PR-5 baseline: per-cap rebuild solve, scalar replay, reference
+    timeline accounting.  One ``(lp makespan, replay makespan, peak W)``
+    tuple per cap, ``None`` where the LP is infeasible."""
+    out = []
+    for cap in caps:
+        lp = solve_fixed_order_lp(trace, cap, assembly="reference")
+        if not lp.feasible:
+            out.append(None)
+            continue
+        asg = _assignment(trace, lp)
+        engine = Engine(pms, vectorized=False)
+        result = engine.run(app_run, ReplayPolicy(asg))
+        tl = job_power_timeline(result, pms, reference=True)
+        out.append((lp.makespan_s, result.makespan_s, tl.max_power()))
+    return out
+
+
+def _vec_pipeline(trace, app_run, pms, caps):
+    """Vectorized path: parametric LP re-solves, one sweep-batched replay
+    for every feasible cap, array-built timelines."""
+    solver = ParametricCapSolver(trace)
+    asgs, kept, lp_mk = [], [], {}
+    for cap in caps:
+        lp = solver.solve(cap)
+        if not lp.feasible:
+            lp_mk[cap] = None
+            continue
+        lp_mk[cap] = lp.makespan_s
+        asgs.append(_assignment(trace, lp))
+        kept.append(cap)
+    outcomes = replay_schedule_sweep(app_run, asgs, pms, kept)
+    out, i = [], 0
+    for cap in caps:
+        if lp_mk[cap] is None:
+            out.append(None)
+            continue
+        o = outcomes[i]
+        i += 1
+        out.append((lp_mk[cap], o.result.makespan_s, o.peak_power_w))
+    return out
+
+
+def test_end_to_end_sweep_3x_and_byte_identical(benchmark):
+    """Full figure-sweep pipeline (LP solve -> rounding -> replay ->
+    power verification) at 50 caps: the vectorized composition must be at
+    least 3x faster than the PR-5 per-cap baseline and produce
+    byte-identical results at every cap.
+
+    The LP is solved on a short trace (the paper's profiling run) while
+    the replay executes a longer production run of the same workload, so
+    the replay/accounting side carries realistic weight next to the
+    solver floor (HiGHS deliberately cold-starts each re-solve to keep
+    parametric results bit-identical; that floor is shared by both
+    paths).
+    """
+    n_ranks = 8
+    app_lp = make_bt(WorkloadSpec(n_ranks=n_ranks, iterations=2, seed=1))
+    app_run = make_bt(WorkloadSpec(n_ranks=n_ranks, iterations=60, seed=1))
+    pms = make_power_models(n_ranks)
+    trace = trace_application(app_lp, pms)
+    caps = _cap_grid(n_ranks)
+
+    # Warm model/solver caches so neither path pays first-touch costs.
+    _ref_pipeline(trace, app_run, pms, caps[:2])
+    _vec_pipeline(trace, app_run, pms, caps[:2])
+
+    t_ref, t_vec = [], []
+    ref = vec = None
+    for _ in range(N_REPS):
+        t0 = time.perf_counter()
+        ref = _ref_pipeline(trace, app_run, pms, caps)
+        t_ref.append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        vec = _vec_pipeline(trace, app_run, pms, caps)
+        t_vec.append(time.perf_counter() - t0)
+
+    # Identity first: same feasibility pattern, bit-equal LP makespans,
+    # replay makespans, and peak powers at every cap.
+    assert len(ref) == len(vec) == N_CAPS
+    for cap, a, b in zip(caps, ref, vec):
+        assert a == b, f"cap {cap}: ref={a} vec={b}"
+
+    speedup = min(t_ref) / min(t_vec)
+    assert speedup >= 3.0, (
+        f"end-to-end sweep only {speedup:.2f}x faster "
+        f"({min(t_vec):.2f}s vs {min(t_ref):.2f}s baseline)"
+    )
+
+    # Record the vectorized pipeline for the regression baseline.
+    result = benchmark.pedantic(
+        _vec_pipeline, args=(trace, app_run, pms, caps), rounds=1, iterations=1
+    )
+    assert any(r is not None for r in result)
 
 
 def test_parametric_solver_reuse(benchmark):

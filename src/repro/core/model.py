@@ -170,6 +170,24 @@ class _ColumnArrays:
     tasks: dict[int, np.ndarray]
 
 
+@dataclass(frozen=True)
+class _ExtractLayout:
+    """Flattened per-task decode layout (cached; extraction hot path).
+
+    Task ``t`` (in ``items`` order) owns the slice
+    ``indptr[t]:indptr[t+1]`` of the concatenated arrays: its solution
+    columns, and the frontier duration/power coefficients aligned with
+    them.  Lets :func:`extract_schedule` decode every task with a handful
+    of whole-solution gathers instead of per-task indexing.
+    """
+
+    items: tuple
+    all_cols: np.ndarray
+    indptr: np.ndarray
+    durations: np.ndarray
+    powers: np.ndarray
+
+
 @dataclass
 class CompiledModel:
     """A formulation compiled from the IR, ready to solve and decode.
@@ -191,6 +209,9 @@ class CompiledModel:
     _columns: "_ColumnArrays | None" = field(
         default=None, repr=False, compare=False
     )
+    _layout: "_ExtractLayout | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def fin_id(self) -> int:
@@ -205,6 +226,36 @@ class CompiledModel:
             )
         return self._columns
 
+    def extract_layout(self) -> "_ExtractLayout":
+        """Flattened task decode layout (cached; see :class:`_ExtractLayout`)."""
+        if self._layout is None:
+            cols = self.column_arrays()
+            items = tuple(self.instance.trace.task_edges.items())
+            per_task = [cols.tasks[edge_id] for _, edge_id in items]
+            widths = np.array([len(a) for a in per_task], dtype=np.int64)
+            self._layout = _ExtractLayout(
+                items=items,
+                all_cols=(
+                    np.concatenate(per_task)
+                    if per_task
+                    else np.empty(0, dtype=np.int64)
+                ),
+                indptr=np.concatenate([[0], np.cumsum(widths)]),
+                durations=(
+                    np.concatenate(
+                        [self.frontiers[e].durations for _, e in items]
+                    )
+                    if items
+                    else np.empty(0)
+                ),
+                powers=(
+                    np.concatenate([self.frontiers[e].powers for _, e in items])
+                    if items
+                    else np.empty(0)
+                ),
+            )
+        return self._layout
+
     def freeze(self):
         """Assemble once for parametric re-solve (see FrozenProgram)."""
         return self.lp.freeze()
@@ -216,6 +267,7 @@ def base_model(
     frontiers: dict[int, TaskFrontier] | None = None,
     edge_order: list[int] | None = None,
     integer: bool = False,
+    assembly: str = "bulk",
 ) -> tuple[LinearProgram, list[int], dict[int, list[int]]]:
     """Compile the rows/columns every formulation shares.
 
@@ -226,7 +278,102 @@ def base_model(
 
     Returns ``(lp, v_idx, c_idx)``; the caller adds its objective and its
     formulation-specific rows on top.
+
+    ``assembly`` selects the matrix build: ``"bulk"`` (default) appends
+    whole constraint blocks as CSR batches; ``"reference"`` keeps the
+    original row-by-row build as an oracle.  Both produce the same model
+    — same variables, same row order, same assembled matrix — so
+    solutions are identical; the tests assert this.
     """
+    if assembly not in ("bulk", "reference"):
+        raise ValueError(f"assembly must be 'bulk' or 'reference', got {assembly!r}")
+    graph = instance.graph
+    if frontiers is None:
+        frontiers = instance.convex
+    order = list(frontiers) if edge_order is None else edge_order
+    if assembly == "reference":
+        return _base_model_reference(instance, name, frontiers, order, integer)
+
+    lp = LinearProgram(name=name)
+    vert_ub = np.full(len(graph.vertices), np.inf)
+    for i, vertex in enumerate(graph.vertices):
+        if vertex.id == instance.init_id:
+            vert_ub[i] = 0.0
+    v_idx = lp.add_vars(
+        [f"v{v.id}" for v in graph.vertices], lb=0.0, ub=vert_ub
+    )
+
+    # Configuration-fraction columns for every task edge, then the one-hot
+    # simplex rows as a single block — row order matches the reference
+    # build (one row per edge, in ``order``).
+    c_idx: dict[int, list[int]] = {}
+    for edge_id in order:
+        frontier = frontiers[edge_id]
+        c_idx[edge_id] = lp.add_vars(
+            [f"c{edge_id}_{j}" for j in range(len(frontier))],
+            lb=0.0,
+            ub=1.0,
+            integer=integer,
+        )
+    c_arr = {e: np.asarray(cols, dtype=np.int64) for e, cols in c_idx.items()}
+    if order:
+        widths = np.array([len(frontiers[e]) for e in order], dtype=np.int64)
+        onehot_cols = np.concatenate([c_arr[e] for e in order])
+        lp.add_block(
+            indptr=np.concatenate([[0], np.cumsum(widths)]),
+            cols=onehot_cols,
+            vals=np.ones(len(onehot_cols)),
+            lo=1.0,
+            hi=1.0,
+            label="onehot",
+        )
+
+    # Precedence rows in graph.edges order (compute and message edges
+    # interleaved, exactly as the reference build emits them).
+    col_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    widths: list[int] = []
+    rhs: list[float] = []
+    for e in graph.edges:
+        if e.is_compute:
+            frontier = frontiers[e.id]
+            col_parts.append(
+                np.array([v_idx[e.dst], v_idx[e.src]], dtype=np.int64)
+            )
+            col_parts.append(c_arr[e.id])
+            val_parts.append(np.array([1.0, -1.0]))
+            val_parts.append(-frontier.durations)
+            widths.append(2 + len(frontier))
+            rhs.append(0.0)
+        else:
+            col_parts.append(
+                np.array([v_idx[e.dst], v_idx[e.src]], dtype=np.int64)
+            )
+            val_parts.append(np.array([1.0, -1.0]))
+            widths.append(2)
+            rhs.append(e.duration_s)
+    if widths:
+        lp.add_block(
+            indptr=np.concatenate(
+                [[0], np.cumsum(np.asarray(widths, dtype=np.int64))]
+            ),
+            cols=np.concatenate(col_parts),
+            vals=np.concatenate(val_parts),
+            lo=np.asarray(rhs),
+            hi=np.inf,
+            label="prec",
+        )
+    return lp, v_idx, c_idx
+
+
+def _base_model_reference(
+    instance: ProblemInstance,
+    name: str,
+    frontiers: dict[int, TaskFrontier],
+    order: list[int],
+    integer: bool,
+) -> tuple[LinearProgram, list[int], dict[int, list[int]]]:
+    """Row-by-row reference build (the pre-vectorization oracle)."""
     graph = instance.graph
     lp = LinearProgram(name=name)
 
@@ -235,9 +382,6 @@ def base_model(
         ub = 0.0 if vertex.id == instance.init_id else np.inf
         v_idx.append(lp.add_var(f"v{vertex.id}", lb=0.0, ub=ub))
 
-    if frontiers is None:
-        frontiers = instance.convex
-    order = list(frontiers) if edge_order is None else edge_order
     c_idx: dict[int, list[int]] = {}
     for edge_id in order:
         frontier = frontiers[edge_id]
@@ -269,14 +413,18 @@ def extract_schedule(
     cap_w: float | None = None,
     kind: str | None = None,
     frac_tol: float = 1e-7,
+    reference: bool = False,
 ) -> PowerSchedule:
     """Decode a primal vector into a :class:`PowerSchedule`.
 
     The public replacement for the formulations' former private
     extraction helpers.  ``cap_w`` defaults to the cap the model was
     compiled at; parametric re-solves pass the cap actually solved.
+
+    ``reference=True`` decodes with the original per-task loop; the
+    default vectorized decode produces bit-identical schedules (the
+    tests assert this) via whole-solution gathers.
     """
-    instance = compiled.instance
     if cap_w is None:
         cap_w = compiled.cap_w
     if cap_w is None:
@@ -284,8 +432,85 @@ def extract_schedule(
     x = solution.x
     cols = compiled.column_arrays()
     vertex_times = x[cols.vertices]
+    if reference:
+        assignments = _extract_assignments_reference(compiled, x, frac_tol)
+    else:
+        assignments = _extract_assignments(compiled, x, frac_tol)
+    return PowerSchedule(
+        kind=kind if kind is not None else compiled.kind,
+        cap_w=float(cap_w),
+        objective_s=float(x[compiled.v_idx[compiled.fin_id]]),
+        assignments=assignments,
+        vertex_times=vertex_times,
+        solver_info={
+            "n_vars": compiled.lp.n_vars,
+            "n_constraints": compiled.lp.n_constraints,
+            "objective_raw": solution.objective,
+            **compiled.solver_info,
+        },
+    )
+
+
+def _extract_assignments(
+    compiled: CompiledModel, x: np.ndarray, frac_tol: float
+) -> dict[TaskRef, TaskAssignment]:
+    """Vectorized decode: gather/clip/normalize all tasks at once.
+
+    The per-task weighted duration/power sums stay as sequential
+    accumulation over the (tiny) kept mixtures so the floats match the
+    reference decode bit for bit; the normalizing denominators use
+    ``np.add.reduceat``, which performs the same reduction the
+    reference's per-task ``.sum()`` does.
+    """
+    lay = compiled.extract_layout()
     assignments: dict[TaskRef, TaskAssignment] = {}
-    for ref, edge_id in instance.trace.task_edges.items():
+    if not lay.items:
+        return assignments
+    fracs = x[lay.all_cols].clip(0.0, 1.0)
+    keep = fracs > frac_tol
+    starts = lay.indptr[:-1]
+    counts = np.add.reduceat(keep.astype(np.int64), starts)
+    for t in np.flatnonzero(counts == 0):
+        lo, hi = int(lay.indptr[t]), int(lay.indptr[t + 1])
+        keep[lo + int(np.argmax(fracs[lo:hi]))] = True
+        counts[t] = 1
+    kept_idx = np.flatnonzero(keep)
+    kept_ptr = np.concatenate([[0], np.cumsum(counts)])
+    kept_fracs = fracs[kept_idx]
+    sums = np.add.reduceat(kept_fracs, kept_ptr[:-1])
+    norm = kept_fracs / np.repeat(sums, counts)
+    d_terms = (lay.durations[kept_idx] * norm).tolist()
+    p_terms = (lay.powers[kept_idx] * norm).tolist()
+    local = (kept_idx - np.repeat(starts, counts)).tolist()
+    norm_l = norm.tolist()
+    kp = kept_ptr.tolist()
+    for t, (ref, edge_id) in enumerate(lay.items):
+        lo, hi = kp[t], kp[t + 1]
+        duration = 0.0
+        power = 0.0
+        for k in range(lo, hi):
+            duration += d_terms[k]
+            power += p_terms[k]
+        points = compiled.frontiers[edge_id].points
+        assignments[ref] = TaskAssignment(
+            ref=ref,
+            edge_id=edge_id,
+            mixture=tuple(
+                (points[local[k]], norm_l[k]) for k in range(lo, hi)
+            ),
+            duration_s=duration,
+            power_w=power,
+        )
+    return assignments
+
+
+def _extract_assignments_reference(
+    compiled: CompiledModel, x: np.ndarray, frac_tol: float
+) -> dict[TaskRef, TaskAssignment]:
+    """Per-task reference decode (the pre-vectorization oracle)."""
+    cols = compiled.column_arrays()
+    assignments: dict[TaskRef, TaskAssignment] = {}
+    for ref, edge_id in compiled.instance.trace.task_edges.items():
         frontier = compiled.frontiers[edge_id]
         fracs = x[cols.tasks[edge_id]].clip(0.0, 1.0)
         keep = fracs > frac_tol
@@ -308,16 +533,4 @@ def extract_schedule(
             duration_s=float(duration),
             power_w=float(power),
         )
-    return PowerSchedule(
-        kind=kind if kind is not None else compiled.kind,
-        cap_w=float(cap_w),
-        objective_s=float(x[compiled.v_idx[compiled.fin_id]]),
-        assignments=assignments,
-        vertex_times=vertex_times,
-        solver_info={
-            "n_vars": compiled.lp.n_vars,
-            "n_constraints": compiled.lp.n_constraints,
-            "objective_raw": solution.objective,
-            **compiled.solver_info,
-        },
-    )
+    return assignments

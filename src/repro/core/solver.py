@@ -78,6 +78,32 @@ class _Constraint:
     ub: float
     tag: str = ""
 
+    @property
+    def n_rows(self) -> int:
+        return 1
+
+
+@dataclass
+class _RowBlock:
+    """Many constraint rows appended as one CSR-layout batch.
+
+    Bulk assembly keeps the per-row Python overhead out of model builds:
+    row ``i`` of the block spans ``cols[indptr[i]:indptr[i+1]]`` with the
+    matching ``vals`` slice, bounded by ``lo[i] <= row <= hi[i]``.  The
+    assembled matrix is identical to adding the same rows one by one.
+    """
+
+    indptr: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    lo: np.ndarray
+    hi: np.ndarray
+    tag: str = ""
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.lo.shape[0])
+
 
 class LinearProgram:
     """Incrementally built minimize-c·x linear (or mixed-integer) program."""
@@ -89,7 +115,9 @@ class LinearProgram:
         self._integrality: list[int] = []
         self._names: dict[str, int] = {}
         self._objective: dict[int, float] = {}
-        self._constraints: list[_Constraint] = []
+        self._objective_dense: np.ndarray | None = None
+        self._rows: list[_Constraint | _RowBlock] = []
+        self._n_rows = 0
 
     # ------------------------------------------------------------------
     @property
@@ -98,7 +126,7 @@ class LinearProgram:
 
     @property
     def n_constraints(self) -> int:
-        return len(self._constraints)
+        return self._n_rows
 
     def add_var(
         self,
@@ -118,6 +146,37 @@ class LinearProgram:
         self._ub.append(ub)
         self._integrality.append(1 if integer else 0)
         return idx
+
+    def add_vars(
+        self,
+        names: list[str],
+        lb: float | np.ndarray = 0.0,
+        ub: float | np.ndarray = np.inf,
+        integer: bool = False,
+    ) -> list[int]:
+        """Register many variables at once; returns their column indices.
+
+        ``lb``/``ub`` broadcast against ``names`` — pass arrays for
+        per-variable bounds.  Equivalent to calling :meth:`add_var` in a
+        loop, without the per-call overhead.
+        """
+        n = len(names)
+        start = len(self._lb)
+        lbs = np.broadcast_to(np.asarray(lb, dtype=float), (n,))
+        ubs = np.broadcast_to(np.asarray(ub, dtype=float), (n,))
+        if np.any(lbs > ubs):
+            bad = int(np.flatnonzero(lbs > ubs)[0])
+            raise ValueError(
+                f"variable {names[bad]}: lb {lbs[bad]} > ub {ubs[bad]}"
+            )
+        for i, name in enumerate(names):
+            if name in self._names:
+                raise ValueError(f"duplicate variable name {name!r}")
+            self._names[name] = start + i
+        self._lb.extend(lbs.tolist())
+        self._ub.extend(ubs.tolist())
+        self._integrality.extend([1 if integer else 0] * n)
+        return list(range(start, start + n))
 
     def var(self, name: str) -> int:
         return self._names[name]
@@ -145,9 +204,50 @@ class LinearProgram:
             raise ValueError(f"empty constraint {label!r}")
         if lb > ub:
             raise ValueError(f"constraint {label!r}: lb {lb} > ub {ub}")
-        self._constraints.append(
+        self._rows.append(
             _Constraint(list(terms.keys()), list(terms.values()), lb, ub, tag)
         )
+        self._n_rows += 1
+
+    def add_block(
+        self,
+        indptr: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        lo: float | np.ndarray,
+        hi: float | np.ndarray,
+        label: str = "",
+        tag: str = "",
+    ) -> None:
+        """Add a batch of rows in CSR layout (bulk assembly).
+
+        Row ``i`` is ``lo[i] <= sum(vals[k] * x[cols[k]]
+        for k in indptr[i]:indptr[i+1]) <= hi[i]``; scalar ``lo``/``hi``
+        broadcast.  Assembles to exactly the same matrix as the equivalent
+        sequence of :meth:`add_constraint` calls.  ``tag`` applies to every
+        row of the block (see :meth:`add_constraint`).
+        """
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        vals = np.ascontiguousarray(vals, dtype=float)
+        n = int(indptr.shape[0]) - 1
+        if n < 0 or indptr[0] != 0 or indptr[-1] != cols.shape[0]:
+            raise ValueError(f"block {label!r}: malformed indptr")
+        if cols.shape != vals.shape:
+            raise ValueError(f"block {label!r}: cols/vals length mismatch")
+        widths = np.diff(indptr)
+        if np.any(widths < 0):
+            raise ValueError(f"block {label!r}: indptr must be non-decreasing")
+        if np.any(widths == 0):
+            raise ValueError(f"empty constraint in block {label!r}")
+        lo_arr = np.array(np.broadcast_to(np.asarray(lo, dtype=float), (n,)))
+        hi_arr = np.array(np.broadcast_to(np.asarray(hi, dtype=float), (n,)))
+        if np.any(lo_arr > hi_arr):
+            raise ValueError(f"block {label!r}: lb > ub")
+        if n == 0:
+            return
+        self._rows.append(_RowBlock(indptr, cols, vals, lo_arr, hi_arr, tag))
+        self._n_rows += n
 
     def add_eq(
         self, terms: dict[int, float], rhs: float, label: str = "", tag: str = ""
@@ -170,23 +270,65 @@ class LinearProgram:
     def set_objective(self, terms: dict[int, float]) -> None:
         """Minimization objective (replaces any previous one)."""
         self._objective = dict(terms)
+        self._objective_dense = None
+
+    def set_objective_dense(self, c: np.ndarray) -> None:
+        """Minimization objective as a dense coefficient vector.
+
+        The bulk-assembly twin of :meth:`set_objective`: callers that
+        already hold per-column coefficients as an array hand it over
+        directly instead of round-tripping through a dict.
+        """
+        c = np.asarray(c, dtype=float)
+        if c.shape != (self.n_vars,):
+            raise ValueError(
+                f"objective length {c.shape} != n_vars {self.n_vars}"
+            )
+        self._objective_dense = c.copy()
+        self._objective = {}
 
     # ------------------------------------------------------------------
     def _assemble(self) -> tuple[np.ndarray, sp.csr_matrix, np.ndarray, np.ndarray]:
-        c = np.zeros(self.n_vars)
-        for idx, coeff in self._objective.items():
-            c[idx] += coeff
-        rows: list[int] = []
-        cols: list[int] = []
-        vals: list[float] = []
+        if self._objective_dense is not None:
+            c = self._objective_dense.copy()
+            if c.shape != (self.n_vars,):
+                raise ValueError("dense objective set before final variables")
+        else:
+            c = np.zeros(self.n_vars)
+            for idx, coeff in self._objective.items():
+                c[idx] += coeff
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        val_parts: list[np.ndarray] = []
         lo = np.empty(self.n_constraints)
         hi = np.empty(self.n_constraints)
-        for r, con in enumerate(self._constraints):
-            rows.extend([r] * len(con.idx))
-            cols.extend(con.idx)
-            vals.extend(con.coeff)
-            lo[r] = con.lb
-            hi[r] = con.ub
+        r = 0
+        for seg in self._rows:
+            if isinstance(seg, _RowBlock):
+                k = seg.n_rows
+                row_parts.append(
+                    np.repeat(np.arange(r, r + k), np.diff(seg.indptr))
+                )
+                col_parts.append(seg.cols)
+                val_parts.append(seg.vals)
+                lo[r:r + k] = seg.lo
+                hi[r:r + k] = seg.hi
+                r += k
+            else:
+                m = len(seg.idx)
+                row_parts.append(np.full(m, r, dtype=np.int64))
+                col_parts.append(np.asarray(seg.idx, dtype=np.int64))
+                val_parts.append(np.asarray(seg.coeff, dtype=float))
+                lo[r] = seg.lb
+                hi[r] = seg.ub
+                r += 1
+        if row_parts:
+            rows = np.concatenate(row_parts)
+            cols = np.concatenate(col_parts)
+            vals = np.concatenate(val_parts)
+        else:
+            rows = cols = np.empty(0, dtype=np.int64)
+            vals = np.empty(0)
         a = sp.coo_matrix(
             (vals, (rows, cols)), shape=(self.n_constraints, self.n_vars)
         ).tocsr()
@@ -208,9 +350,13 @@ class LinearProgram:
         """
         c, a, lo, hi = self._assemble()
         tag_rows: dict[str, list[int]] = {}
-        for r, con in enumerate(self._constraints):
-            if con.tag:
-                tag_rows.setdefault(con.tag, []).append(r)
+        r = 0
+        for seg in self._rows:
+            if seg.tag:
+                tag_rows.setdefault(seg.tag, []).extend(
+                    range(r, r + seg.n_rows)
+                )
+            r += seg.n_rows
         return FrozenProgram(
             c=c,
             a=a,

@@ -148,6 +148,44 @@ def retry_delay_s(
     return exp * (0.5 + 0.5 * rng.random())
 
 
+def _run_batch(packed: tuple) -> list[dict]:
+    """Worker-side batch: several items through one pool dispatch.
+
+    Amortizes per-task pickling/IPC overhead when cells are small (the
+    many-caps/cheap-solve regime a warm parametric sweep produces).
+    Each item retries *in the worker* on the same deterministic backoff
+    schedule as the unbatched map — :func:`retry_delay_s` keyed by the
+    item's global index — and settles into a structured doc, so one
+    failing item never discards its batch-mates' results.  The retry and
+    failure counters land in the worker telemetry that
+    :func:`_run_task` snapshots around the whole batch.
+    """
+    fn, batch, start, retries, backoff_s, seed = packed
+    docs: list[dict] = []
+    for k, item in enumerate(batch):
+        index = start + k
+        attempt = 0
+        while True:
+            try:
+                value = fn(item)
+                docs.append({"ok": True, "value": value, "attempts": attempt + 1})
+                break
+            except Exception as exc:
+                attempt += 1
+                if attempt > retries:
+                    count("task.failed")
+                    docs.append({
+                        "ok": False,
+                        "error_type": type(exc).__name__,
+                        "error_message": str(exc),
+                        "attempts": attempt,
+                    })
+                    break
+                count("task.retry")
+                time.sleep(retry_delay_s(seed, index, attempt, backoff_s))
+    return docs
+
+
 def _run_task(
     fn: Callable[[Any], Any],
     item: Any,
@@ -200,6 +238,15 @@ class ParallelRunner:
         ``0`` retries immediately.
     backoff_seed:
         Seed of the jitter schedule (so backoff is reproducible).
+    batch_size:
+        Items dispatched per pool submission (default 1: one task per
+        item).  ``> 1`` groups contiguous items into one worker call
+        (:func:`_run_batch`), amortizing pickling/IPC overhead when
+        individual cells are cheap; results, outcome callbacks, and the
+        deterministic per-item retry schedule are unchanged.  Item
+        failures settle in-worker; the per-task ``timeout_s`` budget
+        scales to ``timeout_s * batch_size`` per dispatch.  Serial runs
+        ignore it.
     """
 
     def __init__(
@@ -209,6 +256,7 @@ class ParallelRunner:
         retries: int = 1,
         backoff_s: float = 0.05,
         backoff_seed: int = 0,
+        batch_size: int = 1,
     ) -> None:
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {timeout_s}")
@@ -216,11 +264,14 @@ class ParallelRunner:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if backoff_s < 0:
             raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.max_workers = resolve_workers(max_workers)
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
         self.backoff_seed = backoff_seed
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
@@ -236,6 +287,13 @@ class ParallelRunner:
         items = list(items)
         if self.max_workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        if self.batch_size > 1:
+            return [
+                outcome.value
+                for outcome in self._map_batched(
+                    fn, items, keep_going=False, on_outcome=None
+                )
+            ]
         return [
             outcome.value
             for outcome in self._map_parallel(fn, items, keep_going=False)
@@ -260,6 +318,10 @@ class ParallelRunner:
         items = list(items)
         if self.max_workers <= 1 or len(items) <= 1:
             return self._map_serial_outcomes(fn, items, on_outcome)
+        if self.batch_size > 1:
+            return self._map_batched(
+                fn, items, keep_going=True, on_outcome=on_outcome
+            )
         return self._map_parallel(fn, items, keep_going=True, on_outcome=on_outcome)
 
     # ------------------------------------------------------------------
@@ -302,6 +364,94 @@ class ParallelRunner:
             if on_outcome is not None:
                 on_outcome(outcome)
         return outcomes
+
+    # ------------------------------------------------------------------
+    def _map_batched(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        keep_going: bool,
+        on_outcome: Callable[[CellOutcome], None] | None,
+    ) -> list[CellOutcome]:
+        """Batched fan-out: contiguous item groups per pool dispatch.
+
+        Each batch runs through :func:`_run_batch` (item retries settle
+        in-worker); batch-level machinery — timeouts, pool-breakage
+        recovery, resubmission — reuses :meth:`_map_parallel` over the
+        batch descriptors, with the per-dispatch deadline scaled by the
+        batch size.  Outcomes flatten back to per-item
+        :class:`CellOutcome` objects in submission order, and
+        ``on_outcome`` fires per item as its batch settles, so journals
+        checkpoint identically to the unbatched map.  ``elapsed_s`` on a
+        batched outcome is its batch's wall-clock (diagnostics only).
+        """
+        bs = self.batch_size
+        starts = list(range(0, len(items), bs))
+        batch_items = [
+            (
+                fn, list(items[s:s + bs]), s,
+                self.retries, self.backoff_s, self.backoff_seed,
+            )
+            for s in starts
+        ]
+        batch_runner = ParallelRunner(
+            max_workers=self.max_workers,
+            timeout_s=None if self.timeout_s is None else self.timeout_s * bs,
+            retries=self.retries,
+            backoff_s=self.backoff_s,
+            backoff_seed=self.backoff_seed,
+        )
+        flat: list[CellOutcome] = []
+
+        def settle_batch(b_out: CellOutcome) -> None:
+            start = starts[b_out.index]
+            n = len(batch_items[b_out.index][1])
+            for k in range(n):
+                if b_out.ok:
+                    doc = b_out.value[k]
+                    outcome = CellOutcome(
+                        index=start + k,
+                        ok=bool(doc["ok"]),
+                        value=doc.get("value"),
+                        error_type=doc.get("error_type"),
+                        error_message=doc.get("error_message"),
+                        attempts=int(doc["attempts"]),
+                        elapsed_s=b_out.elapsed_s,
+                    )
+                else:
+                    # The whole dispatch failed (timeout / pool death on
+                    # every attempt): every item of the batch reports
+                    # that shared infrastructure failure.
+                    outcome = CellOutcome(
+                        index=start + k,
+                        ok=False,
+                        error_type=b_out.error_type,
+                        error_message=b_out.error_message,
+                        attempts=b_out.attempts,
+                        elapsed_s=b_out.elapsed_s,
+                        error=b_out.error,
+                    )
+                flat.append(outcome)
+                if on_outcome is not None:
+                    on_outcome(outcome)
+
+        # Batch-level keep_going mirrors the caller's: strict maps still
+        # abort on an infrastructure failure mid-sweep.  Item-level
+        # failures never raise out of _run_batch, so the strict check
+        # below is what enforces them.
+        batch_runner._map_parallel(
+            _run_batch, batch_items, keep_going=keep_going,
+            on_outcome=settle_batch,
+        )
+        if not keep_going:
+            for outcome in flat:
+                if not outcome.ok:
+                    raise ParallelExecutionError(
+                        f"task {outcome.index} failed on all "
+                        f"{outcome.attempts} attempt(s): "
+                        f"{outcome.error_message}"
+                    ) from outcome.error
+        return flat
 
     # ------------------------------------------------------------------
     def _map_parallel(

@@ -258,7 +258,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "exhibits", nargs="*", default=["all"],
         help="exhibit names (see 'list'), 'all', or a subcommand: "
-             "run, sweep, audit, validate-trace, verify-results",
+             "run, sweep, audit, bench, validate-trace, verify-results",
     )
     parser.add_argument("--ranks", type=int, default=32,
                         help="MPI ranks / sockets (default 32, as in the paper)")
@@ -311,6 +311,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--task-timeout", type=float, default=None, metavar="S",
                         help="per-task deadline in seconds, measured from "
                              "submission (default: none)")
+    parser.add_argument("--batch-size", type=int, default=1, metavar="N",
+                        help="sweep cells per worker dispatch (default 1; "
+                             "> 1 amortizes per-task IPC overhead when "
+                             "cells are cheap)")
+    parser.add_argument("--emit-trajectory", action="store_true",
+                        help="bench: also write a schema-versioned "
+                             "BENCH_<date>_<sha>.json trajectory point "
+                             "(see docs/performance.md)")
+    parser.add_argument("--check-trajectory", action="store_true",
+                        help="bench: gate the run against the best "
+                             "historical point in benchmarks/trajectory/")
+    parser.add_argument("--bench-full", action="store_true",
+                        help="bench: run the whole benchmarks/ suite "
+                             "instead of the CI-gated subset")
+    parser.add_argument("--bench-json", metavar="FILE", default="fresh.json",
+                        help="bench: pytest-benchmark JSON output path "
+                             "(default fresh.json)")
+    parser.add_argument("--trajectory-dir", metavar="DIR", default=None,
+                        help="bench: where --emit-trajectory writes the "
+                             "point (default: repo root; CI passes "
+                             "benchmarks/trajectory)")
     parser.add_argument("--timings", action="store_true",
                         help="print per-phase timings, cache counters, and "
                              "the solver audit table")
@@ -327,6 +348,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--workers must be >= 0, got {args.workers}")
     if args.task_retries < 0:
         parser.error(f"--task-retries must be >= 0, got {args.task_retries}")
+    if args.batch_size < 1:
+        parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
 
     command = args.exhibits[0] if args.exhibits else None
 
@@ -367,6 +390,7 @@ def main(argv: list[str] | None = None) -> int:
         use_cache=not args.no_cache,
         task_timeout_s=args.task_timeout,
         task_retries=args.task_retries,
+        task_batch_size=args.batch_size,
     ))
 
     telemetry = Telemetry()
@@ -520,6 +544,50 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[keep-going: {len(failures)} of {len(result.cells)} "
                   "cell(s) failed]", file=sys.stderr)
             return 1
+        return 0
+
+    if command == "bench":
+        # The measured perf surface: run the benchmark harness and
+        # (optionally) stamp/gate the perf trajectory.  Everything runs
+        # as subprocesses from the checkout so the harness measures the
+        # exact environment CI does.
+        import subprocess
+
+        bench_dir = Path.cwd() / "benchmarks"
+        if not (bench_dir / "trajectory.py").exists():
+            parser.error("bench must run from the repository root "
+                         "(benchmarks/trajectory.py not found)")
+        if args.bench_full:
+            targets = ["benchmarks"]
+        else:
+            # The CI-gated subset (mirrors .github/workflows/ci.yml).
+            targets = [
+                "benchmarks/test_bench_fig1_pareto.py",
+                "benchmarks/test_bench_lp_scaling.py",
+                "benchmarks/test_bench_sweep_parametric.py",
+                "benchmarks/test_bench_obs_overhead.py",
+            ]
+        rc = subprocess.call([
+            sys.executable, "-m", "pytest", *targets,
+            "--benchmark-only", f"--benchmark-json={args.bench_json}", "-q",
+        ])
+        if rc != 0:
+            return rc
+        if args.emit_trajectory:
+            cmd = [sys.executable, "benchmarks/trajectory.py", "emit",
+                   args.bench_json]
+            if args.trajectory_dir:
+                cmd += ["--out-dir", args.trajectory_dir]
+            rc = subprocess.call(cmd)
+            if rc != 0:
+                return rc
+        if args.check_trajectory:
+            rc = subprocess.call([
+                sys.executable, "benchmarks/trajectory.py", "check",
+                args.bench_json,
+            ])
+            if rc != 0:
+                return rc
         return 0
 
     if command == "audit":

@@ -31,7 +31,12 @@ from dataclasses import dataclass, field
 from ..exec.cache import SolverCache
 from ..machine.variability import make_power_models
 from ..runtime.conductor import ConductorConfig
-from ..scenarios.run import ScenarioCell, run_scenario_cell, run_scenarios
+from ..scenarios.run import (
+    ScenarioCell,
+    reset_cap_solvers,
+    run_scenario_cell,
+    run_scenarios,
+)
 from ..scenarios.spec import PolicySpec, ScenarioSpec
 from ..workloads import BENCHMARKS
 
@@ -206,6 +211,10 @@ def run_comparison(
     scenario with identical protocol and policy list.
     """
     spec = comparison_spec(cfg, (cap_per_socket_w,), include_discrete)
+    # Top-level single-cell entry: start from a cold solver pool so the
+    # solve audit (cold vs re-solve) does not depend on earlier runs in
+    # this process, mirroring run_scenarios.
+    reset_cap_solvers(spec)
     cell = run_scenario_cell(spec, cap_per_socket_w, cache=cache)
     return _cell_to_comparison(cell)
 

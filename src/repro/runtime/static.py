@@ -14,8 +14,14 @@ from ..machine.cpu import CpuSpec, XEON_E5_2670
 from ..machine.performance import TaskKernel
 from ..machine.power import SocketPowerModel
 from ..machine.rapl import RaplController
-from ..simulator.engine import TaskRecord
-from ..simulator.program import TaskRef
+from ..simulator.engine import (
+    Engine,
+    RunPlan,
+    TaskRecord,
+    plan_from_configs,
+    rank_kernel_arrays,
+)
+from ..simulator.program import Application, TaskRef
 
 __all__ = ["StaticPolicy"]
 
@@ -69,6 +75,31 @@ class StaticPolicy:
             kernel, threads, self.cap_per_socket_w
         )
         return decision.config
+
+    def plan_run(self, app: Application, engine: Engine) -> RunPlan:
+        """Whole-run plan: RAPL decisions are history-free, so each
+        rank's decision per distinct kernel is computed once and the
+        machine models are batch evaluated.  Bit-identical to the
+        scalar per-task path."""
+        per_rank = []
+        for rank, ka in enumerate(rank_kernel_arrays(app)):
+            threads = (
+                self.threads
+                if self.threads is not None
+                else self.controllers[rank].spec.cores
+            )
+            memo: dict[TaskKernel, Configuration] = {}
+            configs = []
+            for kernel in ka.kernels:
+                cfg = memo.get(kernel)
+                if cfg is None:
+                    cfg = self.controllers[rank].decide(
+                        kernel, threads, self.cap_per_socket_w
+                    ).config
+                    memo[kernel] = cfg
+                configs.append(cfg)
+            per_rank.append(configs)
+        return plan_from_configs(app, engine, per_rank)
 
     def on_pcontrol(self, iteration: int, records: list[TaskRecord]) -> float:
         return 0.0  # no software agency: RAPL is firmware

@@ -35,6 +35,7 @@ from ..core.fixed_order_lp import FixedOrderLpResult
 from ..core.flow_ilp import solve_flow_ilp
 from ..core.model import ProblemInstance
 from ..core.rounding import round_schedule
+from ..core.sweep import ParametricCapSolver
 from ..exec.cache import SolverCache, cached_solve_fixed_order_lp
 from ..machine.frontiers import FrontierStore
 from ..machine.power import SocketPowerModel
@@ -71,6 +72,12 @@ class PolicyContext:
     instance: ProblemInstance | None = None
     cache: SolverCache | None = None
     lp_iterations: int = 1
+    #: Shared ``power_tiebreak -> ParametricCapSolver`` pool, scoped to the
+    #: benchmark (the trace).  The scenario executor passes the same dict
+    #: into every cell's context, so the frozen LP model — and its
+    #: persistent HiGHS handle — is assembled once per (trace, tiebreak)
+    #: and re-solved across the whole cap grid with only RHS updates.
+    cap_solvers: dict[float, ParametricCapSolver] | None = None
 
 
 @dataclass(frozen=True)
@@ -200,14 +207,32 @@ def _build_selection_only(ctx: PolicyContext, cfg: dict) -> SelectionOnlyPolicy:
 
 def _solve_lp(ctx: PolicyContext, cfg: dict, scope: Callable[[], Any]) -> BoundResult:
     with scope():
-        lp: FixedOrderLpResult = cached_solve_fixed_order_lp(
-            ctx.trace,
-            ctx.job_cap_w,
-            cache=ctx.cache,
-            instance=ctx.instance,
-            power_tiebreak=cfg["power_tiebreak"],
-            time_limit_s=cfg["time_limit_s"],
-        )
+        if ctx.cap_solvers is not None:
+            # Cross-cell reuse: one frozen model (and HiGHS handle) per
+            # (trace, tiebreak), re-solved at this cell's cap via an RHS
+            # update.  Cache keys match cached_solve_fixed_order_lp, so
+            # warm entries are shared either way.
+            tiebreak = float(cfg["power_tiebreak"])
+            solver = ctx.cap_solvers.get(tiebreak)
+            if solver is None:
+                solver = ParametricCapSolver(
+                    ctx.trace, power_tiebreak=tiebreak, instance=ctx.instance
+                )
+                ctx.cap_solvers[tiebreak] = solver
+            lp: FixedOrderLpResult = solver.solve(
+                ctx.job_cap_w,
+                cache=ctx.cache,
+                time_limit_s=cfg["time_limit_s"],
+            )
+        else:
+            lp = cached_solve_fixed_order_lp(
+                ctx.trace,
+                ctx.job_cap_w,
+                cache=ctx.cache,
+                instance=ctx.instance,
+                power_tiebreak=cfg["power_tiebreak"],
+                time_limit_s=cfg["time_limit_s"],
+            )
     if not lp.feasible:
         return BoundResult(time_s=None, extra={"feasible": False})
     extra: dict = {"feasible": True}

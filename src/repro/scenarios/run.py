@@ -63,6 +63,7 @@ __all__ = [
     "PolicyOutcome",
     "ScenarioCell",
     "ScenarioResult",
+    "reset_cap_solvers",
     "run_scenario_cell",
     "run_scenarios",
     "policy_iteration_time",
@@ -213,16 +214,39 @@ class _Shared:
     trace: Trace
     frontiers: FrontierStore
     instance: ProblemInstance
+    # power_tiebreak -> ParametricCapSolver: the fixed-order LP frozen
+    # once per benchmark and re-solved across the whole cap grid (and
+    # every cell of it) through one persistent HiGHS handle.  Lazily
+    # populated by the lp bound entry (registry._solve_lp).
+    cap_solvers: dict = field(default_factory=dict)
 
 
 _shared_cache: dict[tuple, _Shared] = {}
 
 
-def _shared_for(spec: ScenarioSpec) -> _Shared:
-    key = (
+def _shared_key(spec: ScenarioSpec) -> tuple:
+    return (
         spec.benchmark, spec.n_ranks, spec.run_iterations, spec.lp_iterations,
         spec.seed, spec.efficiency_seed, spec.efficiency_sigma,
     )
+
+
+def reset_cap_solvers(spec: ScenarioSpec) -> None:
+    """Drop any warm parametric solvers for this spec's benchmark.
+
+    The solver pool is shared across the *cells of one sweep*, not
+    across top-level invocations: a fresh ``run_scenarios`` (or a
+    single-cell ``run_comparison``) must behave identically whether or
+    not an earlier run in this process warmed the pool (otherwise solve
+    audits — cold vs re-solve — would depend on test or call order).
+    """
+    shared = _shared_cache.get(_shared_key(spec))
+    if shared is not None:
+        shared.cap_solvers.clear()
+
+
+def _shared_for(spec: ScenarioSpec) -> _Shared:
+    key = _shared_key(spec)
     if key not in _shared_cache:
         gen = SCENARIO_BENCHMARKS[spec.benchmark]
         app_run = gen(WorkloadSpec(n_ranks=spec.n_ranks,
@@ -420,6 +444,7 @@ def _run_scenario_cell(
         instance=shared.instance,
         cache=cache,
         lp_iterations=spec.lp_iterations,
+        cap_solvers=shared.cap_solvers,
     )
     outcomes: dict[str, PolicyOutcome] = {}
     for pspec in spec.policies:
@@ -547,6 +572,7 @@ def run_scenarios(
     if isinstance(journal, (str, Path)):
         journal = SweepJournal(journal)
     reg = registry if registry is not None else default_registry()
+    reset_cap_solvers(spec)
     caps = [float(cap) for cap in spec.caps_per_socket_w]
     keys = {
         cap: scenario_cell_key(spec.cell_hash(), cap, SCENARIO_LAYER_VERSION)
@@ -623,6 +649,7 @@ def run_scenarios(
             retries=opts.task_retries,
             backoff_s=opts.task_backoff_s,
             backoff_seed=spec.seed,
+            batch_size=opts.task_batch_size,
         )
         first_failed: CellOutcome | None = None
         for cap, outcome in zip(
@@ -649,6 +676,7 @@ def run_scenarios(
             retries=opts.task_retries,
             backoff_s=opts.task_backoff_s,
             backoff_seed=spec.seed,
+            batch_size=opts.task_batch_size,
         )
         for cap, cell in zip(pending, runner.map(fn, items)):
             cells[cap] = cell

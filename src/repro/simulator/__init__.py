@@ -31,7 +31,13 @@ from .program import (
     TaskRef,
     WaitOp,
 )
-from .replay import ReplayOutcome, ReplayPolicy, replay_schedule
+from .replay import (
+    ReplayOutcome,
+    ReplayPolicy,
+    build_replay_sweep_plan,
+    replay_schedule,
+    replay_schedule_sweep,
+)
 from .stats import (
     IterationStats,
     imbalance_factor,
@@ -77,6 +83,8 @@ __all__ = [
     "job_power_timeline",
     "rank_power_timeline",
     "replay_schedule",
+    "replay_schedule_sweep",
+    "build_replay_sweep_plan",
     "trace_application",
     "trace_from_exploration",
     "verify_power_cap",

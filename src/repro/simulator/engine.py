@@ -21,6 +21,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Protocol
 
+import numpy as np
+
 from ..exec.timing import count, span
 from ..machine.configuration import Configuration
 from ..machine.cpu import CpuSpec, XEON_E5_2670
@@ -42,7 +44,20 @@ from .program import (
     WaitOp,
 )
 
-__all__ = ["ConfigPolicy", "TaskRecord", "SimulationResult", "Engine", "MaxPerformancePolicy"]
+__all__ = [
+    "ConfigPolicy",
+    "TaskRecord",
+    "SimulationResult",
+    "Engine",
+    "MaxPerformancePolicy",
+    "RankPlan",
+    "RunPlan",
+    "SweepRankPlan",
+    "SweepRunPlan",
+    "rank_kernel_arrays",
+    "batch_task_durations",
+    "batch_task_powers",
+]
 
 
 @dataclass(frozen=True)
@@ -95,6 +110,204 @@ class ConfigPolicy(Protocol):
         ...
 
 
+@dataclass(frozen=True)
+class RankPlan:
+    """One rank's precomputed task decisions, in task-sequence order.
+
+    ``configs[i]``/``durations[i]``/``powers[i]`` are exactly what the
+    scalar event loop would obtain for the rank's i-th compute task from
+    ``policy.configure`` + the machine models; the engine consumes them
+    in place of those calls on the vectorized path.
+    """
+
+    configs: list
+    durations: list
+    powers: list
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """A whole-run decision table: one :class:`RankPlan` per rank."""
+
+    ranks: list
+
+
+@dataclass(frozen=True)
+class SweepRankPlan:
+    """One rank's decisions for every sweep point, in task-sequence order.
+
+    Column ``c`` of each array is exactly the :class:`RankPlan` the c-th
+    sweep point would produce: ``configs[i][c]`` / ``durations[i, c]`` /
+    ``powers[i, c]`` are the i-th compute task's outcome at that point,
+    and ``switch_add[i, c]`` is the DVFS switch cost the event loop would
+    charge before the task (0.0 when the configuration carries over —
+    adding 0.0 leaves the clock bits untouched, so one fused add per task
+    replays the scalar loop's conditional add exactly).
+    """
+
+    configs: list  # [n_tasks][n_points] Configuration
+    durations: np.ndarray  # [n_tasks, n_points]
+    powers: np.ndarray  # [n_tasks, n_points]
+    switch_add: np.ndarray  # [n_tasks, n_points]
+    n_switches: np.ndarray  # [n_points] int
+
+
+@dataclass(frozen=True)
+class SweepRunPlan:
+    """A whole sweep's decision table: one :class:`SweepRankPlan` per rank.
+
+    Consumed by :meth:`Engine.run_sweep`, which replays the application's
+    event DAG *once* with vector clocks over the sweep axis instead of
+    once per sweep point.
+    """
+
+    ranks: list
+    n_points: int
+
+
+@dataclass(frozen=True)
+class _KernelArrays:
+    """One rank's task-kernel parameters as dense arrays (plan hot path)."""
+
+    kernels: list
+    cpu: np.ndarray
+    mem: np.ndarray
+    pf: np.ndarray
+    pm: np.ndarray
+    sat: np.ndarray
+    ct: np.ndarray
+    cp: np.ndarray
+    activity: np.ndarray
+    mem_int: np.ndarray
+
+
+def rank_kernel_arrays(app: Application) -> list[_KernelArrays]:
+    """Per-rank kernel-parameter arrays, cached on the application.
+
+    Plan-building policies call this once per run; the gather over kernel
+    attributes is paid once per application object (sweeps replay the same
+    app at many caps, so the cache amortizes it to zero).
+    """
+    cached = getattr(app, "_plan_kernel_arrays", None)
+    if cached is not None:
+        return cached
+    arrays = []
+    for program in app.programs:
+        kernels = [op.kernel for op in program if isinstance(op, ComputeOp)]
+        arrays.append(_KernelArrays(
+            kernels=kernels,
+            cpu=np.array([k.cpu_seconds for k in kernels]),
+            mem=np.array([k.mem_seconds for k in kernels]),
+            pf=np.array([k.parallel_fraction for k in kernels]),
+            pm=np.array([k.mem_parallel_fraction for k in kernels]),
+            sat=np.array(
+                [k.bw_saturation_threads for k in kernels], dtype=np.int64
+            ),
+            ct=np.array(
+                [k.contention_threshold for k in kernels], dtype=np.int64
+            ),
+            cp=np.array([k.contention_penalty for k in kernels]),
+            activity=np.array([k.activity for k in kernels]),
+            mem_int=np.array([k.mem_intensity for k in kernels]),
+        ))
+    app._plan_kernel_arrays = arrays
+    return arrays
+
+
+def batch_task_durations(
+    time_model: TaskTimeModel,
+    ka: _KernelArrays,
+    freq_ghz: np.ndarray,
+    threads: np.ndarray,
+    duty: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :meth:`TaskTimeModel.duration` over one rank's tasks.
+
+    Replicates the scalar model's expression order term for term, so the
+    results are bit-identical to per-task calls (asserted by tests).
+    Skips the scalar path's argument validation: plan inputs come from
+    frontier configurations, which are valid by construction.
+    """
+    g = (1.0 - ka.pf) + ka.pf / threads
+    cpu = ka.cpu * g * (time_model.spec.fmax_ghz / freq_ghz)
+    base = (1.0 - ka.pm) + ka.pm / np.minimum(threads, ka.sat)
+    over = np.maximum(0, threads - ka.ct)
+    mem = ka.mem * (base * (1.0 + ka.cp * over))
+    return (cpu + mem) / duty
+
+
+def batch_task_powers(
+    power_model: SocketPowerModel,
+    ka: _KernelArrays,
+    freq_ghz: np.ndarray,
+    threads: np.ndarray,
+    duty: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :meth:`SocketPowerModel.power` over one rank's tasks
+    (bit-identical to per-task calls; see :func:`batch_task_durations`)."""
+    p = power_model.params
+    rel = freq_ghz / power_model.spec.fmax_ghz
+    dyn = ka.activity * p.p_core_dyn_max * rel**p.freq_exponent
+    uncore = p.p_uncore_idle + p.p_uncore_mem * ka.mem_int * duty
+    per_core = p.p_core_leak + dyn * duty
+    return power_model.efficiency * (uncore + threads * per_core)
+
+
+def _config_arrays(
+    configs: list,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(freq, threads, duty) arrays for a list of configurations."""
+    return (
+        np.array([c.freq_ghz for c in configs]),
+        np.array([c.threads for c in configs], dtype=np.int64),
+        np.array([c.duty for c in configs]),
+    )
+
+
+def plan_from_configs(app: Application, engine: "Engine", per_rank_configs: list) -> RunPlan:
+    """Assemble a :class:`RunPlan` from per-rank configuration lists,
+    batch-evaluating durations and powers with the engine's machine
+    models (the shared tail of every planning policy)."""
+    arrays = rank_kernel_arrays(app)
+    plans = []
+    for rank, configs in enumerate(per_rank_configs):
+        ka = arrays[rank]
+        if configs:
+            f, n, d = _config_arrays(configs)
+            durations = batch_task_durations(
+                engine.time_models[rank], ka, f, n, d
+            ).tolist()
+            powers = batch_task_powers(
+                engine.power_models[rank], ka, f, n, d
+            ).tolist()
+        else:
+            durations = []
+            powers = []
+        plans.append(
+            RankPlan(configs=configs, durations=durations, powers=powers)
+        )
+    return RunPlan(ranks=plans)
+
+
+def kernel_arrays_as_columns(ka: _KernelArrays) -> _KernelArrays:
+    """The same kernel parameters shaped ``[n_tasks, 1]`` so the batch
+    evaluators broadcast against ``[n_tasks, n_points]`` configuration
+    arrays (cheap views; the elementwise expressions — and therefore the
+    result bits — are unchanged)."""
+    return _KernelArrays(
+        kernels=ka.kernels,
+        cpu=ka.cpu[:, None],
+        mem=ka.mem[:, None],
+        pf=ka.pf[:, None],
+        pm=ka.pm[:, None],
+        sat=ka.sat[:, None],
+        ct=ka.ct[:, None],
+        cp=ka.cp[:, None],
+        activity=ka.activity[:, None],
+        mem_int=ka.mem_int[:, None],
+    )
+
+
 class MaxPerformancePolicy:
     """Power-oblivious baseline: fastest configuration for every task."""
 
@@ -104,6 +317,23 @@ class MaxPerformancePolicy:
 
     def configure(self, ref, kernel, iteration, current):
         return Configuration(self._spec.fmax_ghz, self._tm.best_threads(kernel))
+
+    def plan_run(self, app: Application, engine: "Engine") -> RunPlan:
+        """Whole-run plan: best threads per distinct kernel, memoized."""
+        best: dict[TaskKernel, Configuration] = {}
+        per_rank = []
+        for ka in rank_kernel_arrays(app):
+            configs = []
+            for kernel in ka.kernels:
+                cfg = best.get(kernel)
+                if cfg is None:
+                    cfg = Configuration(
+                        self._spec.fmax_ghz, self._tm.best_threads(kernel)
+                    )
+                    best[kernel] = cfg
+                configs.append(cfg)
+            per_rank.append(configs)
+        return plan_from_configs(app, engine, per_rank)
 
     def on_pcontrol(self, iteration, records):
         return 0.0
@@ -156,6 +386,93 @@ class SimulationResult:
         return self.makespan_s - start
 
 
+class _SweepPointResult(SimulationResult):
+    """A :class:`SimulationResult` whose record list materializes lazily.
+
+    A sweep holds every record field as one array column; building
+    ``n_tasks`` :class:`TaskRecord` objects per point dominates the
+    vectorized sweep's cost when most consumers only read the makespan
+    and the (array-computed) timelines.  The ``records`` property builds
+    the list on first access — bit-identical to the eager list, in the
+    scalar scheduler's emission order.
+    """
+
+    def __init__(self, loader, **kwargs) -> None:
+        self._loader = loader
+        super().__init__(records=None, **kwargs)
+
+    @property
+    def records(self) -> list[TaskRecord]:
+        if self._records is None:
+            self._records = self._loader()
+        return self._records
+
+    @records.setter
+    def records(self, value) -> None:
+        self._records = value
+
+
+@dataclass
+class SweepRunOutcome:
+    """Everything :meth:`Engine.run_sweep` learned, column per sweep point.
+
+    ``makespans[c]`` and ``starts[rank][seq, c]`` hold the c-th point's
+    scalar outcomes; MPI call/wait/collective counts are shared (the walk
+    order is identical at every point).  :meth:`results` views the sweep
+    as per-point :class:`SimulationResult` objects with lazily
+    materialized records.
+    """
+
+    app_name: str
+    n_ranks: int
+    n_points: int
+    makespans: np.ndarray
+    starts: list  # per rank: [n_tasks, n_points]
+    plan: SweepRunPlan
+    emissions: list  # (rank, seq, op) in scheduler emission order
+    mpi_call_count: int
+    collective_count: int
+    pcontrol_overhead_s: float
+
+    def _materialize_records(self, c: int) -> list[TaskRecord]:
+        plan = self.plan
+        starts = self.starts
+        return [
+            TaskRecord(
+                ref=TaskRef(rank, seq),
+                iteration=op.iteration,
+                label=op.label,
+                config=plan.ranks[rank].configs[seq][c],
+                start_s=float(starts[rank][seq, c]),
+                duration_s=float(plan.ranks[rank].durations[seq, c]),
+                power_w=float(plan.ranks[rank].powers[seq, c]),
+                kernel=op.kernel,
+            )
+            for rank, seq, op in self.emissions
+        ]
+
+    def result(self, c: int) -> SimulationResult:
+        """The c-th sweep point as a :class:`SimulationResult`."""
+        if not (0 <= c < self.n_points):
+            raise IndexError(f"sweep point {c} out of range [0, {self.n_points})")
+        return _SweepPointResult(
+            loader=lambda: self._materialize_records(c),
+            app_name=self.app_name,
+            makespan_s=float(self.makespans[c]),
+            n_ranks=self.n_ranks,
+            mpi_call_count=self.mpi_call_count,
+            collective_count=self.collective_count,
+            pcontrol_overhead_s=self.pcontrol_overhead_s,
+            dvfs_switch_count=int(
+                sum(rp.n_switches[c] for rp in self.plan.ranks)
+            ),
+        )
+
+    def results(self) -> list[SimulationResult]:
+        """All sweep points (records stay lazy until accessed)."""
+        return [self.result(c) for c in range(self.n_points)]
+
+
 @dataclass
 class _RankState:
     clock: float = 0.0
@@ -183,6 +500,14 @@ class Engine:
     tracing_overhead_s:
         Extra per-call cost when the profiler is attached (34 µs median in
         the paper).
+    vectorized:
+        When True (default), policies exposing ``plan_run`` have their
+        per-task decisions batch-evaluated up front (numpy over each
+        rank's task list) and the event loop replays the plan; results
+        are bit-identical to the scalar path (the tests assert this).
+        False forces the scalar per-task ``configure`` path — the
+        reference oracle.  Policies without ``plan_run`` (the reactive
+        runtimes) always take the scalar path.
     """
 
     def __init__(
@@ -192,6 +517,7 @@ class Engine:
         spec: CpuSpec = XEON_E5_2670,
         mpi_call_overhead_s: float = 2e-6,
         tracing_overhead_s: float = 0.0,
+        vectorized: bool = True,
     ) -> None:
         if not power_models:
             raise ValueError("need at least one power model")
@@ -203,14 +529,271 @@ class Engine:
         self.time_models = [TaskTimeModel(pm.spec) for pm in power_models]
         self.time_model = TaskTimeModel(spec)  # engine-level fallback
         self.call_cost = mpi_call_overhead_s + tracing_overhead_s
+        self.vectorized = vectorized
 
     # ------------------------------------------------------------------
-    def run(self, app: Application, policy: ConfigPolicy) -> SimulationResult:
-        """Execute the application to completion under the policy."""
-        with span("replay"):
-            return self._run(app, policy)
+    def run(
+        self,
+        app: Application,
+        policy: ConfigPolicy,
+        vectorized: bool | None = None,
+    ) -> SimulationResult:
+        """Execute the application to completion under the policy.
 
-    def _run(self, app: Application, policy: ConfigPolicy) -> SimulationResult:
+        ``vectorized`` overrides the engine default for this run only.
+        """
+        with span("replay"):
+            use_vec = self.vectorized if vectorized is None else vectorized
+            plan = None
+            if use_vec:
+                plan_fn = getattr(policy, "plan_run", None)
+                if plan_fn is not None:
+                    plan = plan_fn(app, self)
+            return self._run(app, policy, plan)
+
+    # ------------------------------------------------------------------
+    def run_sweep(
+        self,
+        app: Application,
+        policy: ConfigPolicy,
+        plan: SweepRunPlan,
+    ) -> SweepRunOutcome:
+        """Execute the application once per sweep point, in one DAG walk.
+
+        The event loop's control flow never inspects a clock value:
+        blocking (an empty channel, a collective barrier) depends only on
+        which ops have executed, message matching is FIFO per channel in
+        program order, and the one value-dependent branch — the DVFS
+        switch charge — only adds to the clock.  The walk order is
+        therefore identical at every sweep point, so this method runs the
+        scheduler *once* with each rank's clock held as a vector over the
+        sweep axis; every scalar add/max on a clock becomes the same
+        elementwise operation, making each point's materialized
+        :class:`SimulationResult` bit-identical — records, order, and
+        makespan — to a scalar :meth:`run` at that point's plan (the
+        tests assert this).
+
+        Requires no active trace recorder (per-event emission would need
+        scalar timestamps); callers with a recorder attached should fall
+        back to per-point :meth:`run` calls.  ``policy.on_pcontrol`` is
+        consulted with an empty record list, so only record-oblivious
+        policies (replay and other plan-based policies) are supported.
+        """
+        from ..obs.recorder import current_recorder as _cr
+
+        if _cr() is not None:
+            raise RuntimeError(
+                "run_sweep cannot emit per-event traces; run each sweep "
+                "point through Engine.run when a recorder is active"
+            )
+        if app.n_ranks != len(self.power_models):
+            raise ValueError(
+                f"application has {app.n_ranks} ranks but engine has "
+                f"{len(self.power_models)} power models"
+            )
+        with span("replay.sweep"):
+            return self._run_sweep(app, policy, plan)
+
+    def _run_sweep(
+        self,
+        app: Application,
+        policy: ConfigPolicy,
+        plan: SweepRunPlan,
+    ) -> SweepRunOutcome:
+        app.validate()
+        n = app.n_ranks
+        n_points = plan.n_points
+        states = [_RankState() for _ in range(n)]
+        clocks = [np.zeros(n_points) for _ in range(n)]
+        enter = [None] * n  # collective-entry clock vectors
+        channels: dict[tuple[int, int, int], deque[np.ndarray]] = {}
+        #: compute emissions in scheduler order: (rank, seq, op)
+        emissions: list[tuple[int, int, ComputeOp]] = []
+        starts = [
+            np.zeros((len(rp.durations), n_points)) for rp in plan.ranks
+        ]
+        task_seq = [0] * n
+        mpi_calls = 0
+        mpi_waits = 0
+        collectives = 0
+        pcontrol_overhead = 0.0
+        call_cost = self.call_cost
+        switch_cost = policy.switch_cost_s()
+
+        def try_advance(rank: int) -> bool:
+            nonlocal mpi_calls, mpi_waits
+            st = states[rank]
+            clock = clocks[rank]
+            if st.waiting_collective or st.ptr >= len(app.programs[rank]):
+                return False
+            op = app.programs[rank][st.ptr]
+
+            if isinstance(op, ComputeOp):
+                seq = task_seq[rank]
+                rank_plan = plan.ranks[rank]
+                clock += rank_plan.switch_add[seq]
+                starts[rank][seq] = clock
+                emissions.append((rank, seq, op))
+                clock += rank_plan.durations[seq]
+                task_seq[rank] += 1
+                st.ptr += 1
+                return True
+
+            if isinstance(op, SendOp):
+                clock += call_cost
+                mpi_calls += 1
+                channels.setdefault((rank, op.dst, op.tag), deque()).append(
+                    clock + self.network.message_time(op.size_bytes)
+                )
+                st.ptr += 1
+                return True
+
+            if isinstance(op, IsendOp):
+                clock += call_cost
+                mpi_calls += 1
+                channels.setdefault((rank, op.dst, op.tag), deque()).append(
+                    clock + self.network.message_time(op.size_bytes)
+                )
+                st.requests[op.request] = ("send",)
+                st.ptr += 1
+                return True
+
+            if isinstance(op, IrecvOp):
+                clock += call_cost
+                mpi_calls += 1
+                st.requests[op.request] = ("recv", op.src, op.tag)
+                st.ptr += 1
+                return True
+
+            if isinstance(op, RecvOp):
+                q = channels.get((op.src, rank, op.tag))
+                if not q:
+                    return False  # blocked: matching send not yet executed
+                t_arrive = q.popleft()
+                np.maximum(clock, t_arrive, out=clock)
+                clock += call_cost
+                mpi_calls += 1
+                mpi_waits += 1
+                st.ptr += 1
+                return True
+
+            if isinstance(op, WaitOp):
+                req = st.requests.get(op.request)
+                if req is None:
+                    raise RuntimeError(
+                        f"rank {rank}: wait on unposted request {op.request}"
+                    )
+                if req[0] == "send":
+                    clock += call_cost  # eager send: wait is immediate
+                else:
+                    _, src, tag = req
+                    q = channels.get((src, rank, tag))
+                    if not q:
+                        return False
+                    t_arrive = q.popleft()
+                    np.maximum(clock, t_arrive, out=clock)
+                    clock += call_cost
+                mpi_calls += 1
+                mpi_waits += 1
+                del st.requests[op.request]
+                st.ptr += 1
+                return True
+
+            if isinstance(op, (CollectiveOp, PcontrolOp)):
+                if isinstance(op, CollectiveOp) and op.participants is not None:
+                    if tuple(sorted(op.participants)) != tuple(range(n)):
+                        raise NotImplementedError(
+                            "engine supports all-rank collectives only"
+                        )
+                clock += call_cost
+                mpi_calls += 1
+                st.waiting_collective = True
+                enter[rank] = clock
+                return False  # resolved collectively below
+
+            raise TypeError(f"unknown op {op!r}")
+
+        def resolve_collective() -> bool:
+            nonlocal collectives, pcontrol_overhead
+            if not all(st.waiting_collective for st in states):
+                return False
+            ops = [app.programs[r][states[r].ptr] for r in range(n)]
+            first = ops[0]
+            if not all(type(op) is type(first) for op in ops):
+                raise RuntimeError(
+                    f"collective mismatch across ranks: "
+                    f"{[type(o).__name__ for o in ops]}"
+                )
+            done = enter[0]
+            for r in range(1, n):
+                done = np.maximum(done, enter[r])
+            if isinstance(first, PcontrolOp):
+                overhead = policy.on_pcontrol(first.iteration, [])
+                if overhead < 0:
+                    raise ValueError("pcontrol overhead must be >= 0")
+                done = done + overhead
+                pcontrol_overhead += overhead
+            else:
+                size = max(
+                    op.size_bytes for op in ops if isinstance(op, CollectiveOp)
+                )
+                done = done + self.network.collective_time(
+                    first.kind, n, size
+                )
+            collectives += 1
+            for r, st in enumerate(states):
+                clocks[r] = done.copy()
+                st.waiting_collective = False
+                st.ptr += 1
+            return True
+
+        # Main scheduler loop — the same fixpoint as the scalar engine;
+        # only the clock arithmetic is vectorized.
+        progress = True
+        while progress:
+            progress = False
+            for rank in range(n):
+                while try_advance(rank):
+                    progress = True
+            if resolve_collective():
+                progress = True
+
+        unfinished = [
+            r for r in range(n) if states[r].ptr < len(app.programs[r])
+        ]
+        if unfinished:
+            details = {
+                r: repr(app.programs[r][states[r].ptr]) for r in unfinished
+            }
+            raise RuntimeError(f"deadlock: ranks blocked at {details}")
+
+        makespans = clocks[0]
+        for r in range(1, n):
+            makespans = np.maximum(makespans, clocks[r])
+
+        count("sim.tasks", len(emissions) * n_points)
+        count("sim.mpi_waits", mpi_waits * n_points)
+        count("sim.collectives", collectives * n_points)
+
+        return SweepRunOutcome(
+            app_name=app.name,
+            n_ranks=n,
+            n_points=n_points,
+            makespans=makespans,
+            starts=starts,
+            plan=plan,
+            emissions=emissions,
+            mpi_call_count=mpi_calls,
+            collective_count=collectives,
+            pcontrol_overhead_s=pcontrol_overhead,
+        )
+
+    def _run(
+        self,
+        app: Application,
+        policy: ConfigPolicy,
+        plan: RunPlan | None = None,
+    ) -> SimulationResult:
         if app.n_ranks != len(self.power_models):
             raise ValueError(
                 f"application has {app.n_ranks} ranks but engine has "
@@ -245,22 +828,33 @@ class Engine:
             op = app.programs[rank][st.ptr]
 
             if isinstance(op, ComputeOp):
-                ref = TaskRef(rank, task_seq[rank])
-                cfg = policy.configure(ref, op.kernel, op.iteration, st.config)
+                seq = task_seq[rank]
+                ref = TaskRef(rank, seq)
+                if plan is not None:
+                    # Vectorized path: the policy's whole-run plan holds
+                    # the exact configure/duration/power outcomes.
+                    rank_plan = plan.ranks[rank]
+                    cfg = rank_plan.configs[seq]
+                    duration = rank_plan.durations[seq]
+                    power = rank_plan.powers[seq]
+                else:
+                    cfg = policy.configure(
+                        ref, op.kernel, op.iteration, st.config
+                    )
+                    duration = self.time_models[rank].duration(
+                        op.kernel, cfg.freq_ghz, cfg.threads, cfg.duty
+                    )
+                    power = self.power_models[rank].power(
+                        cfg.freq_ghz,
+                        cfg.threads,
+                        activity=op.kernel.activity,
+                        mem_intensity=op.kernel.mem_intensity,
+                        duty=cfg.duty,
+                    )
                 if st.config is not None and cfg != st.config:
                     st.clock += policy.switch_cost_s()
                     dvfs_switches += 1
                 st.config = cfg
-                duration = self.time_models[rank].duration(
-                    op.kernel, cfg.freq_ghz, cfg.threads, cfg.duty
-                )
-                power = self.power_models[rank].power(
-                    cfg.freq_ghz,
-                    cfg.threads,
-                    activity=op.kernel.activity,
-                    mem_intensity=op.kernel.mem_intensity,
-                    duty=cfg.duty,
-                )
                 rec_task = TaskRecord(
                     ref=ref, iteration=op.iteration, label=op.label, config=cfg,
                     start_s=st.clock, duration_s=duration, power_w=power,

@@ -16,16 +16,36 @@ from __future__ import annotations
 from contextlib import nullcontext
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..machine.configuration import Configuration
 from ..machine.cpu import CpuSpec, XEON_E5_2670
 from ..machine.performance import TaskKernel, TaskTimeModel
 from ..machine.power import SocketPowerModel
-from .engine import Engine, SimulationResult, TaskRecord
+from .engine import (
+    Engine,
+    RunPlan,
+    SimulationResult,
+    SweepRankPlan,
+    SweepRunPlan,
+    TaskRecord,
+    batch_task_durations,
+    batch_task_powers,
+    kernel_arrays_as_columns,
+    plan_from_configs,
+    rank_kernel_arrays,
+)
 from .network import IB_QDR, NetworkModel
 from .program import Application, TaskRef
-from .telemetry import verify_power_cap
+from .telemetry import job_power_timelines_sweep, verify_power_cap
 
-__all__ = ["ReplayPolicy", "ReplayOutcome", "replay_schedule"]
+__all__ = [
+    "ReplayPolicy",
+    "ReplayOutcome",
+    "replay_schedule",
+    "build_replay_sweep_plan",
+    "replay_schedule_sweep",
+]
 
 
 class ReplayPolicy:
@@ -74,6 +94,57 @@ class ReplayPolicy:
             if planned < self.min_switch_duration_s:
                 return current  # too short to amortize the transition
         return target
+
+    def plan_run(self, app: Application, engine: Engine) -> RunPlan:
+        """Whole-run plan: vectorized evaluation of the schedule replay.
+
+        Per rank, the assigned targets' 1 ms-rule durations are batch
+        evaluated up front (the rule depends only on the static
+        assignment), then a cheap sequential pass applies the
+        carry-current semantics of :meth:`configure`; the chosen
+        configurations' durations and powers are batch evaluated with
+        the engine's machine models.  Bit-identical to the scalar path.
+        """
+        arrays = rank_kernel_arrays(app)
+        per_rank = []
+        for rank in range(app.n_ranks):
+            ka = arrays[rank]
+            n_tasks = len(ka.kernels)
+            targets: list[Configuration | None] = [None] * n_tasks
+            freq = np.ones(n_tasks)
+            thr = np.ones(n_tasks, dtype=np.int64)
+            duty = np.ones(n_tasks)
+            for i in range(n_tasks):
+                target = self.assignment.get(TaskRef(rank, i))
+                if target is not None:
+                    targets[i] = target
+                    freq[i] = target.freq_ghz
+                    thr[i] = target.threads
+                    duty[i] = target.duty
+            planned = batch_task_durations(
+                self.time_model, ka, freq, thr, duty
+            ).tolist()
+            configs: list[Configuration] = []
+            current: Configuration | None = None
+            for i in range(n_tasks):
+                target = targets[i]
+                if target is None:
+                    if current is None:
+                        raise KeyError(
+                            "replay schedule has no configuration for "
+                            f"first task {TaskRef(rank, i)}"
+                        )
+                    target = current
+                elif (
+                    current is not None
+                    and target != current
+                    and planned[i] < self.min_switch_duration_s
+                ):
+                    target = current  # too short to amortize the transition
+                configs.append(target)
+                current = target
+            per_rank.append(configs)
+        return plan_from_configs(app, engine, per_rank)
 
     def on_pcontrol(self, iteration: int, records: list[TaskRecord]) -> float:
         return 0.0
@@ -136,3 +207,171 @@ def replay_schedule(
     return ReplayOutcome(
         result=result, cap_w=cap_w, peak_power_w=peak, cap_respected=ok
     )
+
+
+def build_replay_sweep_plan(
+    app: Application,
+    engine: Engine,
+    assignments: list[dict[TaskRef, Configuration]],
+    spec: CpuSpec = XEON_E5_2670,
+    switch_overhead_s: float = 145e-6,
+    min_switch_duration_s: float = 1e-3,
+) -> SweepRunPlan:
+    """Plan every sweep point's schedule replay in one batch.
+
+    Column ``c`` replicates exactly what
+    :meth:`ReplayPolicy.plan_run` would produce for ``assignments[c]``:
+    the 1 ms-rule durations of the assigned targets are evaluated for all
+    points with one broadcast per rank, a sequential pass applies the
+    carry-current semantics per point, and the chosen configurations'
+    durations and powers are batch evaluated ``[n_tasks, n_points]`` at
+    once.  Bit-identical per point (the tests assert this).
+    """
+    time_model = TaskTimeModel(spec)
+    arrays = rank_kernel_arrays(app)
+    n_points = len(assignments)
+    rank_plans = []
+    for rank in range(app.n_ranks):
+        ka = arrays[rank]
+        ka_cols = kernel_arrays_as_columns(ka)
+        n_tasks = len(ka.kernels)
+        targets = [[None] * n_points for _ in range(n_tasks)]
+        freq = np.ones((n_tasks, n_points))
+        thr = np.ones((n_tasks, n_points), dtype=np.int64)
+        duty = np.ones((n_tasks, n_points))
+        for i in range(n_tasks):
+            ref = TaskRef(rank, i)
+            row_t = targets[i]
+            for c, assignment in enumerate(assignments):
+                target = assignment.get(ref)
+                if target is not None:
+                    row_t[c] = target
+                    freq[i, c] = target.freq_ghz
+                    thr[i, c] = target.threads
+                    duty[i, c] = target.duty
+        planned = batch_task_durations(time_model, ka_cols, freq, thr, duty)
+        # Carry-current pass, per point (cheap python over a small table;
+        # the float work above and below is batched).
+        configs: list[list[Configuration]] = []
+        current: list[Configuration | None] = [None] * n_points
+        switch_add = np.zeros((n_tasks, n_points))
+        for i in range(n_tasks):
+            row_t = targets[i]
+            row: list[Configuration] = []
+            for c in range(n_points):
+                target = row_t[c]
+                cur = current[c]
+                if target is None:
+                    if cur is None:
+                        raise KeyError(
+                            "replay schedule has no configuration for "
+                            f"first task {TaskRef(rank, i)}"
+                        )
+                    target = cur
+                elif (
+                    cur is not None
+                    and target != cur
+                    and planned[i, c] < min_switch_duration_s
+                ):
+                    target = cur  # too short to amortize the transition
+                if cur is not None and target != cur:
+                    switch_add[i, c] = switch_overhead_s
+                row.append(target)
+                current[c] = target
+            configs.append(row)
+        for i in range(n_tasks):
+            row = configs[i]
+            for c in range(n_points):
+                cfg = row[c]
+                freq[i, c] = cfg.freq_ghz
+                thr[i, c] = cfg.threads
+                duty[i, c] = cfg.duty
+        durations = batch_task_durations(
+            engine.time_models[rank], ka_cols, freq, thr, duty
+        )
+        powers = batch_task_powers(
+            engine.power_models[rank], ka_cols, freq, thr, duty
+        )
+        rank_plans.append(SweepRankPlan(
+            configs=configs,
+            durations=durations,
+            powers=powers,
+            switch_add=switch_add,
+            n_switches=np.count_nonzero(switch_add, axis=0),
+        ))
+    return SweepRunPlan(ranks=rank_plans, n_points=n_points)
+
+
+def replay_schedule_sweep(
+    app: Application,
+    assignments: list[dict[TaskRef, Configuration]],
+    power_models: list[SocketPowerModel],
+    caps_w: list[float],
+    network: NetworkModel = IB_QDR,
+    spec: CpuSpec = XEON_E5_2670,
+    slack_mode: str = "task",
+    cap_rel_tol: float = 5e-3,
+    switch_overhead_s: float = 145e-6,
+    min_switch_duration_s: float = 1e-3,
+) -> list[ReplayOutcome]:
+    """Replay one schedule per cap in a single vectorized DAG walk.
+
+    The sweep analogue of :func:`replay_schedule`: ``assignments[c]`` is
+    verified against ``caps_w[c]``, and every outcome is bit-identical to
+    the corresponding per-cap :func:`replay_schedule` call (one
+    application walk with vector clocks instead of ``len(caps_w)``
+    walks; the tests assert identity).  Falls back to per-cap scalar
+    runs when a trace recorder is active, since per-event emission needs
+    scalar timestamps.
+    """
+    from ..obs.recorder import current_recorder
+
+    if len(assignments) != len(caps_w):
+        raise ValueError(
+            f"{len(assignments)} assignments but {len(caps_w)} caps"
+        )
+    if current_recorder() is not None:
+        return [
+            replay_schedule(
+                app, assignment, power_models, cap_w,
+                network=network, spec=spec, slack_mode=slack_mode,
+                cap_rel_tol=cap_rel_tol,
+                switch_overhead_s=switch_overhead_s,
+                min_switch_duration_s=min_switch_duration_s,
+            )
+            for assignment, cap_w in zip(assignments, caps_w)
+        ]
+    engine = Engine(power_models, network=network, spec=spec)
+    policy = ReplayPolicy(
+        {},
+        spec=spec,
+        switch_overhead_s=switch_overhead_s,
+        min_switch_duration_s=min_switch_duration_s,
+    )
+    plan = build_replay_sweep_plan(
+        app, engine, assignments,
+        spec=spec,
+        switch_overhead_s=switch_overhead_s,
+        min_switch_duration_s=min_switch_duration_s,
+    )
+    sweep = engine.run_sweep(app, policy, plan)
+    # Cap verification straight from the sweep arrays: same timelines as
+    # verify_power_cap would compute per materialized result.
+    timelines = job_power_timelines_sweep(
+        sweep.starts,
+        [rp.durations for rp in plan.ranks],
+        [rp.powers for rp in plan.ranks],
+        sweep.makespans,
+        power_models,
+        slack_mode=slack_mode,
+    )
+    outcomes = []
+    for c, cap_w in enumerate(caps_w):
+        peak = timelines[c].max_power()
+        outcomes.append(ReplayOutcome(
+            result=sweep.result(c),
+            cap_w=cap_w,
+            peak_power_w=peak,
+            cap_respected=peak <= cap_w * (1.0 + cap_rel_tol),
+        ))
+    return outcomes

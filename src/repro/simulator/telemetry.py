@@ -21,8 +21,8 @@ import numpy as np
 from ..machine.power import SocketPowerModel
 from .engine import SimulationResult
 
-__all__ = ["PowerTimeline", "job_power_timeline", "rank_power_timeline",
-           "verify_power_cap"]
+__all__ = ["PowerTimeline", "job_power_timeline", "job_power_timelines_sweep",
+           "rank_power_timeline", "verify_power_cap"]
 
 
 @dataclass(frozen=True)
@@ -66,18 +66,158 @@ def job_power_timeline(
     result: SimulationResult,
     power_models: list[SocketPowerModel],
     slack_mode: str = "task",
+    reference: bool = False,
 ) -> PowerTimeline:
     """Aggregate instantaneous job power across all sockets.
 
     Built from per-rank step events: at each change point the socket's
-    power steps to the new level; summing deltas over a sorted, merged
-    event list yields the job timeline in O(E log E).
+    power steps to the new level; summing deltas over a merged event
+    list yields the job timeline in O(E log E).
+
+    The default path builds the per-rank step events with array ops;
+    ``reference=True`` runs the original per-event Python accumulation.
+    Both produce bit-identical timelines (the tests assert this): the
+    delta merge buckets by exact event time, and within a bucket the
+    deltas are added in the same insertion order either way.
     """
     if slack_mode not in ("task", "idle"):
         raise ValueError(f"slack_mode must be 'task' or 'idle', got {slack_mode!r}")
     if len(power_models) != result.n_ranks:
         raise ValueError("one power model per rank required")
+    if reference:
+        return _job_power_timeline_reference(result, power_models, slack_mode)
 
+    end = result.makespan_s
+    time_parts: list[np.ndarray] = []
+    delta_parts: list[np.ndarray] = []
+    for rank, recs in enumerate(result.records_by_rank()):
+        idle = power_models[rank].idle_power()
+        n = len(recs)
+        # Socket is at idle power from 0 to makespan as a baseline; each
+        # task contributes (power - idle) between its start and stop.
+        times = np.empty(2 * n + 2)
+        deltas = np.empty(2 * n + 2)
+        times[0] = 0.0
+        times[1] = end
+        deltas[0] = idle
+        deltas[1] = -idle
+        if n:
+            starts_raw = np.array([r.start_s for r in recs])
+            order = np.argsort(starts_raw, kind="stable")
+            starts = starts_raw[order]
+            durations = np.array([r.duration_s for r in recs])[order]
+            powers = np.array([r.power_w for r in recs])[order]
+            ends = starts + durations
+            if slack_mode == "task":
+                # Task power holds until the next task starts (or makespan).
+                stop = np.empty(n)
+                stop[:-1] = starts[1:]
+                stop[-1] = end
+                stop = np.maximum(stop, ends)  # overlap guard
+            else:
+                stop = np.minimum(ends, end)
+            start = np.minimum(starts, stop)
+            delta = powers - idle
+            times[2::2] = start
+            times[3::2] = stop
+            deltas[2::2] = delta
+            deltas[3::2] = -delta
+        time_parts.append(times)
+        delta_parts.append(deltas)
+
+    if not time_parts:
+        return PowerTimeline(times=np.array([0.0, 0.0]), power=np.array([]))
+
+    times_raw = np.concatenate(time_parts)
+    deltas = np.concatenate(delta_parts)
+    return _merge_step_events(times_raw, deltas)
+
+
+def job_power_timelines_sweep(
+    starts: list[np.ndarray],
+    durations: list[np.ndarray],
+    powers: list[np.ndarray],
+    makespans: np.ndarray,
+    power_models: list[SocketPowerModel],
+    slack_mode: str = "task",
+) -> list[PowerTimeline]:
+    """Job power timelines for a whole sweep, one column per sweep point.
+
+    ``starts[rank]`` / ``durations[rank]`` / ``powers[rank]`` are
+    ``[n_tasks, n_points]`` arrays in task-sequence order (a rank's task
+    starts are nondecreasing, so sequence order is exactly the
+    start-time order :func:`job_power_timeline` sorts into), and
+    ``makespans[c]`` closes point ``c``'s timeline.  The per-rank step
+    events are built for every point with one broadcast per rank; only
+    the coincident-time merge runs per point.  Each returned timeline is
+    bit-identical to :func:`job_power_timeline` on that point's
+    :class:`~repro.simulator.engine.SimulationResult` (the tests assert
+    this).
+    """
+    if slack_mode not in ("task", "idle"):
+        raise ValueError(f"slack_mode must be 'task' or 'idle', got {slack_mode!r}")
+    if len(power_models) != len(starts):
+        raise ValueError("one power model per rank required")
+    n_points = len(makespans)
+    end = np.asarray(makespans)
+    time_parts: list[np.ndarray] = []
+    delta_parts: list[np.ndarray] = []
+    for rank, rank_starts in enumerate(starts):
+        idle = power_models[rank].idle_power()
+        n = len(rank_starts)
+        times = np.empty((2 * n + 2, n_points))
+        deltas = np.empty((2 * n + 2, n_points))
+        times[0] = 0.0
+        times[1] = end
+        deltas[0] = idle
+        deltas[1] = -idle
+        if n:
+            ends = rank_starts + durations[rank]
+            if slack_mode == "task":
+                # Task power holds until the next task starts (or makespan).
+                stop = np.empty((n, n_points))
+                stop[:-1] = rank_starts[1:]
+                stop[-1] = end
+                stop = np.maximum(stop, ends)  # overlap guard
+            else:
+                stop = np.minimum(ends, end)
+            start = np.minimum(rank_starts, stop)
+            delta = powers[rank] - idle
+            times[2::2] = start
+            times[3::2] = stop
+            deltas[2::2] = delta
+            deltas[3::2] = -delta
+        time_parts.append(times)
+        delta_parts.append(deltas)
+
+    if not time_parts:
+        empty = PowerTimeline(times=np.array([0.0, 0.0]), power=np.array([]))
+        return [empty] * n_points
+
+    times_raw = np.concatenate(time_parts)
+    deltas = np.concatenate(delta_parts)
+    return [
+        _merge_step_events(times_raw[:, c], deltas[:, c])
+        for c in range(n_points)
+    ]
+
+
+def _merge_step_events(times_raw: np.ndarray, deltas: np.ndarray) -> PowerTimeline:
+    """Merge coincident event times, then cumulative-sum the deltas."""
+    uniq, inverse = np.unique(times_raw, return_inverse=True)
+    merged = np.zeros(len(uniq))
+    np.add.at(merged, inverse, deltas)
+    levels = np.cumsum(merged)
+    # Drop the trailing level (beyond the last breakpoint it is ~0).
+    return PowerTimeline(times=uniq, power=levels[:-1])
+
+
+def _job_power_timeline_reference(
+    result: SimulationResult,
+    power_models: list[SocketPowerModel],
+    slack_mode: str,
+) -> PowerTimeline:
+    """Per-event reference accumulation (the pre-vectorization oracle)."""
     end = result.makespan_s
     events: list[tuple[float, float]] = []  # (time, delta watts)
     for rank, recs in enumerate(result.records_by_rank()):
@@ -101,15 +241,9 @@ def job_power_timeline(
         return PowerTimeline(times=np.array([0.0, 0.0]), power=np.array([]))
 
     events.sort(key=lambda e: e[0])
-    times_raw = np.array([e[0] for e in events])
-    deltas = np.array([e[1] for e in events])
-    # Merge coincident event times, then cumulative-sum the deltas.
-    uniq, inverse = np.unique(times_raw, return_inverse=True)
-    merged = np.zeros(len(uniq))
-    np.add.at(merged, inverse, deltas)
-    levels = np.cumsum(merged)
-    # Drop the trailing level (beyond the last breakpoint it is ~0).
-    return PowerTimeline(times=uniq, power=levels[:-1])
+    return _merge_step_events(
+        np.array([e[0] for e in events]), np.array([e[1] for e in events])
+    )
 
 
 def rank_power_timeline(

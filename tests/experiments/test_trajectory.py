@@ -1,0 +1,215 @@
+"""The perf-trajectory harness and the regression gate.
+
+``benchmarks/trajectory.py`` and ``benchmarks/check_regression.py`` are
+stdlib-only scripts (not part of the ``repro`` package), loaded here by
+file path.  These tests pin the trajectory point schema, the
+best-historical-point gate, and the per-benchmark ceiling that stops a
+single wild regression from hiding inside a flat geomean.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, BENCH_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+trajectory = _load("trajectory")
+check_regression = _load("check_regression")
+
+
+def bench_doc(times: dict[str, float]) -> dict:
+    """A minimal pytest-benchmark JSON document."""
+    return {
+        "benchmarks": [
+            {"fullname": name, "stats": {"median": t, "mean": t}}
+            for name, t in times.items()
+        ]
+    }
+
+
+PROBE = trajectory.CALIBRATION_PROBE
+BASE_TIMES = {f"bench::{PROBE}": 1.0, "bench::test_a": 2.0, "bench::test_b": 4.0}
+
+
+def write_doc(path: Path, times: dict[str, float]) -> Path:
+    path.write_text(json.dumps(bench_doc(times)))
+    return path
+
+
+class TestTrajectoryPoint:
+    def test_build_emits_schema_valid_point(self):
+        point = trajectory.build_point(
+            bench_doc(BASE_TIMES), bench_doc(BASE_TIMES),
+            sha="abc1234", date="20260808",
+        )
+        assert trajectory.validate_point(point) == []
+        assert point["schema"] == trajectory.TRAJECTORY_SCHEMA_VERSION
+        assert point["kind"] == "perf_trajectory_point"
+        assert point["geomean_speedup_vs_baseline"] == pytest.approx(1.0)
+        assert trajectory.point_filename(point) == "BENCH_20260808_abc1234.json"
+
+    def test_calibration_divides_out_machine_speed(self):
+        """A uniformly 2x-slower machine is not a slowdown: the probe's
+        ratio rescales every time, leaving the speedup at 1.0."""
+        slow = {name: 2.0 * t for name, t in BASE_TIMES.items()}
+        point = trajectory.build_point(
+            bench_doc(slow), bench_doc(BASE_TIMES), sha="abc1234", date="20260808"
+        )
+        assert point["calibration"]["scale"] == pytest.approx(2.0)
+        assert point["geomean_speedup_vs_baseline"] == pytest.approx(1.0)
+        assert point["times"]["bench::test_a"] == pytest.approx(2.0)
+
+    def test_real_speedup_survives_calibration(self):
+        fast = dict(BASE_TIMES)
+        fast["bench::test_a"] = 1.0  # 2x faster; probe unchanged
+        point = trajectory.build_point(
+            bench_doc(fast), bench_doc(BASE_TIMES), sha="abc1234", date="20260808"
+        )
+        assert point["geomean_speedup_vs_baseline"] > 1.0
+
+    def test_validate_rejects_malformed_points(self):
+        good = trajectory.build_point(
+            bench_doc(BASE_TIMES), bench_doc(BASE_TIMES),
+            sha="abc1234", date="20260808",
+        )
+        assert trajectory.validate_point("not a dict")
+        assert trajectory.validate_point({**good, "schema": 99})
+        assert trajectory.validate_point({**good, "kind": "something"})
+        assert trajectory.validate_point({**good, "times": {"x": -1.0}})
+        assert trajectory.validate_point({**good, "benchmarks": [{}]})
+
+    def test_write_point_refuses_invalid(self, tmp_path):
+        with pytest.raises(ValueError, match="invalid point"):
+            trajectory.write_point({"schema": 99}, tmp_path)
+
+    def test_emit_cli_writes_point_at_out_dir(self, tmp_path, capsys):
+        fresh = write_doc(tmp_path / "fresh.json", BASE_TIMES)
+        baseline = write_doc(tmp_path / "baseline.json", BASE_TIMES)
+        rc = trajectory.main([
+            "emit", str(fresh), "--baseline", str(baseline),
+            "--out-dir", str(tmp_path), "--sha", "abc1234",
+            "--date", "20260808",
+        ])
+        assert rc == 0
+        out = tmp_path / "BENCH_20260808_abc1234.json"
+        assert out.exists()
+        assert trajectory.validate_point(json.loads(out.read_text())) == []
+        assert "geomean speedup" in capsys.readouterr().out
+        assert trajectory.main(["validate", str(out)]) == 0
+
+
+class TestTrajectoryGate:
+    def emit_history_point(self, tmp_path, times, sha) -> Path:
+        history = tmp_path / "trajectory"
+        point = trajectory.build_point(
+            bench_doc(times), bench_doc(BASE_TIMES), sha=sha, date="20260101"
+        )
+        trajectory.write_point(point, history)
+        return history
+
+    def test_first_point_always_passes(self, tmp_path, capsys):
+        fresh = write_doc(tmp_path / "fresh.json", BASE_TIMES)
+        baseline = write_doc(tmp_path / "baseline.json", BASE_TIMES)
+        rc = trajectory.main([
+            "check", str(fresh), "--baseline", str(baseline),
+            "--history", str(tmp_path / "empty"),
+        ])
+        assert rc == 0
+        assert "first point always passes" in capsys.readouterr().out
+
+    def test_plateau_within_threshold_passes(self, tmp_path):
+        history = self.emit_history_point(tmp_path, BASE_TIMES, "aaaaaaa")
+        fresh = write_doc(tmp_path / "fresh.json", BASE_TIMES)
+        baseline = write_doc(tmp_path / "baseline.json", BASE_TIMES)
+        rc = trajectory.main([
+            "check", str(fresh), "--baseline", str(baseline),
+            "--history", str(history), "--threshold", "25",
+        ])
+        assert rc == 0
+
+    def test_backslide_from_best_point_fails_with_diff_table(
+        self, tmp_path, capsys
+    ):
+        """The gate compares against the *best* historical point, and a
+        trip prints a readable per-benchmark table, not a bare assert."""
+        fast = dict(BASE_TIMES)
+        fast["bench::test_a"] = 0.5  # the best point: 4x on test_a
+        history = self.emit_history_point(tmp_path, fast, "aaaaaaa")
+        fresh = write_doc(tmp_path / "fresh.json", BASE_TIMES)
+        baseline = write_doc(tmp_path / "baseline.json", BASE_TIMES)
+        rc = trajectory.main([
+            "check", str(fresh), "--baseline", str(baseline),
+            "--history", str(history), "--threshold", "10",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL: performance slid back" in out
+        assert "best historical point: BENCH_20260101_aaaaaaa.json" in out
+        assert "bench::test_a" in out  # the diff table names the culprit
+
+    def test_invalid_history_points_are_skipped(self, tmp_path, capsys):
+        history = tmp_path / "trajectory"
+        history.mkdir()
+        (history / "BENCH_20260101_aaaaaaa.json").write_text("{\"schema\": 99}")
+        assert trajectory.load_history([history]) == []
+        assert "invalid trajectory point" in capsys.readouterr().out
+
+
+class TestRegressionPerBenchCeiling:
+    def test_wild_single_regression_fails_despite_flat_geomean(self, capsys):
+        """Many small improvements must not buy cover for one benchmark
+        doubling its time."""
+        fresh = dict(BASE_TIMES)
+        fresh["bench::test_a"] = 4.4  # +120%
+        fresh["bench::test_b"] = 1.8  # -55%: geomean stays within 5%
+        rc = check_regression.compare(
+            BASE_TIMES, fresh, threshold_pct=5.0, calibrate=PROBE,
+            aggregate=True,
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "OK: aggregate within the 5% gate" in out
+        assert "per-benchmark ceiling" in out
+        assert "bench::test_a" in out
+
+    def test_allow_list_exempts_known_noisy_bench(self, capsys):
+        fresh = dict(BASE_TIMES)
+        fresh["bench::test_a"] = 4.4
+        fresh["bench::test_b"] = 1.8
+        rc = check_regression.compare(
+            BASE_TIMES, fresh, threshold_pct=5.0, calibrate=PROBE,
+            aggregate=True, allow=["test_a"],
+        )
+        assert rc == 0
+        assert "(allowed)" in capsys.readouterr().out
+
+    def test_aggregate_breach_still_fails(self, capsys):
+        fresh = {name: 1.5 * t for name, t in BASE_TIMES.items()}
+        fresh[f"bench::{PROBE}"] = BASE_TIMES[f"bench::{PROBE}"]  # probe flat
+        rc = check_regression.compare(
+            BASE_TIMES, fresh, threshold_pct=5.0, calibrate=PROBE,
+            aggregate=True,
+        )
+        assert rc == 1
+        assert "FAIL: aggregate exceeds the 5% gate" in capsys.readouterr().out
+
+    def test_calibration_probe_is_exempt(self):
+        """A slow probe rescales the run instead of failing it."""
+        fresh = {name: 2.0 * t for name, t in BASE_TIMES.items()}
+        rc = check_regression.compare(
+            BASE_TIMES, fresh, threshold_pct=5.0, calibrate=PROBE,
+            aggregate=True,
+        )
+        assert rc == 0

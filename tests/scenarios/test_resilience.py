@@ -142,3 +142,34 @@ class TestJournalResume:
         path = tmp_path / "nested" / "j.jsonl"
         run_scenarios(small_spec(caps=(40.0, 60.0)), journal=path)
         assert len(SweepJournal(path)) == 2
+
+
+class TestVectorizedGoldenResume:
+    def test_journaled_resume_of_vectorized_sweep_matches_clean_scalar_run(
+        self, tmp_path, monkeypatch
+    ):
+        """Golden: interrupt a (vectorized-default) sweep after its first
+        journaled cell, resume it, and compare against a clean run with
+        every engine replay forced down the scalar reference path.  The
+        vectorized fast path must not be observable in the results, even
+        across a checkpoint/resume boundary."""
+        from repro.simulator.engine import Engine
+
+        path = tmp_path / "j.jsonl"
+        run_scenarios(small_spec(), journal=path)
+        # Keep only the first journaled cell, as if the process died there.
+        first_line = path.read_text().splitlines()[0]
+        path.write_text(first_line + "\n")
+        resumed = run_scenarios(small_spec(), journal=path)
+
+        real_run = Engine.run
+        monkeypatch.setattr(
+            Engine,
+            "run",
+            lambda self, app, policy, vectorized=None: real_run(
+                self, app, policy, vectorized=False
+            ),
+        )
+        scalar = run_scenarios(small_spec())
+        assert times(resumed) == times(scalar)
+        assert not resumed.failed_cells()
