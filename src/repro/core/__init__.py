@@ -7,6 +7,13 @@ All formulations compile from the shared :mod:`.model` IR: build a
 """
 
 from .bottleneck import BottleneckReport, analyze_bottlenecks
+from .device_split import (
+    SPLIT_ROW_TAG,
+    DeviceSplitResult,
+    best_static_split,
+    compile_device_split,
+    solve_device_split_lp,
+)
 from .energy_lp import EnergyLpResult, compile_energy, solve_energy_lp
 from .events import EventStructure, build_event_structure
 from .fixed_order_lp import (
@@ -59,6 +66,7 @@ __all__ = [
     "CAP_ROW_TAG",
     "CapSweepResult",
     "CompiledModel",
+    "DeviceSplitResult",
     "EnergyLpResult",
     "EventStructure",
     "FixedOrderLpResult",
@@ -74,17 +82,21 @@ __all__ = [
     "ParametricCapSolver",
     "PowerSchedule",
     "ProblemInstance",
+    "SPLIT_ROW_TAG",
     "TaskAssignment",
     "TaskFrontier",
     "ValidationReport",
     "analyze_bottlenecks",
     "base_model",
+    "best_static_split",
     "build_event_structure",
     "build_problem_instance",
+    "compile_device_split",
     "compile_energy",
     "compile_fixed_order",
     "compile_flow_ilp",
     "extract_schedule",
+    "solve_device_split_lp",
     "load_schedule",
     "round_schedule",
     "save_schedule",

@@ -44,11 +44,14 @@ def schedule_to_dict(schedule: PowerSchedule) -> dict:
                 "edge_id": a.edge_id,
                 "duration_s": a.duration_s,
                 "power_w": a.power_w,
+                # Legacy (homogeneous) mixtures omit the device key so the
+                # serialized document is byte-identical to format v1 files.
                 "mixture": [
                     {
                         "freq_ghz": p.config.freq_ghz,
                         "threads": p.config.threads,
                         "duty": p.config.duty,
+                        **({"device": p.config.device} if p.config.device else {}),
                         "duration_s": p.duration_s,
                         "power_w": p.power_w,
                         "fraction": f,
@@ -75,7 +78,12 @@ def schedule_from_dict(data: dict) -> PowerSchedule:
         mixture = tuple(
             (
                 ConfigPoint(
-                    Configuration(m["freq_ghz"], m["threads"], m["duty"]),
+                    Configuration(
+                        m["freq_ghz"],
+                        m["threads"],
+                        m["duty"],
+                        m.get("device", ""),
+                    ),
                     m["duration_s"],
                     m["power_w"],
                 ),

@@ -6,6 +6,9 @@ from .analysis import (
     edge_slack,
     fastest_configurations,
     fastest_durations,
+    frontier_fastest_configurations,
+    frontier_fastest_durations,
+    frontier_unconstrained_schedule,
     schedule_fixed_durations,
     unconstrained_schedule,
 )
@@ -27,6 +30,9 @@ __all__ = [
     "edge_slack",
     "fastest_configurations",
     "fastest_durations",
+    "frontier_fastest_configurations",
+    "frontier_fastest_durations",
+    "frontier_unconstrained_schedule",
     "reduce_slack",
     "stretch_limits",
     "schedule_fixed_durations",

@@ -72,11 +72,16 @@ def _kernel_doc(kernel: TaskKernel | None) -> list | None:
 
 
 def _frontier_doc(points: list[ConfigPoint]) -> list[list]:
+    # The device id is part of every point: operating points that agree
+    # numerically but live on different devices (heterogeneous nodes) must
+    # never share a fingerprint, or a cached solution from one machine
+    # shape could be served against another.
     return [
         [
             p.config.freq_ghz,
             p.config.threads,
             p.config.duty,
+            p.config.device,
             p.duration_s,
             p.power_w,
         ]

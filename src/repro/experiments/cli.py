@@ -102,6 +102,9 @@ EXHIBITS = {
     ),
     "sensitivity": lambda q, n: _sensitivity(q),
     "headline": lambda q, n: figures.headline_summary(n),
+    "powershift": lambda q, n: figures.powershift_figure(
+        n_ranks=min(n, 8), quick=q
+    ),
 }
 
 def _run_config(args) -> ExperimentConfig:
@@ -173,6 +176,16 @@ def _scenario_spec(args, caps: tuple[float, ...] | None, parser) -> ScenarioSpec
             policies=tuple(PolicySpec(n) for n in names),
             **_scenario_protocol(args),
         )
+    if args.node is not None:
+        from ..machine.device import node_names
+
+        if args.node not in node_names():
+            parser.error(
+                f"unknown node {args.node!r}; choose from {node_names()}"
+            )
+        doc = spec.to_doc()
+        doc["node"] = args.node
+        spec = ScenarioSpec.from_doc(doc)
     if args.baseline is not None and args.baseline not in spec.policy_labels():
         parser.error(
             f"--baseline {args.baseline!r} is not in the scenario; "
@@ -277,6 +290,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--caps", metavar="LIST", default=None,
                         help="comma-separated per-socket caps (W) for the "
                              "sweep subcommand (default: the paper's grid)")
+    parser.add_argument("--node", metavar="NAME", default=None,
+                        help="typed-device node for an N-way run/sweep "
+                             "(e.g. cpu-gpu, big-little; default: the "
+                             "legacy homogeneous socket — docs/machine.md)")
     parser.add_argument("--baseline", metavar="POLICY", default=None,
                         help="policy the N-way improvement columns compare "
                              "against (default: the first policy)")
@@ -357,6 +374,8 @@ def main(argv: list[str] | None = None) -> int:
     if resilience_flags and command not in ("run", "sweep"):
         parser.error("--keep-going/--journal/--inject-faults only apply to "
                      "the run and sweep subcommands")
+    if args.node and command not in ("run", "sweep"):
+        parser.error("--node only applies to the run and sweep subcommands")
     faults = None
     if args.inject_faults:
         try:
@@ -469,6 +488,9 @@ def main(argv: list[str] | None = None) -> int:
         if resilience_flags and not n_way:
             parser.error("--keep-going/--journal/--inject-faults require an "
                          "N-way run (--policies or --scenario)")
+        if args.node and not n_way:
+            parser.error("--node requires an N-way run "
+                         "(--policies or --scenario)")
         if not n_way:
             # Historical three-way output (byte-stable for CI greps).
             cfg = _run_config(args)

@@ -21,7 +21,24 @@ from .configuration import (
     measure_task_space,
 )
 from .cpu import XEON_E5_2670, CpuSpec, effective_frequency
-from .frontiers import FrontierProfile, FrontierStore
+from .device import (
+    LEGACY_DEVICE_ID,
+    LEGACY_NODE,
+    AcceleratorDevice,
+    CpuDevice,
+    DeviceKind,
+    DeviceSpec,
+    GpuDevice,
+    NodeSpec,
+    device_power_groups,
+    get_node,
+    measure_device_task_space,
+    node_names,
+    node_registry,
+    rank_nodes,
+    single_socket_node,
+)
+from .frontiers import FrontierProfile, FrontierStore, NodeFrontierStore
 from .pareto import (
     bracket_for_power,
     convex_frontier,
@@ -35,13 +52,22 @@ from .rapl import RaplController, RaplDecision
 from .variability import make_power_models, sample_socket_efficiencies
 
 __all__ = [
+    "AcceleratorDevice",
     "CalibrationResult",
     "ConfigPoint",
     "Configuration",
+    "CpuDevice",
     "CpuSpec",
     "DEFAULT_POWER_PARAMS",
+    "DeviceKind",
+    "DeviceSpec",
     "FrontierProfile",
     "FrontierStore",
+    "GpuDevice",
+    "LEGACY_DEVICE_ID",
+    "LEGACY_NODE",
+    "NodeFrontierStore",
+    "NodeSpec",
     "PowerModelParams",
     "RaplController",
     "RaplDecision",
@@ -51,15 +77,22 @@ __all__ = [
     "XEON_E5_2670",
     "bracket_for_power",
     "convex_frontier",
+    "device_power_groups",
     "effective_frequency",
     "enumerate_configurations",
+    "get_node",
     "interpolate_duration",
     "make_power_models",
+    "measure_device_task_space",
     "measure_task",
     "measure_task_space",
     "nearest_point",
+    "node_names",
+    "node_registry",
     "pareto_frontier",
+    "rank_nodes",
     "sample_socket_efficiencies",
+    "single_socket_node",
     "PowerSample",
     "fit_power_model",
     "sample_power_model",

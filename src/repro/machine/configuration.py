@@ -25,11 +25,20 @@ class Configuration:
     ``duty`` is 1.0 except when RAPL falls back to clock modulation; the LP
     never schedules modulated configurations (they are strictly dominated),
     but the Static baseline can be forced into them.
+
+    ``device`` qualifies the operating point with the device it belongs to
+    on a heterogeneous node (see :mod:`repro.machine.device`).  The empty
+    string is the legacy homogeneous socket, so every pre-existing
+    ``Configuration(f, n)`` literal keeps its meaning, ordering, and
+    equality.  ``device`` sorts last, which keeps ordering stable across
+    device kinds: points that tie on (freq, threads, duty) break the tie
+    on the device id rather than on construction order.
     """
 
     freq_ghz: float
     threads: int
     duty: float = 1.0
+    device: str = ""
 
     def __post_init__(self) -> None:
         if self.freq_ghz <= 0:
@@ -44,8 +53,10 @@ class Configuration:
         return self.freq_ghz * self.duty
 
     def describe(self) -> str:
+        """Human-readable form, device-tagged when not the legacy CPU."""
         mod = "" if self.duty == 1.0 else f" @ {self.duty:.0%} duty"
-        return f"{self.freq_ghz:.1f} GHz x {self.threads}t{mod}"
+        tag = f"[{self.device}] " if self.device else ""
+        return f"{tag}{self.freq_ghz:.1f} GHz x {self.threads}t{mod}"
 
 
 @dataclass(frozen=True)

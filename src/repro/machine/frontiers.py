@@ -23,11 +23,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from .configuration import ConfigPoint, measure_task_space
+from .device import NodeSpec, measure_device_task_space
 from .pareto import convex_frontier, pareto_frontier
 from .performance import TaskKernel
 from .power import SocketPowerModel
 
-__all__ = ["FrontierProfile", "FrontierStore"]
+__all__ = ["FrontierProfile", "FrontierStore", "NodeFrontierStore"]
 
 
 @dataclass(frozen=True)
@@ -137,6 +138,105 @@ class FrontierStore:
         their own point sets (partial exploration, executed-run traces).
         """
         return pareto_frontier(points), convex_frontier(points)
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+
+class NodeFrontierStore:
+    """Per-device frontier store for heterogeneous nodes.
+
+    The node-level profile of a (rank, kernel) pair is the union of the
+    kernel's measured operating-point scatters across every device of that
+    rank's node that supports the kernel, reduced by the same
+    Pareto/convex pipeline as the homogeneous store.  The API is
+    duck-compatible with :class:`FrontierStore` (``profile`` / ``points``
+    / ``pareto`` / ``convex`` / ``reduce``), so the tracer, the LP, and
+    every runtime policy consume either store unchanged.
+
+    On a one-device node built by
+    :func:`repro.machine.device.single_socket_node` the measured points,
+    their order, and both reductions are exactly the legacy
+    :class:`FrontierStore` output: the device delegates to the same
+    analytic models and tags its configurations with the reserved legacy
+    device id.
+
+    Noise draws follow the same discipline as :class:`FrontierStore`:
+    per (kernel, node) on first touch, in call order, duration then power
+    per point, with devices visited in node order.
+    """
+
+    def __init__(
+        self,
+        nodes: list[NodeSpec],
+        measurement_noise: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if measurement_noise < 0:
+            raise ValueError("measurement_noise must be >= 0")
+        if not nodes:
+            raise ValueError("need at least one node")
+        self.nodes = list(nodes)
+        self.measurement_noise = float(measurement_noise)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._canon = self._canonical_ranks()
+        self._profiles: dict[tuple[TaskKernel, int], FrontierProfile] = {}
+
+    def _canonical_ranks(self) -> list[int]:
+        """Map each rank to the first rank with an equal node (noiseless only)."""
+        if self.measurement_noise > 0:
+            return list(range(len(self.nodes)))
+        canon: list[int] = []
+        for r, node in enumerate(self.nodes):
+            match = r
+            for r2 in range(r):
+                if self.nodes[r2] is node or self.nodes[r2] == node:
+                    match = r2
+                    break
+            canon.append(match)
+        return canon
+
+    # ------------------------------------------------------------------
+    def profile(self, rank: int, kernel: TaskKernel) -> FrontierProfile:
+        """The merged (points, pareto, convex) profile on a rank's node."""
+        key = (kernel, self._canon[rank])
+        prof = self._profiles.get(key)
+        if prof is None:
+            node = self.nodes[key[1]]
+            points: list[ConfigPoint] = []
+            for dev in node.devices:
+                if dev.supports(kernel):
+                    points.extend(measure_device_task_space(kernel, dev))
+            if not points:
+                raise ValueError(
+                    f"no device on node {node.name!r} supports kernel "
+                    f"{kernel.name or kernel!r}"
+                )
+            if self.measurement_noise > 0:
+                sigma = self.measurement_noise
+                noisy = []
+                for p in points:
+                    td = self._rng.lognormal(0.0, sigma)
+                    tp = self._rng.lognormal(0.0, sigma)
+                    noisy.append(
+                        ConfigPoint(p.config, p.duration_s * td, p.power_w * tp)
+                    )
+                points = noisy
+            pareto, convex = FrontierStore.reduce(points)
+            prof = FrontierProfile(points=points, pareto=pareto, convex=convex)
+            self._profiles[key] = prof
+        return prof
+
+    def points(self, rank: int, kernel: TaskKernel) -> list[ConfigPoint]:
+        return self.profile(rank, kernel).points
+
+    def pareto(self, rank: int, kernel: TaskKernel) -> list[ConfigPoint]:
+        return self.profile(rank, kernel).pareto
+
+    def convex(self, rank: int, kernel: TaskKernel) -> list[ConfigPoint]:
+        return self.profile(rank, kernel).convex
+
+    reduce = staticmethod(FrontierStore.reduce)
 
     def __len__(self) -> int:
         return len(self._profiles)

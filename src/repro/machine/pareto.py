@@ -41,8 +41,11 @@ def pareto_frontier(points: list[ConfigPoint]) -> list[ConfigPoint]:
         return []
     # Sort by power asc, then duration asc: scanning in this order, a point
     # is Pareto-efficient iff its duration is strictly below every duration
-    # seen so far.
-    ordered = sorted(points, key=lambda p: (p.power_w, p.duration_s))
+    # seen so far.  The configuration itself is the final sort key so that
+    # exact (power, duration) ties pick a deterministic representative even
+    # when the scatter mixes points from several devices — input order is
+    # not stable across node compositions.
+    ordered = sorted(points, key=lambda p: (p.power_w, p.duration_s, p.config))
     frontier: list[ConfigPoint] = []
     best_duration = float("inf")
     for p in ordered:
@@ -118,7 +121,11 @@ def interpolate_duration(hull: list[ConfigPoint], power_w: float) -> float:
 
 
 def nearest_point(hull: list[ConfigPoint], power_w: float) -> ConfigPoint:
-    """Hull point closest in power — the paper's discrete rounding rule."""
+    """Hull point closest in power — the paper's discrete rounding rule.
+
+    Exact ties break on the configuration so the pick is stable across
+    device kinds (mixed-device hulls have no meaningful input order).
+    """
     if not hull:
         raise ValueError("empty frontier")
-    return min(hull, key=lambda p: (abs(p.power_w - power_w), p.duration_s))
+    return min(hull, key=lambda p: (abs(p.power_w - power_w), p.duration_s, p.config))

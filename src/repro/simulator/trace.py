@@ -27,7 +27,7 @@ from ..dag.graph import TaskGraph, VertexKind
 from ..exec.timing import span
 from ..machine.configuration import ConfigPoint
 from ..machine.cpu import CpuSpec, XEON_E5_2670
-from ..machine.frontiers import FrontierStore
+from ..machine.frontiers import FrontierStore, NodeFrontierStore
 from ..machine.power import SocketPowerModel
 from .network import IB_QDR, NetworkModel
 from .program import (
@@ -59,6 +59,19 @@ class Trace:
 
     def frontier_for(self, ref: TaskRef) -> list[ConfigPoint]:
         return self.frontiers[self.task_edges[ref]]
+
+    @property
+    def uses_devices(self) -> bool:
+        """True when any frontier point is device-qualified.
+
+        Traces from heterogeneous nodes carry per-device configurations;
+        consumers that assume the homogeneous CPU time model (the default
+        initial schedule, the batch evaluators) check this and switch to
+        frontier-driven paths.
+        """
+        return any(
+            p.config.device for points in self.pareto.values() for p in points
+        )
 
     def describe(self) -> str:
         """One-line human-readable summary."""
@@ -202,7 +215,7 @@ def trace_application(
     spec: CpuSpec = XEON_E5_2670,
     measurement_noise: float = 0.0,
     seed: int = 0,
-    frontier_store: FrontierStore | None = None,
+    frontier_store: FrontierStore | NodeFrontierStore | None = None,
 ) -> Trace:
     """Trace an application and profile every task across all configurations.
 
@@ -231,7 +244,7 @@ def _trace_application(
     spec: CpuSpec,
     measurement_noise: float,
     seed: int,
-    frontier_store: FrontierStore | None = None,
+    frontier_store: FrontierStore | NodeFrontierStore | None = None,
 ) -> Trace:
     if len(power_models) != app.n_ranks:
         raise ValueError(

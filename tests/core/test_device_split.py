@@ -1,0 +1,134 @@
+"""Static device-split caps: the EcoShift-style baseline vs the LP."""
+
+import pytest
+
+from repro.core.device_split import (
+    SPLIT_ROW_TAG,
+    best_static_split,
+    compile_device_split,
+    solve_device_split_lp,
+)
+from repro.core.fixed_order_lp import solve_fixed_order_lp
+from repro.core.model import build_problem_instance
+from repro.machine.device import device_power_groups, get_node, rank_nodes
+from repro.machine.frontiers import NodeFrontierStore
+from repro.machine.variability import make_power_models
+from repro.simulator.trace import trace_application
+from repro.workloads.synthetic import phased_offload_app
+
+N_RANKS = 2
+CAP_W = 120.0  # 60 W/socket
+
+
+@pytest.fixture(scope="module")
+def het_instance():
+    app = phased_offload_app(n_ranks=N_RANKS, iterations=2)
+    pm = make_power_models(N_RANKS, efficiency_seed=42)
+    nodes = rank_nodes(get_node("cpu-gpu"), pm)
+    store = NodeFrontierStore(nodes)
+    trace = trace_application(app, pm, frontier_store=store)
+    return build_problem_instance(trace), device_power_groups(nodes[0])
+
+
+class TestCompileDeviceSplit:
+    def test_shares_must_sum_to_one(self, het_instance):
+        instance, groups = het_instance
+        with pytest.raises(ValueError, match="sum to 1"):
+            compile_device_split(instance, CAP_W, {"cpu": 0.6, "offload": 0.6},
+                                 groups)
+
+    def test_shares_must_be_nonnegative(self, het_instance):
+        instance, groups = het_instance
+        with pytest.raises(ValueError, match=">= 0"):
+            compile_device_split(
+                instance, CAP_W, {"cpu": 1.5, "offload": -0.5}, groups
+            )
+
+    def test_device_in_two_groups_rejected(self, het_instance):
+        instance, _ = het_instance
+        with pytest.raises(ValueError, match="two groups"):
+            compile_device_split(
+                instance, CAP_W, {"cpu": 0.5, "offload": 0.5},
+                {"cpu": ("cpu0",), "offload": ("cpu0", "gpu0")},
+            )
+
+    def test_split_rows_are_tagged(self, het_instance):
+        instance, groups = het_instance
+        compiled = compile_device_split(
+            instance, CAP_W, {"cpu": 0.5, "offload": 0.5}, groups
+        )
+        tags = set(compiled.lp.freeze().tags)
+        assert f"{SPLIT_ROW_TAG}:cpu" in tags
+        assert f"{SPLIT_ROW_TAG}:offload" in tags
+
+    def test_unmapped_device_is_an_error(self, het_instance):
+        instance, _ = het_instance
+        with pytest.raises(ValueError, match="belongs to no group"):
+            compile_device_split(
+                instance, CAP_W, {"cpu": 0.5, "offload": 0.5},
+                {"cpu": ("cpu0",), "offload": ()},
+            )
+
+
+class TestSplitVsAggregate:
+    def test_every_split_is_a_restriction_of_the_lp(self, het_instance):
+        """Split feasible region ⊂ LP feasible region ⇒ never faster."""
+        instance, groups = het_instance
+        lp = solve_fixed_order_lp(instance.trace, CAP_W, instance=instance)
+        assert lp.feasible
+        for share in (0.3, 0.5, 0.7):
+            split = solve_device_split_lp(
+                instance, CAP_W, {"cpu": share, "offload": 1.0 - share}, groups
+            )
+            if split.feasible:
+                assert split.makespan_s >= lp.makespan_s - 1e-9
+
+    def test_lp_strictly_beats_best_split_on_phased_workload(self, het_instance):
+        """The headline claim: dynamic cross-device shifting has value."""
+        instance, groups = het_instance
+        lp = solve_fixed_order_lp(instance.trace, CAP_W, instance=instance)
+        result = best_static_split(instance, CAP_W, groups)
+        assert result.feasible
+        assert lp.makespan_s < result.makespan_s * (1 - 1e-6)
+
+    def test_best_split_scans_all_shares(self, het_instance):
+        instance, groups = het_instance
+        shares = (0.4, 0.6)
+        result = best_static_split(instance, CAP_W, groups, cpu_shares=shares)
+        assert set(result.per_share) == set(shares)
+        achieved = [t for t in result.per_share.values() if t is not None]
+        assert result.makespan_s == min(achieved)
+        assert result.per_share[result.best_share] == result.makespan_s
+
+    def test_groups_shape_is_enforced(self, het_instance):
+        instance, _ = het_instance
+        with pytest.raises(ValueError, match="cpu/offload"):
+            best_static_split(instance, CAP_W, {"cpu": ("cpu0",)})
+
+    def test_all_infeasible_scan_reports_unfeasible(self, het_instance):
+        instance, groups = het_instance
+        # 1 W starves every device; every split is infeasible.
+        result = best_static_split(instance, 1.0, groups)
+        assert not result.feasible
+        assert result.best_share is None
+        assert all(t is None for t in result.per_share.values())
+        with pytest.raises(ValueError, match="no feasible"):
+            _ = result.makespan_s
+
+
+class TestLegacyGroupMapping:
+    def test_legacy_empty_device_counts_as_cpu(self):
+        """A homogeneous trace splits cleanly: "" maps to the cpu group."""
+        app = phased_offload_app(n_ranks=N_RANKS, iterations=2)
+        pm = make_power_models(N_RANKS, efficiency_seed=42)
+        instance = build_problem_instance(trace_application(app, pm))
+        compiled = compile_device_split(
+            instance, CAP_W, {"cpu": 1.0, "offload": 0.0},
+            {"cpu": (), "offload": ()},
+        )
+        tags = set(compiled.lp.freeze().tags)
+        assert f"{SPLIT_ROW_TAG}:cpu" in tags
+        # All power on the cpu side: same optimum as the plain LP.
+        split = compiled.lp.solve()
+        plain = solve_fixed_order_lp(instance.trace, CAP_W, instance=instance)
+        assert split.objective == pytest.approx(plain.makespan_s, rel=1e-6)

@@ -1,0 +1,267 @@
+"""Typed devices and heterogeneous nodes: the machine layer's new unit."""
+
+import numpy as np
+import pytest
+
+from repro.machine.configuration import Configuration, measure_task_space
+from repro.machine.cpu import XEON_E5_2670
+from repro.machine.device import (
+    AcceleratorDevice,
+    CpuDevice,
+    DeviceKind,
+    DeviceSpec,
+    GpuDevice,
+    LEGACY_DEVICE_ID,
+    LEGACY_NODE,
+    NodeSpec,
+    device_power_groups,
+    get_node,
+    measure_device_task_space,
+    node_names,
+    node_registry,
+    rank_nodes,
+    single_socket_node,
+)
+from repro.machine.frontiers import FrontierStore, NodeFrontierStore
+from repro.machine.performance import TaskKernel
+from repro.machine.power import SocketPowerModel
+from repro.machine.variability import make_power_models
+
+KERNEL = TaskKernel(cpu_seconds=0.5, mem_seconds=0.1, name="unit")
+PARALLEL = TaskKernel(
+    cpu_seconds=1.0, mem_seconds=0.05, parallel_fraction=0.995, name="wide"
+)
+SERIAL = TaskKernel(cpu_seconds=0.5, parallel_fraction=0.3, name="narrow")
+
+
+class TestCpuDevice:
+    def test_satisfies_protocol(self):
+        assert isinstance(CpuDevice(), DeviceSpec)
+        assert isinstance(GpuDevice(), DeviceSpec)
+        assert isinstance(AcceleratorDevice(), DeviceSpec)
+
+    def test_legacy_device_matches_legacy_models_exactly(self):
+        dev = CpuDevice()  # reserved empty id, XEON_E5_2670, efficiency 1.0
+        pm = SocketPowerModel()
+        legacy = measure_task_space(KERNEL, pm)
+        mine = measure_device_task_space(KERNEL, dev)
+        assert mine == legacy  # same order, bit-identical numbers
+
+    def test_operating_points_tagged_with_device_id(self):
+        dev = CpuDevice(device_id="cpu0")
+        pts = dev.operating_points()
+        assert pts and all(cfg.device == "cpu0" for cfg in pts)
+
+    def test_kind_must_be_cpu(self):
+        with pytest.raises(ValueError, match="CPU kind"):
+            CpuDevice(kind=DeviceKind.GPU)
+
+    def test_time_scale_stretches_duration(self):
+        fast = CpuDevice(device_id="a")
+        slow = CpuDevice(device_id="a", time_scale=1.3)
+        cfg = fast.operating_points()[0]
+        assert slow.duration(KERNEL, cfg) == pytest.approx(
+            1.3 * fast.duration(KERNEL, cfg)
+        )
+
+
+class TestGpuDevice:
+    def test_pstates_descending_and_bounded(self):
+        gpu = GpuDevice()
+        ps = gpu.pstates
+        assert ps[0] == gpu.fmax_ghz and ps[-1] == gpu.fmin_ghz
+        assert all(a > b for a, b in zip(ps, ps[1:]))
+
+    def test_wide_kernels_beat_cpu_serial_kernels_lose(self):
+        gpu, cpu = GpuDevice(), CpuDevice()
+        fast_gpu = min(
+            p.duration_s for p in measure_device_task_space(PARALLEL, gpu)
+        )
+        fast_cpu = min(
+            p.duration_s for p in measure_device_task_space(PARALLEL, cpu)
+        )
+        assert fast_gpu < fast_cpu
+        slow_gpu = min(
+            p.duration_s for p in measure_device_task_space(SERIAL, gpu)
+        )
+        slow_cpu = min(
+            p.duration_s for p in measure_device_task_space(SERIAL, cpu)
+        )
+        assert slow_cpu < slow_gpu
+
+    def test_power_monotone_in_frequency(self):
+        gpu = GpuDevice()
+        powers = [
+            gpu.power(KERNEL, cfg) for cfg in gpu.operating_points()
+        ]
+        assert all(a > b for a, b in zip(powers, powers[1:]))
+
+
+class TestAcceleratorDevice:
+    def test_supports_filter(self):
+        acc = AcceleratorDevice(supported=("fft",))
+        assert acc.supports(TaskKernel(cpu_seconds=1.0, name="fft"))
+        assert not acc.supports(TaskKernel(cpu_seconds=1.0, name="other"))
+        assert AcceleratorDevice().supports(KERNEL)  # empty tuple: everything
+
+    def test_single_operating_point(self):
+        acc = AcceleratorDevice()
+        pts = acc.operating_points()
+        assert len(pts) == 1 and pts[0].device == "acc0"
+
+
+class TestNodeSpec:
+    def test_needs_devices(self):
+        with pytest.raises(ValueError, match="at least one device"):
+            NodeSpec(name="empty", devices=())
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="duplicate device ids"):
+            NodeSpec(name="dup", devices=(CpuDevice(device_id="x"),
+                                          GpuDevice(device_id="x")))
+
+    def test_empty_id_reserved_for_single_device(self):
+        with pytest.raises(ValueError, match="reserved"):
+            NodeSpec(name="bad", devices=(CpuDevice(), GpuDevice()))
+
+    def test_device_lookup_and_error(self):
+        node = get_node("cpu-gpu")
+        assert node.device("gpu0").kind is DeviceKind.GPU
+        with pytest.raises(KeyError, match="no device 'nope'"):
+            node.device("nope")
+
+    def test_heterogeneity_flag(self):
+        assert not single_socket_node().is_heterogeneous
+        assert get_node("cpu-gpu").is_heterogeneous
+
+    def test_idle_power_sums_devices(self):
+        node = get_node("cpu-gpu")
+        assert node.idle_power() == pytest.approx(
+            sum(d.idle_power() for d in node.devices)
+        )
+
+    def test_with_cpu_efficiency_spares_non_cpu_devices(self):
+        node = get_node("cpu-gpu").with_cpu_efficiency(1.1)
+        assert node.device("cpu0").efficiency == 1.1
+        assert node.device("gpu0").efficiency == 1.0
+
+
+class TestRegistry:
+    def test_names_and_lookup(self):
+        names = node_names()
+        assert LEGACY_NODE in names and "cpu-gpu" in names
+        for name in names:
+            assert get_node(name).name == name
+
+    def test_unknown_node_lists_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            get_node("beefy")
+
+    def test_registry_is_fresh_per_call(self):
+        assert node_registry() == node_registry()
+
+    def test_rank_nodes_applies_per_rank_cpu_efficiency(self):
+        pm = make_power_models(3, efficiency_seed=7)
+        nodes = rank_nodes(get_node("cpu-gpu"), pm)
+        assert [n.device("cpu0").efficiency for n in nodes] == [
+            m.efficiency for m in pm
+        ]
+        assert all(n.device("gpu0").efficiency == 1.0 for n in nodes)
+
+    def test_device_power_groups(self):
+        groups = device_power_groups(get_node("cpu-gpu-acc"))
+        assert groups == {"cpu": ("cpu0",), "offload": ("gpu0", "acc0")}
+        legacy = device_power_groups(single_socket_node())
+        assert legacy == {"cpu": (LEGACY_DEVICE_ID,), "offload": ()}
+
+
+class TestConfigurationOrdering:
+    """Satellite: stable, total ordering across device kinds."""
+
+    def test_device_is_the_final_tiebreak(self):
+        a = Configuration(2.0, 4, device="cpu0")
+        b = Configuration(2.0, 4, device="gpu0")
+        assert a < b  # equal operating point: device id decides
+        assert sorted([b, a]) == [a, b]
+
+    def test_legacy_configs_sort_before_device_tagged(self):
+        legacy = Configuration(2.0, 4)
+        tagged = Configuration(2.0, 4, device="cpu0")
+        assert legacy < tagged
+
+    def test_sort_is_deterministic_across_mixed_kinds(self):
+        node = get_node("cpu-gpu-acc")
+        pts = [cfg for d in node.devices for cfg in d.operating_points()]
+        assert sorted(pts) == sorted(reversed(pts))
+
+    def test_describe_tags_device(self):
+        assert Configuration(2.0, 4).describe() == "2.0 GHz x 4t"
+        assert (
+            Configuration(1.4, 1, device="gpu0").describe()
+            == "[gpu0] 1.4 GHz x 1t"
+        )
+
+
+class TestNodeFrontierStore:
+    def test_one_device_node_equals_legacy_store_exactly(self):
+        pm = make_power_models(4, efficiency_seed=42)
+        legacy = FrontierStore(pm)
+        node_store = NodeFrontierStore(rank_nodes(single_socket_node(), pm))
+        for rank in range(4):
+            a = legacy.profile(rank, KERNEL)
+            b = node_store.profile(rank, KERNEL)
+            assert a.points == b.points
+            assert a.pareto == b.pareto
+            assert a.convex == b.convex
+
+    def test_heterogeneous_profile_merges_devices(self):
+        store = NodeFrontierStore([get_node("cpu-gpu")])
+        prof = store.profile(0, PARALLEL)
+        devices = {p.config.device for p in prof.points}
+        assert devices == {"cpu0", "gpu0"}
+        # The wide kernel's fastest point lives on the GPU.
+        assert min(prof.pareto, key=lambda p: p.duration_s).config.device == "gpu0"
+
+    def test_unsupported_devices_are_omitted(self):
+        node = NodeSpec(
+            name="picky",
+            devices=(
+                CpuDevice(device_id="cpu0"),
+                AcceleratorDevice(device_id="acc0", supported=("fft",)),
+            ),
+        )
+        store = NodeFrontierStore([node])
+        prof = store.profile(0, KERNEL)  # kernel not named "fft"
+        assert {p.config.device for p in prof.points} == {"cpu0"}
+
+    def test_no_supporting_device_is_an_error(self):
+        node = NodeSpec(
+            name="useless",
+            devices=(AcceleratorDevice(device_id="acc0", supported=("fft",)),),
+        )
+        store = NodeFrontierStore([node])
+        with pytest.raises(ValueError, match="no device"):
+            store.profile(0, KERNEL)
+
+    def test_profiles_memoized_across_equal_nodes(self):
+        node = get_node("cpu-gpu")
+        store = NodeFrontierStore([node, node, node])
+        store.profile(0, KERNEL)
+        store.profile(2, KERNEL)
+        assert len(store) == 1
+
+    def test_noise_draw_discipline_matches_legacy_on_one_device_node(self):
+        pm = make_power_models(2, efficiency_seed=1)
+        legacy = FrontierStore(
+            pm, measurement_noise=0.05, rng=np.random.default_rng(9)
+        )
+        node_store = NodeFrontierStore(
+            rank_nodes(single_socket_node(), pm),
+            measurement_noise=0.05,
+            rng=np.random.default_rng(9),
+        )
+        for rank in range(2):
+            assert (
+                legacy.profile(rank, KERNEL).points
+                == node_store.profile(rank, KERNEL).points
+            )

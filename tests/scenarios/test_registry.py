@@ -21,7 +21,8 @@ class TestDefaultRegistry:
     def test_all_builtins_registered(self):
         reg = default_registry()
         assert reg.names() == [
-            "adagio", "conductor", "flow-ilp", "lp", "selection-only", "static",
+            "adagio", "conductor", "flow-ilp", "lp", "lp-split",
+            "selection-only", "static",
         ]
 
     def test_singleton(self):
@@ -38,7 +39,7 @@ class TestDefaultRegistry:
         reg = default_registry()
         for name in ("static", "conductor", "adagio", "selection-only"):
             assert reg.get(name).kind == "runtime"
-        for name in ("lp", "flow-ilp"):
+        for name in ("lp", "lp-split", "flow-ilp"):
             assert reg.get(name).kind == "bound"
 
     def test_measurement_windows(self):
@@ -60,7 +61,7 @@ class TestDefaultRegistry:
     def test_contains_and_len(self):
         reg = default_registry()
         assert "lp" in reg and "magic" not in reg
-        assert len(reg) == 6
+        assert len(reg) == 7
 
 
 class TestConfigResolution:

@@ -106,6 +106,36 @@ def test_every_runtime_policy_is_registered():
     )
 
 
+def test_machine_layer_stays_at_the_bottom():
+    """``repro.machine`` (including the typed-device module) is the
+    substrate every layer builds on; it must not import the simulator,
+    formulations, runtimes, or the scenario/experiment layers.  Only the
+    cross-cutting observability package is allowed upward."""
+    upper = (
+        "simulator", "core", "scenarios", "exec", "experiments",
+        "runtime", "workloads", "dag",
+    )
+    offenders = []
+    for path in sorted((SRC / "machine").rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            mod = getattr(node, "module", None)
+            names = []
+            if isinstance(node, ast.ImportFrom) and mod:
+                # Resolve relative imports: level 2 ("..core") escapes
+                # the machine package into another repro subpackage.
+                names = [mod] if node.level != 1 else []
+            elif isinstance(node, ast.Import):
+                names = [a.name for a in node.names]
+            for name in names:
+                parts = name.split(".")
+                if any(p in upper for p in parts):
+                    offenders.append(f"{path.name}:{node.lineno}: {name}")
+    assert not offenders, (
+        f"repro.machine imports an upper layer: {offenders}"
+    )
+
+
 def test_exec_does_not_import_scenarios():
     """``repro.exec`` sits below the scenario layer: cell keys take the
     spec hash as a plain argument, never the spec object."""
