@@ -22,6 +22,7 @@ import scipy.sparse as sp
 
 from ..obs.audit import SolveRecord, current_audit
 from ..obs.events import SolveEvent
+from ..obs.metrics import ITERATION_BUCKETS, current_metrics
 from ..obs.recorder import current_recorder
 
 try:  # SciPy's bundled HiGHS bindings; internal layout varies by version.
@@ -497,11 +498,31 @@ class FrozenProgram:
         source = "cold" if self.n_solves == 1 else "resolve"
         audit = current_audit()
         recorder = current_recorder()
-        t0 = time.perf_counter() if audit is not None else 0.0
+        metrics = current_metrics()
+        t0 = (
+            time.perf_counter()
+            if audit is not None or metrics is not None
+            else 0.0
+        )
         if self.is_mip:
             solution, backend, iterations = self._solve_milp(lo, hi, time_limit_s)
         else:
             solution, backend, iterations = self._solve_lp(lo, hi, time_limit_s)
+        if metrics is not None:
+            # solve.total is a pure function of the work performed;
+            # cold/resolve splits, iteration counts, and wall seconds
+            # depend on which worker's warm solver pool a cell landed on,
+            # so they are operational (see repro.obs.metrics).
+            metrics.inc("solve.total")
+            metrics.inc(f"solve.{source}", operational=True)
+            if iterations is not None:
+                metrics.observe(
+                    "solve.iterations", iterations,
+                    buckets=ITERATION_BUCKETS, operational=True,
+                )
+            metrics.observe(
+                "solve.wall_s", time.perf_counter() - t0, operational=True
+            )
         if audit is not None:
             audit.record(SolveRecord(
                 program=self.name,

@@ -33,6 +33,7 @@ from ..core.model import MODEL_LAYER_VERSION
 from ..core.serialize import schedule_from_dict, schedule_to_dict
 from ..core.solver import LpSolution, LpStatus
 from ..obs.audit import note_cache
+from ..obs.metrics import inc as metric_inc
 from ..obs.provenance import collect_manifest
 from .keys import fixed_order_lp_key
 from .timing import count
@@ -105,6 +106,9 @@ class SolverCache:
                 pass  # another sweeper won the race, or a live writer
         if swept:
             count("cache.tmp_swept", swept)
+            # Sweeping depends on prior crashes and file mtimes, never on
+            # the work being computed: operational by definition.
+            metric_inc("cache.tmp_swept", swept, operational=True)
         return swept
 
     def _path(self, key: str) -> Path:
@@ -123,15 +127,18 @@ class SolverCache:
         except (OSError, ValueError):
             self.misses += 1
             count("cache.miss")
+            metric_inc("cache.miss")
             note_cache(False)
             return None
         if data.get("schema") != CACHE_SCHEMA_VERSION or data.get("key") != key:
             self.misses += 1
             count("cache.miss")
+            metric_inc("cache.miss")
             note_cache(False)
             return None
         self.hits += 1
         count("cache.hit")
+        metric_inc("cache.hit")
         note_cache(True)
         return data["payload"]
 
@@ -158,6 +165,7 @@ class SolverCache:
             raise
         self.stores += 1
         count("cache.store")
+        metric_inc("cache.store")
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -166,8 +174,19 @@ class SolverCache:
             return 0
         return sum(1 for _ in base.glob("*/*.json"))
 
-    def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+    @property
+    def hit_rate(self) -> float | None:
+        """hits / (hits + misses), or None before any lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else None
+
+    def stats(self) -> dict[str, int | float | None]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }
 
 
 # ----------------------------------------------------------------------

@@ -40,12 +40,14 @@ Telemetry: each worker runs its task under a fresh
 :class:`~repro.exec.timing.Telemetry` and ships the snapshot back with
 the result; the parent folds all snapshots into its own active telemetry,
 so cache hit counters and phase times survive process boundaries.  Trace
-events and solver audits travel the same way: when the parent has a
-:class:`~repro.obs.recorder.TraceRecorder` or
-:class:`~repro.obs.audit.SolveAudit` active, each worker activates fresh
-ones, ships the batches back, and the parent folds them in *submission
-order* — so a parallel run's trace and audit are identical to a serial
-run's (modulo re-sequencing, which is itself deterministic).
+events, solver audits, operational metrics
+(:class:`~repro.obs.metrics.Metrics`), and cProfile aggregates
+(:class:`~repro.obs.profiling.ProfileCollector`) travel the same way:
+when the parent has one active, each worker activates a fresh one, ships
+the snapshot back, and the parent folds them in *submission order* — so
+a parallel run's trace, audit, and deterministic metric subset are
+identical to a serial run's (modulo re-sequencing, which is itself
+deterministic).
 """
 
 from __future__ import annotations
@@ -60,6 +62,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from ..obs.audit import SolveAudit, current_audit, use_audit
+from ..obs.metrics import Metrics, current_metrics, use_metrics
+from ..obs.metrics import inc as metric_inc
+from ..obs.metrics import observe as metric_observe
+from ..obs.profiling import ProfileCollector, current_profile, use_profile
 from ..obs.recorder import TraceRecorder, current_recorder, use_recorder
 from .timing import Telemetry, count, current_telemetry, use_telemetry
 
@@ -174,6 +180,7 @@ def _run_batch(packed: tuple) -> list[dict]:
                 attempt += 1
                 if attempt > retries:
                     count("task.failed")
+                    metric_inc("task.failed", operational=True)
                     docs.append({
                         "ok": False,
                         "error_type": type(exc).__name__,
@@ -182,6 +189,7 @@ def _run_batch(packed: tuple) -> list[dict]:
                     })
                     break
                 count("task.retry")
+                metric_inc("task.retry", operational=True)
                 time.sleep(retry_delay_s(seed, index, attempt, backoff_s))
     return docs
 
@@ -191,28 +199,39 @@ def _run_task(
     item: Any,
     want_trace: bool = False,
     want_audit: bool = False,
-) -> tuple[Any, dict, list[dict] | None, dict | None]:
+    want_metrics: bool = False,
+    want_profile: bool = False,
+) -> tuple[Any, dict, list[dict] | None, dict | None, dict | None, dict | None]:
     """Worker-side wrapper: run one task under fresh observability state.
 
-    Telemetry is always collected; a trace recorder and solve audit are
-    activated only when the parent had them active (``want_*``), keeping
-    the common path free of event-buffer overhead.
+    Telemetry is always collected; a trace recorder, solve audit, metrics
+    registry, and profile collector are activated only when the parent
+    had them active (``want_*``), keeping the common path free of
+    event-buffer overhead.
     """
     telemetry = Telemetry()
     recorder = TraceRecorder() if want_trace else None
     audit = SolveAudit() if want_audit else None
+    metrics = Metrics() if want_metrics else None
+    profile = ProfileCollector() if want_profile else None
     with ExitStack() as stack:
         stack.enter_context(use_telemetry(telemetry))
         if recorder is not None:
             stack.enter_context(use_recorder(recorder))
         if audit is not None:
             stack.enter_context(use_audit(audit))
+        if metrics is not None:
+            stack.enter_context(use_metrics(metrics))
+        if profile is not None:
+            stack.enter_context(use_profile(profile))
         result = fn(item)
     return (
         result,
         telemetry.to_dict(),
         recorder.snapshot() if recorder is not None else None,
         audit.to_dicts() if audit is not None else None,
+        metrics.to_dict() if metrics is not None else None,
+        profile.to_dict() if profile is not None else None,
     )
 
 
@@ -347,6 +366,7 @@ class ParallelRunner:
                     attempt += 1
                     if attempt > self.retries:
                         count("task.failed")
+                        metric_inc("task.failed", operational=True)
                         outcome = CellOutcome(
                             index=i, ok=False,
                             error_type=type(exc).__name__,
@@ -357,6 +377,7 @@ class ParallelRunner:
                         )
                         break
                     count("task.retry")
+                    metric_inc("task.retry", operational=True)
                     time.sleep(
                         retry_delay_s(self.backoff_seed, i, attempt, self.backoff_s)
                     )
@@ -465,8 +486,12 @@ class ParallelRunner:
         parent = current_telemetry()
         recorder = current_recorder()
         audit = current_audit()
+        metrics = current_metrics()
+        profile = current_profile()
         want_trace = recorder is not None
         want_audit = audit is not None
+        want_metrics = metrics is not None
+        want_profile = profile is not None
         n_workers = min(self.max_workers, len(items))
 
         pool = ProcessPoolExecutor(max_workers=n_workers)
@@ -478,7 +503,10 @@ class ParallelRunner:
             # The deadline starts at (re-)submission: every attempt of
             # every cell gets the same wall-clock budget, regardless of
             # when the parent reaches index i in its wait loop.
-            futures[i] = pool.submit(_run_task, fn, items[i], want_trace, want_audit)
+            futures[i] = pool.submit(
+                _run_task, fn, items[i],
+                want_trace, want_audit, want_metrics, want_profile,
+            )
             now = time.monotonic()
             if not started[i]:
                 started[i] = now
@@ -494,12 +522,14 @@ class ParallelRunner:
                         wait = None
                         if deadlines[i] is not None:
                             wait = max(0.0, deadlines[i] - time.monotonic())
-                        result, snapshot, batch, audit_snap = futures[i].result(
-                            timeout=wait
-                        )
+                        (
+                            result, snapshot, batch, audit_snap,
+                            metrics_snap, profile_snap,
+                        ) = futures[i].result(timeout=wait)
+                        elapsed = time.monotonic() - started[i]
                         outcomes[i] = CellOutcome(
                             index=i, ok=True, value=result, attempts=attempt + 1,
-                            elapsed_s=time.monotonic() - started[i],
+                            elapsed_s=elapsed,
                         )
                         # Fold worker observability in submission order:
                         # the loop consumes futures by index, so the
@@ -511,9 +541,20 @@ class ParallelRunner:
                             recorder.extend(batch)
                         if audit is not None and audit_snap is not None:
                             audit.extend(audit_snap)
+                        if metrics is not None and metrics_snap is not None:
+                            metrics.merge(metrics_snap)
+                        if profile is not None and profile_snap is not None:
+                            profile.merge(profile_snap)
+                        # Dispatch latency includes queueing and IPC, so
+                        # it is wall-clock-only: operational by contract.
+                        metric_observe(
+                            "task.dispatch_wall_s", elapsed, operational=True
+                        )
                         break
                     except FuturesTimeoutError as exc:
                         futures[i].cancel()
+                        count("task.deadline_expired")
+                        metric_inc("task.deadline_expired", operational=True)
                         attempt, failed = self._note_failure(
                             i, attempt, "timed out", exc, keep_going,
                             started, outcomes,
@@ -555,6 +596,7 @@ class ParallelRunner:
     def _rebuild_pool(pool: ProcessPoolExecutor, n_workers: int) -> ProcessPoolExecutor:
         pool.shutdown(wait=False, cancel_futures=True)
         count("pool.rebuilt")
+        metric_inc("pool.rebuilt", operational=True)
         return ProcessPoolExecutor(max_workers=n_workers)
 
     def _note_failure(
@@ -578,11 +620,13 @@ class ParallelRunner:
         attempt += 1
         if attempt <= self.retries:
             count("task.retry")
+            metric_inc("task.retry", operational=True)
             time.sleep(
                 retry_delay_s(self.backoff_seed, index, attempt, self.backoff_s)
             )
             return attempt, False
         count("task.failed")
+        metric_inc("task.failed", operational=True)
         if keep_going:
             outcomes[index] = CellOutcome(
                 index=index, ok=False,

@@ -125,6 +125,15 @@ class Telemetry:
             width = max(len(n) for n in self.counters)
             for name in sorted(self.counters):
                 lines.append(f"{name:<{width}}  {self.counters[name]}")
+        lookups = self.counter("cache.hit") + self.counter("cache.miss")
+        if lookups:
+            rate = 100.0 * self.counter("cache.hit") / lookups
+            lines.append("")
+            lines.append(
+                f"cache hit rate  {rate:.1f}% "
+                f"({self.counter('cache.hit')}/{lookups} lookups, "
+                f"{self.counter('cache.store')} stores)"
+            )
         return "\n".join(lines)
 
 

@@ -32,6 +32,15 @@ plus a raw ``.jsonl`` of every event the run emitted; ``--timings`` and
 ``--timings-json`` additionally surface the solver audit ledger; and
 ``--save DIR`` stamps a ``manifest.json`` of run provenance next to the
 saved artifacts.
+
+Operational telemetry (PR 8): ``--metrics FILE`` / ``--metrics-prom
+FILE`` export the typed metrics snapshot as JSON / Prometheus text (and
+embed its deterministic subset in saved manifests); ``--progress`` /
+``--quiet`` / ``--progress-file FILE`` control the live sweep heartbeat
+(TTY-auto by default); ``--profile FILE`` aggregates per-cell cProfile
+data into a top-N cumulative-time table; and ``repro-exp report
+--journal FILE [--manifest FILE] [--metrics FILE]`` renders a post-hoc
+sweep report from the journal, manifest, and metrics artifacts alone.
 """
 
 from __future__ import annotations
@@ -50,6 +59,9 @@ from ..exec.parallel import ParallelExecutionError
 from ..exec.timing import Telemetry, use_telemetry
 from ..obs.audit import SolveAudit, use_audit
 from ..obs.export import export_chrome_trace, export_jsonl, validate_trace_file
+from ..obs.metrics import Metrics, prometheus_text, use_metrics
+from ..obs.profiling import ProfileCollector, use_profile
+from ..obs.progress import ProgressReporter, default_progress_stream
 from ..obs.provenance import collect_manifest, write_manifest
 from ..obs.recorder import TraceRecorder, use_recorder
 from ..scenarios.registry import default_registry
@@ -271,7 +283,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "exhibits", nargs="*", default=["all"],
         help="exhibit names (see 'list'), 'all', or a subcommand: "
-             "run, sweep, audit, bench, validate-trace, verify-results",
+             "run, sweep, audit, bench, report, validate-trace, "
+             "verify-results",
     )
     parser.add_argument("--ranks", type=int, default=32,
                         help="MPI ranks / sockets (default 32, as in the paper)")
@@ -349,6 +362,31 @@ def main(argv: list[str] | None = None) -> int:
                         help="bench: where --emit-trajectory writes the "
                              "point (default: repo root; CI passes "
                              "benchmarks/trajectory)")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="write the full metrics snapshot (counters, "
+                             "gauges, histograms) as JSON; its deterministic "
+                             "subset is also embedded in saved manifests. "
+                             "For the report subcommand: read this snapshot")
+    parser.add_argument("--metrics-prom", metavar="FILE", default=None,
+                        help="write the metrics snapshot as Prometheus text "
+                             "exposition (docs/observability.md)")
+    parser.add_argument("--progress", action="store_true",
+                        help="force the live sweep progress line on stderr "
+                             "even when it is not a TTY")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the live progress line entirely "
+                             "(it is already off when stderr is not a TTY)")
+    parser.add_argument("--progress-file", metavar="FILE", default=None,
+                        help="append one JSON heartbeat per settled sweep "
+                             "cell to FILE (out-of-band: wall-clock fields "
+                             "allowed; never embedded in artifacts)")
+    parser.add_argument("--profile", metavar="FILE", default=None,
+                        help="run cProfile around every sweep cell and write "
+                             "the merged top-N cumulative-time table to FILE")
+    parser.add_argument("--manifest", metavar="FILE", default=None,
+                        help="report: manifest.json to fold into the report")
+    parser.add_argument("--top", type=int, default=5, metavar="N",
+                        help="report: slowest-cell rows to show (default 5)")
     parser.add_argument("--timings", action="store_true",
                         help="print per-phase timings, cache counters, and "
                              "the solver audit table")
@@ -370,9 +408,16 @@ def main(argv: list[str] | None = None) -> int:
 
     command = args.exhibits[0] if args.exhibits else None
 
-    resilience_flags = args.keep_going or args.journal or args.inject_faults
+    resilience_flags = args.keep_going or args.inject_faults or (
+        args.journal and command != "report"  # report *reads* a journal
+    )
     if resilience_flags and command not in ("run", "sweep"):
         parser.error("--keep-going/--journal/--inject-faults only apply to "
+                     "the run and sweep subcommands")
+    if (args.progress or args.quiet or args.progress_file) and command not in (
+        "run", "sweep"
+    ):
+        parser.error("--progress/--quiet/--progress-file only apply to "
                      "the run and sweep subcommands")
     if args.node and command not in ("run", "sweep"):
         parser.error("--node only applies to the run and sweep subcommands")
@@ -386,6 +431,28 @@ def main(argv: list[str] | None = None) -> int:
     if command == "list":
         for name in EXHIBITS:
             print(name)
+        return 0
+
+    if command == "report":
+        # Pure artifact rendering: no computation, no execution options.
+        if len(args.exhibits) > 1:
+            parser.error("report takes no positional arguments; "
+                         "use --journal/--manifest/--metrics")
+        if not args.journal:
+            parser.error("report needs --journal FILE")
+        from .sweep_report import render_sweep_report
+
+        try:
+            text = render_sweep_report(
+                args.journal,
+                manifest_path=args.manifest,
+                metrics_path=args.metrics,
+                top=args.top,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: report: {exc}", file=sys.stderr)
+            return 1
+        print(text)
         return 0
 
     if command == "validate-trace":
@@ -421,6 +488,8 @@ def main(argv: list[str] | None = None) -> int:
         if (args.timings or args.timings_json or command in ("run", "audit"))
         else None
     )
+    metrics = Metrics() if (args.metrics or args.metrics_prom) else None
+    profile = ProfileCollector() if args.profile else None
 
     @contextmanager
     def observe():
@@ -431,6 +500,10 @@ def main(argv: list[str] | None = None) -> int:
                 stack.enter_context(use_recorder(recorder))
             if audit is not None:
                 stack.enter_context(use_audit(audit))
+            if metrics is not None:
+                stack.enter_context(use_metrics(metrics))
+            if profile is not None:
+                stack.enter_context(use_profile(profile))
             yield
 
     def export_traces() -> None:
@@ -464,6 +537,42 @@ def main(argv: list[str] | None = None) -> int:
             out.parent.mkdir(parents=True, exist_ok=True)
             out.write_text(json.dumps(doc, indent=1) + "\n")
 
+    def export_metrics() -> None:
+        if metrics is None:
+            return
+        if args.metrics:
+            out = Path(args.metrics)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(metrics.to_json() + "\n")
+            print(f"[metrics -> {out}]")
+        if args.metrics_prom:
+            out = Path(args.metrics_prom)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(prometheus_text(metrics))
+            print(f"[metrics (prometheus) -> {out}]")
+
+    def export_profile() -> None:
+        if profile is None:
+            return
+        out = Path(args.profile)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(profile.table() + "\n")
+        print(f"[profile: {profile.blocks} cell(s) -> {out}]")
+
+    def export_obs() -> None:
+        """Flush every requested observability artifact, in one place."""
+        export_traces()
+        export_metrics()
+        export_profile()
+        emit_timings()
+
+    def metrics_doc() -> dict | None:
+        """The manifest-safe (deterministic-only) metrics snapshot."""
+        return (
+            metrics.to_dict(deterministic_only=True)
+            if metrics is not None else None
+        )
+
     def save_manifest(
         save_dir: Path,
         config: object,
@@ -473,7 +582,7 @@ def main(argv: list[str] | None = None) -> int:
     ) -> None:
         manifest = collect_manifest(
             config, seed=seed, model_layer_version=MODEL_LAYER_VERSION,
-            scenario=scenario, failures=failures,
+            scenario=scenario, failures=failures, metrics=metrics_doc(),
         )
         write_manifest(manifest, save_dir / "manifest.json")
 
@@ -510,8 +619,7 @@ def main(argv: list[str] | None = None) -> int:
                      "config": cfg.cache_document()},
                     cfg.seed,
                 )
-            export_traces()
-            emit_timings()
+            export_obs()
             return 0
 
         if command == "run":
@@ -519,6 +627,16 @@ def main(argv: list[str] | None = None) -> int:
         else:
             caps = _parse_caps(args.caps, parser) if args.caps else None
         spec = _scenario_spec(args, caps, parser)
+        progress = None
+        progress_stream = default_progress_stream(args.progress, args.quiet)
+        if progress_stream is not None or args.progress_file:
+            progress = ProgressReporter(
+                total=len(spec.caps_per_socket_w),
+                label=f"{command}:{spec.benchmark}",
+                stream=progress_stream,
+                jsonl_path=args.progress_file,
+                telemetry=telemetry,
+            )
         t0 = time.time()
         try:
             with observe():
@@ -527,8 +645,11 @@ def main(argv: list[str] | None = None) -> int:
                     keep_going=args.keep_going,
                     journal=args.journal,
                     faults=faults,
+                    progress=progress,
                 )
         except ParallelExecutionError as exc:
+            if progress is not None:
+                progress.finish()
             # Without --keep-going a failed cell aborts the sweep; the
             # journal (when given) still holds every settled cell, so a
             # rerun resumes instead of recomputing.
@@ -536,9 +657,10 @@ def main(argv: list[str] | None = None) -> int:
             if args.journal:
                 print(f"[journal {args.journal} keeps completed cells; "
                       "rerun to resume]", file=sys.stderr)
-            export_traces()
-            emit_timings()
+            export_obs()
             return 1
+        if progress is not None:
+            progress.finish()
         if command == "run":
             text = _scenario_cell_text(result.cells[0], args.baseline)
         else:
@@ -560,8 +682,7 @@ def main(argv: list[str] | None = None) -> int:
                 scenario=spec.to_doc(),
                 failures=failures or None,
             )
-        export_traces()
-        emit_timings()
+        export_obs()
         if failures:
             print(f"[keep-going: {len(failures)} of {len(result.cells)} "
                   "cell(s) failed]", file=sys.stderr)
@@ -588,6 +709,7 @@ def main(argv: list[str] | None = None) -> int:
                 "benchmarks/test_bench_lp_scaling.py",
                 "benchmarks/test_bench_sweep_parametric.py",
                 "benchmarks/test_bench_obs_overhead.py",
+                "benchmarks/test_bench_metrics_overhead.py",
             ]
         rc = subprocess.call([
             sys.executable, "-m", "pytest", *targets,
@@ -625,8 +747,7 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 run_comparison(_run_config(args), args.cap)
         print(audit.table())
-        export_traces()
-        emit_timings()
+        export_obs()
         return 0
 
     if command == "verify-results":
@@ -644,8 +765,7 @@ def main(argv: list[str] | None = None) -> int:
             }
         report = verify_reference_results(ref_dir, results)
         print(report.summary())
-        export_traces()
-        emit_timings()
+        export_obs()
         return 0 if report.ok else 1
 
     names = list(EXHIBITS) if args.exhibits in (["all"], []) else args.exhibits
@@ -685,8 +805,7 @@ def main(argv: list[str] | None = None) -> int:
              "quick": args.quick},
             None,
         )
-    export_traces()
-    emit_timings()
+    export_obs()
     return 0
 
 

@@ -1,6 +1,6 @@
-"""repro.obs — structured observability: tracing, solver audit, provenance.
+"""repro.obs — structured observability: tracing, audit, metrics, provenance.
 
-Three pillars, all contextvar-activated and zero-cost when disabled:
+Several pillars, all contextvar-activated and zero-cost when disabled:
 
 * **Event tracing** (:mod:`.events`, :mod:`.recorder`, :mod:`.export`) —
   the simulator engine, the Conductor runtime, RAPL, and the LP solver
@@ -10,6 +10,15 @@ Three pillars, all contextvar-activated and zero-cost when disabled:
   shape, iterations, status, objective, wall time, and provenance
   (cold / parametric re-solve / cache hit) into a :class:`SolveAudit`
   ledger.
+* **Operational metrics** (:mod:`.metrics`) — counters, gauges, and
+  fixed-bucket histograms with deterministic merge semantics, plus JSON
+  and Prometheus text exporters; the deterministic subset is
+  byte-identical serial vs. parallel.
+* **Live progress** (:mod:`.progress`) — out-of-band sweep heartbeats
+  (cells done/total, ETA, cache hit-rate) on a TTY-aware stderr line and
+  a ``progress.jsonl`` stream.
+* **Profiling** (:mod:`.profiling`) — per-cell cProfile aggregation into
+  one fleet-wide top-N cumulative-time table.
 * **Run provenance** (:mod:`.provenance`) — a :class:`RunManifest`
   (config hash, seed, model-layer version, package version, platform)
   stamped into saved artifacts and cache entries.
@@ -45,6 +54,26 @@ from .export import (
     validate_chrome_trace,
     validate_trace_file,
 )
+from .metrics import (
+    METRICS_SCHEMA_VERSION,
+    Histogram,
+    Metrics,
+    current_metrics,
+    prometheus_text,
+    use_metrics,
+    validate_metrics_doc,
+)
+from .profiling import (
+    ProfileCollector,
+    current_profile,
+    profile_block,
+    use_profile,
+)
+from .progress import (
+    PROGRESS_SCHEMA_VERSION,
+    ProgressReporter,
+    default_progress_stream,
+)
 from .provenance import (
     MANIFEST_SCHEMA_VERSION,
     RunManifest,
@@ -68,8 +97,14 @@ __all__ = [
     "CounterEvent",
     "DEFAULT_CAPACITY",
     "EVENT_KINDS",
+    "Histogram",
     "MANIFEST_SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
+    "Metrics",
     "MpiWaitEvent",
+    "PROGRESS_SCHEMA_VERSION",
+    "ProfileCollector",
+    "ProgressReporter",
     "ReallocEvent",
     "RunManifest",
     "SolveAudit",
@@ -81,16 +116,24 @@ __all__ = [
     "collect_manifest",
     "config_hash",
     "current_audit",
+    "current_metrics",
+    "current_profile",
     "current_recorder",
+    "default_progress_stream",
     "emit",
     "export_chrome_trace",
     "export_jsonl",
     "note_cache",
+    "profile_block",
+    "prometheus_text",
     "read_manifest",
     "record_solve",
     "use_audit",
+    "use_metrics",
+    "use_profile",
     "use_recorder",
     "validate_chrome_trace",
+    "validate_metrics_doc",
     "validate_trace_file",
     "write_manifest",
 ]

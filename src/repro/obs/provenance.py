@@ -48,7 +48,14 @@ __all__ = [
 #: 3: optional ``failures`` field — the structured per-cell failures of
 #: a ``--keep-going`` sweep, in cap order (omitted when every cell
 #: succeeded, so fully-ok manifests are unchanged).
-MANIFEST_SCHEMA_VERSION = 3
+#: 4: optional ``metrics`` field — the *deterministic* subset of the
+#: run's metrics snapshot (``Metrics.to_dict(deterministic_only=True)``;
+#: see :mod:`repro.obs.metrics`).  Embedded only when metrics were
+#: explicitly collected (``--metrics``/``--metrics-prom``), and then
+#: still byte-identical serial vs. parallel; note it reflects the work a
+#: run actually performed, so a journal-resumed run's field differs from
+#: its from-scratch twin — runs that must diff clean leave metrics off.
+MANIFEST_SCHEMA_VERSION = 4
 
 
 def config_hash(config: object) -> str:
@@ -74,6 +81,7 @@ class RunManifest:
     schema: int = MANIFEST_SCHEMA_VERSION
     scenario: dict | None = None  # full scenario-spec doc of N-way runs
     failures: tuple | None = None  # per-cell failure docs of a keep-going run
+    metrics: dict | None = None  # deterministic metrics snapshot subset
 
     def to_dict(self) -> dict:
         """JSON-safe manifest document (optional fields omitted when None)."""
@@ -90,6 +98,8 @@ class RunManifest:
             doc["scenario"] = self.scenario
         if self.failures is not None:
             doc["failures"] = list(self.failures)
+        if self.metrics is not None:
+            doc["metrics"] = self.metrics
         return doc
 
     @classmethod
@@ -107,6 +117,7 @@ class RunManifest:
             failures=(
                 tuple(doc["failures"]) if doc.get("failures") is not None else None
             ),
+            metrics=doc.get("metrics"),
         )
 
 
@@ -126,6 +137,7 @@ def collect_manifest(
     package_version: str | None = None,
     scenario: dict | None = None,
     failures: list[dict] | None = None,
+    metrics: dict | None = None,
 ) -> RunManifest:
     """Build the manifest for a run described by ``config``.
 
@@ -134,9 +146,12 @@ def collect_manifest(
     argument record, ...).  Only its hash is retained — except for
     ``scenario``, the full scenario-spec document of an N-way run, which
     is embedded verbatim so a saved run is replayable from its manifest
-    alone, and ``failures``, the structured per-cell failure documents
+    alone; ``failures``, the structured per-cell failure documents
     of a keep-going sweep (deterministic: no wall-clock fields), so the
-    manifest says not just what ran but what *didn't*.
+    manifest says not just what ran but what *didn't*; and ``metrics``,
+    the deterministic subset of a metrics snapshot (callers must pass
+    ``Metrics.to_dict(deterministic_only=True)`` — never the full
+    snapshot, whose operational fields are wall-clock dependent).
     """
     return RunManifest(
         config_hash=config_hash(config),
@@ -150,6 +165,7 @@ def collect_manifest(
         platform=f"{sys.platform}-{platform.machine()}",
         scenario=scenario,
         failures=tuple(failures) if failures else None,
+        metrics=metrics,
     )
 
 

@@ -28,6 +28,7 @@ exactly.
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from functools import partial
@@ -51,6 +52,10 @@ from ..machine.frontiers import FrontierStore, NodeFrontierStore
 from ..machine.power import SocketPowerModel
 from ..machine.variability import make_power_models
 from ..obs.events import CellFailureEvent, CounterEvent
+from ..obs.metrics import current_metrics
+from ..obs.metrics import inc as metric_inc
+from ..obs.profiling import profile_block
+from ..obs.progress import ProgressReporter
 from ..obs.recorder import TraceRecorder, current_recorder, emit
 from ..simulator.engine import Engine, SimulationResult
 from ..simulator.telemetry import job_power_timeline
@@ -410,10 +415,23 @@ def run_scenario_cell(
         if payload is not None:
             cell = _cell_from_payload(spec, cap_per_socket_w, payload)
             if cell is not None:
+                metric_inc("cells.cached")
                 return cell
             # Stale or foreign payload under our key: recompute (and
             # overwrite) rather than mis-map fields.
-    cell = _run_scenario_cell(spec, cap_per_socket_w, cache, registry)
+    metrics = current_metrics()
+    t0 = time.perf_counter() if metrics is not None else 0.0
+    c0 = time.process_time() if metrics is not None else 0.0
+    with profile_block():
+        cell = _run_scenario_cell(spec, cap_per_socket_w, cache, registry)
+    if metrics is not None:
+        metrics.inc("cells.computed")
+        metrics.observe(
+            "cell.wall_s", time.perf_counter() - t0, operational=True
+        )
+        metrics.observe(
+            "cell.cpu_s", time.process_time() - c0, operational=True
+        )
     if cache is not None:
         cache.put(key, _cell_payload(spec, cell))
     return cell
@@ -549,6 +567,7 @@ def run_scenarios(
     keep_going: bool = False,
     journal: SweepJournal | str | Path | None = None,
     faults: FaultInjector | None = None,
+    progress: ProgressReporter | None = None,
 ) -> ScenarioResult:
     """Run the full scenario: every policy at every cap of the grid.
 
@@ -575,6 +594,12 @@ def run_scenarios(
     * ``faults`` — a :class:`~repro.exec.faults.FaultInjector` wrapped
       around the cell task (chaos testing; cells are selected by their
       stable ``cap=<cap>`` identity, never by run-scoped paths).
+
+    ``progress`` — an optional
+    :class:`~repro.obs.progress.ProgressReporter` receiving one
+    ``update(ok)`` per settled cell, in cap order (journal-resumed cells
+    settle immediately).  The heartbeat stream is out-of-band: it never
+    alters results, journals, or any byte-deterministic artifact.
     """
     opts = get_execution_options()
     if workers is None:
@@ -604,6 +629,11 @@ def run_scenarios(
                     # or foreign payload is recomputed, not mis-mapped.
                     cells[cap] = cell
                     count("journal.resumed")
+                    # Resumption depends on what a prior (possibly
+                    # interrupted) run got through: operational.
+                    metric_inc("journal.resumed", operational=True)
+                    if progress is not None:
+                        progress.update(ok=True)
     pending = [cap for cap in caps if cap not in cells]
 
     use_pool = workers > 1 and len(pending) > 1 and registry is None
@@ -628,21 +658,33 @@ def run_scenarios(
         )
         fn = faults.wrap(fn)
 
-    if keep_going or journal is not None or faults is not None:
+    if (
+        keep_going
+        or journal is not None
+        or faults is not None
+        or progress is not None
+    ):
         def on_outcome(outcome: CellOutcome) -> None:
             # Fires in submission (cap) order as each cell settles, so
             # an interrupted sweep has journaled its whole settled
             # prefix.  Worker cache hit/miss accounting arrives via the
             # telemetry snapshots ParallelRunner merges.
             cap = pending[outcome.index]
+            if progress is not None:
+                progress.update(ok=outcome.ok)
             if outcome.ok:
                 if journal is not None:
+                    # wall_s is a diagnostic extra (slowest-cell tables
+                    # in `repro-exp report`); journal *payloads* stay
+                    # byte-deterministic and resume ignores it.
                     journal.record_ok(
                         keys[cap], cap, _cell_payload(spec, outcome.value),
                         spec_hash=spec.spec_hash(),
+                        wall_s=round(outcome.elapsed_s, 6),
                     )
                 return
             count("cell.failed")
+            metric_inc("cell.failed")
             emit(CellFailureEvent(
                 benchmark=spec.benchmark,
                 cap_per_socket_w=cap,
@@ -697,6 +739,9 @@ def run_scenarios(
         for cap in pending:
             cells[cap] = fn(cap)
 
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.set_gauge("sweep.cells_total", len(caps))
     return ScenarioResult(spec=spec, cells=[cells[cap] for cap in caps])
 
 

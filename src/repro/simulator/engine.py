@@ -30,6 +30,7 @@ from ..machine.device import NodeSpec
 from ..machine.performance import TaskKernel, TaskTimeModel
 from ..machine.power import SocketPowerModel
 from ..obs.events import CollectiveEvent, MpiWaitEvent, TaskEvent
+from ..obs.metrics import inc as metric_inc
 from ..obs.recorder import current_recorder
 from .network import IB_QDR, NetworkModel
 from .program import (
@@ -812,6 +813,9 @@ class Engine:
         count("sim.tasks", len(emissions) * n_points)
         count("sim.mpi_waits", mpi_waits * n_points)
         count("sim.collectives", collectives * n_points)
+        metric_inc("sim.tasks", len(emissions) * n_points)
+        metric_inc("sim.mpi_waits", mpi_waits * n_points)
+        metric_inc("sim.collectives", collectives * n_points)
 
         return SweepRunOutcome(
             app_name=app.name,
@@ -1055,6 +1059,9 @@ class Engine:
         count("sim.tasks", len(records))
         count("sim.mpi_waits", mpi_waits)
         count("sim.collectives", collectives)
+        metric_inc("sim.tasks", len(records))
+        metric_inc("sim.mpi_waits", mpi_waits)
+        metric_inc("sim.collectives", collectives)
         return SimulationResult(
             app_name=app.name,
             makespan_s=max(st.clock for st in states),

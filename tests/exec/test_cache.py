@@ -122,8 +122,17 @@ class TestSolverCache:
         assert cache.get("ab" * 32) is None
         cache.put("ab" * 32, {"answer": 42})
         assert cache.get("ab" * 32) == {"answer": 42}
-        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "stores": 1, "hit_rate": 0.5,
+        }
         assert len(cache) == 1
+
+    def test_hit_rate_is_none_before_any_lookup(self, tmp_path):
+        cache = SolverCache(tmp_path)
+        assert cache.hit_rate is None
+        assert cache.stats()["hit_rate"] is None
+        cache.get("cd" * 32)
+        assert cache.hit_rate == 0.0
 
     def test_entries_carry_provenance(self, tmp_path):
         from repro.core.model import MODEL_LAYER_VERSION

@@ -1,6 +1,7 @@
 """Tests for the repro-experiments CLI."""
 
 import json
+import re
 
 import pytest
 
@@ -261,3 +262,158 @@ class TestResilienceFlags:
     def test_bad_task_retries_is_a_usage_error(self):
         with pytest.raises(SystemExit):
             main(["sweep", *self.QUICK, "--task-retries", "-1"])
+
+
+class TestTelemetryFlags:
+    QUICK = ["--quick", "--benchmark", "synthetic", "--policies", "static,lp"]
+
+    def test_metrics_snapshot_written_and_valid(self, capsys, tmp_path):
+        from repro.obs.metrics import validate_metrics_doc
+
+        out = tmp_path / "metrics.json"
+        argv = ["sweep", *self.QUICK, "--caps", "40,60",
+                "--metrics", str(out)]
+        assert main(argv) == 0
+        assert f"[metrics -> {out}]" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert validate_metrics_doc(doc) == []
+        assert doc["counters"]["cells.computed"] == 2
+        assert doc["counters"]["solve.total"] > 0
+        assert "cell.wall_s" in doc["operational"]
+
+    def test_metrics_prom_exposition(self, capsys, tmp_path):
+        out = tmp_path / "metrics.prom"
+        argv = ["sweep", *self.QUICK, "--caps", "40,60",
+                "--metrics-prom", str(out)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        text = out.read_text()
+        assert "# TYPE repro_cells_computed_total counter" in text
+        assert "repro_cells_computed_total 2" in text
+        assert 'le="+Inf"' in text
+
+    def test_manifest_embeds_deterministic_metrics_only(self, capsys, tmp_path):
+        argv = ["sweep", *self.QUICK, "--caps", "40,60", "--save",
+                str(tmp_path), "--metrics", str(tmp_path / "metrics.json")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        doc = json.loads((tmp_path / "manifest.json").read_text())
+        embedded = doc["metrics"]
+        assert "operational" not in embedded
+        assert "cell.wall_s" not in embedded["histograms"]
+        assert embedded["counters"]["cells.computed"] == 2
+        full = json.loads((tmp_path / "metrics.json").read_text())
+        assert "cell.wall_s" in full["histograms"]
+
+    def test_manifest_without_metrics_flag_omits_field(self, capsys, tmp_path):
+        argv = ["sweep", *self.QUICK, "--caps", "40,60", "--save", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert "metrics" not in json.loads(
+            (tmp_path / "manifest.json").read_text()
+        )
+
+    def test_progress_file_records_every_cell(self, capsys, tmp_path):
+        out = tmp_path / "progress.jsonl"
+        argv = ["sweep", *self.QUICK, "--caps", "40,50,60", "--quiet",
+                "--progress-file", str(out),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        docs = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [d["done"] for d in docs] == [1, 2, 3]
+        assert docs[-1]["total"] == 3
+        assert docs[-1]["failed"] == 0
+        # Cold cache: every lookup (cell-level and solver-level) missed.
+        assert docs[-1]["cache_misses"] >= 3
+        assert docs[-1]["cache_hit_rate"] == 0.0
+
+    def test_progress_line_suppressed_when_stderr_not_tty(self, capsys):
+        argv = ["sweep", *self.QUICK, "--caps", "40,60"]
+        assert main(argv) == 0
+        assert "cells (" not in capsys.readouterr().err
+
+    def test_progress_flag_forces_the_line_into_a_pipe(self, capsys):
+        argv = ["sweep", *self.QUICK, "--caps", "40,60", "--progress"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "1/2 cells (50%)" in err
+        assert "2/2 cells (100%)" in err
+
+    def test_progress_flags_require_run_or_sweep(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--progress"])
+
+    def test_profile_writes_aggregated_table(self, capsys, tmp_path):
+        out = tmp_path / "profile.txt"
+        argv = ["sweep", *self.QUICK, "--caps", "40,60", "--profile", str(out)]
+        assert main(argv) == 0
+        assert "[profile: 2 cell(s)" in capsys.readouterr().out
+        text = out.read_text()
+        assert text.startswith("aggregated profile: 2 profiled cell(s)")
+        assert "cumtime" in text
+
+    def test_timings_text_reports_cache_hit_rate(self, capsys, tmp_path):
+        argv = ["sweep", *self.QUICK, "--caps", "40,60", "--timings",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache hit rate" in out
+        assert "stores" in out
+
+
+class TestReportSubcommand:
+    QUICK = ["--quick", "--benchmark", "synthetic", "--policies", "static,lp"]
+    FAULT = ["--inject-faults", "mode=raise,match=cap=50"]
+
+    def _chaos_run(self, tmp_path):
+        """A fault-injected, journaled, metric'd sweep's artifacts."""
+        journal = tmp_path / "journal.jsonl"
+        metrics = tmp_path / "metrics.json"
+        argv = ["sweep", *self.QUICK, "--caps", "40,50,60", "--keep-going",
+                *self.FAULT, "--journal", str(journal),
+                "--metrics", str(metrics), "--save", str(tmp_path)]
+        assert main(argv) == 1
+        return journal, tmp_path / "manifest.json", metrics
+
+    def test_report_reconstructs_a_fault_injected_run(self, capsys, tmp_path):
+        journal, manifest, metrics = self._chaos_run(tmp_path)
+        capsys.readouterr()
+        argv = ["report", "--journal", str(journal), "--manifest",
+                str(manifest), "--metrics", str(metrics)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sweep report" in out
+        assert re.search(r"cells settled\s*:\s*3", out)
+        assert re.search(r"cells ok\s*:\s*2", out)
+        assert re.search(r"cells failed\s*:\s*1", out)
+        assert "benchmark" in out and "synthetic" in out
+        assert "per-policy time across the cap grid" in out
+        assert "static" in out and "lp" in out
+        assert "cache and solver traffic" in out
+        assert "failed cells" in out and "InjectedFault" in out
+        assert "slowest cells" in out
+
+    def test_report_from_journal_alone(self, capsys, tmp_path):
+        journal, _, _ = self._chaos_run(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"cells settled\s*:\s*3", out)
+        assert "cache and solver traffic" not in out  # no metrics given
+
+    def test_report_needs_journal(self):
+        with pytest.raises(SystemExit):
+            main(["report"])
+
+    def test_report_rejects_positionals(self):
+        with pytest.raises(SystemExit):
+            main(["report", "fig1", "--journal", "j.jsonl"])
+
+    def test_report_missing_metrics_file_is_an_error(self, capsys, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        journal.write_text("")
+        argv = ["report", "--journal", str(journal),
+                "--metrics", str(tmp_path / "nope.json")]
+        assert main(argv) == 1
+        assert "error: report:" in capsys.readouterr().err

@@ -1,0 +1,121 @@
+"""Golden metrics determinism: serial == parallel, byte for byte.
+
+The acceptance property of the metrics layer: the *deterministic* subset
+of a sweep's metric snapshot is a pure function of what was computed —
+so a serial sweep and the same sweep fanned out over two workers
+produce byte-identical deterministic snapshots, while wall-clock and
+scheduling-dependent numbers stay quarantined in the operational set.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.exec.cache import SolverCache
+from repro.obs.metrics import Metrics, use_metrics, validate_metrics_doc
+from repro.obs.progress import ProgressReporter
+from repro.scenarios.run import run_scenarios
+from repro.scenarios.spec import PolicySpec, ScenarioSpec
+
+POLICIES = (PolicySpec("static"), PolicySpec("lp"))
+
+
+def small_spec(caps=(40.0, 60.0), **overrides) -> ScenarioSpec:
+    kwargs = dict(
+        benchmark="synthetic",
+        caps_per_socket_w=caps,
+        policies=POLICIES,
+        n_ranks=4,
+        run_iterations=8,
+        lp_iterations=2,
+        discard_iterations=2,
+        steady_window=4,
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+def deterministic_bytes(metrics: Metrics) -> str:
+    return json.dumps(metrics.to_dict(deterministic_only=True), sort_keys=True)
+
+
+def sweep_metrics(spec: ScenarioSpec, workers: int, cache=None) -> Metrics:
+    metrics = Metrics()
+    with use_metrics(metrics):
+        run_scenarios(spec, workers=workers, cache=cache)
+    return metrics
+
+
+class TestGoldenSerialVsParallel:
+    def test_deterministic_snapshot_is_byte_identical(self):
+        spec = small_spec(caps=(35.0, 45.0, 55.0))
+        serial = sweep_metrics(spec, workers=1)
+        parallel = sweep_metrics(spec, workers=2)
+        assert deterministic_bytes(serial) == deterministic_bytes(parallel)
+        assert validate_metrics_doc(serial.to_dict()) == []
+        assert validate_metrics_doc(parallel.to_dict()) == []
+
+    def test_deterministic_snapshot_is_byte_identical_with_cache(self, tmp_path):
+        spec = small_spec()
+        serial = sweep_metrics(spec, workers=1, cache=SolverCache(tmp_path / "a"))
+        parallel = sweep_metrics(
+            spec, workers=2, cache=SolverCache(tmp_path / "b")
+        )
+        assert deterministic_bytes(serial) == deterministic_bytes(parallel)
+        assert serial.counter("cache.miss") > 0
+        assert serial.counter("cache.store") > 0
+
+    def test_expected_names_land_on_each_side_of_the_contract(self):
+        metrics = sweep_metrics(small_spec(), workers=1)
+        doc = metrics.to_dict(deterministic_only=True)
+        for name in ("cells.computed", "solve.total", "sim.tasks"):
+            assert doc["counters"].get(name, 0) > 0, name
+        assert doc["gauges"]["sweep.cells_total"] == 2
+        # Wall-clock histograms exist in the full snapshot but are
+        # operational, never in the deterministic view.
+        assert "cell.wall_s" in metrics.histograms
+        assert "cell.wall_s" in metrics.operational
+        assert "cell.wall_s" not in doc["histograms"]
+        assert "solve.wall_s" in metrics.operational
+
+    def test_warm_cells_count_as_cached_not_computed(self, tmp_path):
+        spec = small_spec()
+        cache = SolverCache(tmp_path)
+        cold = sweep_metrics(spec, workers=1, cache=cache)
+        warm = sweep_metrics(spec, workers=1, cache=cache)
+        assert cold.counter("cells.computed") == 2
+        assert cold.counter("cells.cached") == 0
+        assert warm.counter("cells.computed") == 0
+        assert warm.counter("cells.cached") == 2
+
+    def test_results_unchanged_by_metrics_collection(self):
+        spec = small_spec()
+        bare = run_scenarios(spec)
+        with use_metrics(Metrics()):
+            observed = run_scenarios(spec)
+        for a, b in zip(bare.cells, observed.cells):
+            for name in spec.policy_labels():
+                assert a.outcomes[name].time_s == b.outcomes[name].time_s
+
+
+class TestProgressIntegration:
+    def test_progress_sees_every_cell_serial_and_parallel(self):
+        spec = small_spec(caps=(35.0, 45.0, 55.0))
+        for workers in (1, 2):
+            progress = ProgressReporter(total=3)
+            run_scenarios(spec, workers=workers, progress=progress)
+            assert progress.done == 3
+            assert progress.failed == 0
+
+    def test_journal_resume_counts_resumed_cells(self, tmp_path):
+        spec = small_spec()
+        journal = tmp_path / "journal.jsonl"
+        run_scenarios(spec, journal=journal)
+        metrics = Metrics()
+        progress = ProgressReporter(total=2)
+        with use_metrics(metrics):
+            run_scenarios(spec, journal=journal, progress=progress)
+        assert metrics.counter("journal.resumed") == 2
+        assert "journal.resumed" in metrics.operational
+        assert progress.done == 2
+        assert metrics.counter("cells.computed") == 0
