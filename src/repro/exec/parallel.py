@@ -1,53 +1,59 @@
-"""Deterministic, fault-tolerant process-pool fan-out for sweep cells.
+"""Deterministic, fault-tolerant ordered fan-out for sweep cells.
 
 A cap sweep is embarrassingly parallel: every (workload, cap, seed) cell
 is an independent, fully seeded computation.  :class:`ParallelRunner`
-fans such cells out over a ``ProcessPoolExecutor`` while keeping the
-*results in submission order* — the caller sees exactly the list a serial
-loop would produce, so parallel and serial runs are interchangeable
-byte-for-byte.
+fans such cells out over a task transport — an
+:class:`~repro.exec.backends.base.ExecBackend`: the default process
+pool, an in-process inline backend, or a socket worker fleet — while
+keeping the *results in submission order*: the caller sees exactly the
+list a serial loop would produce, so parallel and serial runs are
+interchangeable byte-for-byte.
 
 Failure semantics come in two flavors:
 
 * :meth:`ParallelRunner.map` — the strict map: a task that fails (or
   times out) on every allowed attempt aborts the whole map with
   :class:`ParallelExecutionError` (or :class:`PoolBrokenError` when the
-  worker pool itself died).
+  workers underneath it kept dying).
 * :meth:`ParallelRunner.map_outcomes` — the keep-going map: every item
   produces a :class:`CellOutcome`, ok or failed, and the sweep completes
   around failed cells.  An ``on_outcome`` callback fires per item in
   submission order, which is how the sweep journal checkpoints progress
   (see :mod:`repro.exec.checkpoint`).
 
-Reliability machinery, hardened for production sweeps:
+Reliability machinery, hardened for production sweeps and shared by
+every backend:
 
 * per-task deadlines are measured **from submission**, not from when the
   parent starts waiting on that index — every concurrent cell gets the
   same wall-clock budget;
-* a broken pool (a worker killed by the OOM killer, ``os._exit``, a
-  segfault) is detected distinctly from task failures: the pool is
-  rebuilt and every not-yet-completed future is resubmitted to the new
-  pool rather than to the dead one;
+* a worker death (a worker killed by the OOM killer, ``os._exit``, a
+  segfault — surfaced by the backend as
+  :class:`~repro.exec.backends.base.WorkerLostError`) is detected
+  distinctly from task failures: the backend recovers its capacity
+  (pool rebuild, fleet respawn) and every task that died with the
+  worker is resubmitted rather than charged;
 * retries back off with deterministic seeded exponential delays plus
   jitter (:func:`retry_delay_s`), so a thundering herd of workers
   retrying a shared resource de-synchronizes the same way every run.
 
-With ``max_workers <= 1`` the runner degrades to a plain in-process loop
-— no pickling, no subprocesses — which is also the benchmark harness's
-measured path.
+With ``max_workers <= 1`` (and no injected backend) the runner degrades
+to a plain in-process loop — no pickling, no subprocesses — which is
+also the benchmark harness's measured path.
 
 Telemetry: each worker runs its task under a fresh
 :class:`~repro.exec.timing.Telemetry` and ships the snapshot back with
-the result; the parent folds all snapshots into its own active telemetry,
-so cache hit counters and phase times survive process boundaries.  Trace
-events, solver audits, operational metrics
+the result (:func:`~repro.exec.backends.base.run_task`); the parent
+folds all snapshots into its own active telemetry, so cache hit
+counters and phase times survive process boundaries.  Trace events,
+solver audits, operational metrics
 (:class:`~repro.obs.metrics.Metrics`), and cProfile aggregates
 (:class:`~repro.obs.profiling.ProfileCollector`) travel the same way:
 when the parent has one active, each worker activates a fresh one, ships
 the snapshot back, and the parent folds them in *submission order* — so
 a parallel run's trace, audit, and deterministic metric subset are
 identical to a serial run's (modulo re-sequencing, which is itself
-deterministic).
+deterministic), whichever transport carried them.
 """
 
 from __future__ import annotations
@@ -55,19 +61,23 @@ from __future__ import annotations
 import os
 import random
 import time
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from ..obs.audit import SolveAudit, current_audit, use_audit
-from ..obs.metrics import Metrics, current_metrics, use_metrics
+from ..obs.audit import current_audit
+from ..obs.metrics import current_metrics
 from ..obs.metrics import inc as metric_inc
 from ..obs.metrics import observe as metric_observe
-from ..obs.profiling import ProfileCollector, current_profile, use_profile
-from ..obs.recorder import TraceRecorder, current_recorder, use_recorder
-from .timing import Telemetry, count, current_telemetry, use_telemetry
+from ..obs.profiling import current_profile
+from ..obs.recorder import current_recorder
+from .backends.base import (
+    BackendTimeoutError,
+    ExecBackend,
+    TaskSpec,
+    WorkerLostError,
+)
+from .backends.pool import ProcessPoolBackend
+from .timing import count, current_telemetry
 
 __all__ = [
     "ParallelRunner",
@@ -84,13 +94,14 @@ class ParallelExecutionError(RuntimeError):
 
 
 class PoolBrokenError(ParallelExecutionError):
-    """The worker pool died on every allowed attempt of a task.
+    """The workers underneath a task died on every allowed attempt.
 
     Raised instead of the generic :class:`ParallelExecutionError` when
-    what kept failing was not the task's own code but the pool beneath
-    it — a worker killed by the OOM killer, ``os._exit``, or a crash in
-    the pickling machinery.  The runner rebuilds the pool between
-    attempts, so seeing this means even fresh pools kept dying.
+    what kept failing was not the task's own code but the transport
+    beneath it — a worker killed by the OOM killer, ``os._exit``, or a
+    crash in the pickling machinery.  The backend recovers its capacity
+    between attempts, so seeing this means even fresh workers kept
+    dying.
     """
 
 
@@ -155,7 +166,7 @@ def retry_delay_s(
 
 
 def _run_batch(packed: tuple) -> list[dict]:
-    """Worker-side batch: several items through one pool dispatch.
+    """Worker-side batch: several items through one dispatch.
 
     Amortizes per-task pickling/IPC overhead when cells are small (the
     many-caps/cheap-solve regime a warm parametric sweep produces).
@@ -164,7 +175,8 @@ def _run_batch(packed: tuple) -> list[dict]:
     item's global index — and settles into a structured doc, so one
     failing item never discards its batch-mates' results.  The retry and
     failure counters land in the worker telemetry that
-    :func:`_run_task` snapshots around the whole batch.
+    :func:`~repro.exec.backends.base.run_task` snapshots around the
+    whole batch.
     """
     fn, batch, start, retries, backoff_s, seed = packed
     docs: list[dict] = []
@@ -194,49 +206,8 @@ def _run_batch(packed: tuple) -> list[dict]:
     return docs
 
 
-def _run_task(
-    fn: Callable[[Any], Any],
-    item: Any,
-    want_trace: bool = False,
-    want_audit: bool = False,
-    want_metrics: bool = False,
-    want_profile: bool = False,
-) -> tuple[Any, dict, list[dict] | None, dict | None, dict | None, dict | None]:
-    """Worker-side wrapper: run one task under fresh observability state.
-
-    Telemetry is always collected; a trace recorder, solve audit, metrics
-    registry, and profile collector are activated only when the parent
-    had them active (``want_*``), keeping the common path free of
-    event-buffer overhead.
-    """
-    telemetry = Telemetry()
-    recorder = TraceRecorder() if want_trace else None
-    audit = SolveAudit() if want_audit else None
-    metrics = Metrics() if want_metrics else None
-    profile = ProfileCollector() if want_profile else None
-    with ExitStack() as stack:
-        stack.enter_context(use_telemetry(telemetry))
-        if recorder is not None:
-            stack.enter_context(use_recorder(recorder))
-        if audit is not None:
-            stack.enter_context(use_audit(audit))
-        if metrics is not None:
-            stack.enter_context(use_metrics(metrics))
-        if profile is not None:
-            stack.enter_context(use_profile(profile))
-        result = fn(item)
-    return (
-        result,
-        telemetry.to_dict(),
-        recorder.snapshot() if recorder is not None else None,
-        audit.to_dicts() if audit is not None else None,
-        metrics.to_dict() if metrics is not None else None,
-        profile.to_dict() if profile is not None else None,
-    )
-
-
 class ParallelRunner:
-    """Ordered, fault-tolerant map over a process pool.
+    """Ordered, fault-tolerant map over a task transport.
 
     Parameters
     ----------
@@ -247,8 +218,10 @@ class ParallelRunner:
         Per-task wall-clock budget, measured from the task's (re-)
         submission.  None waits forever.  A timed-out task is retried;
         its abandoned worker finishes (or idles) in the background —
-        ``ProcessPoolExecutor`` cannot interrupt a running call — so
-        timeouts should be generous, a last line of defense.
+        no transport here can interrupt a running call — so timeouts
+        should be generous, a last line of defense.  (The inline
+        backend runs tasks on the caller's thread and cannot enforce
+        deadlines at all.)
     retries:
         Extra attempts per task after the first failure or timeout.
     backoff_s:
@@ -258,14 +231,24 @@ class ParallelRunner:
     backoff_seed:
         Seed of the jitter schedule (so backoff is reproducible).
     batch_size:
-        Items dispatched per pool submission (default 1: one task per
-        item).  ``> 1`` groups contiguous items into one worker call
+        Items dispatched per submission (default 1: one task per item).
+        ``> 1`` groups contiguous items into one worker call
         (:func:`_run_batch`), amortizing pickling/IPC overhead when
         individual cells are cheap; results, outcome callbacks, and the
         deterministic per-item retry schedule are unchanged.  Item
         failures settle in-worker; the per-task ``timeout_s`` budget
         scales to ``timeout_s * batch_size`` per dispatch.  Serial runs
         ignore it.
+    backend:
+        The task transport (:class:`~repro.exec.backends.base.
+        ExecBackend`).  None — the default — builds a fresh
+        :class:`~repro.exec.backends.pool.ProcessPoolBackend` per map
+        and shuts it down afterwards, reproducing the classic
+        process-pool semantics exactly.  An injected backend is started
+        idempotently and **never shut down by the runner** (its creator
+        owns its lifecycle — how a service dispatcher keeps one warm
+        fleet across many sweeps); with one injected, even single-item
+        maps route through it.
     """
 
     def __init__(
@@ -276,6 +259,7 @@ class ParallelRunner:
         backoff_s: float = 0.05,
         backoff_seed: int = 0,
         batch_size: int = 1,
+        backend: ExecBackend | None = None,
     ) -> None:
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {timeout_s}")
@@ -291,6 +275,7 @@ class ParallelRunner:
         self.backoff_s = backoff_s
         self.backoff_seed = backoff_seed
         self.batch_size = batch_size
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
@@ -298,13 +283,13 @@ class ParallelRunner:
 
         A task that fails every attempt aborts the map with
         :class:`ParallelExecutionError` (:class:`PoolBrokenError` when
-        the pool itself kept dying).  ``fn`` and the items must be
-        picklable when ``max_workers > 1`` (``fn`` should be a
+        the workers themselves kept dying).  ``fn`` and the items must
+        be picklable on out-of-process transports (``fn`` should be a
         module-level function).  Serially, exceptions propagate raw —
         the in-process loop adds no retry machinery.
         """
         items = list(items)
-        if self.max_workers <= 1 or len(items) <= 1:
+        if self.backend is None and (self.max_workers <= 1 or len(items) <= 1):
             return [fn(item) for item in items]
         if self.batch_size > 1:
             return [
@@ -332,10 +317,11 @@ class ParallelRunner:
         order, as soon as that item settles — the checkpoint hook: an
         interrupted sweep has journaled every settled prefix cell.
         Serially the same retry/backoff policy applies in-process
-        (without the timeout, which needs a pool to enforce).
+        (without the timeout, which needs an out-of-process transport
+        to enforce).
         """
         items = list(items)
-        if self.max_workers <= 1 or len(items) <= 1:
+        if self.backend is None and (self.max_workers <= 1 or len(items) <= 1):
             return self._map_serial_outcomes(fn, items, on_outcome)
         if self.batch_size > 1:
             return self._map_batched(
@@ -394,10 +380,10 @@ class ParallelRunner:
         keep_going: bool,
         on_outcome: Callable[[CellOutcome], None] | None,
     ) -> list[CellOutcome]:
-        """Batched fan-out: contiguous item groups per pool dispatch.
+        """Batched fan-out: contiguous item groups per dispatch.
 
         Each batch runs through :func:`_run_batch` (item retries settle
-        in-worker); batch-level machinery — timeouts, pool-breakage
+        in-worker); batch-level machinery — timeouts, worker-death
         recovery, resubmission — reuses :meth:`_map_parallel` over the
         batch descriptors, with the per-dispatch deadline scaled by the
         batch size.  Outcomes flatten back to per-item
@@ -421,6 +407,7 @@ class ParallelRunner:
             retries=self.retries,
             backoff_s=self.backoff_s,
             backoff_seed=self.backoff_seed,
+            backend=self.backend,
         )
         flat: list[CellOutcome] = []
 
@@ -440,8 +427,8 @@ class ParallelRunner:
                         elapsed_s=b_out.elapsed_s,
                     )
                 else:
-                    # The whole dispatch failed (timeout / pool death on
-                    # every attempt): every item of the batch reports
+                    # The whole dispatch failed (timeout / worker death
+                    # on every attempt): every item of the batch reports
                     # that shared infrastructure failure.
                     outcome = CellOutcome(
                         index=start + k,
@@ -482,6 +469,8 @@ class ParallelRunner:
         keep_going: bool,
         on_outcome: Callable[[CellOutcome], None] | None = None,
     ) -> list[CellOutcome]:
+        if not items:
+            return []
         outcomes: list[CellOutcome | None] = [None] * len(items)
         parent = current_telemetry()
         recorder = current_recorder()
@@ -494,19 +483,24 @@ class ParallelRunner:
         want_profile = profile is not None
         n_workers = min(self.max_workers, len(items))
 
-        pool = ProcessPoolExecutor(max_workers=n_workers)
+        backend = self.backend
+        owns_backend = backend is None
+        if owns_backend:
+            backend = ProcessPoolBackend()
+        backend.start(max(1, n_workers))
         deadlines: list[float | None] = [None] * len(items)
         started: list[float] = [0.0] * len(items)
-        futures: list[Future] = [None] * len(items)  # type: ignore[list-item]
+        handles: list[Any] = [None] * len(items)
 
         def submit(i: int) -> None:
             # The deadline starts at (re-)submission: every attempt of
             # every cell gets the same wall-clock budget, regardless of
             # when the parent reaches index i in its wait loop.
-            futures[i] = pool.submit(
-                _run_task, fn, items[i],
-                want_trace, want_audit, want_metrics, want_profile,
-            )
+            handles[i] = backend.submit(TaskSpec(
+                index=i, fn=fn, item=items[i],
+                want_trace=want_trace, want_audit=want_audit,
+                want_metrics=want_metrics, want_profile=want_profile,
+            ))
             now = time.monotonic()
             if not started[i]:
                 started[i] = now
@@ -525,17 +519,19 @@ class ParallelRunner:
                         (
                             result, snapshot, batch, audit_snap,
                             metrics_snap, profile_snap,
-                        ) = futures[i].result(timeout=wait)
+                        ) = backend.result(handles[i], wait)
                         elapsed = time.monotonic() - started[i]
                         outcomes[i] = CellOutcome(
                             index=i, ok=True, value=result, attempts=attempt + 1,
                             elapsed_s=elapsed,
                         )
                         # Fold worker observability in submission order:
-                        # the loop consumes futures by index, so the
+                        # the loop consumes handles by index, so the
                         # merged stream is stable regardless of which
-                        # worker finished first.
-                        if parent is not None:
+                        # worker finished first.  An in-process backend
+                        # ships None snapshots (the parent's own context
+                        # already recorded everything live).
+                        if parent is not None and snapshot is not None:
                             parent.merge(snapshot)
                         if recorder is not None and batch is not None:
                             recorder.extend(batch)
@@ -551,30 +547,33 @@ class ParallelRunner:
                             "task.dispatch_wall_s", elapsed, operational=True
                         )
                         break
-                    except FuturesTimeoutError as exc:
-                        futures[i].cancel()
+                    except BackendTimeoutError as exc:
+                        backend.cancel(handles[i])
                         count("task.deadline_expired")
                         metric_inc("task.deadline_expired", operational=True)
                         attempt, failed = self._note_failure(
-                            i, attempt, "timed out", exc, keep_going,
+                            i, attempt, "timed out", exc.cause, keep_going,
                             started, outcomes,
                         )
                         if failed:
                             break
                         submit(i)
-                    except BrokenExecutor as exc:
-                        # The pool itself died (a worker was killed).
-                        # Resubmitting to it would fail instantly and
-                        # misreport the cause, so rebuild it first; the
-                        # breakage is charged to the task being awaited —
-                        # the closest observable culprit.
-                        pool = self._rebuild_pool(pool, n_workers)
+                    except WorkerLostError as exc:
+                        # The worker underneath the task died.
+                        # Resubmitting before the transport recovers
+                        # would fail instantly and misreport the cause,
+                        # so recover first; the death is charged to the
+                        # task being awaited — the closest observable
+                        # culprit.
+                        backend.recover()
                         attempt, failed = self._note_failure(
-                            i, attempt, "broke the worker pool", exc,
+                            i, attempt, "broke the worker pool", exc.cause,
                             keep_going, started, outcomes, broke_pool=True,
                         )
                         for j in range(i + (1 if failed else 0), len(items)):
-                            if outcomes[j] is None and _needs_resubmit(futures[j]):
+                            if outcomes[j] is None and backend.needs_resubmit(
+                                handles[j]
+                            ):
                                 submit(j)
                         if failed:
                             break
@@ -589,15 +588,9 @@ class ParallelRunner:
                 if on_outcome is not None:
                     on_outcome(outcomes[i])
         finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+            if owns_backend:
+                backend.shutdown()
         return outcomes  # type: ignore[return-value]
-
-    @staticmethod
-    def _rebuild_pool(pool: ProcessPoolExecutor, n_workers: int) -> ProcessPoolExecutor:
-        pool.shutdown(wait=False, cancel_futures=True)
-        count("pool.rebuilt")
-        metric_inc("pool.rebuilt", operational=True)
-        return ProcessPoolExecutor(max_workers=n_workers)
 
     def _note_failure(
         self,
@@ -641,18 +634,3 @@ class ParallelRunner:
         raise error_cls(
             f"task {index} {what} on all {attempt} attempt(s): {exc!r}"
         ) from exc
-
-
-def _needs_resubmit(future: Future) -> bool:
-    """Whether a future was lost to a pool breakage (vs settled for real).
-
-    A future that finished with a result — or with its *own* exception —
-    keeps its state; one that is still pending, was cancelled by the
-    shutdown, or was failed *by the pool dying underneath it* must be
-    resubmitted to the rebuilt pool.
-    """
-    if not future.done():
-        return True
-    if future.cancelled():
-        return True
-    return isinstance(future.exception(), BrokenExecutor)

@@ -67,6 +67,10 @@ class ProgressReporter:
         writing a thousand lines.
     clock:
         Monotonic time source (injectable for tests).
+    depth_fn:
+        Optional zero-argument callable returning the current job-queue
+        depth; when given, every heartbeat carries a ``queue_depth``
+        field (the service dispatcher passes its queue's pending count).
     """
 
     def __init__(
@@ -78,6 +82,7 @@ class ProgressReporter:
         telemetry=None,
         min_interval_s: float = 0.0,
         clock=time.monotonic,
+        depth_fn=None,
     ) -> None:
         if total < 0:
             raise ValueError(f"total must be >= 0, got {total}")
@@ -88,11 +93,13 @@ class ProgressReporter:
         self.telemetry = telemetry
         self.min_interval_s = min_interval_s
         self._clock = clock
+        self.depth_fn = depth_fn
         self._t0 = clock()
         self._last_emit: float | None = None
         self._line_open = False
         self.done = 0
         self.failed = 0
+        self.resumed = 0
         self.records_emitted = 0
 
     # ------------------------------------------------------------------
@@ -107,18 +114,26 @@ class ProgressReporter:
 
     def _record(self) -> dict:
         elapsed = self._clock() - self._t0
+        # Journal-resumed cells count toward done (the bar reaches 100%)
+        # but settle in microseconds — folding them into the throughput
+        # estimate would make the ETA wildly optimistic right after a
+        # resume.  Rate is computed over *computed* cells only.
+        computed = self.done - self.resumed
         eta = None
-        if 0 < self.done < self.total:
-            eta = elapsed / self.done * (self.total - self.done)
+        if 0 < self.done < self.total and computed > 0:
+            eta = elapsed / computed * (self.total - self.done)
         doc = {
             "schema": PROGRESS_SCHEMA_VERSION,
             "kind": "progress",
             "done": self.done,
             "total": self.total,
             "failed": self.failed,
+            "resumed": self.resumed,
             "elapsed_s": round(elapsed, 3),
             "eta_s": round(eta, 3) if eta is not None else None,
         }
+        if self.depth_fn is not None:
+            doc["queue_depth"] = int(self.depth_fn())
         counters = self._counters()
         if counters:
             doc.update(counters)
@@ -135,6 +150,10 @@ class ProgressReporter:
         ]
         if doc["failed"]:
             parts.append(f"{doc['failed']} failed")
+        if doc.get("resumed"):
+            parts.append(f"{doc['resumed']} resumed")
+        if doc.get("queue_depth") is not None:
+            parts.append(f"queue {doc['queue_depth']}")
         if doc.get("retries"):
             parts.append(f"{doc['retries']} retries")
         if doc.get("cache_hit_rate") is not None:
@@ -172,11 +191,19 @@ class ProgressReporter:
             return False
 
     # ------------------------------------------------------------------
-    def update(self, ok: bool = True) -> None:
-        """Record one settled cell (called in submission order)."""
+    def update(self, ok: bool = True, resumed: bool = False) -> None:
+        """Record one settled cell (called in submission order).
+
+        ``resumed`` marks a cell rehydrated from a journal rather than
+        computed: it counts toward ``done`` (and the 100% bar) but is
+        excluded from the throughput behind the ETA, and reported
+        separately in the heartbeat.
+        """
         self.done += 1
         if not ok:
             self.failed += 1
+        if resumed:
+            self.resumed += 1
         now = self._clock()
         final = self.done >= self.total
         if (

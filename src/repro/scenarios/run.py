@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
 
+from ..exec.backends import make_backend
 from ..exec.checkpoint import SweepJournal
 from ..core.model import ProblemInstance, build_problem_instance
 from ..exec.cache import SolverCache
@@ -69,6 +70,7 @@ __all__ = [
     "PolicyOutcome",
     "ScenarioCell",
     "ScenarioResult",
+    "cell_payload",
     "reset_cap_solvers",
     "run_scenario_cell",
     "run_scenarios",
@@ -339,8 +341,14 @@ def _emit_power_counters(
 
 
 # ----------------------------------------------------------------------
-def _cell_payload(spec: ScenarioSpec, cell: ScenarioCell) -> dict:
-    """The cache payload of one cell: schema-guarded, spec-derived."""
+def cell_payload(spec: ScenarioSpec, cell: ScenarioCell) -> dict:
+    """The cache/journal payload of one cell: schema-guarded, spec-derived.
+
+    Public because the service dispatcher journals cells it computes on
+    behalf of queued jobs with exactly the payload ``run_scenarios``
+    writes — the two must stay byte-compatible for resume to work across
+    the CLI and the service.
+    """
     return {
         "scenario_layer": SCENARIO_LAYER_VERSION,
         "cell_hash": spec.cell_hash(),
@@ -433,7 +441,7 @@ def run_scenario_cell(
             "cell.cpu_s", time.process_time() - c0, operational=True
         )
     if cache is not None:
-        cache.put(key, _cell_payload(spec, cell))
+        cache.put(key, cell_payload(spec, cell))
     return cell
 
 
@@ -633,8 +641,19 @@ def run_scenarios(
                     # interrupted) run got through: operational.
                     metric_inc("journal.resumed", operational=True)
                     if progress is not None:
-                        progress.update(ok=True)
+                        progress.update(ok=True, resumed=True)
     pending = [cap for cap in caps if cap not in cells]
+    # Within-run dedup: a grid listing the same cap twice computes that
+    # cell once; `cells` is keyed by cap, so result assembly fans the
+    # single outcome out to every occurrence.  The multiplicity map
+    # keeps progress honest — `done` must still reach len(caps).
+    multiplicity = {cap: pending.count(cap) for cap in dict.fromkeys(pending)}
+    deduped = len(pending) - len(multiplicity)
+    if deduped:
+        count("cells.deduped", deduped)
+        # Derived from the spec's cap grid alone, so deterministic.
+        metric_inc("cells.deduped", deduped)
+    pending = list(multiplicity)
 
     use_pool = workers > 1 and len(pending) > 1 and registry is None
     if use_pool:
@@ -658,6 +677,13 @@ def run_scenarios(
         )
         fn = faults.wrap(fn)
 
+    # Non-default transport (a spawned socket worker fleet, or inline
+    # for debugging) per the ambient options; "process" leaves backend
+    # None so the runner builds its classic per-map process pool.
+    backend = None
+    if use_pool and opts.task_backend != "process":
+        backend = make_backend(opts.task_backend)
+
     if (
         keep_going
         or journal is not None
@@ -671,14 +697,15 @@ def run_scenarios(
             # telemetry snapshots ParallelRunner merges.
             cap = pending[outcome.index]
             if progress is not None:
-                progress.update(ok=outcome.ok)
+                for _ in range(multiplicity[cap]):
+                    progress.update(ok=outcome.ok)
             if outcome.ok:
                 if journal is not None:
                     # wall_s is a diagnostic extra (slowest-cell tables
                     # in `repro-exp report`); journal *payloads* stay
                     # byte-deterministic and resume ignores it.
                     journal.record_ok(
-                        keys[cap], cap, _cell_payload(spec, outcome.value),
+                        keys[cap], cap, cell_payload(spec, outcome.value),
                         spec_hash=spec.spec_hash(),
                         wall_s=round(outcome.elapsed_s, 6),
                     )
@@ -705,19 +732,24 @@ def run_scenarios(
             backoff_s=opts.task_backoff_s,
             backoff_seed=spec.seed,
             batch_size=opts.task_batch_size,
+            backend=backend,
         )
         first_failed: CellOutcome | None = None
-        for cap, outcome in zip(
-            pending, runner.map_outcomes(fn, items, on_outcome=on_outcome)
-        ):
-            if outcome.ok:
-                cells[cap] = outcome.value
-            else:
-                cells[cap] = _failed_cell(
-                    spec, cap, reg, CellFailure.from_outcome(outcome)
-                )
-                if first_failed is None:
-                    first_failed = outcome
+        try:
+            for cap, outcome in zip(
+                pending, runner.map_outcomes(fn, items, on_outcome=on_outcome)
+            ):
+                if outcome.ok:
+                    cells[cap] = outcome.value
+                else:
+                    cells[cap] = _failed_cell(
+                        spec, cap, reg, CellFailure.from_outcome(outcome)
+                    )
+                    if first_failed is None:
+                        first_failed = outcome
+        finally:
+            if backend is not None:
+                backend.shutdown()
         if first_failed is not None and not keep_going:
             raise ParallelExecutionError(
                 f"cell cap={pending[first_failed.index]:g} "
@@ -732,9 +764,14 @@ def run_scenarios(
             backoff_s=opts.task_backoff_s,
             backoff_seed=spec.seed,
             batch_size=opts.task_batch_size,
+            backend=backend,
         )
-        for cap, cell in zip(pending, runner.map(fn, items)):
-            cells[cap] = cell
+        try:
+            for cap, cell in zip(pending, runner.map(fn, items)):
+                cells[cap] = cell
+        finally:
+            if backend is not None:
+                backend.shutdown()
     else:
         for cap in pending:
             cells[cap] = fn(cap)

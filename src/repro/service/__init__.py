@@ -1,0 +1,56 @@
+"""The scenario service: a persistent job queue drained by a worker fleet.
+
+:func:`~repro.scenarios.run.run_scenarios` is a *session*: one process
+owns one sweep from submission to result.  The service layer turns the
+same cells into *jobs* that outlive any process:
+
+* :class:`~repro.service.queue.JobQueue` — an append-only, fsynced
+  event log of submitted cells, deduplicated by the exec layer's
+  content address (:func:`~repro.exec.keys.scenario_cell_key`, the same
+  key the solver cache and sweep journal use), ordered by priority then
+  submission, and bounded per tenant by active-job quotas;
+* :class:`~repro.service.dispatcher.FleetDispatcher` — drains the queue
+  onto any :class:`~repro.exec.backends.base.ExecBackend` (the classic
+  per-map process pool, a spawned socket worker fleet, or in-process),
+  journaling every settled cell exactly as ``run_scenarios`` would, so
+  results computed by the service resume byte-identically in the CLI;
+* :mod:`~repro.service.status` — the schema-versioned status document
+  behind ``repro-exp status --json``, with a validator mirroring
+  :func:`~repro.obs.metrics.validate_metrics_doc`;
+* :mod:`~repro.service.worker` — the entry point a fleet worker process
+  runs (``repro-exp worker --connect ...``).
+
+The package sits *above* ``repro.scenarios`` (it submits and runs
+scenario cells) and below nothing: no repro module may import it except
+the CLI.  See ``docs/execution.md`` ("Running as a service").
+"""
+
+from .dispatcher import FleetDispatcher
+from .queue import (
+    QUEUE_SCHEMA_VERSION,
+    Job,
+    JobQueue,
+    QuotaExceeded,
+    SubmitReceipt,
+)
+from .status import (
+    STATUS_SCHEMA_VERSION,
+    build_status_doc,
+    render_status_text,
+    validate_status_doc,
+)
+from .worker import run_worker
+
+__all__ = [
+    "FleetDispatcher",
+    "Job",
+    "JobQueue",
+    "QUEUE_SCHEMA_VERSION",
+    "QuotaExceeded",
+    "STATUS_SCHEMA_VERSION",
+    "SubmitReceipt",
+    "build_status_doc",
+    "render_status_text",
+    "run_worker",
+    "validate_status_doc",
+]

@@ -1,0 +1,123 @@
+"""The queue-status document: schema-versioned, validated, renderable.
+
+``repro-exp status --json`` prints exactly :func:`build_status_doc`'s
+output; anything consuming it (dashboards, CI gates) can hold it to
+:func:`validate_status_doc`, which mirrors the
+:func:`~repro.obs.metrics.validate_metrics_doc` contract — it returns a
+list of human-readable problems, empty when the document is valid, so a
+test can assert ``validate_status_doc(doc) == []`` and see every
+violation at once.
+"""
+
+from __future__ import annotations
+
+from .queue import JobQueue
+
+__all__ = [
+    "STATUS_SCHEMA_VERSION",
+    "build_status_doc",
+    "render_status_text",
+    "validate_status_doc",
+]
+
+#: Version stamped on every status document; bump on layout changes.
+STATUS_SCHEMA_VERSION = 1
+
+_JOB_FIELDS = ("pending", "running", "done", "failed", "total")
+
+
+def build_status_doc(queue: JobQueue) -> dict:
+    """The status document for one queue (see the module docstring)."""
+    stats = queue.stats()
+    return {
+        "schema": STATUS_SCHEMA_VERSION,
+        "kind": "queue-status",
+        "queue_dir": str(queue.root),
+        "jobs": stats["jobs"],
+        "deduped": stats["deduped"],
+        "tenants": stats["tenants"],
+    }
+
+
+def _is_count(value) -> bool:
+    """A non-negative int that is not a bool (True would count as 1)."""
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def validate_status_doc(doc) -> list[str]:
+    """Every problem in ``doc``; an empty list means it is valid."""
+    if not isinstance(doc, dict):
+        return ["status doc is not an object"]
+    problems: list[str] = []
+    if doc.get("schema") != STATUS_SCHEMA_VERSION:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, "
+            f"expected {STATUS_SCHEMA_VERSION}"
+        )
+    if doc.get("kind") != "queue-status":
+        problems.append(f"kind is {doc.get('kind')!r}, expected 'queue-status'")
+    if not isinstance(doc.get("queue_dir"), str):
+        problems.append("queue_dir is not a string")
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, dict):
+        problems.append("jobs is not an object")
+    else:
+        for name in _JOB_FIELDS:
+            if not _is_count(jobs.get(name)):
+                problems.append(
+                    f"jobs.{name} is {jobs.get(name)!r}, "
+                    "expected a non-negative int"
+                )
+        if all(_is_count(jobs.get(name)) for name in _JOB_FIELDS):
+            states_sum = sum(jobs[name] for name in _JOB_FIELDS[:-1])
+            if states_sum != jobs["total"]:
+                problems.append(
+                    f"jobs.total is {jobs['total']}, but the states sum "
+                    f"to {states_sum}"
+                )
+    if not _is_count(doc.get("deduped")):
+        problems.append(
+            f"deduped is {doc.get('deduped')!r}, expected a non-negative int"
+        )
+    tenants = doc.get("tenants")
+    if not isinstance(tenants, dict):
+        problems.append("tenants is not an object")
+    else:
+        for name, entry in tenants.items():
+            if not isinstance(entry, dict):
+                problems.append(f"tenants[{name!r}] is not an object")
+                continue
+            for key in ("active", "submitted"):
+                if not _is_count(entry.get(key)):
+                    problems.append(
+                        f"tenants[{name!r}].{key} is {entry.get(key)!r}, "
+                        "expected a non-negative int"
+                    )
+            quota = entry.get("quota")
+            if quota is not None and not _is_count(quota):
+                problems.append(
+                    f"tenants[{name!r}].quota is {quota!r}, "
+                    "expected a non-negative int or null"
+                )
+    return problems
+
+
+def render_status_text(doc: dict) -> str:
+    """The human rendering of a status doc (``repro-exp status``)."""
+    jobs = doc["jobs"]
+    lines = [
+        f"queue {doc['queue_dir']}",
+        (
+            f"  jobs: {jobs['pending']} pending, {jobs['running']} running, "
+            f"{jobs['done']} done, {jobs['failed']} failed "
+            f"({jobs['total']} total, {doc['deduped']} deduped)"
+        ),
+    ]
+    for name in sorted(doc["tenants"]):
+        entry = doc["tenants"][name]
+        quota = "unbounded" if entry["quota"] is None else str(entry["quota"])
+        lines.append(
+            f"  tenant {name}: {entry['active']} active / quota {quota}, "
+            f"{entry['submitted']} submission(s)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""The fleet worker entry point (``repro-exp worker``).
+
+A worker is a plain process that dials the dispatcher's socket,
+authenticates with the shared token, and runs tasks until told to shut
+down — the loop itself lives in
+:func:`repro.exec.backends.sockets.run_worker` (the exec layer owns the
+wire protocol).  This module is the service-level door to it, so
+deployment scripts depend on ``repro.service``/the CLI rather than on
+exec-layer module paths.
+
+Workers are usually *spawned by the backend* (``SocketWorkerBackend``
+with ``spawn=True`` launches and respawns its own fleet); run this entry
+point directly only for externally managed workers — e.g. one worker
+per container, connecting to ``tcp://host:port`` with ``spawn=False``
+on the dispatcher side.
+"""
+
+from __future__ import annotations
+
+from ..exec.backends.sockets import run_worker
+
+__all__ = ["run_worker"]

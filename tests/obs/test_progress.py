@@ -119,6 +119,56 @@ def test_intermediate_heartbeats_throttle_first_and_last_always_emit(tmp_path):
     assert reporter.records_emitted == 2
 
 
+def test_resumed_cells_do_not_skew_the_eta(tmp_path):
+    # 8 journal-resumed cells settle instantly; the throughput behind
+    # the ETA must come from the 1 computed cell alone (10s each, 1
+    # remaining -> eta 10s), not from 9 cells in 10s (-> eta ~1.1s).
+    clock = FakeClock()
+    path = tmp_path / "progress.jsonl"
+    reporter = ProgressReporter(total=10, jsonl_path=path, clock=clock)
+    for _ in range(8):
+        reporter.update(ok=True, resumed=True)
+    clock.now = 10.0
+    reporter.update(ok=True)
+    docs = [json.loads(line) for line in path.read_text().splitlines()]
+    last = docs[-1]
+    assert last["resumed"] == 8 and last["done"] == 9
+    assert last["eta_s"] == 10.0
+
+
+def test_all_resumed_yields_no_eta(tmp_path):
+    clock = FakeClock()
+    path = tmp_path / "progress.jsonl"
+    reporter = ProgressReporter(total=3, jsonl_path=path, clock=clock)
+    clock.now = 1.0
+    reporter.update(ok=True, resumed=True)
+    doc = json.loads(path.read_text().splitlines()[-1])
+    # No computed cell yet: there is no throughput to extrapolate.
+    assert doc["eta_s"] is None and doc["resumed"] == 1
+
+
+def test_resumed_count_shows_in_the_status_line():
+    stream = io.StringIO()
+    reporter = ProgressReporter(total=2, stream=stream)
+    reporter.update(ok=True, resumed=True)
+    assert "1 resumed" in stream.getvalue()
+
+
+def test_queue_depth_heartbeats(tmp_path):
+    depth = [5]
+    path = tmp_path / "progress.jsonl"
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        total=2, jsonl_path=path, stream=stream, depth_fn=lambda: depth[0]
+    )
+    reporter.update()
+    depth[0] = 3
+    reporter.update()
+    docs = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [d["queue_depth"] for d in docs] == [5, 3]
+    assert "queue 5" in stream.getvalue()
+
+
 def test_failed_cells_show_in_the_status_line():
     stream = io.StringIO()
     reporter = ProgressReporter(total=2, stream=stream)

@@ -1,0 +1,129 @@
+"""Properties of the exec layer's resilience primitives.
+
+Two contracts the runner and the service lean on:
+
+* :func:`~repro.exec.parallel.retry_delay_s` is a *schedule*, not a
+  random draw — the same (seed, index, attempt) always yields the same
+  delay, every delay stays within [0, cap], and the cap bounds the
+  schedule no matter how many attempts pile up;
+* :class:`~repro.exec.checkpoint.SweepJournal` is last-record-wins:
+  however many writers interleave appends to one journal file, ``load``
+  returns exactly the final record written for each key.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.exec.checkpoint import SweepJournal
+from repro.exec.parallel import retry_delay_s
+
+SEEDS = st.integers(min_value=0, max_value=2**32)
+INDICES = st.integers(min_value=0, max_value=10_000)
+ATTEMPTS = st.integers(min_value=1, max_value=40)
+BASES = st.floats(min_value=1e-4, max_value=5.0,
+                  allow_nan=False, allow_infinity=False)
+CAPS = st.floats(min_value=1e-3, max_value=10.0,
+                 allow_nan=False, allow_infinity=False)
+
+
+class TestRetryDelay:
+    @given(seed=SEEDS, index=INDICES, attempt=ATTEMPTS, base=BASES, cap=CAPS)
+    def test_deterministic_per_seed(self, seed, index, attempt, base, cap):
+        a = retry_delay_s(seed, index, attempt, base, cap_s=cap)
+        b = retry_delay_s(seed, index, attempt, base, cap_s=cap)
+        assert a == b
+
+    @given(seed=SEEDS, index=INDICES, attempt=ATTEMPTS, base=BASES, cap=CAPS)
+    def test_bounded_by_cap(self, seed, index, attempt, base, cap):
+        delay = retry_delay_s(seed, index, attempt, base, cap_s=cap)
+        # Jitter scales the exponential term into [0.5, 1.0), so the cap
+        # bounds every delay and the floor is half the (capped) term.
+        exp = min(cap, base * (2 ** (attempt - 1)))
+        assert 0.0 <= delay <= cap
+        assert exp * 0.5 <= delay < exp
+
+    @given(seed=SEEDS, index=INDICES, attempt=ATTEMPTS, cap=CAPS)
+    def test_nonpositive_base_disables_backoff(self, seed, index, attempt, cap):
+        assert retry_delay_s(seed, index, attempt, 0.0, cap_s=cap) == 0.0
+        assert retry_delay_s(seed, index, attempt, -1.0, cap_s=cap) == 0.0
+
+    @given(seed=SEEDS, index=INDICES, base=BASES)
+    def test_cap_is_monotone_ceiling(self, seed, index, base):
+        # Once the exponential term saturates at the cap, later attempts
+        # never exceed it — the schedule cannot run away.
+        cap = 4.0 * base
+        delays = [
+            retry_delay_s(seed, index, attempt, base, cap_s=cap)
+            for attempt in range(1, 30)
+        ]
+        assert all(d <= cap for d in delays)
+
+
+# One interleaved history: ops are (writer, key, ok, tag) — which of two
+# journal handles appends, under which key, with what status/payload.
+OPS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),
+        st.sampled_from(["k0", "k1", "k2"]),
+        st.booleans(),
+        st.integers(min_value=0, max_value=9),
+    ),
+    max_size=25,
+)
+
+
+class TestJournalLastRecordWins:
+    @given(ops=OPS)
+    @settings(max_examples=50)
+    def test_interleaved_writers(self, ops):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "sweep.jsonl"
+            # Two independent handles on one file model two processes
+            # (a CLI sweep and a service dispatcher) sharing a journal.
+            writers = (SweepJournal(path), SweepJournal(path))
+            expected: dict[str, tuple] = {}
+            for writer, key, ok, tag in ops:
+                if ok:
+                    writers[writer].record_ok(key, 50.0, {"tag": tag})
+                else:
+                    writers[writer].record_failed(
+                        key, 50.0, {"error_type": "E", "tag": tag}
+                    )
+                expected[key] = (ok, tag)
+            loaded = SweepJournal(path).load()
+            assert set(loaded) == set(expected)
+            for key, (ok, tag) in expected.items():
+                doc = loaded[key]
+                if ok:
+                    assert doc["status"] == "ok"
+                    assert doc["payload"] == {"tag": tag}
+                else:
+                    assert doc["status"] == "failed"
+                    assert doc["failure"]["tag"] == tag
+
+    @given(ops=OPS)
+    @settings(max_examples=25)
+    def test_torn_tail_preserves_prefix(self, ops):
+        # A crash mid-append leaves a torn last line; every record
+        # before it must still load.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "sweep.jsonl"
+            journal = SweepJournal(path)
+            expected: dict[str, tuple] = {}
+            for writer, key, ok, tag in ops:
+                if ok:
+                    journal.record_ok(key, 50.0, {"tag": tag})
+                else:
+                    journal.record_failed(
+                        key, 50.0, {"error_type": "E", "tag": tag}
+                    )
+                expected[key] = (ok, tag)
+            with path.open("a") as fh:
+                fh.write('{"schema": 1, "key": "k0", "status": "o')
+            loaded = SweepJournal(path).load()
+            assert set(loaded) == set(expected)

@@ -162,6 +162,45 @@ class TestCellCaching:
         assert a != b
 
 
+class TestWithinRunDedup:
+    def test_duplicate_caps_compute_once_and_fan_out(self):
+        from repro.exec.timing import Telemetry, use_telemetry
+        from repro.obs.metrics import Metrics, use_metrics
+
+        spec = small_spec(
+            policies=ALL_FIVE[:2], caps=(40.0, 60.0, 40.0, 40.0)
+        )
+        telemetry, metrics = Telemetry(), Metrics()
+        with use_telemetry(telemetry), use_metrics(metrics):
+            result = run_scenarios(spec)
+        assert telemetry.counter("cells.deduped") == 2
+        assert metrics.to_dict()["counters"]["cells.deduped"] == 2
+        # The result still fans out to every grid occurrence...
+        assert [c.cap_per_socket_w for c in result.cells] == [
+            40.0, 60.0, 40.0, 40.0,
+        ]
+        # ...and the duplicates are the *same* computed cell.
+        assert result.cells[0] is result.cells[2] is result.cells[3]
+
+    def test_dedup_matches_a_unique_grid(self):
+        spec_dup = small_spec(policies=ALL_FIVE[:2], caps=(40.0, 60.0, 40.0))
+        spec_uniq = small_spec(policies=ALL_FIVE[:2], caps=(40.0, 60.0))
+        dup = run_scenarios(spec_dup)
+        uniq = run_scenarios(spec_uniq)
+        for cap in (40.0, 60.0):
+            a, b = dup.cell_at(cap), uniq.cell_at(cap)
+            for name in spec_uniq.policy_labels():
+                assert a.outcomes[name].time_s == b.outcomes[name].time_s
+
+    def test_progress_still_reaches_the_full_total(self):
+        from repro.obs.progress import ProgressReporter
+
+        spec = small_spec(policies=ALL_FIVE[:2], caps=(40.0, 60.0, 40.0))
+        progress = ProgressReporter(total=len(spec.caps_per_socket_w))
+        run_scenarios(spec, progress=progress)
+        assert progress.done == 3 and progress.failed == 0
+
+
 class TestParallel:
     def test_parallel_matches_serial_exactly(self, tmp_path):
         spec = small_spec(caps=(35.0, 45.0, 55.0))

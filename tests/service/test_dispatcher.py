@@ -1,0 +1,121 @@
+"""FleetDispatcher: drain, journal fast path, failure settling, serve."""
+
+from __future__ import annotations
+
+from repro.exec.checkpoint import SweepJournal
+from repro.scenarios.run import run_scenarios
+from repro.scenarios.spec import PolicySpec, ScenarioSpec
+from repro.service import FleetDispatcher, JobQueue
+
+
+def spec(caps=(40.0, 60.0)) -> ScenarioSpec:
+    return ScenarioSpec(
+        benchmark="synthetic",
+        caps_per_socket_w=caps,
+        policies=(PolicySpec("static"), PolicySpec("lp")),
+        n_ranks=4,
+        run_iterations=8,
+        lp_iterations=2,
+        discard_iterations=2,
+        steady_window=4,
+    )
+
+
+class RecordingProgress:
+    """A ProgressReporter stand-in capturing (ok, resumed) updates."""
+
+    def __init__(self):
+        self.updates = []
+
+    def update(self, ok=True, resumed=False):
+        self.updates.append((ok, resumed))
+
+
+class TestDrain:
+    def test_empty_queue_is_a_noop(self, tmp_path):
+        summary = FleetDispatcher(JobQueue(tmp_path)).drain()
+        assert summary == {
+            "claimed": 0, "resumed": 0, "computed": 0, "failed": 0,
+        }
+
+    def test_computes_and_settles_every_job(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        queue.submit_cells(spec())
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        summary = FleetDispatcher(queue, journal=journal).drain()
+        assert summary == {
+            "claimed": 2, "resumed": 0, "computed": 2, "failed": 0,
+        }
+        assert all(j.state == "done" for j in queue.jobs.values())
+        records = journal.load()
+        assert set(records) == set(queue.jobs)
+        assert all(doc["status"] == "ok" for doc in records.values())
+
+    def test_journal_fast_path_skips_computation(self, tmp_path):
+        s = spec()
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        # A CLI sweep settles the cells first; the service then serves
+        # the same cells from the shared journal without recomputing.
+        run_scenarios(s, workers=1, journal=journal)
+        queue = JobQueue(tmp_path / "q")
+        queue.submit_cells(s)
+        progress = RecordingProgress()
+        dispatcher = FleetDispatcher(
+            queue, journal=journal, progress=progress
+        )
+        summary = dispatcher.drain()
+        assert summary == {
+            "claimed": 2, "resumed": 2, "computed": 0, "failed": 0,
+        }
+        assert all(j.state == "done" for j in queue.jobs.values())
+        assert progress.updates == [(True, True), (True, True)]
+
+    def test_journaled_payloads_match_a_cli_sweep(self, tmp_path):
+        s = spec()
+        queue = JobQueue(tmp_path / "q")
+        queue.submit_cells(s)
+        service_journal = SweepJournal(tmp_path / "service.jsonl")
+        FleetDispatcher(queue, journal=service_journal).drain()
+        cli_journal = SweepJournal(tmp_path / "cli.jsonl")
+        run_scenarios(s, workers=1, journal=cli_journal)
+        service_docs = service_journal.load()
+        cli_docs = cli_journal.load()
+        assert set(service_docs) == set(cli_docs)
+        for key, doc in cli_docs.items():
+            # Identical keys, identical rehydratable payloads: either
+            # side resumes byte-identically from the other's journal.
+            assert service_docs[key]["payload"] == doc["payload"]
+
+    def test_timed_out_cells_settle_as_failed_jobs(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        queue.submit_cells(spec())
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        # An impossible submit-time deadline (out-of-process transport
+        # enforces it) fails every cell without aborting the drain.
+        summary = FleetDispatcher(
+            queue, workers=2, journal=journal,
+            timeout_s=0.001, retries=0, backoff_s=0.0,
+        ).drain()
+        assert summary["failed"] == 2 and summary["computed"] == 0
+        assert all(j.state == "failed" for j in queue.jobs.values())
+        assert all(
+            j.failure["error_type"] == "TimeoutError"
+            for j in queue.jobs.values()
+        )
+        assert all(
+            doc["status"] == "failed" for doc in journal.load().values()
+        )
+
+
+class TestServe:
+    def test_drain_once_accumulates_totals(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        queue.submit_cells(spec())
+        totals = FleetDispatcher(queue).serve(drain_once=True)
+        assert totals["claimed"] == 2 and totals["computed"] == 2
+
+    def test_max_idle_exits_an_empty_queue(self, tmp_path):
+        totals = FleetDispatcher(JobQueue(tmp_path)).serve(
+            poll_s=0.01, max_idle_s=0.05
+        )
+        assert totals["claimed"] == 0

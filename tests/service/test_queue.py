@@ -1,0 +1,162 @@
+"""JobQueue: dedup by cell key, priority/FIFO order, quotas, durability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec.keys import scenario_cell_key
+from repro.scenarios.spec import SCENARIO_LAYER_VERSION, PolicySpec, ScenarioSpec
+from repro.service import JobQueue, QuotaExceeded
+
+
+def spec(caps=(40.0, 60.0), **overrides) -> ScenarioSpec:
+    kwargs = dict(
+        benchmark="synthetic",
+        caps_per_socket_w=caps,
+        policies=(PolicySpec("static"), PolicySpec("lp")),
+        n_ranks=4,
+        run_iterations=8,
+        lp_iterations=2,
+        discard_iterations=2,
+        steady_window=4,
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+class TestSubmit:
+    def test_one_job_per_cap_with_cell_keys(self, tmp_path):
+        s = spec()
+        queue = JobQueue(tmp_path)
+        receipt = queue.submit_cells(s)
+        assert receipt.submitted == 2
+        assert receipt.deduped == 0 and receipt.requeued == 0
+        expected = {
+            scenario_cell_key(s.cell_hash(), cap, SCENARIO_LAYER_VERSION)
+            for cap in (40.0, 60.0)
+        }
+        assert set(receipt.job_ids) == expected
+        assert queue.depth() == 2
+
+    def test_resubmission_dedups_against_pending(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec())
+        receipt = queue.submit_cells(spec())
+        assert receipt.submitted == 0 and receipt.deduped == 2
+        assert queue.depth() == 2
+
+    def test_duplicate_caps_within_one_submission_collapse(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        receipt = queue.submit_cells(spec(caps=(40.0, 40.0, 60.0)))
+        assert receipt.submitted == 2 and receipt.deduped == 1
+        assert queue.depth() == 2
+
+    def test_dedup_can_only_raise_priority(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec(), priority=5)
+        queue.submit_cells(spec(), priority=1)
+        assert all(j.priority == 5 for j in queue.jobs.values())
+        queue.submit_cells(spec(), priority=9)
+        assert all(j.priority == 9 for j in queue.jobs.values())
+
+    def test_failed_jobs_requeue_on_resubmit(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        receipt = queue.submit_cells(spec())
+        job = queue.claim_next()
+        queue.fail(job.job_id, {"error_type": "ValueError"})
+        assert queue.jobs[job.job_id].failure == {"error_type": "ValueError"}
+        again = queue.submit_cells(spec())
+        assert again.requeued == 1 and again.deduped == 1
+        assert queue.jobs[job.job_id].state == "pending"
+        assert queue.jobs[job.job_id].failure is None
+        assert set(again.job_ids) == set(receipt.job_ids)
+
+
+class TestOrdering:
+    def test_priority_then_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec(caps=(10.0, 20.0)), priority=0)
+        queue.submit_cells(spec(caps=(30.0,)), priority=7)
+        order = []
+        while (job := queue.claim_next()) is not None:
+            order.append((job.priority, job.cap_per_socket_w))
+        assert order == [(7, 30.0), (0, 10.0), (0, 20.0)]
+
+    def test_release_returns_a_claimed_job(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec(caps=(10.0,)))
+        job = queue.claim_next()
+        assert queue.depth() == 0
+        queue.release(job.job_id)
+        assert queue.depth() == 1
+
+
+class TestQuota:
+    def test_submission_rejected_whole(self, tmp_path):
+        queue = JobQueue(tmp_path, quotas={"alice": 1})
+        with pytest.raises(QuotaExceeded):
+            queue.submit_cells(spec(), tenant="alice")
+        # Atomic: nothing was enqueued, and the log stays empty.
+        assert queue.depth() == 0
+        assert not (tmp_path / "queue.jsonl").exists()
+
+    def test_dedup_attachments_are_quota_free(self, tmp_path):
+        queue = JobQueue(tmp_path, quotas={"bob": 2})
+        queue.submit_cells(spec(), tenant="bob")
+        # Same cells again: zero new active jobs, so no quota hit.
+        receipt = queue.submit_cells(spec(), tenant="bob")
+        assert receipt.deduped == 2
+
+    def test_settled_jobs_free_quota(self, tmp_path):
+        queue = JobQueue(tmp_path, quotas={"bob": 2})
+        queue.submit_cells(spec(), tenant="bob")
+        for _ in range(2):
+            queue.complete(queue.claim_next().job_id)
+        queue.submit_cells(spec(caps=(99.0,)), tenant="bob")
+
+
+class TestDurability:
+    def test_replay_reproduces_state(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec(caps=(10.0, 20.0, 30.0)), priority=3)
+        queue.submit_cells(spec(caps=(10.0,)))  # one dedup
+        done = queue.claim_next()
+        queue.complete(done.job_id)
+        failed = queue.claim_next()
+        queue.fail(failed.job_id, {"error_type": "E"})
+
+        replayed = JobQueue(tmp_path)
+        assert {j.state for j in replayed.jobs.values()} == {
+            "done", "failed", "pending"
+        }
+        assert replayed.deduped == 1
+        assert replayed.jobs[done.job_id].state == "done"
+        assert replayed.jobs[failed.job_id].failure == {"error_type": "E"}
+        assert [j.seq for j in replayed.jobs.values()] == [0, 1, 2]
+
+    def test_jobs_left_running_by_a_dead_dispatcher_release(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec(caps=(10.0,)))
+        queue.claim_next()  # dispatcher "dies" here
+        replayed = JobQueue(tmp_path)
+        assert replayed.released_on_load == 1
+        assert replayed.depth() == 1
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec(caps=(10.0,)))
+        with (tmp_path / "queue.jsonl").open("a") as fh:
+            fh.write('{"schema": 1, "kind": "cla')
+        assert JobQueue(tmp_path).depth() == 1
+
+    def test_foreign_schema_events_are_skipped(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec(caps=(10.0,)))
+        job_id = next(iter(queue.jobs))
+        with (tmp_path / "queue.jsonl").open("a") as fh:
+            fh.write(json.dumps(
+                {"schema": 99, "kind": "complete", "job_id": job_id}
+            ) + "\n")
+        assert JobQueue(tmp_path).jobs[job_id].state == "pending"

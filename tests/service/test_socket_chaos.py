@@ -1,0 +1,82 @@
+"""Chaos smoke: SIGKILL a fleet worker mid-drain, demand byte-identity.
+
+The CI socket-fleet gate: a two-worker fleet loses one worker to SIGKILL
+while a drain is in flight; the drain must still settle every job ok
+(the runner charges the death as one attempt and resubmits on the
+respawned fleet), and the journal the fleet wrote must rehydrate a sweep
+byte-identical to a fresh serial run — the determinism contract is
+transport- and fault-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+from repro.exec.backends import SocketWorkerBackend
+from repro.exec.checkpoint import SweepJournal
+from repro.scenarios.run import cell_payload, run_scenarios
+from repro.scenarios.spec import PolicySpec, ScenarioSpec
+from repro.service import FleetDispatcher, JobQueue
+
+
+def spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        benchmark="synthetic",
+        caps_per_socket_w=(30.0, 40.0, 50.0, 60.0),
+        policies=(PolicySpec("static"), PolicySpec("lp")),
+        n_ranks=4,
+        run_iterations=8,
+        lp_iterations=2,
+        discard_iterations=2,
+        steady_window=4,
+    )
+
+
+class KillOneWorker:
+    """Progress hook that SIGKILLs a worker after the first cell settles."""
+
+    def __init__(self, backend: SocketWorkerBackend):
+        self.backend = backend
+        self.fired = False
+
+    def update(self, ok=True, resumed=False):
+        if not self.fired and self.backend.worker_pids():
+            self.fired = True
+            os.kill(self.backend.worker_pids()[-1], signal.SIGKILL)
+
+
+def test_fleet_survives_sigkill_and_stays_byte_identical(tmp_path):
+    s = spec()
+    queue = JobQueue(tmp_path / "q")
+    queue.submit_cells(s)
+    journal = SweepJournal(tmp_path / "sweep.jsonl")
+    backend = SocketWorkerBackend(heartbeat_s=0.2)
+    backend.start(2)
+    killer = KillOneWorker(backend)
+    try:
+        summary = FleetDispatcher(
+            queue, backend=backend, workers=2, journal=journal,
+            retries=2, backoff_s=0.0, progress=killer,
+        ).drain()
+    finally:
+        backend.shutdown()
+    assert killer.fired, "the chaos never fired — nothing was tested"
+    assert summary == {"claimed": 4, "resumed": 0, "computed": 4, "failed": 0}
+    assert all(j.state == "done" for j in queue.jobs.values())
+
+    # Byte-identity: a sweep rehydrated purely from the fleet's journal
+    # must equal a fresh serial sweep, payload for payload.
+    records = journal.load()
+    assert len(records) == 4
+    assert all(doc["status"] == "ok" for doc in records.values())
+    resumed = run_scenarios(s, workers=1, journal=journal)
+    serial = run_scenarios(s, workers=1)
+    fleet_bytes = json.dumps(
+        [cell_payload(s, c) for c in resumed.cells], sort_keys=True
+    )
+    serial_bytes = json.dumps(
+        [cell_payload(s, c) for c in serial.cells], sort_keys=True
+    )
+    assert fleet_bytes == serial_bytes

@@ -1,0 +1,145 @@
+"""The status document: built valid, validated strictly, CLI-exposed."""
+
+from __future__ import annotations
+
+import json
+
+from repro.scenarios.spec import PolicySpec, ScenarioSpec
+from repro.service import (
+    STATUS_SCHEMA_VERSION,
+    JobQueue,
+    build_status_doc,
+    render_status_text,
+    validate_status_doc,
+)
+
+
+def spec(caps=(40.0, 60.0)) -> ScenarioSpec:
+    return ScenarioSpec(
+        benchmark="synthetic",
+        caps_per_socket_w=caps,
+        policies=(PolicySpec("static"), PolicySpec("lp")),
+        n_ranks=4,
+        run_iterations=8,
+        lp_iterations=2,
+        discard_iterations=2,
+        steady_window=4,
+    )
+
+
+def populated_queue(tmp_path) -> JobQueue:
+    queue = JobQueue(tmp_path, quotas={"alice": 4})
+    queue.submit_cells(spec(), tenant="alice", priority=2)
+    queue.submit_cells(spec(), tenant="alice")  # 2 dedups
+    queue.complete(queue.claim_next().job_id)
+    return queue
+
+
+class TestBuildStatusDoc:
+    def test_valid_and_json_serializable(self, tmp_path):
+        doc = build_status_doc(populated_queue(tmp_path))
+        assert validate_status_doc(doc) == []
+        round_tripped = json.loads(json.dumps(doc))
+        assert validate_status_doc(round_tripped) == []
+
+    def test_counts(self, tmp_path):
+        doc = build_status_doc(populated_queue(tmp_path))
+        assert doc["schema"] == STATUS_SCHEMA_VERSION
+        assert doc["kind"] == "queue-status"
+        assert doc["jobs"] == {
+            "pending": 1, "running": 0, "done": 1, "failed": 0, "total": 2,
+        }
+        assert doc["deduped"] == 2
+        assert doc["tenants"]["alice"] == {
+            "active": 1, "submitted": 4, "quota": 4,
+        }
+
+    def test_empty_queue_is_valid(self, tmp_path):
+        doc = build_status_doc(JobQueue(tmp_path))
+        assert validate_status_doc(doc) == []
+        assert doc["jobs"]["total"] == 0 and doc["tenants"] == {}
+
+
+class TestValidateStatusDoc:
+    def test_non_object_is_one_problem(self):
+        assert validate_status_doc([1, 2]) == ["status doc is not an object"]
+
+    def test_every_violation_is_reported(self, tmp_path):
+        doc = build_status_doc(populated_queue(tmp_path))
+        doc["schema"] = 99
+        doc["kind"] = "metrics"
+        doc["jobs"]["pending"] = -1
+        doc["deduped"] = True  # bools are not counts
+        problems = validate_status_doc(doc)
+        assert len(problems) == 4
+        assert any("schema" in p for p in problems)
+        assert any("kind" in p for p in problems)
+        assert any("jobs.pending" in p for p in problems)
+        assert any("deduped" in p for p in problems)
+
+    def test_total_must_equal_the_state_sum(self, tmp_path):
+        doc = build_status_doc(populated_queue(tmp_path))
+        doc["jobs"]["total"] = 7
+        assert any("states sum" in p for p in validate_status_doc(doc))
+
+    def test_tenant_entries_are_checked(self, tmp_path):
+        doc = build_status_doc(populated_queue(tmp_path))
+        doc["tenants"]["alice"]["active"] = "one"
+        doc["tenants"]["alice"]["quota"] = -3
+        doc["tenants"]["mallory"] = "nope"
+        problems = validate_status_doc(doc)
+        assert len(problems) == 3
+
+
+class TestRenderStatusText:
+    def test_human_lines(self, tmp_path):
+        text = render_status_text(build_status_doc(populated_queue(tmp_path)))
+        assert "1 pending" in text and "1 done" in text
+        assert "2 deduped" in text
+        assert "tenant alice: 1 active / quota 4" in text
+
+
+class TestCli:
+    def test_status_json_is_the_validated_document(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        queue_dir = tmp_path / "q"
+        populated_queue(queue_dir)
+        assert main(["status", "--queue", str(queue_dir), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_status_doc(doc) == []
+        assert doc["jobs"]["total"] == 2
+
+    def test_status_text_default(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        queue_dir = tmp_path / "q"
+        populated_queue(queue_dir)
+        assert main(["status", "--queue", str(queue_dir)]) == 0
+        assert "1 pending" in capsys.readouterr().out
+
+    def test_submit_then_status(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        queue_dir = tmp_path / "q"
+        rc = main([
+            "submit", "--queue", str(queue_dir),
+            "--policies", "static,lp", "--caps", "40,60", "--quick",
+        ])
+        assert rc == 0
+        assert "2 new" in capsys.readouterr().out
+        assert main(["status", "--queue", str(queue_dir), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_status_doc(doc) == []
+        assert doc["jobs"]["pending"] == 2
+
+    def test_submit_over_quota_fails_cleanly(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        rc = main([
+            "submit", "--queue", str(tmp_path / "q"),
+            "--policies", "static,lp", "--caps", "40,60", "--quick",
+            "--tenant", "alice", "--quota", "alice=1",
+        ])
+        assert rc == 1
+        assert "exceed quota" in capsys.readouterr().err
