@@ -33,6 +33,7 @@ import numpy as np
 
 from ..simulator.trace import Trace
 from .model import (
+    CAP_ROW_TAG,
     CompiledModel,
     ProblemInstance,
     base_model,
@@ -72,16 +73,38 @@ class EnergyLpResult:
 def compile_energy(
     instance: ProblemInstance,
     slowdown: float = 0.0,
+    cap_w: float | None = None,
+    deadline_s: float | None = None,
 ) -> CompiledModel:
     """Compile the energy-bounding LP from the shared IR.
 
     Minimizes ``sum c_ij * (d_ij * p_ij)`` subject to the base rows plus
-    ``v_finalize <= (1 + slowdown) * T_unconstrained`` (the budget row,
-    tagged for parametric slowdown sweeps).
+    ``v_finalize <= (1 + slowdown) * deadline`` (the budget row, tagged
+    for parametric slowdown sweeps).  The deadline defaults to the
+    power-unconstrained optimum; pass ``deadline_s`` to anchor it
+    elsewhere — under a cap the natural anchor is the *capped*
+    fixed-order optimum, since no cap-respecting schedule can reach the
+    unconstrained makespan.
+
+    ``cap_w``, when given, additionally bounds instantaneous power at
+    every event with the same rows the fixed-order LP uses (tagged
+    :data:`~.model.CAP_ROW_TAG`): min-energy subject to deadline *and*
+    cap, the capped comparator the scenario layer's ``energy-lp`` bound
+    policy sweeps.  ``None`` keeps the classic fully-provisioned
+    formulation.
     """
     if slowdown < 0:
         raise ValueError(f"slowdown must be >= 0, got {slowdown}")
-    budget = (1.0 + slowdown) * instance.unconstrained_makespan_s()
+    if cap_w is not None and cap_w <= 0:
+        raise ValueError(f"cap must be positive, got {cap_w}")
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline_s}")
+    anchor = (
+        deadline_s
+        if deadline_s is not None
+        else instance.unconstrained_makespan_s()
+    )
+    budget = (1.0 + slowdown) * anchor
 
     lp, v_idx, c_idx = base_model(
         instance, name=f"energy-{instance.trace.app.name}"
@@ -100,11 +123,31 @@ def compile_energy(
         label="slowdown-budget",
         tag=BUDGET_ROW_TAG,
     )
+
+    if cap_w is not None:
+        # Event power (fixed-order eqs. 8, 10-11): identical activity-set
+        # dedup to compile_fixed_order, so the capped energy LP constrains
+        # exactly the feasible region the makespan LP does.
+        events = instance.events
+        seen_sets: set[frozenset[int]] = set()
+        for group in events.groups:
+            act = frozenset(events.active[group[0]])
+            if not act or act in seen_sets:
+                continue
+            seen_sets.add(act)
+            terms: dict[int, float] = {}
+            for edge_id in act:
+                for col, power in zip(
+                    c_idx[edge_id], instance.convex[edge_id].powers
+                ):
+                    terms[col] = terms.get(col, 0.0) + power
+            lp.add_le(terms, cap_w, label="power", tag=CAP_ROW_TAG)
+
     lp.set_objective(objective)
 
-    # cap_w is a required positive field of PowerSchedule; the formulation
-    # is uncapped, so record the budgetless marker of "fully provisioned"
-    # as +inf-like.
+    # cap_w is a required positive field of PowerSchedule; when the
+    # formulation is uncapped record the budgetless marker of "fully
+    # provisioned" as +inf-like.
     return CompiledModel(
         instance=instance,
         lp=lp,
@@ -112,8 +155,12 @@ def compile_energy(
         c_idx=c_idx,
         frontiers=instance.convex,
         formulation="energy-lp",
-        cap_w=float(np.finfo(float).max),
-        solver_info={"formulation": "energy-lp", "time_budget_s": budget},
+        cap_w=float(np.finfo(float).max) if cap_w is None else float(cap_w),
+        solver_info={
+            "formulation": "energy-lp",
+            "time_budget_s": budget,
+            "cap_w": None if cap_w is None else float(cap_w),
+        },
     )
 
 
@@ -122,24 +169,37 @@ def solve_energy_lp(
     slowdown: float = 0.0,
     time_limit_s: float | None = None,
     instance: ProblemInstance | None = None,
+    cap_w: float | None = None,
+    deadline_s: float | None = None,
 ) -> EnergyLpResult:
     """Minimize total task energy subject to a bounded slowdown.
 
     Parameters
     ----------
     slowdown:
-        Allowed relative makespan increase over the power-unconstrained
-        optimum (0.0 reproduces the "save energy without increasing
-        execution time" setting; 0.05 allows 5%).
+        Allowed relative makespan increase over the deadline anchor (0.0
+        reproduces the "save energy without increasing execution time"
+        setting; 0.05 allows 5%).
     instance:
         A prebuilt :class:`ProblemInstance` for this trace (built once,
         shared across formulations and sweeps).
+    cap_w:
+        Optional instantaneous job-level power cap (total watts).  When
+        given the optimum is min-energy subject to deadline *and* cap;
+        a cap tight enough to make the deadline unreachable yields an
+        infeasible result rather than an error.
+    deadline_s:
+        Deadline anchor; defaults to the power-unconstrained optimum.
+        Capped callers should anchor to the capped fixed-order optimum
+        (see :func:`compile_energy`).
     """
     if slowdown < 0:
         raise ValueError(f"slowdown must be >= 0, got {slowdown}")
     if instance is None:
         instance = build_problem_instance(trace)
-    compiled = compile_energy(instance, slowdown=slowdown)
+    compiled = compile_energy(
+        instance, slowdown=slowdown, cap_w=cap_w, deadline_s=deadline_s
+    )
     budget = compiled.solver_info["time_budget_s"]
 
     solution = compiled.lp.solve(time_limit_s=time_limit_s)
@@ -147,10 +207,7 @@ def solve_energy_lp(
         return EnergyLpResult(schedule=None, solution=solution,
                               energy_j=None, time_budget_s=budget)
     schedule = extract_schedule(compiled, solution)
-    energy = sum(
-        a.duration_s * a.power_w for a in schedule.assignments.values()
-    )
     return EnergyLpResult(
-        schedule=schedule, solution=solution, energy_j=float(energy),
-        time_budget_s=budget,
+        schedule=schedule, solution=solution,
+        energy_j=schedule.total_energy_j(), time_budget_s=budget,
     )

@@ -57,7 +57,10 @@ __all__ = [
 #: v3: device-qualified operating points (heterogeneous nodes) — frontier
 #: documents gained a device column and the initial schedule of a
 #: device-qualified trace is frontier-driven.
-MODEL_LAYER_VERSION = 3
+#: v4: the energy LP gained optional event-power cap rows (min-energy
+#: subject to deadline *and* cap), so energy-lp cache entries keyed
+#: against the capless compilation must never satisfy capped solves.
+MODEL_LAYER_VERSION = 4
 
 #: Row tag on constraints whose RHS is the job power cap.  Rows carrying
 #: this tag are the only part of the fixed-order model that changes

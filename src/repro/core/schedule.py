@@ -87,6 +87,16 @@ class PowerSchedule:
         den = sum(a.duration_s for a in self.assignments.values())
         return num / den if den > 0 else 0.0
 
+    def total_energy_j(self) -> float:
+        """Total scheduled task energy: sum of duration x power per task.
+
+        The quantity the energy LP minimizes; computed identically for
+        every formulation so schedules are comparable on the energy axis.
+        """
+        return float(
+            sum(a.duration_s * a.power_w for a in self.assignments.values())
+        )
+
     def task_powers(self) -> dict[TaskRef, float]:
         return {ref: a.power_w for ref, a in self.assignments.items()}
 

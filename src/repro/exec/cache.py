@@ -28,6 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..core.energy_lp import EnergyLpResult, solve_energy_lp
 from ..core.fixed_order_lp import FixedOrderLpResult, solve_fixed_order_lp
 from ..core.model import MODEL_LAYER_VERSION
 from ..core.serialize import schedule_from_dict, schedule_to_dict
@@ -35,7 +36,7 @@ from ..core.solver import LpSolution, LpStatus
 from ..obs.audit import note_cache
 from ..obs.metrics import inc as metric_inc
 from ..obs.provenance import collect_manifest
-from .keys import fixed_order_lp_key
+from .keys import energy_lp_key, fixed_order_lp_key
 from .timing import count
 
 __all__ = [
@@ -46,6 +47,9 @@ __all__ = [
     "lp_result_payload",
     "lp_result_from_payload",
     "cached_solve_fixed_order_lp",
+    "energy_result_payload",
+    "energy_result_from_payload",
+    "cached_solve_energy_lp",
 ]
 
 #: Bump when the payload layout changes; old entries are then ignored.
@@ -281,4 +285,75 @@ def cached_solve_fixed_order_lp(
         instance=instance,
     )
     cache.put(key, lp_result_payload(result))
+    return result
+
+
+def energy_result_payload(result: EnergyLpResult) -> dict:
+    """JSON-safe cache payload for an energy-LP result."""
+    return {
+        "solution": solution_to_dict(result.solution),
+        "schedule": (
+            schedule_to_dict(result.schedule) if result.schedule is not None else None
+        ),
+        "energy_j": result.energy_j,
+        "time_budget_s": result.time_budget_s,
+    }
+
+
+def energy_result_from_payload(payload: dict) -> EnergyLpResult:
+    """Rehydrate a cached energy-LP result (exact round trip)."""
+    schedule = payload.get("schedule")
+    energy = payload.get("energy_j")
+    return EnergyLpResult(
+        schedule=schedule_from_dict(schedule) if schedule is not None else None,
+        solution=solution_from_dict(payload["solution"]),
+        energy_j=None if energy is None else float(energy),
+        time_budget_s=float(payload["time_budget_s"]),
+    )
+
+
+def cached_solve_energy_lp(
+    trace,
+    slowdown: float = 0.0,
+    cache: SolverCache | None = None,
+    time_limit_s: float | None = None,
+    instance=None,
+    cap_w: float | None = None,
+    deadline_s: float | None = None,
+) -> EnergyLpResult:
+    """Memoized :func:`~repro.core.energy_lp.solve_energy_lp`.
+
+    Mirrors :func:`cached_solve_fixed_order_lp`: ``cache=None`` is a plain
+    pass-through, ``instance`` only skips the IR rebuild on misses, and
+    the key covers everything the answer depends on — slowdown, time
+    limit, the optional power cap, and the optional deadline anchor.
+    """
+    if cache is None:
+        return solve_energy_lp(
+            trace,
+            slowdown=slowdown,
+            time_limit_s=time_limit_s,
+            instance=instance,
+            cap_w=cap_w,
+            deadline_s=deadline_s,
+        )
+    key = energy_lp_key(
+        trace,
+        slowdown=slowdown,
+        time_limit_s=time_limit_s,
+        cap_w=cap_w,
+        deadline_s=deadline_s,
+    )
+    payload = cache.get(key)
+    if payload is not None:
+        return energy_result_from_payload(payload)
+    result = solve_energy_lp(
+        trace,
+        slowdown=slowdown,
+        time_limit_s=time_limit_s,
+        instance=instance,
+        cap_w=cap_w,
+        deadline_s=deadline_s,
+    )
+    cache.put(key, energy_result_payload(result))
     return result

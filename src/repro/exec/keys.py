@@ -35,6 +35,7 @@ __all__ = [
     "machine_fingerprint",
     "solver_key",
     "fixed_order_lp_key",
+    "energy_lp_key",
     "experiment_key",
     "scenario_cell_key",
 ]
@@ -191,6 +192,33 @@ def fixed_order_lp_key(
             "power_tiebreak": power_tiebreak,
             "time_limit_s": time_limit_s,
             "discrete": discrete,
+        },
+    )
+
+
+def energy_lp_key(
+    trace: Trace,
+    slowdown: float = 0.0,
+    time_limit_s: float | None = None,
+    cap_w: float | None = None,
+    deadline_s: float | None = None,
+) -> str:
+    """The canonical energy-LP solver key.
+
+    ``cap_w`` and ``deadline_s`` are ``None`` for the classic
+    fully-provisioned formulation; they ride in ``params`` (JSON ``null``
+    is canonical) so capless and capped solves of the same trace can
+    never collide, while the positional cap slot stays 0.0 for both.
+    """
+    return solver_key(
+        trace,
+        0.0,
+        formulation="energy_lp",
+        params={
+            "slowdown": float(slowdown),
+            "time_limit_s": time_limit_s,
+            "cap_w": None if cap_w is None else float(cap_w),
+            "deadline_s": None if deadline_s is None else float(deadline_s),
         },
     )
 

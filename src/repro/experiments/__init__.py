@@ -32,7 +32,9 @@ from .runner import (
     sweep_caps,
 )
 from .tables import (
+    FrontierResult,
     energy_comparison,
+    frontier_table,
     minimum_cap_table,
     overheads_summary,
     scenario_summary,
@@ -44,6 +46,7 @@ __all__ = [
     "ComparisonResult",
     "DEFAULT_CAPS_W",
     "ExperimentConfig",
+    "FrontierResult",
     "ScenarioSweepFigure",
     "benchmark_config",
     "comparison_spec",
@@ -58,6 +61,7 @@ __all__ = [
     "figure13_bt",
     "figure14_sp",
     "figure15_lulesh",
+    "frontier_table",
     "gantt_from_result",
     "gantt_from_schedule",
     "power_profile_ascii",

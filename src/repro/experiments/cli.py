@@ -130,6 +130,7 @@ EXHIBITS = {
     "table3": lambda q, n: tables.table3_lulesh_task_characteristics(n_ranks=n),
     "overheads": lambda q, n: tables.overheads_summary(),
     "energy": lambda q, n: tables.energy_comparison(n_ranks=min(n, 8)),
+    "frontier": lambda q, n: tables.frontier_table(n_ranks=min(n, 8), quick=q),
     "mincap": lambda q, n: tables.minimum_cap_table(
         n_ranks=min(n, 8), iterations=2 if q else 3
     ),

@@ -21,13 +21,15 @@ from ..simulator.engine import Engine, TaskRecord
 from ..simulator.trace import trace_application
 from ..workloads import WorkloadSpec, make_lulesh
 from .report import render_kv, render_table
-from ..scenarios.run import ScenarioResult
+from ..scenarios.run import ScenarioResult, run_scenarios
+from ..scenarios.spec import PolicySpec, ScenarioSpec
 from .runner import ExperimentConfig, improvement_pct, make_power_models
 
 __all__ = ["Table3Result", "table3_lulesh_task_characteristics", "OverheadsResult",
            "overheads_summary", "EnergyComparisonResult", "energy_comparison",
            "MinimumCapResult", "minimum_cap_table",
-           "ScenarioSummaryResult", "scenario_summary"]
+           "ScenarioSummaryResult", "scenario_summary",
+           "FrontierResult", "frontier_table"]
 
 
 @dataclass(frozen=True)
@@ -436,6 +438,138 @@ class ScenarioSummaryResult:
             ),
             digits=4,
         )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class FrontierResult:
+    """Energy-vs-runtime Pareto frontier of an N-way sweep.
+
+    One row per (cap, policy instance): per-iteration time, per-iteration
+    task energy, the mean task power they imply, and performance per watt
+    (iterations per kilojoule — throughput divided by mean power).  A row
+    is marked Pareto-optimal (``*``) when no other policy at the *same*
+    cap is at least as fast and at least as frugal with one strict;
+    undefined outcomes (infeasible bounds, unschedulable caps) never
+    dominate anything and render as gaps.
+
+    The capped min-energy LP bound (``energy-lp``) anchors its deadline
+    to the capped fixed-order optimum, so its row should carry the ``*``
+    at every feasible cap — no runtime policy can dominate it.
+    """
+
+    result: ScenarioResult
+
+    def energy_series(self, name: str) -> list[float | None]:
+        """One policy's per-iteration energies across the cap grid."""
+        return [cell.outcomes[name].energy_j for cell in self.result.cells]
+
+    def pareto_optimal(self, cap_per_socket_w: float) -> list[str]:
+        """Labels of the non-dominated policies at one cap, in spec order."""
+        cell = self.result.cell_at(cap_per_socket_w)
+        points = {
+            n: (o.time_s, o.energy_j)
+            for n, o in cell.outcomes.items()
+            if o.time_s is not None and o.energy_j is not None
+        }
+        return [
+            name
+            for name in self.result.policy_names()
+            if name in points and not self._dominated(name, points)
+        ]
+
+    #: Relative tolerance for domination: differences below solver float
+    #: noise (a binding cap can leave two formulations one ulp apart)
+    #: count as ties, never as a strict improvement.
+    _REL_TOL = 1e-9
+
+    @staticmethod
+    def _dominated(name: str, points: dict[str, tuple[float, float]]) -> bool:
+        """True when another point is no worse on both axes (within float
+        noise) and materially better on at least one."""
+        rel = FrontierResult._REL_TOL
+        t, e = points[name]
+        return any(
+            t2 <= t * (1 + rel) and e2 <= e * (1 + rel)
+            and (t2 < t * (1 - rel) or e2 < e * (1 - rel))
+            for n2, (t2, e2) in points.items()
+            if n2 != name
+        )
+
+    def rows(self) -> list[list]:
+        """The frontier rows: cap-major, spec policy order within a cap."""
+        rows = []
+        for cell in self.result.cells:
+            points = {
+                n: (o.time_s, o.energy_j)
+                for n, o in cell.outcomes.items()
+                if o.time_s is not None and o.energy_j is not None
+            }
+            for name in self.result.policy_names():
+                outcome = cell.outcomes[name]
+                t, e = outcome.time_s, outcome.energy_j
+                if t is None or e is None:
+                    rows.append([
+                        cell.cap_per_socket_w, name, outcome.kind,
+                        None, None, None, None, "",
+                    ])
+                    continue
+                rows.append([
+                    cell.cap_per_socket_w, name, outcome.kind, t, e,
+                    e / t, 1000.0 / e,
+                    "" if self._dominated(name, points) else "*",
+                ])
+        return rows
+
+    def render(self) -> str:
+        """The frontier as a titled text table, one row per (cap, policy)."""
+        spec = self.result.spec
+        return render_table(
+            ["cap (W/skt)", "policy", "kind", "time (s/iter)",
+             "energy (J/iter)", "mean power (W)", "perf/W (iter/kJ)",
+             "pareto"],
+            self.rows(),
+            title=(
+                f"Energy-runtime frontier: {spec.benchmark}, "
+                f"{spec.n_ranks} ranks, caps "
+                f"{', '.join(f'{c:g}' for c in spec.caps_per_socket_w)} "
+                "W/socket"
+            ),
+            digits=4,
+        )
+
+
+def frontier_table(
+    n_ranks: int = 8,
+    caps: tuple[float, ...] = (35.0, 50.0, 65.0),
+    policies: tuple[str, ...] = (
+        "static", "dvfs-energy", "config-search", "lp", "energy-lp",
+    ),
+    benchmark: str = "comd",
+    quick: bool = False,
+    seed: int = 2015,
+) -> FrontierResult:
+    """Sweep energy-aware policies against the bounds; build the frontier.
+
+    The default scenario pits the paper's capped LP bound and the Static
+    baseline against the energy-objective runtimes (``dvfs-energy``,
+    ``config-search``) and the capped min-energy LP bound across a small
+    cap grid.  ``quick`` shrinks the measurement protocol to the CI smoke
+    windows (12 run iterations, steady window 6, 2 LP iterations).
+    """
+    protocol = (
+        {"run_iterations": 12, "lp_iterations": 2, "steady_window": 6}
+        if quick else {}
+    )
+    spec = ScenarioSpec(
+        benchmark=benchmark,
+        caps_per_socket_w=tuple(caps),
+        policies=tuple(PolicySpec(p) for p in policies),
+        n_ranks=n_ranks,
+        seed=seed,
+        **protocol,
+    )
+    return FrontierResult(result=run_scenarios(spec))
 
 
 def scenario_summary(

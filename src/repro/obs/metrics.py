@@ -383,9 +383,57 @@ def _prom_name(name: str) -> str:
 
 
 def _prom_value(value: int | float) -> str:
-    if isinstance(value, float) and value != value:  # NaN
-        return "NaN"
-    return repr(value) if isinstance(value, float) else str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        # The text exposition grammar spells infinities +Inf/-Inf;
+        # Python's repr ("inf"/"-inf") does not parse.
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _prom_identifiers(doc: dict) -> dict[tuple[str, str], str]:
+    """Collision-free Prometheus identifiers for every metric in ``doc``.
+
+    :func:`_prom_name` sanitization is lossy (``cell.wall_s`` and
+    ``cell_wall_s`` both map to ``repro_cell_wall_s``), which would emit
+    duplicate ``# TYPE`` lines and merge distinct series.  Colliding
+    metrics are disambiguated deterministically: members of a collision
+    group are ordered by original name (then family), the first keeps
+    the sanitized base, and each later one gets the lowest free numeric
+    suffix (``_2``, ``_3``, ...).
+    """
+    families = ("counters", "gauges", "histograms")
+    by_base: dict[str, list[tuple[str, str]]] = {}
+    for family in families:
+        section = doc.get(family, {})
+        if not isinstance(section, dict):
+            continue
+        for name in section:
+            by_base.setdefault(_prom_name(name), []).append((family, name))
+    ids: dict[tuple[str, str], str] = {}
+    taken = set(by_base)
+    for base in sorted(by_base):
+        members = by_base[base]
+        if len(members) == 1:
+            ids[members[0]] = base
+            continue
+        members.sort(key=lambda fn: (fn[1], families.index(fn[0])))
+        ids[members[0]] = base
+        n = 2
+        for member in members[1:]:
+            candidate = f"{base}_{n}"
+            while candidate in taken:
+                n += 1
+                candidate = f"{base}_{n}"
+            taken.add(candidate)
+            ids[member] = candidate
+            n += 1
+    return ids
 
 
 def prometheus_text(metrics: "Metrics | dict") -> str:
@@ -396,19 +444,22 @@ def prometheus_text(metrics: "Metrics | dict") -> str:
     counters get a ``_total`` suffix, histograms emit cumulative
     ``_bucket{le=...}`` series plus ``_sum``/``_count``.  Output is
     sorted by metric name, so it is byte-stable for identical inputs.
+    Distinct metric names whose sanitized identifiers collide are
+    disambiguated deterministically (see :func:`_prom_identifiers`).
     """
     doc = metrics.to_dict() if isinstance(metrics, Metrics) else metrics
+    ids = _prom_identifiers(doc)
     lines: list[str] = []
     for name, value in sorted(doc.get("counters", {}).items()):
-        pname = _prom_name(name)
+        pname = ids[("counters", name)]
         lines.append(f"# TYPE {pname}_total counter")
         lines.append(f"{pname}_total {_prom_value(value)}")
     for name, value in sorted(doc.get("gauges", {}).items()):
-        pname = _prom_name(name)
+        pname = ids[("gauges", name)]
         lines.append(f"# TYPE {pname} gauge")
         lines.append(f"{pname} {_prom_value(value)}")
     for name, hist in sorted(doc.get("histograms", {}).items()):
-        pname = _prom_name(name)
+        pname = ids[("histograms", name)]
         lines.append(f"# TYPE {pname} histogram")
         cumulative = 0
         for bound, count in zip(hist["bounds"], hist["counts"]):

@@ -55,7 +55,9 @@ __all__ = [
 #: still byte-identical serial vs. parallel; note it reflects the work a
 #: run actually performed, so a journal-resumed run's field differs from
 #: its from-scratch twin — runs that must diff clean leave metrics off.
-MANIFEST_SCHEMA_VERSION = 4
+#: v5: scenario cell outcomes embedded in manifests carry per-iteration
+#: ``energy_j`` (the energy-objective/frontier era).
+MANIFEST_SCHEMA_VERSION = 5
 
 
 def config_hash(config: object) -> str:

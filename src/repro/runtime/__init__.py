@@ -3,6 +3,8 @@
 from .adagio import SlackEstimator, slowest_fitting_point, task_key
 from .adagio_policy import AdagioPolicy
 from .conductor import ConductorConfig, ConductorPolicy
+from .config_search import ConfigSearchPolicy, energy_optimal_point
+from .dvfs_energy import DvfsEnergyPolicy, min_energy_fitting_point
 from .explorer import ExplorationPlan, exploration_rounds_for_full_coverage
 from .selection_only import SelectionOnlyPolicy
 from .static import StaticPolicy
@@ -11,11 +13,15 @@ __all__ = [
     "AdagioPolicy",
     "ConductorConfig",
     "ConductorPolicy",
+    "ConfigSearchPolicy",
+    "DvfsEnergyPolicy",
     "ExplorationPlan",
     "SelectionOnlyPolicy",
     "SlackEstimator",
     "StaticPolicy",
+    "energy_optimal_point",
     "exploration_rounds_for_full_coverage",
+    "min_energy_fitting_point",
     "slowest_fitting_point",
     "task_key",
 ]

@@ -37,12 +37,18 @@ from ..core.flow_ilp import solve_flow_ilp
 from ..core.model import ProblemInstance, build_problem_instance
 from ..core.rounding import round_schedule
 from ..core.sweep import ParametricCapSolver
-from ..exec.cache import SolverCache, cached_solve_fixed_order_lp
+from ..exec.cache import (
+    SolverCache,
+    cached_solve_energy_lp,
+    cached_solve_fixed_order_lp,
+)
 from ..machine.device import NodeSpec, device_power_groups
 from ..machine.frontiers import FrontierStore, NodeFrontierStore
 from ..machine.power import SocketPowerModel
 from ..runtime.adagio_policy import AdagioPolicy
 from ..runtime.conductor import ConductorConfig, ConductorPolicy
+from ..runtime.config_search import ConfigSearchPolicy
+from ..runtime.dvfs_energy import DvfsEnergyPolicy
 from ..runtime.selection_only import SelectionOnlyPolicy
 from ..runtime.static import StaticPolicy
 from ..simulator.program import Application
@@ -87,10 +93,15 @@ class PolicyContext:
 @dataclass(frozen=True)
 class BoundResult:
     """What a bound entry reports: per-iteration time (None = infeasible)
-    plus formulation-specific extras (e.g. the rounded discrete time)."""
+    plus formulation-specific extras (e.g. the rounded discrete time).
+
+    ``energy_j`` is the schedule's per-iteration task energy where the
+    formulation yields one (the energy axis of frontier exhibits); bounds
+    without a schedule leave it None."""
 
     time_s: float | None
     extra: dict = field(default_factory=dict)
+    energy_j: float | None = None
 
 
 @dataclass(frozen=True)
@@ -197,6 +208,24 @@ def _build_adagio(ctx: PolicyContext, cfg: dict) -> AdagioPolicy:
     )
 
 
+def _build_dvfs_energy(ctx: PolicyContext, cfg: dict) -> DvfsEnergyPolicy:
+    return DvfsEnergyPolicy(
+        ctx.power_models,
+        ctx.app,
+        safety=cfg["safety"],
+        switch_overhead_s=cfg["switch_overhead_s"],
+        min_switch_duration_s=cfg["min_switch_duration_s"],
+    )
+
+
+def _build_config_search(ctx: PolicyContext, cfg: dict) -> ConfigSearchPolicy:
+    return ConfigSearchPolicy(
+        ctx.power_models,
+        ctx.job_cap_w if cfg["capped"] else None,
+        max_slowdown=cfg["max_slowdown"],
+    )
+
+
 def _build_selection_only(ctx: PolicyContext, cfg: dict) -> SelectionOnlyPolicy:
     return SelectionOnlyPolicy(
         ctx.power_models,
@@ -209,34 +238,41 @@ def _build_selection_only(ctx: PolicyContext, cfg: dict) -> SelectionOnlyPolicy:
     )
 
 
+def _fixed_order_at_cap(
+    ctx: PolicyContext, power_tiebreak: float, time_limit_s: float | None
+) -> FixedOrderLpResult:
+    """The fixed-order LP at this cell's cap, through the shared pool.
+
+    Cross-cell reuse: one frozen model (and HiGHS handle) per (trace,
+    tiebreak), re-solved at this cell's cap via an RHS update.  Cache
+    keys match cached_solve_fixed_order_lp, so warm entries are shared
+    either way.  Shared by the ``lp`` bound and by ``energy-lp``'s
+    capped-deadline anchor.
+    """
+    if ctx.cap_solvers is not None:
+        tiebreak = float(power_tiebreak)
+        solver = ctx.cap_solvers.get(tiebreak)
+        if solver is None:
+            solver = ParametricCapSolver(
+                ctx.trace, power_tiebreak=tiebreak, instance=ctx.instance
+            )
+            ctx.cap_solvers[tiebreak] = solver
+        return solver.solve(
+            ctx.job_cap_w, cache=ctx.cache, time_limit_s=time_limit_s
+        )
+    return cached_solve_fixed_order_lp(
+        ctx.trace,
+        ctx.job_cap_w,
+        cache=ctx.cache,
+        instance=ctx.instance,
+        power_tiebreak=power_tiebreak,
+        time_limit_s=time_limit_s,
+    )
+
+
 def _solve_lp(ctx: PolicyContext, cfg: dict, scope: Callable[[], Any]) -> BoundResult:
     with scope():
-        if ctx.cap_solvers is not None:
-            # Cross-cell reuse: one frozen model (and HiGHS handle) per
-            # (trace, tiebreak), re-solved at this cell's cap via an RHS
-            # update.  Cache keys match cached_solve_fixed_order_lp, so
-            # warm entries are shared either way.
-            tiebreak = float(cfg["power_tiebreak"])
-            solver = ctx.cap_solvers.get(tiebreak)
-            if solver is None:
-                solver = ParametricCapSolver(
-                    ctx.trace, power_tiebreak=tiebreak, instance=ctx.instance
-                )
-                ctx.cap_solvers[tiebreak] = solver
-            lp: FixedOrderLpResult = solver.solve(
-                ctx.job_cap_w,
-                cache=ctx.cache,
-                time_limit_s=cfg["time_limit_s"],
-            )
-        else:
-            lp = cached_solve_fixed_order_lp(
-                ctx.trace,
-                ctx.job_cap_w,
-                cache=ctx.cache,
-                instance=ctx.instance,
-                power_tiebreak=cfg["power_tiebreak"],
-                time_limit_s=cfg["time_limit_s"],
-            )
+        lp = _fixed_order_at_cap(ctx, cfg["power_tiebreak"], cfg["time_limit_s"])
     if not lp.feasible:
         return BoundResult(time_s=None, extra={"feasible": False})
     extra: dict = {"feasible": True}
@@ -245,7 +281,47 @@ def _solve_lp(ctx: PolicyContext, cfg: dict, scope: Callable[[], Any]) -> BoundR
         # the legacy comparison did.
         disc = round_schedule(ctx.trace, lp.schedule)
         extra["discrete_s"] = disc.objective_s / ctx.lp_iterations
-    return BoundResult(time_s=lp.makespan_s / ctx.lp_iterations, extra=extra)
+    return BoundResult(
+        time_s=lp.makespan_s / ctx.lp_iterations,
+        extra=extra,
+        energy_j=lp.schedule.total_energy_j() / ctx.lp_iterations,
+    )
+
+
+def _solve_energy_lp(
+    ctx: PolicyContext, cfg: dict, scope: Callable[[], Any]
+) -> BoundResult:
+    with scope():
+        deadline_s = None
+        if cfg["capped"]:
+            # Under a cap no schedule can reach the unconstrained
+            # makespan, so the deadline anchors to the *capped*
+            # fixed-order optimum: min-energy among schedules matching
+            # the cap's own best achievable time (plus the slowdown
+            # allowance).  Warm when the cell also evaluates ``lp``.
+            anchor = _fixed_order_at_cap(ctx, 1e-9, cfg["time_limit_s"])
+            if not anchor.feasible:
+                return BoundResult(time_s=None, extra={"feasible": False})
+            deadline_s = anchor.makespan_s
+        result = cached_solve_energy_lp(
+            ctx.trace,
+            slowdown=cfg["slowdown"],
+            cache=ctx.cache,
+            time_limit_s=cfg["time_limit_s"],
+            instance=ctx.instance,
+            cap_w=ctx.job_cap_w if cfg["capped"] else None,
+            deadline_s=deadline_s,
+        )
+    if not result.feasible:
+        return BoundResult(time_s=None, extra={"feasible": False})
+    return BoundResult(
+        time_s=result.makespan_s / ctx.lp_iterations,
+        extra={
+            "feasible": True,
+            "time_budget_s": result.time_budget_s / ctx.lp_iterations,
+        },
+        energy_j=result.energy_j / ctx.lp_iterations,
+    )
 
 
 def _solve_lp_split(
@@ -355,6 +431,28 @@ def _build_default_registry() -> PolicyRegistry:
         build=_build_selection_only,
     ))
     reg.register(PolicyEntry(
+        name="dvfs-energy",
+        kind="runtime",
+        summary="slack-driven min-energy DVFS for MPI (Guermouche et al.)",
+        default_config={
+            "safety": 0.9,
+            "switch_overhead_s": 145e-6,
+            "min_switch_duration_s": 1e-3,
+        },
+        measure="steady",
+        policy_class=DvfsEnergyPolicy,
+        build=_build_dvfs_energy,
+    ))
+    reg.register(PolicyEntry(
+        name="config-search",
+        kind="runtime",
+        summary="energy-optimal (freq, threads) search (Silva et al.)",
+        default_config={"capped": True, "max_slowdown": 0.1},
+        measure="discard",
+        policy_class=ConfigSearchPolicy,
+        build=_build_config_search,
+    ))
+    reg.register(PolicyEntry(
         name="lp",
         kind="bound",
         summary="fixed-vertex-order LP performance bound (paper §3)",
@@ -364,6 +462,17 @@ def _build_default_registry() -> PolicyRegistry:
             "time_limit_s": None,
         },
         solve=_solve_lp,
+    ))
+    reg.register(PolicyEntry(
+        name="energy-lp",
+        kind="bound",
+        summary="min-energy LP subject to deadline and cap (§7 comparator)",
+        default_config={
+            "slowdown": 0.0,
+            "capped": True,
+            "time_limit_s": None,
+        },
+        solve=_solve_energy_lp,
     ))
     reg.register(PolicyEntry(
         name="lp-split",

@@ -53,7 +53,7 @@ from ..machine.frontiers import FrontierStore, NodeFrontierStore
 from ..machine.power import SocketPowerModel
 from ..machine.variability import make_power_models
 from ..obs.events import CellFailureEvent, CounterEvent
-from ..obs.metrics import current_metrics
+from ..obs.metrics import COUNT_BUCKETS, current_metrics
 from ..obs.metrics import inc as metric_inc
 from ..obs.profiling import profile_block
 from ..obs.progress import ProgressReporter
@@ -80,13 +80,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class PolicyOutcome:
-    """One policy's measured (or bounded) per-iteration time at one cap."""
+    """One policy's measured (or bounded) per-iteration time at one cap.
+
+    ``energy_j`` is the per-iteration task energy over the same
+    measurement window as ``time_s`` (runtimes) or of the formulation's
+    schedule (bounds); None when the policy yields no energy figure
+    (infeasible bounds, unschedulable caps, schedule-free bounds)."""
 
     name: str  # instance label from the spec
     policy: str  # registry name
     kind: str  # "runtime" | "bound"
     time_s: float | None  # None: unschedulable cap or infeasible bound
     extra: dict = field(default_factory=dict)
+    energy_j: float | None = None
 
     def to_payload(self) -> dict:
         """JSON-safe cache payload for this outcome."""
@@ -94,6 +100,7 @@ class PolicyOutcome:
             "policy": self.policy,
             "kind": self.kind,
             "time_s": self.time_s,
+            "energy_j": self.energy_j,
             "extra": dict(self.extra),
         }
 
@@ -106,6 +113,7 @@ class PolicyOutcome:
             kind=str(doc["kind"]),
             time_s=doc["time_s"],
             extra=dict(doc.get("extra") or {}),
+            energy_j=doc.get("energy_j"),
         )
 
 
@@ -309,6 +317,21 @@ def _measured_time(result: SimulationResult, spec: ScenarioSpec, measure: str) -
     )
 
 
+def _measured_energy(
+    result: SimulationResult, spec: ScenarioSpec, measure: str
+) -> float:
+    """Per-iteration task energy over the same window as the time."""
+    if measure == "steady":
+        first = spec.run_iterations - spec.steady_window
+        n = spec.steady_window
+    else:
+        first = spec.discard_iterations
+        n = spec.run_iterations - spec.discard_iterations
+    return (
+        sum(r.energy_j for r in result.records if r.iteration >= first) / n
+    )
+
+
 def _scope(rec: TraceRecorder | None, label: str):
     """The recorder's run scope, or a no-op when tracing is disabled."""
     return rec.run_scope(label) if rec is not None else nullcontext()
@@ -434,6 +457,15 @@ def run_scenario_cell(
         cell = _run_scenario_cell(spec, cap_per_socket_w, cache, registry)
     if metrics is not None:
         metrics.inc("cells.computed")
+        for outcome in cell.outcomes.values():
+            if outcome.energy_j is not None:
+                # Rounded to whole joules so the histogram stays in the
+                # deterministic (integer-exact, merge-stable) family.
+                metrics.observe(
+                    "cell.energy_j",
+                    int(round(outcome.energy_j)),
+                    buckets=COUNT_BUCKETS,
+                )
         metrics.observe(
             "cell.wall_s", time.perf_counter() - t0, operational=True
         )
@@ -504,12 +536,14 @@ def _run_scenario_cell(
             outcomes[label] = PolicyOutcome(
                 name=label, policy=pspec.policy, kind="runtime",
                 time_s=_measured_time(result, spec, entry.measure), extra=extra,
+                energy_j=_measured_energy(result, spec, entry.measure),
             )
         else:
             bound = entry.solve(ctx, cfg, scope)
             outcomes[label] = PolicyOutcome(
                 name=label, policy=pspec.policy, kind="bound",
                 time_s=bound.time_s, extra=dict(bound.extra),
+                energy_j=bound.energy_j,
             )
     return ScenarioCell(
         benchmark=spec.benchmark,

@@ -45,7 +45,9 @@ __all__ = [
 #: Bump whenever the scenario cell semantics or payload layout change;
 #: every existing scenario cache cell then misses (never mis-maps).
 #: v2: scenarios gained the ``node`` field (typed-device machine layer).
-SCENARIO_LAYER_VERSION = 2
+#: v3: cell outcomes carry per-iteration ``energy_j`` (energy-objective
+#: policies and performance-per-watt frontiers).
+SCENARIO_LAYER_VERSION = 3
 
 
 def make_synthetic(spec: WorkloadSpec) -> Application:

@@ -170,10 +170,10 @@ class JobQueue:
             return
         if kind == "claim" and job.state == "pending":
             job.state = "running"
-        elif kind == "complete":
+        elif kind == "complete" and job.state == "running":
             job.state = "done"
             job.failure = None
-        elif kind == "fail":
+        elif kind == "fail" and job.state == "running":
             job.state = "failed"
             failure = doc.get("failure")
             job.failure = failure if isinstance(failure, dict) else None
@@ -301,12 +301,11 @@ class JobQueue:
         self._settle(job_id, "done", {"kind": "complete", "job_id": job_id})
 
     def fail(self, job_id: str, failure: dict | None = None) -> None:
-        self._settle(
+        if self._settle(
             job_id, "failed",
             {"kind": "fail", "job_id": job_id, "failure": failure},
-        )
-        job = self.jobs[job_id]
-        job.failure = failure
+        ):
+            self.jobs[job_id].failure = failure
 
     def release(self, job_id: str) -> None:
         """Return a claimed job to pending (dispatcher giving it up)."""
@@ -316,14 +315,24 @@ class JobQueue:
         job.state = "pending"
         self._append({"kind": "release", "job_id": job_id})
 
-    def _settle(self, job_id: str, state: str, event: dict) -> None:
+    def _settle(self, job_id: str, state: str, event: dict) -> bool:
+        """Settle a *running* job; returns whether the settle took effect.
+
+        Only the dispatcher that currently owns a claim may settle it: a
+        stale dispatcher calling :meth:`complete`/:meth:`fail` on a job
+        already released back to ``pending`` (or settled by someone
+        else) must not flip queue state or append a misleading event.
+        """
         job = self.jobs.get(job_id)
         if job is None:
             raise KeyError(f"unknown job {job_id!r}")
+        if job.state != "running":
+            return False
         job.state = state
         if state == "done":
             job.failure = None
         self._append(event)
+        return True
 
     # ------------------------------------------------------------------
     # Introspection

@@ -68,9 +68,85 @@ class TestEnergyLp:
     def test_validation(self, trace):
         with pytest.raises(ValueError):
             solve_energy_lp(trace, slowdown=-0.1)
+        with pytest.raises(ValueError):
+            solve_energy_lp(trace, cap_w=0.0)
+        with pytest.raises(ValueError):
+            solve_energy_lp(trace, deadline_s=-1.0)
 
     def test_fraction_structure(self, trace):
         res = solve_energy_lp(trace, slowdown=0.1)
         for a in res.schedule.assignments.values():
             assert sum(f for _, f in a.mixture) == pytest.approx(1.0)
         assert res.schedule.solver_info["formulation"] == "energy-lp"
+
+
+class TestCappedEnergyLp:
+    """Min-energy subject to deadline *and* an event-power cap."""
+
+    CAP_W = 58.0
+
+    def test_generous_cap_matches_uncapped_solve(self, trace):
+        plain = solve_energy_lp(trace, slowdown=0.1)
+        roomy = solve_energy_lp(trace, slowdown=0.1, cap_w=1e6)
+        assert roomy.feasible
+        assert roomy.energy_j == pytest.approx(plain.energy_j)
+        assert roomy.schedule.solver_info["cap_w"] == 1e6
+        assert plain.schedule.solver_info["cap_w"] is None
+
+    def test_binding_cap_needs_a_deadline_extension(self, trace):
+        # Under a binding cap no schedule reaches the unconstrained
+        # makespan (the capped fixed-order optimum is strictly slower),
+        # so the default zero-slowdown deadline is infeasible...
+        tight = solve_energy_lp(trace, slowdown=0.0, cap_w=self.CAP_W)
+        assert not tight.feasible
+        # ...and anchoring the deadline at the capped time optimum
+        # restores feasibility.
+        capped = solve_fixed_order_lp(trace, self.CAP_W)
+        assert capped.feasible
+        res = solve_energy_lp(
+            trace, cap_w=self.CAP_W, deadline_s=capped.makespan_s
+        )
+        assert res.feasible
+        assert res.time_budget_s == pytest.approx(capped.makespan_s)
+        assert res.makespan_s <= capped.makespan_s * (1 + 1e-6)
+
+    def test_energy_bound_dominates_time_optimum_at_same_cap(self, trace):
+        """The frontier invariant: the time-optimal capped schedule is a
+        feasible point of the capped energy LP at its own makespan, so
+        the energy LP's energy can never exceed it."""
+        capped = solve_fixed_order_lp(trace, self.CAP_W)
+        res = solve_energy_lp(
+            trace, cap_w=self.CAP_W, deadline_s=capped.makespan_s
+        )
+        lp_energy = sum(
+            a.duration_s * a.power_w
+            for a in capped.schedule.assignments.values()
+        )
+        assert res.energy_j <= lp_energy * (1 + 1e-6)
+        assert res.schedule.total_energy_j() == pytest.approx(res.energy_j)
+
+    def test_capped_schedule_respects_the_cap(self, trace):
+        capped = solve_fixed_order_lp(trace, self.CAP_W)
+        res = solve_energy_lp(
+            trace, cap_w=self.CAP_W, deadline_s=capped.makespan_s
+        )
+        peak = max(
+            sum(
+                res.schedule.assignments[trace.edge_refs[e]].power_w
+                for e in act
+            )
+            for act in capped.events.active.values()
+            if act
+        )
+        assert peak <= self.CAP_W * (1 + 1e-6)
+
+    def test_energy_monotone_in_deadline(self, trace):
+        capped = solve_fixed_order_lp(trace, self.CAP_W)
+        snug = solve_energy_lp(
+            trace, cap_w=self.CAP_W, deadline_s=capped.makespan_s
+        )
+        roomy = solve_energy_lp(
+            trace, cap_w=self.CAP_W, deadline_s=capped.makespan_s * 1.5
+        )
+        assert roomy.feasible
+        assert roomy.energy_j <= snug.energy_j + 1e-6

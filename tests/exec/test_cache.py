@@ -14,9 +14,11 @@ import pytest
 
 from repro.core.fixed_order_lp import solve_fixed_order_lp
 from repro.core.serialize import schedule_to_dict
+from repro.core.energy_lp import solve_energy_lp
 from repro.exec.cache import (
     CACHE_SCHEMA_VERSION,
     SolverCache,
+    cached_solve_energy_lp,
     cached_solve_fixed_order_lp,
     solution_from_dict,
     solution_to_dict,
@@ -258,6 +260,50 @@ class TestCachedSolve:
         disc = cached_solve_fixed_order_lp(trace, 50.0, cache=cache, discrete=True)
         assert cache.hits == 0 and cache.stores == 2
         assert cont.solution.objective <= disc.solution.objective + 1e-9
+
+
+class TestCachedEnergySolve:
+    def test_hit_is_bit_identical(self, tmp_path, trace):
+        cache = SolverCache(tmp_path)
+        cold = cached_solve_energy_lp(trace, slowdown=0.1, cache=cache)
+        warm = cached_solve_energy_lp(trace, slowdown=0.1, cache=cache)
+        assert cache.hits == 1 and cache.stores == 1
+        assert warm.energy_j == cold.energy_j
+        assert warm.time_budget_s == cold.time_budget_s
+        assert np.array_equal(warm.solution.x, cold.solution.x)
+        assert schedule_to_dict(warm.schedule) == schedule_to_dict(cold.schedule)
+
+    def test_hit_matches_uncached_solve(self, tmp_path, trace):
+        cache = SolverCache(tmp_path)
+        cached_solve_energy_lp(trace, cache=cache)
+        warm = cached_solve_energy_lp(trace, cache=cache)
+        fresh = solve_energy_lp(trace)
+        assert warm.energy_j == fresh.energy_j
+        assert np.array_equal(warm.solution.x, fresh.solution.x)
+
+    def test_cap_and_deadline_shape_the_key(self, tmp_path, trace):
+        cache = SolverCache(tmp_path)
+        plain = cached_solve_energy_lp(trace, cache=cache)
+        roomy = cached_solve_energy_lp(trace, cache=cache, cap_w=1e6)
+        late = cached_solve_energy_lp(
+            trace, cache=cache, cap_w=1e6,
+            deadline_s=plain.time_budget_s * 2,
+        )
+        assert cache.hits == 0 and cache.stores == 3
+        assert late.energy_j <= roomy.energy_j + 1e-9
+
+    def test_infeasible_capped_result_is_cached(self, tmp_path, trace):
+        cache = SolverCache(tmp_path)
+        cold = cached_solve_energy_lp(trace, cache=cache, cap_w=1.0)
+        warm = cached_solve_energy_lp(trace, cache=cache, cap_w=1.0)
+        assert not cold.feasible and not warm.feasible
+        assert warm.schedule is None and warm.energy_j is None
+        assert cache.hits == 1
+
+    def test_none_cache_is_a_pass_through(self, trace):
+        result = cached_solve_energy_lp(trace, cache=None)
+        fresh = solve_energy_lp(trace)
+        assert result.energy_j == fresh.energy_j
 
 
 def test_solution_dict_round_trip(trace):

@@ -107,3 +107,48 @@ class TestMinimumCap:
     def test_unknown_benchmark_raises(self, result):
         with pytest.raises(KeyError):
             result.row("hpl")
+
+
+class TestFrontier:
+    @pytest.fixture(scope="class")
+    def frontier(self):
+        from repro.experiments import frontier_table
+
+        return frontier_table(
+            n_ranks=4, caps=(40.0, 60.0), benchmark="synthetic", quick=True
+        )
+
+    def test_every_defined_row_has_power_and_perf_per_watt(self, frontier):
+        rows = frontier.rows()
+        assert len(rows) == 2 * 5  # caps x policies
+        for cap, name, kind, t, e, power, ppw, _mark in rows:
+            if t is None:
+                assert e is None and power is None and ppw is None
+            else:
+                assert power == pytest.approx(e / t)
+                assert ppw == pytest.approx(1000.0 / e)
+
+    def test_energy_lp_is_never_dominated(self, frontier):
+        """The headline invariant: at every cap the capped min-energy
+        bound sits on the Pareto frontier."""
+        for cap in (40.0, 60.0):
+            assert "energy-lp" in frontier.pareto_optimal(cap)
+
+    def test_energy_lp_lower_bounds_the_lp_bound(self, frontier):
+        lp = frontier.energy_series("lp")
+        elp = frontier.energy_series("energy-lp")
+        assert all(
+            e <= l * (1 + 1e-9) for e, l in zip(elp, lp)
+        )
+
+    def test_energy_series_spans_the_cap_grid(self, frontier):
+        series = frontier.energy_series("dvfs-energy")
+        assert len(series) == 2
+        assert all(e is not None and e > 0 for e in series)
+
+    def test_render(self, frontier):
+        text = frontier.render()
+        assert "Energy-runtime frontier: synthetic, 4 ranks" in text
+        assert "perf/W (iter/kJ)" in text
+        assert "energy-lp" in text
+        assert "*" in text

@@ -265,6 +265,101 @@ class TestPrometheus:
         assert prometheus_text(Metrics()) == ""
 
 
+def _parse_prom(text: str) -> dict[str, float]:
+    """Parse exposition text into ``{series_name: value}`` (floats)."""
+    series: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        assert name not in series, f"duplicate series {name}"
+        series[name] = float(value)
+    return series
+
+
+class TestPrometheusValues:
+    def test_infinities_render_exposition_spellings(self):
+        m = Metrics()
+        m.set_gauge("frontier.cap_w", float("inf"))
+        m.set_gauge("frontier.floor_w", float("-inf"))
+        m.set_gauge("frontier.slack", float("nan"))
+        text = prometheus_text(m)
+        assert "repro_frontier_cap_w +Inf\n" in text
+        assert "repro_frontier_floor_w -Inf\n" in text
+        assert "repro_frontier_slack NaN\n" in text
+        # Python's repr spellings ("inf"/"-inf"/"nan") do not parse under
+        # the exposition grammar and must never appear as values.
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert line.rsplit(" ", 1)[1] not in ("inf", "-inf", "nan")
+
+    def test_infinite_gauge_output_parses(self):
+        m = Metrics()
+        m.inc("cache.hit")
+        m.set_gauge("frontier.cap_w", float("inf"))
+        m.observe("solve.iterations", 3, buckets=ITERATION_BUCKETS)
+        series = _parse_prom(prometheus_text(m))
+        assert series["repro_frontier_cap_w"] == float("inf")
+
+
+class TestPrometheusCollisions:
+    def test_sanitization_collisions_get_deterministic_suffixes(self):
+        m = Metrics()
+        m.set_gauge("cell.wall_s", 1.0)
+        m.set_gauge("cell_wall_s", 2.0)
+        text = prometheus_text(m)
+        series = _parse_prom(text)
+        # "cell.wall_s" sorts first ("." < "_") and keeps the base name.
+        assert series["repro_cell_wall_s"] == 1.0
+        assert series["repro_cell_wall_s_2"] == 2.0
+        type_lines = [l for l in text.splitlines() if l.startswith("# TYPE")]
+        assert len(type_lines) == len(set(type_lines)) == 2
+
+    def test_suffix_skips_identifiers_already_taken(self):
+        m = Metrics()
+        m.set_gauge("a.b", 1.0)
+        m.set_gauge("a_b", 2.0)
+        m.set_gauge("a_b_2", 3.0)  # a singleton already owns the _2 spot
+        series = _parse_prom(prometheus_text(m))
+        assert series["repro_a_b"] == 1.0
+        assert series["repro_a_b_2"] == 3.0
+        assert series["repro_a_b_3"] == 2.0
+
+    def test_cross_family_collisions_disambiguate(self):
+        m = Metrics()
+        m.inc("x", 1)
+        m.set_gauge("x", 2.0)
+        series = _parse_prom(prometheus_text(m))
+        # Same original name: family order breaks the tie, so the counter
+        # keeps the base (its _total suffix lands on repro_x_total).
+        assert series["repro_x_total"] == 1
+        assert series["repro_x_2"] == 2.0
+
+    def test_output_stays_byte_stable(self):
+        m = Metrics()
+        m.set_gauge("cell.wall_s", 1.0)
+        m.set_gauge("cell_wall_s", 2.0)
+        m.inc("cell.wall_s".replace(".", "-"), 4)
+        assert prometheus_text(m) == prometheus_text(m.to_dict())
+
+
+class TestPrometheusRoundTrip:
+    def test_three_kind_round_trip(self):
+        m = Metrics()
+        m.inc("cache.hit", 3)
+        m.set_gauge("queue.depth", 7)
+        m.observe("solve.iterations", 5, buckets=(1.0, 10.0))
+        m.observe("solve.iterations", 50, buckets=(1.0, 10.0))
+        series = _parse_prom(prometheus_text(m))
+        assert series["repro_cache_hit_total"] == 3
+        assert series["repro_queue_depth"] == 7
+        assert series['repro_solve_iterations_bucket{le="1.0"}'] == 0
+        assert series['repro_solve_iterations_bucket{le="10.0"}'] == 1
+        assert series['repro_solve_iterations_bucket{le="+Inf"}'] == 2
+        assert series["repro_solve_iterations_sum"] == 55
+        assert series["repro_solve_iterations_count"] == 2
+
+
 class TestValidator:
     def test_valid_snapshots_pass(self):
         m = Metrics()
@@ -300,6 +395,64 @@ class TestValidator:
         assert "counts" in errors
         assert "strictly increasing" in errors
         assert "min 5 > max 2" in errors
+
+    def test_rejects_malformed_sections_and_summaries(self):
+        base = {
+            "version": METRICS_SCHEMA_VERSION,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert "counters missing or not an object" in validate_metrics_doc(
+            dict(base, counters=[])
+        )
+        assert "gauges missing or not an object" in validate_metrics_doc(
+            dict(base, gauges=3)
+        )
+        assert "histograms missing or not an object" in validate_metrics_doc(
+            dict(base, histograms="h")
+        )
+        assert "operational is not a list" in validate_metrics_doc(
+            dict(base, operational="cell.wall_s")
+        )
+        # Booleans are ints in Python but not valid metric values.
+        errors = validate_metrics_doc(
+            dict(base, counters={"c": True}, gauges={"g": False})
+        )
+        assert any("counter c" in e for e in errors)
+        assert any("gauge g" in e for e in errors)
+
+    def test_rejects_inconsistent_histograms(self):
+        def doc_with(hist):
+            return {
+                "version": METRICS_SCHEMA_VERSION,
+                "counters": {},
+                "gauges": {},
+                "histograms": {"h": hist},
+            }
+
+        errors = "\n".join(validate_metrics_doc(doc_with("nope")))
+        assert "not an object" in errors
+        errors = "\n".join(validate_metrics_doc(doc_with({"count": 1})))
+        assert "bounds/counts missing" in errors
+        # One count too many for the bounds.
+        errors = "\n".join(validate_metrics_doc(doc_with({
+            "bounds": [1.0], "counts": [1, 0, 0], "count": 1,
+            "sum": 1, "min": 1, "max": 1,
+        })))
+        assert "want bounds+1" in errors
+        # Bucket counts disagreeing with the total.
+        errors = "\n".join(validate_metrics_doc(doc_with({
+            "bounds": [1.0], "counts": [1, 0], "count": 3,
+            "sum": 1, "min": 1, "max": 1,
+        })))
+        assert "bucket counts sum to 1, count says 3" in errors
+        # Populated histogram missing its summary extremes.
+        errors = "\n".join(validate_metrics_doc(doc_with({
+            "bounds": [1.0], "counts": [1, 0], "count": 1,
+            "sum": 1, "min": None, "max": None,
+        })))
+        assert "min/max missing" in errors
 
     def test_default_bucket_families_are_valid_histograms(self):
         for buckets in (TIME_BUCKETS_S, ITERATION_BUCKETS, COUNT_BUCKETS):

@@ -1,0 +1,107 @@
+"""Tests for the energy-optimal configuration search (Silva-style)."""
+
+import pytest
+
+from repro.machine import (
+    Configuration,
+    SocketPowerModel,
+    sample_socket_efficiencies,
+)
+from repro.machine.configuration import ConfigPoint
+from repro.runtime import ConfigSearchPolicy, energy_optimal_point
+from repro.simulator import Engine, MaxPerformancePolicy, TaskRef
+from repro.workloads import imbalanced_collective_app
+
+
+@pytest.fixture
+def models():
+    eff = sample_socket_efficiencies(4, seed=9)
+    return [SocketPowerModel(efficiency=float(e)) for e in eff]
+
+
+@pytest.fixture
+def app():
+    return imbalanced_collective_app(n_ranks=4, iterations=10, spread=1.5)
+
+
+def point(freq, threads, duration_s, power_w):
+    return ConfigPoint(Configuration(freq, threads), duration_s, power_w)
+
+
+class TestEnergyOptimalPoint:
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            energy_optimal_point([])
+
+    def test_negative_slowdown_rejected(self):
+        with pytest.raises(ValueError, match="max_slowdown"):
+            energy_optimal_point([point(2.6, 8, 1.0, 90.0)], max_slowdown=-0.1)
+
+    def test_min_energy_within_the_slowdown_bound(self):
+        pts = [
+            point(2.6, 8, 1.0, 90.0),   # 90 J, fastest
+            point(2.4, 8, 1.05, 80.0),  # 84 J, within 10%
+            point(1.2, 8, 2.0, 30.0),   # 60 J, but 2x slower
+        ]
+        chosen = energy_optimal_point(pts, max_slowdown=0.1)
+        assert chosen is pts[1]
+        # A looser bound admits the genuinely cheapest point.
+        assert energy_optimal_point(pts, max_slowdown=1.5) is pts[2]
+
+    def test_power_budget_filters_the_space(self):
+        pts = [
+            point(2.6, 8, 1.0, 90.0),
+            point(2.4, 8, 1.05, 80.0),
+            point(1.2, 8, 2.0, 30.0),
+        ]
+        # Budget 50 W: only the slow point is admissible.
+        assert energy_optimal_point(pts, power_budget_w=50.0) is pts[2]
+
+    def test_unreachable_budget_falls_back_to_least_power(self):
+        pts = [point(2.6, 8, 1.0, 90.0), point(1.2, 8, 2.0, 30.0)]
+        assert energy_optimal_point(pts, power_budget_w=5.0) is pts[1]
+
+
+class TestConfigSearchPolicy:
+    def test_validation(self, models):
+        with pytest.raises(ValueError, match="job cap"):
+            ConfigSearchPolicy(models, job_cap_w=0.0)
+        with pytest.raises(ValueError, match="max_slowdown"):
+            ConfigSearchPolicy(models, job_cap_w=None, max_slowdown=-1.0)
+
+    def test_configuration_is_history_free(self, models, kernel):
+        policy = ConfigSearchPolicy(models, job_cap_w=None)
+        first = policy.configure(TaskRef(0, 0), kernel, 0, None)
+        again = policy.configure(TaskRef(0, 3), kernel, 7, first)
+        assert first == again
+
+    def test_saves_energy_within_bounded_slowdown(self, models, app):
+        engine = Engine(models)
+        base = engine.run(app, MaxPerformancePolicy())
+        searched = engine.run(
+            app, ConfigSearchPolicy(models, job_cap_w=None, max_slowdown=0.1)
+        )
+        assert searched.total_energy_j() < base.total_energy_j()
+        # Per-task slowdown is bounded by 10%; the makespan inherits it.
+        assert searched.makespan_s <= base.makespan_s * 1.1 * (1 + 1e-9)
+
+    def test_cap_constrains_chosen_power(self, models, app):
+        cap_w = 45.0 * len(models)
+        res = Engine(models).run(
+            app, ConfigSearchPolicy(models, job_cap_w=cap_w)
+        )
+        assert all(r.power_w <= 45.0 * (1 + 1e-9) for r in res.records)
+
+    def test_plan_run_matches_scalar_path(self, models, app):
+        engine = Engine(models)
+        scalar = engine.run(
+            app, ConfigSearchPolicy(models, job_cap_w=None), vectorized=False
+        )
+        planned = engine.run(app, ConfigSearchPolicy(models, job_cap_w=None))
+        assert planned.makespan_s == scalar.makespan_s
+        assert planned.total_energy_j() == scalar.total_energy_j()
+
+    def test_overhead_hooks(self, models):
+        policy = ConfigSearchPolicy(models, job_cap_w=None)
+        assert policy.switch_cost_s() == 0.0
+        assert policy.on_pcontrol(0, []) == 0.0

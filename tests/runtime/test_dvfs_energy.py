@@ -1,0 +1,105 @@
+"""Tests for the slack-driven min-energy DVFS runtime (Guermouche-style)."""
+
+import pytest
+
+from repro.machine import (
+    Configuration,
+    SocketPowerModel,
+    sample_socket_efficiencies,
+)
+from repro.machine.configuration import ConfigPoint
+from repro.machine.cpu import XEON_E5_2670
+from repro.runtime import DvfsEnergyPolicy, min_energy_fitting_point
+from repro.simulator import Engine, MaxPerformancePolicy, TaskRef
+from repro.workloads import imbalanced_collective_app
+
+
+@pytest.fixture
+def models():
+    eff = sample_socket_efficiencies(4, seed=9)
+    return [SocketPowerModel(efficiency=float(e)) for e in eff]
+
+
+@pytest.fixture
+def app():
+    return imbalanced_collective_app(n_ranks=4, iterations=10, spread=1.5)
+
+
+def point(freq, duration_s, power_w):
+    return ConfigPoint(Configuration(freq, 8), duration_s, power_w)
+
+
+class TestMinEnergyFittingPoint:
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            min_energy_fitting_point([], 1.0)
+
+    def test_nothing_fits_runs_fastest(self):
+        ladder = [point(1.2, 2.0, 40.0), point(2.6, 1.0, 90.0)]
+        assert min_energy_fitting_point(ladder, 0.5) is ladder[-1]
+
+    def test_picks_minimum_energy_among_fitting(self):
+        # Energies: 2.0*40=80, 1.5*56=84, 1.0*90=90 — the slowest point
+        # is cheapest and fits, so it wins even though all three fit.
+        ladder = [point(1.2, 2.0, 40.0), point(2.0, 1.5, 56.0),
+                  point(2.6, 1.0, 90.0)]
+        assert min_energy_fitting_point(ladder, 2.5) is ladder[0]
+        # With a tighter budget only the two faster points fit.
+        assert min_energy_fitting_point(ladder, 1.6) is ladder[1]
+
+    def test_energy_tie_breaks_to_the_faster_point(self):
+        ladder = [point(1.2, 2.0, 40.0), point(2.6, 1.0, 80.0)]
+        assert min_energy_fitting_point(ladder, 3.0) is ladder[1]
+
+
+class TestDvfsEnergyPolicy:
+    def test_validation(self, models, app):
+        with pytest.raises(ValueError, match="safety"):
+            DvfsEnergyPolicy(models, app, safety=1.5)
+
+    def test_first_iteration_runs_fastest(self, models, app, kernel):
+        policy = DvfsEnergyPolicy(models, app)
+        cfg = policy.configure(TaskRef(0, 0), kernel, 0, None)
+        assert cfg.freq_ghz == XEON_E5_2670.fmax_ghz
+
+    def test_frequency_only_scaling(self, models, app):
+        """Thread width never moves: the MPI-process model scales the
+        clock into slack, it does not throttle concurrency."""
+        res = Engine(models).run(app, DvfsEnergyPolicy(models, app))
+        assert all(
+            r.config.threads == XEON_E5_2670.cores for r in res.records
+        )
+
+    def test_saves_energy_with_negligible_slowdown(self, models, app):
+        engine = Engine(models)
+        base = engine.run(app, MaxPerformancePolicy())
+        saved = engine.run(app, DvfsEnergyPolicy(models, app))
+        assert saved.total_energy_j() < base.total_energy_j() * 0.99
+        assert saved.makespan_s <= base.makespan_s * 1.02
+
+    def test_light_ranks_downshift(self, models, app):
+        import numpy as np
+
+        res = Engine(models).run(app, DvfsEnergyPolicy(models, app))
+        busy = np.zeros(4)
+        for r in res.records:
+            busy[r.ref.rank] += r.duration_s
+        light = int(np.argmin(busy))
+        late = [
+            r for r in res.records
+            if r.ref.rank == light and r.iteration >= 5
+        ]
+        assert any(r.config.freq_ghz < XEON_E5_2670.fmax_ghz for r in late)
+
+    def test_short_tasks_do_not_thrash_the_clock(self, models, app, kernel):
+        """A switch is skipped when the task is shorter than the
+        min-switch threshold — the 145us transition would dominate."""
+        policy = DvfsEnergyPolicy(models, app, min_switch_duration_s=1e9)
+        slow = Configuration(XEON_E5_2670.pstates[-1], XEON_E5_2670.cores)
+        cfg = policy.configure(TaskRef(0, 0), kernel, 1, slow)
+        assert cfg == slow
+
+    def test_overhead_hooks(self, models, app):
+        policy = DvfsEnergyPolicy(models, app, switch_overhead_s=2e-4)
+        assert policy.switch_cost_s() == 2e-4
+        assert policy.on_pcontrol(0, []) == 0.0

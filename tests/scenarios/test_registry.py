@@ -6,6 +6,8 @@ from repro.runtime import (
     AdagioPolicy,
     ConductorConfig,
     ConductorPolicy,
+    ConfigSearchPolicy,
+    DvfsEnergyPolicy,
     SelectionOnlyPolicy,
     StaticPolicy,
 )
@@ -21,7 +23,8 @@ class TestDefaultRegistry:
     def test_all_builtins_registered(self):
         reg = default_registry()
         assert reg.names() == [
-            "adagio", "conductor", "flow-ilp", "lp", "lp-split",
+            "adagio", "conductor", "config-search", "dvfs-energy",
+            "energy-lp", "flow-ilp", "lp", "lp-split",
             "selection-only", "static",
         ]
 
@@ -34,18 +37,24 @@ class TestDefaultRegistry:
         assert reg.get("conductor").policy_class is ConductorPolicy
         assert reg.get("adagio").policy_class is AdagioPolicy
         assert reg.get("selection-only").policy_class is SelectionOnlyPolicy
+        assert reg.get("dvfs-energy").policy_class is DvfsEnergyPolicy
+        assert reg.get("config-search").policy_class is ConfigSearchPolicy
 
     def test_kinds(self):
         reg = default_registry()
-        for name in ("static", "conductor", "adagio", "selection-only"):
+        for name in ("static", "conductor", "adagio", "selection-only",
+                     "dvfs-energy", "config-search"):
             assert reg.get(name).kind == "runtime"
-        for name in ("lp", "lp-split", "flow-ilp"):
+        for name in ("lp", "lp-split", "flow-ilp", "energy-lp"):
             assert reg.get(name).kind == "bound"
 
     def test_measurement_windows(self):
         reg = default_registry()
-        assert reg.get("static").measure == "discard"  # non-adaptive
-        for adaptive in ("conductor", "adagio", "selection-only"):
+        # Non-adaptive policies measure after the discard window.
+        for fixed in ("static", "config-search"):
+            assert reg.get(fixed).measure == "discard"
+        for adaptive in ("conductor", "adagio", "selection-only",
+                         "dvfs-energy"):
             assert reg.get(adaptive).measure == "steady"
 
     def test_conductor_defaults_match_config_dataclass(self):
@@ -61,7 +70,7 @@ class TestDefaultRegistry:
     def test_contains_and_len(self):
         reg = default_registry()
         assert "lp" in reg and "magic" not in reg
-        assert len(reg) == 7
+        assert len(reg) == 10
 
 
 class TestConfigResolution:

@@ -112,6 +112,95 @@ class TestNWaySmoke:
             assert f"{label} synthetic cap=40W" in runs, label
 
 
+ENERGY_WAY = (
+    PolicySpec("static"),
+    PolicySpec("dvfs-energy"),
+    PolicySpec("config-search"),
+    PolicySpec("lp"),
+    PolicySpec("energy-lp"),
+)
+
+
+class TestEnergyOutcomes:
+    def test_every_outcome_carries_per_iteration_energy(self):
+        result = run_scenarios(small_spec(policies=ENERGY_WAY))
+        for cell in result.cells:
+            for name, outcome in cell.outcomes.items():
+                assert outcome.energy_j is not None, name
+                assert outcome.energy_j > 0, name
+
+    def test_payload_round_trip_preserves_energy(self):
+        from repro.scenarios.run import PolicyOutcome
+
+        cell = run_scenarios(small_spec(policies=ENERGY_WAY)).cells[0]
+        for name, outcome in cell.outcomes.items():
+            back = PolicyOutcome.from_payload(name, outcome.to_payload())
+            assert back.energy_j == outcome.energy_j
+        # Pre-energy payloads (no key) rehydrate to None, never KeyError.
+        doc = cell.outcomes["lp"].to_payload()
+        del doc["energy_j"]
+        assert PolicyOutcome.from_payload("lp", doc).energy_j is None
+
+    def test_energy_lp_bound_dominates_time_lp_at_every_cap(self):
+        """The frontier invariant (docs/scenarios.md): the time-optimal
+        capped schedule is feasible for the capped energy LP at the same
+        deadline, so the energy-lp bound never uses more energy — and at
+        the same (anchored) time it is Pareto-dominated by nothing."""
+        result = run_scenarios(small_spec(policies=ENERGY_WAY))
+        for cell in result.cells:
+            lp, elp = cell.outcomes["lp"], cell.outcomes["energy-lp"]
+            assert elp.energy_j <= lp.energy_j * (1 + 1e-9)
+            assert elp.time_s == pytest.approx(lp.time_s)
+
+    def test_uncapped_energy_lp_config(self):
+        spec = small_spec(policies=(
+            PolicySpec("energy-lp", name="capped"),
+            PolicySpec("energy-lp", name="free", config={"capped": False}),
+        ))
+        cell = run_scenarios(spec).cells[0]
+        # Uncapped: deadline anchors at the unconstrained makespan, which
+        # is faster than any capped optimum, while the capped variant may
+        # spend less energy only via its longer deadline.
+        assert cell.outcomes["free"].time_s <= cell.outcomes["capped"].time_s
+        assert cell.outcomes["free"].extra["feasible"]
+
+    def test_unschedulable_cap_yields_no_energy(self):
+        # SP declares a 40 W/socket floor; below it the cell is skipped.
+        result = run_scenarios(
+            small_spec(
+                policies=ENERGY_WAY[:1] + ENERGY_WAY[-1:],
+                caps=(10.0,),
+                benchmark="sp",
+            )
+        )
+        cell = result.cells[0]
+        assert not cell.schedulable
+        for outcome in cell.outcomes.values():
+            assert outcome.time_s is None and outcome.energy_j is None
+
+    def test_warm_cell_preserves_energy(self, tmp_path):
+        cache = SolverCache(tmp_path)
+        spec = small_spec(policies=ENERGY_WAY, caps=(40.0,))
+        cold = run_scenarios(spec, cache=cache)
+        warm = run_scenarios(spec, cache=cache)
+        for name in spec.policy_labels():
+            assert (
+                warm.cells[0].outcomes[name].energy_j
+                == cold.cells[0].outcomes[name].energy_j
+            )
+
+    def test_cell_energy_metric_is_deterministic(self):
+        from repro.obs.metrics import Metrics, use_metrics
+
+        spec = small_spec(policies=ENERGY_WAY[:2], caps=(40.0,))
+        m = Metrics()
+        with use_metrics(m):
+            run_scenarios(spec)
+        hist = m.to_dict(deterministic_only=True)["histograms"]["cell.energy_j"]
+        assert hist["count"] == 2  # one observation per outcome
+        assert all(isinstance(v, int) for v in (hist["sum"], hist["min"]))
+
+
 class TestCellCaching:
     def test_warm_cell_is_byte_identical(self, tmp_path):
         cache = SolverCache(tmp_path)

@@ -93,6 +93,67 @@ class TestOrdering:
         assert queue.depth() == 1
 
 
+class TestSettleGuard:
+    """Only the dispatcher holding a live claim may settle a job."""
+
+    def test_release_then_complete_does_not_flip_state(self, tmp_path):
+        # The race: a dispatcher releases a job (e.g. on timeout), a new
+        # dispatcher reclaims it, then the stale dispatcher's complete()
+        # arrives.  The job must stay with its current owner.
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec(caps=(10.0,)))
+        job = queue.claim_next()
+        queue.release(job.job_id)
+        queue.complete(job.job_id)  # stale settle: ignored
+        assert queue.jobs[job.job_id].state == "pending"
+        assert queue.depth() == 1
+        # Nothing misleading reached the durable log either.
+        assert JobQueue(tmp_path).jobs[job.job_id].state == "pending"
+
+    def test_release_then_fail_keeps_job_and_failure_clean(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec(caps=(10.0,)))
+        job = queue.claim_next()
+        queue.release(job.job_id)
+        queue.fail(job.job_id, {"error_type": "Stale"})
+        assert queue.jobs[job.job_id].state == "pending"
+        assert queue.jobs[job.job_id].failure is None
+
+    def test_double_settle_keeps_first_outcome(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec(caps=(10.0,)))
+        job = queue.claim_next()
+        queue.complete(job.job_id)
+        queue.fail(job.job_id, {"error_type": "Late"})
+        assert queue.jobs[job.job_id].state == "done"
+        assert queue.jobs[job.job_id].failure is None
+        assert JobQueue(tmp_path).jobs[job.job_id].state == "done"
+
+    def test_settling_a_pending_job_is_ignored(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec(caps=(10.0,)))
+        job_id = next(iter(queue.jobs))
+        queue.complete(job_id)  # never claimed
+        assert queue.jobs[job_id].state == "pending"
+
+    def test_unknown_job_still_raises(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        with pytest.raises(KeyError, match="unknown job"):
+            queue.complete("nope")
+
+    def test_replay_ignores_stale_settle_events_in_old_logs(self, tmp_path):
+        # Logs written before the guard may carry a settle for a job that
+        # was no longer running; replay applies the same ownership rule.
+        queue = JobQueue(tmp_path)
+        queue.submit_cells(spec(caps=(10.0,)))
+        job_id = next(iter(queue.jobs))
+        with (tmp_path / "queue.jsonl").open("a") as fh:
+            fh.write(json.dumps(
+                {"schema": 1, "kind": "complete", "job_id": job_id}
+            ) + "\n")
+        assert JobQueue(tmp_path).jobs[job_id].state == "pending"
+
+
 class TestQuota:
     def test_submission_rejected_whole(self, tmp_path):
         queue = JobQueue(tmp_path, quotas={"alice": 1})
